@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: the null-value optimisation (NVO). Compares capability-
+ * metadata VRF pressure, spills and cycles with NVO on and off
+ * (Section 3.2: partially-null metadata vectors stay in the SRF with a
+ * per-lane null mask).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    benchcommon::printHeader("Ablation", "null-value optimisation (NVO)");
+
+    using Mode = kc::CompileOptions::Mode;
+    simt::SmConfig on = simt::SmConfig::cheriOptimised();
+    simt::SmConfig off = on;
+    off.nvo = false;
+
+    const auto r_on = benchcommon::runSuite(on, Mode::Purecap);
+    const auto r_off = benchcommon::runSuite(off, Mode::Purecap);
+
+    std::printf("%-12s | %12s %10s | %12s %10s\n", "", "NVO off", "", "NVO on",
+                "");
+    std::printf("%-12s | %12s %10s | %12s %10s\n", "Benchmark", "metaVRF",
+                "spills", "metaVRF", "spills");
+    for (size_t i = 0; i < r_on.size(); ++i) {
+        std::printf("%-12s | %12.2f %10llu | %12.2f %10llu\n",
+                    r_on[i].name.c_str(), r_off[i].run.avgMetaVrf,
+                    static_cast<unsigned long long>(
+                        r_off[i].run.stats.get("vrf_meta_spills")),
+                    r_on[i].run.avgMetaVrf,
+                    static_cast<unsigned long long>(
+                        r_on[i].run.stats.get("vrf_meta_spills")));
+    }
+
+    uint64_t nvo_hits = 0;
+    for (const auto &r : r_on)
+        nvo_hits += r.run.stats.get("meta_nvo_hits");
+    std::printf("\nTotal partially-null vectors held in the SRF by NVO: "
+                "%llu\n",
+                static_cast<unsigned long long>(nvo_hits));
+
+    for (size_t i = 0; i < r_on.size(); ++i) {
+        const double von = r_on[i].run.avgMetaVrf;
+        const double voff = r_off[i].run.avgMetaVrf;
+        benchmark::RegisterBenchmark(
+            ("abl_nvo/" + r_on[i].name).c_str(),
+            [von, voff](benchmark::State &state) {
+                for (auto _ : state) {
+                }
+                state.counters["meta_vrf_on"] = von;
+                state.counters["meta_vrf_off"] = voff;
+            })
+            ->Iterations(1);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation: shared versus split VRF (Section 3.2). With split VRFs each
+ * register file can spill while the other has free space (fragmentation)
+ * and the metadata VRF adds its own storage; the shared VRF avoids both
+ * at the cost of serialised data/metadata accesses (one-cycle stalls).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "simt/regfile.hpp"
+
+int
+main(int argc, char **argv)
+{
+    benchcommon::printHeader("Ablation", "shared vs split VRF");
+
+    using Mode = kc::CompileOptions::Mode;
+    simt::SmConfig shared_cfg = simt::SmConfig::cheriOptimised();
+    simt::SmConfig split_cfg = shared_cfg;
+    split_cfg.sharedVrf = false;
+
+    const auto r_shared = benchcommon::runSuite(shared_cfg, Mode::Purecap);
+    const auto r_split = benchcommon::runSuite(split_cfg, Mode::Purecap);
+
+    std::printf("%-12s | %10s %8s %8s | %10s %8s %8s\n", "", "shared", "",
+                "", "split", "", "");
+    std::printf("%-12s | %10s %8s %8s | %10s %8s %8s\n", "Benchmark",
+                "cycles", "spills", "stalls", "cycles", "spills", "stalls");
+    for (size_t i = 0; i < r_shared.size(); ++i) {
+        const auto spills = [](const support::StatSet &s) {
+            return s.get("vrf_data_spills") + s.get("vrf_meta_spills");
+        };
+        std::printf("%-12s | %10llu %8llu %8llu | %10llu %8llu %8llu\n",
+                    r_shared[i].name.c_str(),
+                    static_cast<unsigned long long>(r_shared[i].run.cycles),
+                    static_cast<unsigned long long>(
+                        spills(r_shared[i].run.stats)),
+                    static_cast<unsigned long long>(
+                        r_shared[i].run.stats.get("shared_vrf_stalls")),
+                    static_cast<unsigned long long>(r_split[i].run.cycles),
+                    static_cast<unsigned long long>(
+                        spills(r_split[i].run.stats)),
+                    0ull);
+    }
+
+    support::StatSet scratch;
+    simt::RegFileSystem shared_rf(shared_cfg, scratch);
+    simt::RegFileSystem split_rf(split_cfg, scratch);
+    const double shared_kb =
+        static_cast<double>(shared_rf.metaStorageBits()) / 1024;
+    const double split_kb =
+        static_cast<double>(split_rf.metaStorageBits()) / 1024;
+    std::printf("\nMetadata storage: shared VRF %.0f Kb, split VRFs "
+                "%.0f Kb\n",
+                shared_kb, split_kb);
+
+    benchmark::RegisterBenchmark(
+        "abl_sharedvrf/summary",
+        [shared_kb, split_kb](benchmark::State &state) {
+            for (auto _ : state) {
+            }
+            state.counters["meta_storage_shared_kb"] = shared_kb;
+            state.counters["meta_storage_split_kb"] = split_kb;
+        })
+        ->Iterations(1);
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

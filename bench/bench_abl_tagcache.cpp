@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation: tag-cache size sweep. Shows how the tag controller's extra
+ * DRAM traffic varies with the number of tag-cache lines, and the effect
+ * of the capability-free-region filter (Joannou et al.): with the filter
+ * and a modest cache, tag traffic is a negligible fraction of data
+ * traffic (the basis of the paper's Figure 12 claim).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    benchcommon::printHeader("Ablation", "tag-cache size sweep");
+
+    using Mode = kc::CompileOptions::Mode;
+    std::printf("%-10s %8s %16s %16s %12s\n", "Lines", "filter",
+                "tag traffic (B)", "data traffic (B)", "overhead");
+
+    for (const bool filter : {false, true}) {
+        for (unsigned lines : {1u, 4u, 16u, 64u, 256u}) {
+            simt::SmConfig cfg = simt::SmConfig::cheriOptimised();
+            cfg.tagCacheLines = lines;
+            cfg.tagRootFilter = filter;
+            const auto res = benchcommon::runSuite(cfg, Mode::Purecap);
+
+            uint64_t tag = 0, data = 0;
+            for (const auto &r : res) {
+                tag += r.run.stats.get("tag_dram_bytes_read") +
+                       r.run.stats.get("tag_dram_bytes_written");
+                data += r.run.stats.get("dram_bytes_read") +
+                        r.run.stats.get("dram_bytes_written");
+            }
+            const double pct = static_cast<double>(tag) /
+                               static_cast<double>(data) * 100.0;
+            std::printf("%-10u %8s %16llu %16llu %11.3f%%\n", lines,
+                        filter ? "on" : "off",
+                        static_cast<unsigned long long>(tag),
+                        static_cast<unsigned long long>(data), pct);
+
+            benchmark::RegisterBenchmark(
+                ("abl_tagcache/" + std::string(filter ? "on" : "off") +
+                 "/lines" + std::to_string(lines))
+                    .c_str(),
+                [pct](benchmark::State &state) {
+                    for (auto _ : state) {
+                    }
+                    state.counters["tag_traffic_pct"] = pct;
+                })
+                ->Iterations(1);
+        }
+    }
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,49 @@
+#include "bench/bench_common.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/logging.hpp"
+
+namespace benchcommon
+{
+
+std::vector<SuiteResult>
+runSuite(const simt::SmConfig &sm_cfg, kc::CompileOptions::Mode mode,
+         kernels::Size size)
+{
+    std::vector<SuiteResult> results;
+    for (auto &bench : kernels::makeSuite()) {
+        nocl::Device dev(sm_cfg, mode);
+        kernels::Prepared p = bench->prepare(dev, size);
+        SuiteResult r;
+        r.name = bench->name();
+        r.run = dev.launch(*p.kernel, p.cfg, p.args);
+        r.ok = r.run.completed && !r.run.trapped && p.verify(dev);
+        if (!r.ok) {
+            warn("benchmark %s failed verification (trap: %s)",
+                 r.name.c_str(), r.run.trapKind.c_str());
+        }
+        results.push_back(std::move(r));
+    }
+    return results;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void
+printHeader(const std::string &id, const std::string &caption)
+{
+    std::printf("\n=== %s: %s ===\n", id.c_str(), caption.c_str());
+}
+
+} // namespace benchcommon

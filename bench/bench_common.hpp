@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared infrastructure for the benchmark harnesses: run the Table 1
+ * suite under a given SM configuration and compile mode, verify results,
+ * and print paper-style tables.
+ */
+
+#ifndef CHERI_SIMT_BENCH_BENCH_COMMON_HPP_
+#define CHERI_SIMT_BENCH_BENCH_COMMON_HPP_
+
+#include <string>
+#include <vector>
+
+#include "kc/codegen.hpp"
+#include "kernels/suite.hpp"
+#include "nocl/nocl.hpp"
+#include "simt/config.hpp"
+
+namespace benchcommon
+{
+
+/** Result of running one benchmark under one configuration. */
+struct SuiteResult
+{
+    std::string name;
+    bool ok = false;
+    nocl::RunResult run;
+};
+
+/**
+ * Run every benchmark of the suite and verify its output.
+ * Workload size defaults to Full (the paper's evaluation sizes).
+ */
+std::vector<SuiteResult> runSuite(const simt::SmConfig &sm_cfg,
+                                  kc::CompileOptions::Mode mode,
+                                  kernels::Size size = kernels::Size::Full);
+
+/** Geometric mean of a vector of ratios. */
+double geomean(const std::vector<double> &values);
+
+/** Print a header naming the reproduced table/figure. */
+void printHeader(const std::string &id, const std::string &caption);
+
+} // namespace benchcommon
+
+#endif // CHERI_SIMT_BENCH_BENCH_COMMON_HPP_

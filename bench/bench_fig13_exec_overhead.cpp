@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces Figure 13: execution-time overhead of the optimised CHERI
+ * configuration relative to the baseline configuration, per benchmark,
+ * with the geometric mean (paper: 1.6%, with BlkStencil as the outlier).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+namespace
+{
+
+using benchcommon::runSuite;
+using Mode = kc::CompileOptions::Mode;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchcommon::printHeader(
+        "Figure 13", "execution-time overhead of CHERI (optimised) vs "
+                     "baseline");
+
+    const auto base = runSuite(simt::SmConfig::baseline(), Mode::Baseline);
+    const auto cheri =
+        runSuite(simt::SmConfig::cheriOptimised(), Mode::Purecap);
+
+    std::printf("%-12s %14s %14s %10s\n", "Benchmark", "Baseline(cyc)",
+                "CHERI(cyc)", "Overhead");
+    std::vector<double> ratios;
+    for (size_t i = 0; i < base.size(); ++i) {
+        const double ratio = static_cast<double>(cheri[i].run.cycles) /
+                             static_cast<double>(base[i].run.cycles);
+        ratios.push_back(ratio);
+        std::printf("%-12s %14llu %14llu %+9.1f%%%s\n",
+                    base[i].name.c_str(),
+                    static_cast<unsigned long long>(base[i].run.cycles),
+                    static_cast<unsigned long long>(cheri[i].run.cycles),
+                    (ratio - 1.0) * 100.0,
+                    base[i].ok && cheri[i].ok ? "" : "  [VERIFY FAILED]");
+    }
+    const double gm = benchcommon::geomean(ratios);
+    std::printf("%-12s %14s %14s %+9.1f%%   (paper: +1.6%%)\n", "geomean",
+                "", "", (gm - 1.0) * 100.0);
+
+    for (size_t i = 0; i < base.size(); ++i) {
+        const double overhead_pct =
+            (static_cast<double>(cheri[i].run.cycles) /
+                 static_cast<double>(base[i].run.cycles) -
+             1.0) *
+            100.0;
+        benchmark::RegisterBenchmark(
+            ("fig13/" + base[i].name).c_str(),
+            [overhead_pct](benchmark::State &state) {
+                for (auto _ : state) {
+                }
+                state.counters["overhead_pct"] = overhead_pct;
+            })
+            ->Iterations(1);
+    }
+    benchmark::RegisterBenchmark("fig13/geomean",
+                                 [gm](benchmark::State &state) {
+                                     for (auto _ : state) {
+                                     }
+                                     state.counters["overhead_pct"] =
+                                         (gm - 1.0) * 100.0;
+                                 })
+        ->Iterations(1);
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

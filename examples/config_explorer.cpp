@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Configuration explorer: runs one benchmark of the Table 1 suite under
+ * the three SM configurations of the paper and reports cycles, register-
+ * file behaviour and estimated silicon cost side by side.
+ *
+ *   $ ./examples/config_explorer [BenchmarkName]
+ *
+ * Default benchmark: BlkStencil (the paper's most CHERI-sensitive one).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "area/area_model.hpp"
+#include "kernels/suite.hpp"
+#include "nocl/nocl.hpp"
+
+namespace
+{
+
+struct ConfigRow
+{
+    const char *name;
+    simt::SmConfig cfg;
+    kc::CompileOptions::Mode mode;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench_name = argc > 1 ? argv[1] : "BlkStencil";
+    auto bench = kernels::makeBenchmark(bench_name);
+    if (!bench) {
+        std::printf("unknown benchmark '%s'; available:\n",
+                    bench_name.c_str());
+        for (const auto &b : kernels::makeSuite())
+            std::printf("  %s\n", b->name().c_str());
+        return 1;
+    }
+
+    const ConfigRow rows[] = {
+        {"Baseline", simt::SmConfig::baseline(),
+         kc::CompileOptions::Mode::Baseline},
+        {"CHERI", simt::SmConfig::cheri(),
+         kc::CompileOptions::Mode::Purecap},
+        {"CHERI (Optimised)", simt::SmConfig::cheriOptimised(),
+         kc::CompileOptions::Mode::Purecap},
+    };
+
+    const area::AreaModel area_model;
+    std::printf("%s across the paper's three configurations:\n\n",
+                bench_name.c_str());
+    std::printf("%-18s %10s %9s %9s %12s %10s\n", "Configuration",
+                "cycles", "metaVRF", "CSCstall", "ALMs", "BRAM(Kb)");
+
+    uint64_t base_cycles = 0;
+    for (const ConfigRow &row : rows) {
+        auto b = kernels::makeBenchmark(bench_name);
+        nocl::Device dev(row.cfg, row.mode);
+        kernels::Prepared p = b->prepare(dev, kernels::Size::Full);
+        const nocl::RunResult r = dev.launch(*p.kernel, p.cfg, p.args);
+        if (!r.completed || r.trapped || !p.verify(dev)) {
+            std::printf("%-18s FAILED (%s)\n", row.name,
+                        r.trapKind.c_str());
+            continue;
+        }
+        if (base_cycles == 0)
+            base_cycles = r.cycles;
+
+        const area::AreaEstimate est = area_model.estimate(row.cfg);
+        std::printf("%-18s %10llu %9.2f %9llu %12llu %10.0f",
+                    row.name, static_cast<unsigned long long>(r.cycles),
+                    r.avgMetaVrf,
+                    static_cast<unsigned long long>(
+                        r.stats.get("csc_port_stalls")),
+                    static_cast<unsigned long long>(est.alms),
+                    est.bramKbits);
+        std::printf("   (%+.1f%% cycles)\n",
+                    (static_cast<double>(r.cycles) /
+                         static_cast<double>(base_cycles) -
+                     1.0) *
+                        100.0);
+    }
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Analytical logic-area and on-chip-storage model of the SIMTight SM,
+ * reproducing the paper's synthesis results (Table 3) and the
+ * CheriCapLib function costs (Figure 7).
+ *
+ * The model composes per-component ALM counts: per-vector-lane logic is
+ * multiplied by the lane count, per-warp logic by the warp count, and
+ * shared units (scheduler, coalescer, SFU, tag controller) appear once.
+ * The CHERI deltas follow the paper's design directly:
+ *
+ *  - the plain CHERI configuration instantiates the full CheriCapLib
+ *    (fromMem/setAddr/isAccessInBounds/getBase/getLength/getTop/setBounds)
+ *    in every lane, plus dynamic PCC handling per warp;
+ *  - the optimised configuration keeps only the fast path
+ *    (fromMem/setAddr/isAccessInBounds/toMem) per lane and moves the
+ *    bounds instructions into the shared function unit, with the static
+ *    PC metadata restriction removing the per-warp PCC logic.
+ *
+ * Block-RAM storage is derived from the same storage model the
+ * register-file simulator uses (Table 2), plus instruction memory,
+ * scratchpad (33-bit with tags), tag cache and pipeline buffers.
+ */
+
+#ifndef CHERI_SIMT_AREA_AREA_MODEL_HPP_
+#define CHERI_SIMT_AREA_AREA_MODEL_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simt/config.hpp"
+
+namespace area
+{
+
+/** Per-function logic cost of the capability library (Figure 7). */
+struct CapLibCosts
+{
+    unsigned fromMem = 46;
+    unsigned toMem = 0;
+    unsigned setAddr = 106;
+    unsigned isAccessInBounds = 25;
+    unsigned getBase = 50;
+    unsigned getLength = 20;
+    unsigned getTop = 78;
+    unsigned setBounds = 287;
+
+    /** Reference point: a 32-bit multiplier (Figure 7 caption). */
+    unsigned multiplier32 = 567;
+
+    /** Full library instantiated per lane (plain CHERI). */
+    unsigned
+    fullPath() const
+    {
+        return fromMem + toMem + setAddr + isAccessInBounds + getBase +
+               getLength + getTop + setBounds;
+    }
+
+    /** Fast path kept per lane in the optimised configuration. */
+    unsigned
+    fastPath() const
+    {
+        return fromMem + toMem + setAddr + isAccessInBounds;
+    }
+
+    /** Bounds functions moved into the shared function unit. */
+    unsigned
+    slowPath() const
+    {
+        return getBase + getLength + getTop + setBounds;
+    }
+};
+
+/** One line of the area breakdown. */
+struct AreaItem
+{
+    std::string component;
+    uint64_t alms = 0;
+};
+
+/** Synthesis estimate for one SM configuration. */
+struct AreaEstimate
+{
+    uint64_t alms = 0;
+    double bramKbits = 0.0;
+    double fmaxMhz = 0.0;
+    std::vector<AreaItem> breakdown;
+};
+
+class AreaModel
+{
+  public:
+    AreaModel() = default;
+
+    const CapLibCosts &capLib() const { return capLib_; }
+
+    /** Estimate logic area and storage for an SM configuration. */
+    AreaEstimate estimate(const simt::SmConfig &cfg) const;
+
+  private:
+    CapLibCosts capLib_;
+
+    // Baseline SM components (ALMs), calibrated against Table 3.
+    static constexpr unsigned kLaneExecUnit = 2600; ///< ALU+FPU+LSU port
+    static constexpr unsigned kScratchpadNetwork = 12000;
+    static constexpr unsigned kCoalescingUnit = 9500;
+    static constexpr unsigned kSchedulerPipeline = 11000;
+    static constexpr unsigned kRegFileControl = 7053;
+    static constexpr unsigned kSharedFunctionUnit = 4000;
+
+    // CHERI additions.
+    static constexpr unsigned kCapLaneMiscFull = 480; ///< mux/null/trap
+    static constexpr unsigned kCapLaneMiscOpt = 421;  ///< + meta compress
+    static constexpr unsigned kPccPerWarpDynamic = 40;
+    static constexpr unsigned kTagController = 1600;
+    static constexpr unsigned kFlitSerialiser = 939;
+    static constexpr unsigned kSfuCapExtension = 928; ///< fns + widening
+};
+
+} // namespace area
+
+#endif // CHERI_SIMT_AREA_AREA_MODEL_HPP_

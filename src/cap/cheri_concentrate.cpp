@@ -1,0 +1,379 @@
+#include "cap/cheri_concentrate.hpp"
+
+#include "support/bits.hpp"
+#include "support/logging.hpp"
+
+namespace cap
+{
+
+namespace
+{
+
+using support::bit;
+using support::bits;
+using support::mask;
+
+constexpr unsigned MW = kMantissaWidth;
+
+/** Shift that is well-defined for shift amounts >= 64. */
+constexpr uint64_t
+shr64(uint64_t v, unsigned n)
+{
+    return n >= 64 ? 0 : (v >> n);
+}
+
+constexpr uint64_t
+shl64(uint64_t v, unsigned n)
+{
+    return n >= 64 ? 0 : (v << n);
+}
+
+/** Reconstruct the top two bits of T from B and the exponent encoding. */
+uint16_t
+reconstructT(uint16_t t_low6, uint16_t b_full, bool internal_exp)
+{
+    // L_carry: does the truncated T sit below the truncated B?
+    const unsigned l_carry = (t_low6 < (b_full & mask(MW - 2))) ? 1 : 0;
+    const unsigned l_msb = internal_exp ? 1 : 0;
+    const unsigned t_hi =
+        (static_cast<unsigned>(b_full >> (MW - 2)) + l_carry + l_msb) & 0x3;
+    return static_cast<uint16_t>((t_hi << (MW - 2)) | t_low6);
+}
+
+} // namespace
+
+CapMem
+nullCapMem()
+{
+    return CapMem{};
+}
+
+CapPipe
+nullCapPipe()
+{
+    return fromMem(nullCapMem());
+}
+
+CapPipe
+rootCap()
+{
+    CapPipe c;
+    c.tag = true;
+    c.perms = kPermsAll;
+    c.flag = false;
+    c.otype = OTYPE_UNSEALED;
+    c.addr = 0;
+    c.internalExp = true;
+    c.exponent = kMaxExponent;
+    c.b = 0;
+    c.t = uint16_t{1} << (MW - 2); // top = 2^32 once scaled by 2^E
+    return c;
+}
+
+CapPipe
+fromMem(const CapMem &mem)
+{
+    CapPipe c;
+    c.tag = mem.tag;
+    c.addr = static_cast<uint32_t>(mem.bits & 0xffffffffu);
+
+    const uint32_t meta = static_cast<uint32_t>(mem.bits >> 32);
+    c.perms = static_cast<uint8_t>(bits(meta, 31, 24));
+    c.flag = bit(meta, 23);
+    c.otype = static_cast<uint8_t>(bits(meta, 22, 19));
+    c.reserved = static_cast<uint8_t>(bits(meta, 18, 15));
+
+    const bool ie = bit(meta, 14);
+    const uint16_t t_field = static_cast<uint16_t>(bits(meta, 13, 8));
+    const uint16_t b_field = static_cast<uint16_t>(bits(meta, 7, 0));
+
+    c.internalExp = ie;
+    uint16_t t_low6;
+    if (ie) {
+        const unsigned e = (static_cast<unsigned>(t_field & 0x7) << 3) |
+                           static_cast<unsigned>(b_field & 0x7);
+        // The raw exponent is preserved here; bounds decoding clamps it to
+        // kMaxExponent, so malformed encodings still decode deterministically
+        // while fromMem/toMem round-trips remain lossless.
+        c.exponent = static_cast<uint8_t>(e);
+        c.b = static_cast<uint16_t>(b_field & ~uint16_t{0x7});
+        t_low6 = static_cast<uint16_t>(t_field & ~uint16_t{0x7});
+    } else {
+        c.exponent = 0;
+        c.b = b_field;
+        t_low6 = t_field;
+    }
+    c.t = reconstructT(t_low6, c.b, ie);
+    return c;
+}
+
+CapMem
+toMem(const CapPipe &c)
+{
+    uint32_t meta = 0;
+    meta = static_cast<uint32_t>(
+        support::insertBits(meta, 31, 24, c.perms));
+    meta = static_cast<uint32_t>(
+        support::insertBits(meta, 23, 23, c.flag ? 1 : 0));
+    meta = static_cast<uint32_t>(support::insertBits(meta, 22, 19, c.otype));
+    meta =
+        static_cast<uint32_t>(support::insertBits(meta, 18, 15, c.reserved));
+
+    uint16_t t_field;
+    uint16_t b_field;
+    if (c.internalExp) {
+        const unsigned e = c.exponent;
+        t_field = static_cast<uint16_t>((c.t & 0x38) | ((e >> 3) & 0x7));
+        b_field = static_cast<uint16_t>((c.b & 0xf8) | (e & 0x7));
+    } else {
+        t_field = static_cast<uint16_t>(c.t & mask(MW - 2));
+        b_field = static_cast<uint16_t>(c.b & mask(MW));
+    }
+    meta = static_cast<uint32_t>(
+        support::insertBits(meta, 14, 14, c.internalExp ? 1 : 0));
+    meta = static_cast<uint32_t>(support::insertBits(meta, 13, 8, t_field));
+    meta = static_cast<uint32_t>(support::insertBits(meta, 7, 0, b_field));
+
+    CapMem mem;
+    mem.tag = c.tag;
+    mem.bits = (static_cast<uint64_t>(meta) << 32) | c.addr;
+    return mem;
+}
+
+Bounds
+getBounds(const CapPipe &c)
+{
+    const unsigned e =
+        c.exponent > kMaxExponent ? kMaxExponent : c.exponent;
+
+    const unsigned a3 =
+        static_cast<unsigned>(shr64(c.addr, e + MW - 3)) & 0x7;
+    const unsigned b3 = (c.b >> (MW - 3)) & 0x7;
+    const unsigned t3 = (c.t >> (MW - 3)) & 0x7;
+    const unsigned r3 = (b3 - 1) & 0x7;
+
+    const int a_hi = a3 < r3 ? 1 : 0;
+    const int b_hi = b3 < r3 ? 1 : 0;
+    const int t_hi = t3 < r3 ? 1 : 0;
+    const int corr_base = b_hi - a_hi;
+    const int corr_top = t_hi - a_hi;
+
+    const uint32_t a_top = static_cast<uint32_t>(shr64(c.addr, e + MW));
+
+    const uint64_t base_full =
+        shl64(static_cast<uint32_t>(a_top + corr_base), e + MW) |
+        shl64(c.b, e);
+    const uint64_t top_full =
+        shl64(static_cast<uint32_t>(a_top + corr_top), e + MW) |
+        shl64(c.t, e);
+
+    const uint32_t base = static_cast<uint32_t>(base_full & mask(32));
+    uint64_t top = top_full & mask(33);
+
+    // Final correction from the CHERI Concentrate decoding: if top ends up
+    // more than an address space away from base, flip its MSB.
+    if (e < kMaxExponent - 1) {
+        const unsigned top2 = static_cast<unsigned>(top >> 31) & 0x3;
+        const unsigned base1 = (base >> 31) & 0x1;
+        if (top2 - base1 > 1)
+            top ^= (uint64_t{1} << 32);
+    }
+    return Bounds{base, top};
+}
+
+uint32_t
+getBase(const CapPipe &c)
+{
+    return getBounds(c).base;
+}
+
+uint64_t
+getTop(const CapPipe &c)
+{
+    return getBounds(c).top;
+}
+
+uint64_t
+getLength(const CapPipe &c)
+{
+    const Bounds b = getBounds(c);
+    return b.top >= b.base ? b.top - b.base : 0;
+}
+
+bool
+inRepresentableRange(const CapPipe &c, uint32_t increment)
+{
+    const unsigned e =
+        c.exponent > kMaxExponent ? kMaxExponent : c.exponent;
+    if (e >= kMaxExponent - 2)
+        return true; // representable region covers the address space
+
+    const int32_t inc = static_cast<int32_t>(increment);
+    const int64_t i_top = static_cast<int64_t>(inc) >> (e + MW);
+    const uint32_t i_mid =
+        static_cast<uint32_t>(shr64(increment, e)) & mask(MW);
+    const uint32_t a_mid =
+        static_cast<uint32_t>(shr64(c.addr, e)) & mask(MW);
+
+    const unsigned b3 = (c.b >> (MW - 3)) & 0x7;
+    const unsigned r3 = (b3 - 1) & 0x7;
+    const uint32_t r = static_cast<uint32_t>(r3) << (MW - 3);
+
+    const uint32_t diff = (r - a_mid) & mask(MW);
+    const uint32_t diff1 = (diff - 1) & mask(MW);
+
+    if (i_top == 0)
+        return i_mid < diff1;
+    if (i_top == -1)
+        return i_mid >= diff && r != a_mid;
+    return false;
+}
+
+CapPipe
+setAddr(const CapPipe &c, uint32_t new_addr)
+{
+    CapPipe r = c;
+    const uint32_t increment = new_addr - c.addr;
+    if (c.isSealed() || !inRepresentableRange(c, increment))
+        r.tag = false;
+    r.addr = new_addr;
+    return r;
+}
+
+CapPipe
+incAddr(const CapPipe &c, uint32_t increment)
+{
+    return setAddr(c, c.addr + increment);
+}
+
+bool
+isAccessInBounds(const CapPipe &c, unsigned log_width)
+{
+    return isRangeInBounds(c, c.addr, 1u << log_width);
+}
+
+bool
+isRangeInBounds(const CapPipe &c, uint32_t addr, uint32_t size)
+{
+    const Bounds b = getBounds(c);
+    const uint64_t access_top = static_cast<uint64_t>(addr) + size;
+    return addr >= b.base && access_top <= b.top;
+}
+
+SetBoundsResult
+setBounds(const CapPipe &c, uint64_t length)
+{
+    panic_if(length > (uint64_t{1} << 32), "setBounds length out of range");
+
+    const uint32_t base = c.addr;
+    const uint64_t top = static_cast<uint64_t>(base) + length; // <= 2^33
+
+    // Requested bounds must lie within the source capability's bounds.
+    const Bounds old_bounds = getBounds(c);
+    const bool monotonic =
+        base >= old_bounds.base && top <= old_bounds.top;
+
+    // Choose the exponent so the MSB of length lands second from the top of
+    // the mantissa. length[32:MW-1] is a (33 - MW + 1) = 26-bit field.
+    const uint64_t len_hi = shr64(length, MW - 1) & mask(kMaxExponent);
+    const unsigned e =
+        kMaxExponent - support::countLeadingZeros(len_hi, kMaxExponent);
+    const bool ie = (e != 0) || bit(length, MW - 2);
+
+    uint16_t b_bits;
+    uint16_t t_bits;
+    bool lost_base = false;
+    bool lost_top = false;
+    bool inc_e = false;
+
+    if (!ie) {
+        b_bits = static_cast<uint16_t>(base & mask(MW));
+        t_bits = static_cast<uint16_t>(top & mask(MW));
+    } else {
+        uint32_t b_ie =
+            static_cast<uint32_t>(shr64(base, e + 3)) & mask(MW - 3);
+        uint32_t t_ie =
+            static_cast<uint32_t>(shr64(top, e + 3)) & mask(MW - 3);
+
+        lost_base = (base & mask(e + 3)) != 0;
+        lost_top = (top & mask(e + 3)) != 0;
+        if (lost_top)
+            t_ie = (t_ie + 1) & mask(MW - 3);
+
+        const uint32_t len_ie = (t_ie - b_ie) & mask(MW - 3);
+        if (bit(len_ie, MW - 4)) {
+            // Length overflowed the mantissa: increment the exponent and
+            // recompute, accounting for freshly lost bits.
+            inc_e = true;
+            lost_base = lost_base || bit(b_ie, 0);
+            lost_top = lost_top || bit(t_ie, 0);
+            b_ie = static_cast<uint32_t>(shr64(base, e + 4)) & mask(MW - 3);
+            t_ie = (static_cast<uint32_t>(shr64(top, e + 4)) +
+                    (lost_top ? 1 : 0)) &
+                   mask(MW - 3);
+        }
+        b_bits = static_cast<uint16_t>(b_ie << 3);
+        t_bits = static_cast<uint16_t>(t_ie << 3);
+    }
+
+    SetBoundsResult res;
+    res.cap = c;
+    res.cap.addr = base;
+    res.cap.internalExp = ie;
+    const unsigned new_e = inc_e ? e + 1 : e;
+    res.cap.exponent =
+        static_cast<uint8_t>(new_e > kMaxExponent ? kMaxExponent : new_e);
+    res.cap.b = b_bits;
+    res.cap.t = t_bits;
+    res.cap.tag = c.tag && !c.isSealed() && monotonic;
+    res.exact = !(lost_base || lost_top);
+    return res;
+}
+
+uint32_t
+representableLength(uint32_t length)
+{
+    const uint32_t m = representableAlignmentMask(length);
+    return (length + ~m) & m;
+}
+
+uint32_t
+representableAlignmentMask(uint32_t length)
+{
+    CapPipe root = rootCap();
+    const SetBoundsResult r = setBounds(root, length);
+    if (!r.cap.internalExp)
+        return ~uint32_t{0};
+    const unsigned e = r.cap.exponent;
+    return static_cast<uint32_t>(~mask(e + 3));
+}
+
+CapPipe
+clearTag(const CapPipe &c)
+{
+    CapPipe r = c;
+    r.tag = false;
+    return r;
+}
+
+CapPipe
+andPerms(const CapPipe &c, uint8_t perm_mask)
+{
+    CapPipe r = c;
+    r.perms = static_cast<uint8_t>(r.perms & perm_mask);
+    if (c.isSealed())
+        r.tag = false;
+    return r;
+}
+
+CapPipe
+sealEntry(const CapPipe &c)
+{
+    CapPipe r = c;
+    if (c.isSealed())
+        r.tag = false;
+    r.otype = OTYPE_SENTRY;
+    return r;
+}
+
+} // namespace cap

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * CHERI Concentrate compressed-bounds arithmetic for 64+1-bit capabilities
+ * on a 32-bit address space, mirroring the CheriCapLib functions used by the
+ * CHERI-SIMT paper (Figure 7):
+ *
+ *   fromMem / toMem        -- CapMem (65-bit) <-> CapPipe (decompressed)
+ *   setAddr                -- pointer arithmetic with representability check
+ *   isAccessInBounds       -- cheap bounds check against partial decode
+ *   getBase / getLength / getTop
+ *   setBounds              -- narrow bounds, rounding if unrepresentable
+ *   representable rounding -- CRRL / CRAM helpers
+ *
+ * Format (64 bits of architectural state + 1 tag bit):
+ *
+ *   [63:32] metadata, [31:0] address
+ *
+ *   metadata: [31:24] perms(8) [23] flag [22:19] otype(4) [18:15] reserved
+ *             [14:0]  bounds = IE(1) @ T(6) @ B(8)
+ *
+ * The bounds field is the 15-bit CHERI Concentrate encoding with mantissa
+ * width MW = 8: an 8-bit B field, a 6-bit T field (the top two bits of T
+ * are reconstructed), and an internal-exponent bit IE. With IE set, the low
+ * three bits of both T and B hold a 6-bit exponent E (clamped to E_MAX)
+ * and the corresponding mantissa bits are implied zero.
+ */
+
+#ifndef CHERI_SIMT_CAP_CHERI_CONCENTRATE_HPP_
+#define CHERI_SIMT_CAP_CHERI_CONCENTRATE_HPP_
+
+#include <cstdint>
+
+namespace cap
+{
+
+/** Mantissa width of the 64-bit CHERI Concentrate format. */
+constexpr unsigned kMantissaWidth = 8;
+
+/** Maximum exponent: bounds may span the whole 2^32-byte address space. */
+constexpr unsigned kMaxExponent = 26; // 32 - MW + 2
+
+/** Permission bits (a representative subset of CHERI-RISC-V v9). */
+enum Perm : uint8_t
+{
+    PERM_GLOBAL = 1 << 0,
+    PERM_EXECUTE = 1 << 1,
+    PERM_LOAD = 1 << 2,
+    PERM_STORE = 1 << 3,
+    PERM_LOAD_CAP = 1 << 4,
+    PERM_STORE_CAP = 1 << 5,
+    PERM_STORE_LOCAL = 1 << 6,
+    PERM_ACCESS_SYS = 1 << 7,
+};
+
+constexpr uint8_t kPermsAll = 0xff;
+
+/** Object types. Anything other than UNSEALED makes the cap sealed. */
+enum OType : uint8_t
+{
+    OTYPE_UNSEALED = 0,
+    OTYPE_SENTRY = 1,
+};
+
+/**
+ * In-memory capability representation: 64 architectural bits plus the tag.
+ * Matches the paper's "CapMem = Bit 65".
+ */
+struct CapMem
+{
+    uint64_t bits = 0; ///< [63:32] metadata, [31:0] address
+    bool tag = false;  ///< validity tag
+
+    bool operator==(const CapMem &) const = default;
+};
+
+/**
+ * In-pipeline, partially decompressed capability (the paper's
+ * "CapPipe = Bit 91"). Keeps the raw encoded fields plus the decoded
+ * exponent/mantissas so bounds checks are cheap; base and top are computed
+ * on demand.
+ */
+struct CapPipe
+{
+    bool tag = false;
+    uint8_t perms = 0;
+    bool flag = false;
+    uint8_t otype = OTYPE_UNSEALED;
+    uint8_t reserved = 0;
+    uint32_t addr = 0;
+
+    // Decoded bounds state.
+    uint8_t exponent = 0; ///< E, clamped to kMaxExponent
+    bool internalExp = false;
+    uint16_t b = 0; ///< full 8-bit B mantissa (implied zeros included)
+    uint16_t t = 0; ///< full 8-bit T mantissa with reconstructed top bits
+
+    bool isSealed() const { return otype != OTYPE_UNSEALED; }
+    bool isSentry() const { return otype == OTYPE_SENTRY; }
+
+    bool operator==(const CapPipe &) const = default;
+};
+
+/** Decoded bounds of a capability. top is a 33-bit quantity. */
+struct Bounds
+{
+    uint32_t base = 0;
+    uint64_t top = 0; // <= 2^32
+
+    bool operator==(const Bounds &) const = default;
+};
+
+/** Result of setBounds: the derived capability and whether it was exact. */
+struct SetBoundsResult
+{
+    CapPipe cap;
+    bool exact = false;
+};
+
+/** The null capability: tag clear, all metadata bits zero. */
+CapMem nullCapMem();
+CapPipe nullCapPipe();
+
+/**
+ * The almighty root capability: tagged, all permissions, bounds covering
+ * the entire [0, 2^32) address space, address zero.
+ */
+CapPipe rootCap();
+
+/** Decode an in-memory capability to pipeline form (paper: fromMem). */
+CapPipe fromMem(const CapMem &mem);
+
+/** Encode a pipeline capability to memory form (paper: toMem). */
+CapMem toMem(const CapPipe &cap);
+
+/** Decode full bounds of a capability (paper: getBase/getTop). */
+Bounds getBounds(const CapPipe &cap);
+
+/** Lower bound (paper: getBase). */
+uint32_t getBase(const CapPipe &cap);
+
+/** 33-bit upper bound (paper: getTop). */
+uint64_t getTop(const CapPipe &cap);
+
+/** 33-bit length = top - base, clamped at zero (paper: getLength). */
+uint64_t getLength(const CapPipe &cap);
+
+/**
+ * Fast representability check: can the address be changed to
+ * cap.addr + increment without changing the decoded bounds?
+ * This is the hardware fast-path check from the CHERI Concentrate paper
+ * (and the SAIL fastRepCheck); it is conservative: a false result may
+ * sometimes be representable, a true result is always safe.
+ */
+bool inRepresentableRange(const CapPipe &cap, uint32_t increment);
+
+/**
+ * Set the address of a capability (paper: setAddr). If the new address
+ * falls outside the representable region, or the capability is sealed,
+ * the tag of the result is cleared.
+ */
+CapPipe setAddr(const CapPipe &cap, uint32_t new_addr);
+
+/** setAddr(cap, cap.addr + increment); used by CIncOffset. */
+CapPipe incAddr(const CapPipe &cap, uint32_t increment);
+
+/**
+ * Check that an access of 2^logWidth bytes at the capability's current
+ * address lies within bounds (paper: isAccessInBounds).
+ */
+bool isAccessInBounds(const CapPipe &cap, unsigned log_width);
+
+/** Bounds check of an arbitrary [addr, addr+size) range. */
+bool isRangeInBounds(const CapPipe &cap, uint32_t addr, uint32_t size);
+
+/**
+ * Narrow the bounds of @p cap to [cap.addr, cap.addr + length)
+ * (paper: setBounds). The result's bounds may be rounded outwards to the
+ * nearest representable bounds; `exact` reports whether rounding occurred.
+ * The resulting bounds never exceed the original capability's bounds:
+ * if they would, the result tag is cleared (monotonicity).
+ */
+SetBoundsResult setBounds(const CapPipe &cap, uint64_t length);
+
+/**
+ * CRRL: round a requested length up to the nearest representable length
+ * (assuming a suitably aligned base).
+ */
+uint32_t representableLength(uint32_t length);
+
+/**
+ * CRAM: alignment mask a base must satisfy for a region of the given
+ * length to have exactly representable bounds.
+ */
+uint32_t representableAlignmentMask(uint32_t length);
+
+/** Clear the tag (CClearTag). */
+CapPipe clearTag(const CapPipe &cap);
+
+/** Bitwise-and permissions (CAndPerm); clears tag on sealed caps. */
+CapPipe andPerms(const CapPipe &cap, uint8_t perm_mask);
+
+/** Seal as a sentry (CSealEntry). */
+CapPipe sealEntry(const CapPipe &cap);
+
+} // namespace cap
+
+#endif // CHERI_SIMT_CAP_CHERI_CONCENTRATE_HPP_

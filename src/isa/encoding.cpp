@@ -1,0 +1,519 @@
+#include "isa/encoding.hpp"
+
+#include "support/bits.hpp"
+#include "support/logging.hpp"
+
+namespace isa
+{
+
+namespace
+{
+
+using support::bits;
+using support::signExtend32;
+
+// Major opcodes.
+constexpr uint32_t OPC_LOAD = 0x03;
+constexpr uint32_t OPC_STORE = 0x23;
+constexpr uint32_t OPC_OP_IMM = 0x13;
+constexpr uint32_t OPC_OP = 0x33;
+constexpr uint32_t OPC_LUI = 0x37;
+constexpr uint32_t OPC_AUIPC = 0x17;
+constexpr uint32_t OPC_JAL = 0x6f;
+constexpr uint32_t OPC_JALR = 0x67;
+constexpr uint32_t OPC_BRANCH = 0x63;
+constexpr uint32_t OPC_AMO = 0x2f;
+constexpr uint32_t OPC_FP = 0x53;
+constexpr uint32_t OPC_SYSTEM = 0x73;
+constexpr uint32_t OPC_CUSTOM0 = 0x0b;
+constexpr uint32_t OPC_CHERI = 0x5b;
+
+// CHERI one-source selector values (rs2 field under funct7 0x7f).
+constexpr uint32_t SEL_CGETPERM = 0x00;
+constexpr uint32_t SEL_CGETTYPE = 0x01;
+constexpr uint32_t SEL_CGETBASE = 0x02;
+constexpr uint32_t SEL_CGETLEN = 0x03;
+constexpr uint32_t SEL_CGETTAG = 0x04;
+constexpr uint32_t SEL_CGETSEALED = 0x05;
+constexpr uint32_t SEL_CGETFLAGS = 0x07;
+constexpr uint32_t SEL_CRRL = 0x08;
+constexpr uint32_t SEL_CRAM = 0x09;
+constexpr uint32_t SEL_CMOVE = 0x0a;
+constexpr uint32_t SEL_CCLEARTAG = 0x0b;
+constexpr uint32_t SEL_CJALR = 0x0c;
+constexpr uint32_t SEL_CGETADDR = 0x0f;
+constexpr uint32_t SEL_CSEALENTRY = 0x11;
+
+// CHERI two-source funct7 values.
+constexpr uint32_t F7_CSPECIALRW = 0x01;
+constexpr uint32_t F7_CSETBOUNDS = 0x08;
+constexpr uint32_t F7_CSETBOUNDSEXACT = 0x09;
+constexpr uint32_t F7_CANDPERM = 0x0d;
+constexpr uint32_t F7_CSETFLAGS = 0x0e;
+constexpr uint32_t F7_CSETADDR = 0x10;
+constexpr uint32_t F7_CINCOFFSET = 0x11;
+constexpr uint32_t F7_ONE_SOURCE = 0x7f;
+
+uint32_t
+encR(uint32_t opc, uint32_t f3, uint32_t f7, uint32_t rd, uint32_t rs1,
+     uint32_t rs2)
+{
+    return opc | (rd << 7) | (f3 << 12) | (rs1 << 15) | (rs2 << 20) |
+           (f7 << 25);
+}
+
+uint32_t
+encI(uint32_t opc, uint32_t f3, uint32_t rd, uint32_t rs1, int32_t imm)
+{
+    return opc | (rd << 7) | (f3 << 12) | (rs1 << 15) |
+           ((static_cast<uint32_t>(imm) & 0xfff) << 20);
+}
+
+uint32_t
+encS(uint32_t opc, uint32_t f3, uint32_t rs1, uint32_t rs2, int32_t imm)
+{
+    const uint32_t u = static_cast<uint32_t>(imm);
+    return opc | ((u & 0x1f) << 7) | (f3 << 12) | (rs1 << 15) | (rs2 << 20) |
+           (((u >> 5) & 0x7f) << 25);
+}
+
+uint32_t
+encB(uint32_t opc, uint32_t f3, uint32_t rs1, uint32_t rs2, int32_t imm)
+{
+    const uint32_t u = static_cast<uint32_t>(imm);
+    return opc | (((u >> 11) & 1) << 7) | (((u >> 1) & 0xf) << 8) |
+           (f3 << 12) | (rs1 << 15) | (rs2 << 20) | (((u >> 5) & 0x3f) << 25) |
+           (((u >> 12) & 1) << 31);
+}
+
+uint32_t
+encU(uint32_t opc, uint32_t rd, int32_t imm)
+{
+    return opc | (rd << 7) | (static_cast<uint32_t>(imm) & 0xfffff000u);
+}
+
+uint32_t
+encJ(uint32_t opc, uint32_t rd, int32_t imm)
+{
+    const uint32_t u = static_cast<uint32_t>(imm);
+    return opc | (rd << 7) | (((u >> 12) & 0xff) << 12) |
+           (((u >> 11) & 1) << 20) | (((u >> 1) & 0x3ff) << 21) |
+           (((u >> 20) & 1) << 31);
+}
+
+int32_t
+immI(uint32_t w)
+{
+    return signExtend32(w >> 20, 12);
+}
+
+int32_t
+immS(uint32_t w)
+{
+    return signExtend32((bits(w, 31, 25) << 5) | bits(w, 11, 7), 12);
+}
+
+int32_t
+immB(uint32_t w)
+{
+    const uint32_t u = (bits(w, 31, 31) << 12) | (bits(w, 7, 7) << 11) |
+                       (bits(w, 30, 25) << 5) | (bits(w, 11, 8) << 1);
+    return signExtend32(u, 13);
+}
+
+int32_t
+immU(uint32_t w)
+{
+    return static_cast<int32_t>(w & 0xfffff000u);
+}
+
+int32_t
+immJ(uint32_t w)
+{
+    const uint32_t u = (bits(w, 31, 31) << 20) | (bits(w, 19, 12) << 12) |
+                       (bits(w, 20, 20) << 11) | (bits(w, 30, 21) << 1);
+    return signExtend32(u, 21);
+}
+
+struct RSpec
+{
+    Op op;
+    uint32_t f3;
+    uint32_t f7;
+};
+
+constexpr RSpec kOpSpecs[] = {
+    {Op::ADD, 0, 0x00}, {Op::SLL, 1, 0x00}, {Op::SLT, 2, 0x00},
+    {Op::SLTU, 3, 0x00}, {Op::XOR, 4, 0x00}, {Op::SRL, 5, 0x00},
+    {Op::OR, 6, 0x00}, {Op::AND, 7, 0x00}, {Op::SUB, 0, 0x20},
+    {Op::SRA, 5, 0x20}, {Op::MUL, 0, 0x01}, {Op::MULH, 1, 0x01},
+    {Op::MULHSU, 2, 0x01}, {Op::MULHU, 3, 0x01}, {Op::DIV, 4, 0x01},
+    {Op::DIVU, 5, 0x01}, {Op::REM, 6, 0x01}, {Op::REMU, 7, 0x01},
+};
+
+struct AmoSpec
+{
+    Op op;
+    uint32_t f5;
+};
+
+constexpr AmoSpec kAmoSpecs[] = {
+    {Op::AMOADD_W, 0x00}, {Op::AMOSWAP_W, 0x01}, {Op::AMOXOR_W, 0x04},
+    {Op::AMOAND_W, 0x0c}, {Op::AMOOR_W, 0x08},   {Op::AMOMIN_W, 0x10},
+    {Op::AMOMAX_W, 0x14}, {Op::AMOMINU_W, 0x18}, {Op::AMOMAXU_W, 0x1c},
+};
+
+struct CheriTwoSpec
+{
+    Op op;
+    uint32_t f7;
+};
+
+constexpr CheriTwoSpec kCheriTwoSpecs[] = {
+    {Op::CSPECIALRW, F7_CSPECIALRW},
+    {Op::CSETBOUNDS, F7_CSETBOUNDS},
+    {Op::CSETBOUNDSEXACT, F7_CSETBOUNDSEXACT},
+    {Op::CANDPERM, F7_CANDPERM},
+    {Op::CSETFLAGS, F7_CSETFLAGS},
+    {Op::CSETADDR, F7_CSETADDR},
+    {Op::CINCOFFSET, F7_CINCOFFSET},
+};
+
+struct CheriOneSpec
+{
+    Op op;
+    uint32_t sel;
+};
+
+constexpr CheriOneSpec kCheriOneSpecs[] = {
+    {Op::CGETPERM, SEL_CGETPERM},   {Op::CGETTYPE, SEL_CGETTYPE},
+    {Op::CGETBASE, SEL_CGETBASE},   {Op::CGETLEN, SEL_CGETLEN},
+    {Op::CGETTAG, SEL_CGETTAG},     {Op::CGETSEALED, SEL_CGETSEALED},
+    {Op::CGETFLAGS, SEL_CGETFLAGS}, {Op::CRRL, SEL_CRRL},
+    {Op::CRAM, SEL_CRAM},           {Op::CMOVE, SEL_CMOVE},
+    {Op::CCLEARTAG, SEL_CCLEARTAG}, {Op::CJALR_CAP, SEL_CJALR},
+    {Op::CGETADDR, SEL_CGETADDR},   {Op::CSEALENTRY, SEL_CSEALENTRY},
+};
+
+} // namespace
+
+uint32_t
+encode(const Instr &i)
+{
+    const uint32_t rd = i.rd, rs1 = i.rs1, rs2 = i.rs2;
+    switch (i.op) {
+      case Op::LUI:
+        return encU(OPC_LUI, rd, i.imm);
+      case Op::AUIPC:
+        return encU(OPC_AUIPC, rd, i.imm);
+      case Op::JAL:
+        return encJ(OPC_JAL, rd, i.imm);
+      case Op::JALR:
+        return encI(OPC_JALR, 0, rd, rs1, i.imm);
+      case Op::BEQ:
+        return encB(OPC_BRANCH, 0, rs1, rs2, i.imm);
+      case Op::BNE:
+        return encB(OPC_BRANCH, 1, rs1, rs2, i.imm);
+      case Op::BLT:
+        return encB(OPC_BRANCH, 4, rs1, rs2, i.imm);
+      case Op::BGE:
+        return encB(OPC_BRANCH, 5, rs1, rs2, i.imm);
+      case Op::BLTU:
+        return encB(OPC_BRANCH, 6, rs1, rs2, i.imm);
+      case Op::BGEU:
+        return encB(OPC_BRANCH, 7, rs1, rs2, i.imm);
+      case Op::LB:
+        return encI(OPC_LOAD, 0, rd, rs1, i.imm);
+      case Op::LH:
+        return encI(OPC_LOAD, 1, rd, rs1, i.imm);
+      case Op::LW:
+        return encI(OPC_LOAD, 2, rd, rs1, i.imm);
+      case Op::CLC:
+        return encI(OPC_LOAD, 3, rd, rs1, i.imm);
+      case Op::LBU:
+        return encI(OPC_LOAD, 4, rd, rs1, i.imm);
+      case Op::LHU:
+        return encI(OPC_LOAD, 5, rd, rs1, i.imm);
+      case Op::SB:
+        return encS(OPC_STORE, 0, rs1, rs2, i.imm);
+      case Op::SH:
+        return encS(OPC_STORE, 1, rs1, rs2, i.imm);
+      case Op::SW:
+        return encS(OPC_STORE, 2, rs1, rs2, i.imm);
+      case Op::CSC:
+        return encS(OPC_STORE, 3, rs1, rs2, i.imm);
+      case Op::ADDI:
+        return encI(OPC_OP_IMM, 0, rd, rs1, i.imm);
+      case Op::SLTI:
+        return encI(OPC_OP_IMM, 2, rd, rs1, i.imm);
+      case Op::SLTIU:
+        return encI(OPC_OP_IMM, 3, rd, rs1, i.imm);
+      case Op::XORI:
+        return encI(OPC_OP_IMM, 4, rd, rs1, i.imm);
+      case Op::ORI:
+        return encI(OPC_OP_IMM, 6, rd, rs1, i.imm);
+      case Op::ANDI:
+        return encI(OPC_OP_IMM, 7, rd, rs1, i.imm);
+      case Op::SLLI:
+        return encR(OPC_OP_IMM, 1, 0x00, rd, rs1, i.imm & 0x1f);
+      case Op::SRLI:
+        return encR(OPC_OP_IMM, 5, 0x00, rd, rs1, i.imm & 0x1f);
+      case Op::SRAI:
+        return encR(OPC_OP_IMM, 5, 0x20, rd, rs1, i.imm & 0x1f);
+      case Op::CSRRW:
+        return encI(OPC_SYSTEM, 1, rd, rs1, i.imm);
+      case Op::CSRRS:
+        return encI(OPC_SYSTEM, 2, rd, rs1, i.imm);
+      case Op::SIMT_PUSH:
+        return encI(OPC_CUSTOM0, 0, 0, 0, 0);
+      case Op::SIMT_POP:
+        return encI(OPC_CUSTOM0, 1, 0, 0, 0);
+      case Op::SIMT_BARRIER:
+        return encI(OPC_CUSTOM0, 2, 0, 0, 0);
+      case Op::SIMT_HALT:
+        return encI(OPC_CUSTOM0, 3, 0, 0, 0);
+      case Op::SIMT_TRAP:
+        return encI(OPC_CUSTOM0, 4, 0, 0, 0);
+      case Op::CINCOFFSETIMM:
+        return encI(OPC_CHERI, 1, rd, rs1, i.imm);
+      case Op::CSETBOUNDSIMM:
+        return encI(OPC_CHERI, 2, rd, rs1, i.imm);
+      case Op::FADD_S:
+        return encR(OPC_FP, 0, 0x00, rd, rs1, rs2);
+      case Op::FSUB_S:
+        return encR(OPC_FP, 0, 0x04, rd, rs1, rs2);
+      case Op::FMUL_S:
+        return encR(OPC_FP, 0, 0x08, rd, rs1, rs2);
+      case Op::FDIV_S:
+        return encR(OPC_FP, 0, 0x0c, rd, rs1, rs2);
+      case Op::FSQRT_S:
+        return encR(OPC_FP, 0, 0x2c, rd, rs1, 0);
+      case Op::FMIN_S:
+        return encR(OPC_FP, 0, 0x14, rd, rs1, rs2);
+      case Op::FMAX_S:
+        return encR(OPC_FP, 1, 0x14, rd, rs1, rs2);
+      case Op::FCVT_W_S:
+        return encR(OPC_FP, 1, 0x60, rd, rs1, 0);
+      case Op::FCVT_WU_S:
+        return encR(OPC_FP, 1, 0x60, rd, rs1, 1);
+      case Op::FCVT_S_W:
+        return encR(OPC_FP, 0, 0x68, rd, rs1, 0);
+      case Op::FCVT_S_WU:
+        return encR(OPC_FP, 0, 0x68, rd, rs1, 1);
+      case Op::FEQ_S:
+        return encR(OPC_FP, 2, 0x50, rd, rs1, rs2);
+      case Op::FLT_S:
+        return encR(OPC_FP, 1, 0x50, rd, rs1, rs2);
+      case Op::FLE_S:
+        return encR(OPC_FP, 0, 0x50, rd, rs1, rs2);
+      default:
+        break;
+    }
+
+    for (const auto &spec : kOpSpecs) {
+        if (spec.op == i.op)
+            return encR(OPC_OP, spec.f3, spec.f7, rd, rs1, rs2);
+    }
+    for (const auto &spec : kAmoSpecs) {
+        if (spec.op == i.op)
+            return encR(OPC_AMO, 2, spec.f5 << 2, rd, rs1, rs2);
+    }
+    for (const auto &spec : kCheriTwoSpecs) {
+        if (spec.op == i.op) {
+            const uint32_t r2 = i.op == Op::CSPECIALRW
+                                    ? static_cast<uint32_t>(i.imm) & 0x1f
+                                    : rs2;
+            return encR(OPC_CHERI, 0, spec.f7, rd, rs1, r2);
+        }
+    }
+    for (const auto &spec : kCheriOneSpecs) {
+        if (spec.op == i.op)
+            return encR(OPC_CHERI, 0, F7_ONE_SOURCE, rd, rs1, spec.sel);
+    }
+    panic("cannot encode opcode %d", static_cast<int>(i.op));
+}
+
+namespace
+{
+
+Instr
+decodeImpl(uint32_t w)
+{
+    Instr i;
+    const uint32_t opc = bits(w, 6, 0);
+    const uint32_t rd = bits(w, 11, 7);
+    const uint32_t f3 = bits(w, 14, 12);
+    const uint32_t rs1 = bits(w, 19, 15);
+    const uint32_t rs2 = bits(w, 24, 20);
+    const uint32_t f7 = bits(w, 31, 25);
+
+    i.rd = static_cast<uint8_t>(rd);
+    i.rs1 = static_cast<uint8_t>(rs1);
+    i.rs2 = static_cast<uint8_t>(rs2);
+
+    switch (opc) {
+      case OPC_LUI:
+        i.op = Op::LUI;
+        i.imm = immU(w);
+        return i;
+      case OPC_AUIPC:
+        i.op = Op::AUIPC;
+        i.imm = immU(w);
+        return i;
+      case OPC_JAL:
+        i.op = Op::JAL;
+        i.imm = immJ(w);
+        return i;
+      case OPC_JALR:
+        if (f3 != 0)
+            break;
+        i.op = Op::JALR;
+        i.imm = immI(w);
+        return i;
+      case OPC_BRANCH: {
+        static constexpr Op branch_ops[8] = {Op::BEQ,     Op::BNE,
+                                             Op::ILLEGAL, Op::ILLEGAL,
+                                             Op::BLT,     Op::BGE,
+                                             Op::BLTU,    Op::BGEU};
+        i.op = branch_ops[f3];
+        i.imm = immB(w);
+        return i;
+      }
+      case OPC_LOAD: {
+        static constexpr Op load_ops[8] = {Op::LB,  Op::LH,  Op::LW,
+                                           Op::CLC, Op::LBU, Op::LHU,
+                                           Op::ILLEGAL, Op::ILLEGAL};
+        i.op = load_ops[f3];
+        i.imm = immI(w);
+        return i;
+      }
+      case OPC_STORE: {
+        static constexpr Op store_ops[8] = {
+            Op::SB, Op::SH, Op::SW, Op::CSC,
+            Op::ILLEGAL, Op::ILLEGAL, Op::ILLEGAL, Op::ILLEGAL};
+        i.op = store_ops[f3];
+        i.imm = immS(w);
+        return i;
+      }
+      case OPC_OP_IMM:
+        switch (f3) {
+          case 0: i.op = Op::ADDI; break;
+          case 2: i.op = Op::SLTI; break;
+          case 3: i.op = Op::SLTIU; break;
+          case 4: i.op = Op::XORI; break;
+          case 6: i.op = Op::ORI; break;
+          case 7: i.op = Op::ANDI; break;
+          case 1:
+            i.op = f7 == 0 ? Op::SLLI : Op::ILLEGAL;
+            i.imm = static_cast<int32_t>(rs2);
+            return i;
+          case 5:
+            i.op = f7 == 0 ? Op::SRLI : (f7 == 0x20 ? Op::SRAI : Op::ILLEGAL);
+            i.imm = static_cast<int32_t>(rs2);
+            return i;
+          default: break;
+        }
+        i.imm = immI(w);
+        return i;
+      case OPC_OP:
+        for (const auto &spec : kOpSpecs) {
+            if (spec.f3 == f3 && spec.f7 == f7) {
+                i.op = spec.op;
+                return i;
+            }
+        }
+        break;
+      case OPC_AMO:
+        if (f3 != 2)
+            break;
+        for (const auto &spec : kAmoSpecs) {
+            if (spec.f5 == (f7 >> 2)) {
+                i.op = spec.op;
+                return i;
+            }
+        }
+        break;
+      case OPC_FP:
+        switch (f7) {
+          case 0x00: i.op = Op::FADD_S; return i;
+          case 0x04: i.op = Op::FSUB_S; return i;
+          case 0x08: i.op = Op::FMUL_S; return i;
+          case 0x0c: i.op = Op::FDIV_S; return i;
+          case 0x2c: i.op = Op::FSQRT_S; return i;
+          case 0x14: i.op = f3 == 0 ? Op::FMIN_S : Op::FMAX_S; return i;
+          case 0x60: i.op = rs2 == 0 ? Op::FCVT_W_S : Op::FCVT_WU_S; return i;
+          case 0x68: i.op = rs2 == 0 ? Op::FCVT_S_W : Op::FCVT_S_WU; return i;
+          case 0x50:
+            i.op = f3 == 2 ? Op::FEQ_S : (f3 == 1 ? Op::FLT_S : Op::FLE_S);
+            return i;
+          default: break;
+        }
+        break;
+      case OPC_SYSTEM:
+        if (f3 == 1 || f3 == 2) {
+            i.op = f3 == 1 ? Op::CSRRW : Op::CSRRS;
+            i.imm = static_cast<int32_t>(w >> 20);
+            return i;
+        }
+        break;
+      case OPC_CUSTOM0: {
+        static constexpr Op simt_ops[8] = {
+            Op::SIMT_PUSH, Op::SIMT_POP, Op::SIMT_BARRIER, Op::SIMT_HALT,
+            Op::SIMT_TRAP, Op::ILLEGAL, Op::ILLEGAL, Op::ILLEGAL};
+        i.op = simt_ops[f3];
+        return i;
+      }
+      case OPC_CHERI:
+        if (f3 == 1) {
+            i.op = Op::CINCOFFSETIMM;
+            i.imm = immI(w);
+            return i;
+        }
+        if (f3 == 2) {
+            i.op = Op::CSETBOUNDSIMM;
+            // CSetBoundsImm has an unsigned (zero-extended) immediate.
+            i.imm = static_cast<int32_t>(w >> 20);
+            return i;
+        }
+        if (f3 != 0)
+            break;
+        if (f7 == F7_ONE_SOURCE) {
+            for (const auto &spec : kCheriOneSpecs) {
+                if (spec.sel == rs2) {
+                    i.op = spec.op;
+                    i.rs2 = 0;
+                    return i;
+                }
+            }
+            break;
+        }
+        for (const auto &spec : kCheriTwoSpecs) {
+            if (spec.f7 == f7) {
+                i.op = spec.op;
+                if (i.op == Op::CSPECIALRW) {
+                    i.imm = static_cast<int32_t>(rs2);
+                    i.rs2 = 0;
+                }
+                return i;
+            }
+        }
+        break;
+      default:
+        break;
+    }
+    return Instr{}; // Op::ILLEGAL
+}
+
+} // namespace
+
+Instr
+decode(uint32_t w)
+{
+    Instr i = decodeImpl(w);
+    if (i.op == Op::ILLEGAL)
+        return Instr{};
+    normalizeOperands(i);
+    return i;
+}
+
+} // namespace isa

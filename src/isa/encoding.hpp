@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Binary encoding and decoding of the simulated instruction set.
+ *
+ * Standard RISC-V instructions use their architectural encodings
+ * (opcode/funct3/funct7 and the I/S/B/U/J immediate formats). CHERI
+ * instructions live in major opcode 0x5b following the CHERI-RISC-V v9
+ * layout: two-source ops are R-type with a distinguishing funct7,
+ * one-source ops use funct7 0x7f with an rs2-field selector, and the
+ * immediate forms use funct3 1 and 2. SIMT control instructions use the
+ * custom-0 opcode (0x0b) with a funct3 selector. CLC/CSC reuse the LOAD
+ * and STORE major opcodes with funct3 3 (free in RV32).
+ */
+
+#ifndef CHERI_SIMT_ISA_ENCODING_HPP_
+#define CHERI_SIMT_ISA_ENCODING_HPP_
+
+#include <cstdint>
+
+#include "isa/instr.hpp"
+
+namespace isa
+{
+
+/** Encode a decoded instruction into its 32-bit binary form. */
+uint32_t encode(const Instr &instr);
+
+/** Decode a 32-bit word. Unknown encodings decode to Op::ILLEGAL. */
+Instr decode(uint32_t word);
+
+} // namespace isa
+
+#endif // CHERI_SIMT_ISA_ENCODING_HPP_

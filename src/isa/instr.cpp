@@ -1,0 +1,375 @@
+#include "isa/instr.hpp"
+
+#include "support/logging.hpp"
+
+namespace isa
+{
+
+bool
+isCheri(Op op)
+{
+    switch (op) {
+      case Op::CSETBOUNDS:
+      case Op::CSETBOUNDSEXACT:
+      case Op::CSETBOUNDSIMM:
+      case Op::CSETADDR:
+      case Op::CINCOFFSET:
+      case Op::CINCOFFSETIMM:
+      case Op::CANDPERM:
+      case Op::CSETFLAGS:
+      case Op::CSPECIALRW:
+      case Op::CGETPERM:
+      case Op::CGETTYPE:
+      case Op::CGETBASE:
+      case Op::CGETLEN:
+      case Op::CGETTAG:
+      case Op::CGETSEALED:
+      case Op::CGETADDR:
+      case Op::CGETFLAGS:
+      case Op::CMOVE:
+      case Op::CCLEARTAG:
+      case Op::CSEALENTRY:
+      case Op::CRRL:
+      case Op::CRAM:
+      case Op::CJALR_CAP:
+      case Op::CLC:
+      case Op::CSC:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCheriSlowPath(Op op)
+{
+    // The instructions the paper moves into the shared function unit
+    // (Section 3.3): getting and setting bounds, and the representable-
+    // range queries.
+    switch (op) {
+      case Op::CGETBASE:
+      case Op::CGETLEN:
+      case Op::CSETBOUNDS:
+      case Op::CSETBOUNDSEXACT:
+      case Op::CSETBOUNDSIMM:
+      case Op::CRRL:
+      case Op::CRAM:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isMemAccess(Op op)
+{
+    return isLoad(op) || isStore(op) || isAtomic(op);
+}
+
+bool
+isLoad(Op op)
+{
+    switch (op) {
+      case Op::LB:
+      case Op::LH:
+      case Op::LW:
+      case Op::LBU:
+      case Op::LHU:
+      case Op::CLC:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isStore(Op op)
+{
+    switch (op) {
+      case Op::SB:
+      case Op::SH:
+      case Op::SW:
+      case Op::CSC:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isAtomic(Op op)
+{
+    switch (op) {
+      case Op::AMOADD_W:
+      case Op::AMOSWAP_W:
+      case Op::AMOAND_W:
+      case Op::AMOOR_W:
+      case Op::AMOXOR_W:
+      case Op::AMOMIN_W:
+      case Op::AMOMAX_W:
+      case Op::AMOMINU_W:
+      case Op::AMOMAXU_W:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isFpSlowPath(Op op)
+{
+    return op == Op::FDIV_S || op == Op::FSQRT_S;
+}
+
+bool
+isBranch(Op op)
+{
+    switch (op) {
+      case Op::BEQ:
+      case Op::BNE:
+      case Op::BLT:
+      case Op::BGE:
+      case Op::BLTU:
+      case Op::BGEU:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isJump(Op op)
+{
+    return op == Op::JAL || op == Op::JALR || op == Op::CJALR_CAP;
+}
+
+unsigned
+accessLogWidth(Op op)
+{
+    switch (op) {
+      case Op::LB:
+      case Op::LBU:
+      case Op::SB:
+        return 0;
+      case Op::LH:
+      case Op::LHU:
+      case Op::SH:
+        return 1;
+      case Op::CLC:
+      case Op::CSC:
+        return 3;
+      default:
+        return 2; // words and word atomics
+    }
+}
+
+bool
+usesRd(Op op)
+{
+    if (isStore(op) || isBranch(op))
+        return false;
+    switch (op) {
+      case Op::SIMT_PUSH:
+      case Op::SIMT_POP:
+      case Op::SIMT_BARRIER:
+      case Op::SIMT_HALT:
+      case Op::SIMT_TRAP:
+      case Op::ILLEGAL:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+usesRs1(Op op)
+{
+    switch (op) {
+      case Op::LUI:
+      case Op::AUIPC:
+      case Op::JAL:
+      case Op::SIMT_PUSH:
+      case Op::SIMT_POP:
+      case Op::SIMT_BARRIER:
+      case Op::SIMT_HALT:
+      case Op::SIMT_TRAP:
+      case Op::ILLEGAL:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+usesRs2(Op op)
+{
+    if (isBranch(op) || isStore(op) || isAtomic(op))
+        return true;
+    switch (op) {
+      case Op::ADD: case Op::SUB: case Op::SLL: case Op::SLT:
+      case Op::SLTU: case Op::XOR: case Op::SRL: case Op::SRA:
+      case Op::OR: case Op::AND:
+      case Op::MUL: case Op::MULH: case Op::MULHSU: case Op::MULHU:
+      case Op::DIV: case Op::DIVU: case Op::REM: case Op::REMU:
+      case Op::FADD_S: case Op::FSUB_S: case Op::FMUL_S: case Op::FDIV_S:
+      case Op::FMIN_S: case Op::FMAX_S:
+      case Op::FEQ_S: case Op::FLT_S: case Op::FLE_S:
+      case Op::CSETBOUNDS: case Op::CSETBOUNDSEXACT: case Op::CSETADDR:
+      case Op::CINCOFFSET: case Op::CANDPERM: case Op::CSETFLAGS:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+normalizeOperands(Instr &instr)
+{
+    if (!usesRd(instr.op))
+        instr.rd = 0;
+    if (!usesRs1(instr.op))
+        instr.rs1 = 0;
+    if (!usesRs2(instr.op))
+        instr.rs2 = 0;
+}
+
+std::string
+opName(Op op, bool purecap)
+{
+    switch (op) {
+      case Op::ILLEGAL: return "illegal";
+      case Op::LUI: return "lui";
+      case Op::AUIPC: return purecap ? "auipcc" : "auipc";
+      case Op::JAL: return purecap ? "cjal" : "jal";
+      case Op::JALR: return purecap ? "cjalr" : "jalr";
+      case Op::BEQ: return "beq";
+      case Op::BNE: return "bne";
+      case Op::BLT: return "blt";
+      case Op::BGE: return "bge";
+      case Op::BLTU: return "bltu";
+      case Op::BGEU: return "bgeu";
+      case Op::LB: return purecap ? "clb" : "lb";
+      case Op::LH: return purecap ? "clh" : "lh";
+      case Op::LW: return purecap ? "clw" : "lw";
+      case Op::LBU: return purecap ? "clbu" : "lbu";
+      case Op::LHU: return purecap ? "clhu" : "lhu";
+      case Op::SB: return purecap ? "csb" : "sb";
+      case Op::SH: return purecap ? "csh" : "sh";
+      case Op::SW: return purecap ? "csw" : "sw";
+      case Op::ADDI: return "addi";
+      case Op::SLTI: return "slti";
+      case Op::SLTIU: return "sltiu";
+      case Op::XORI: return "xori";
+      case Op::ORI: return "ori";
+      case Op::ANDI: return "andi";
+      case Op::SLLI: return "slli";
+      case Op::SRLI: return "srli";
+      case Op::SRAI: return "srai";
+      case Op::ADD: return "add";
+      case Op::SUB: return "sub";
+      case Op::SLL: return "sll";
+      case Op::SLT: return "slt";
+      case Op::SLTU: return "sltu";
+      case Op::XOR: return "xor";
+      case Op::SRL: return "srl";
+      case Op::SRA: return "sra";
+      case Op::OR: return "or";
+      case Op::AND: return "and";
+      case Op::MUL: return "mul";
+      case Op::MULH: return "mulh";
+      case Op::MULHSU: return "mulhsu";
+      case Op::MULHU: return "mulhu";
+      case Op::DIV: return "div";
+      case Op::DIVU: return "divu";
+      case Op::REM: return "rem";
+      case Op::REMU: return "remu";
+      case Op::AMOADD_W: return "amoadd.w";
+      case Op::AMOSWAP_W: return "amoswap.w";
+      case Op::AMOAND_W: return "amoand.w";
+      case Op::AMOOR_W: return "amoor.w";
+      case Op::AMOXOR_W: return "amoxor.w";
+      case Op::AMOMIN_W: return "amomin.w";
+      case Op::AMOMAX_W: return "amomax.w";
+      case Op::AMOMINU_W: return "amominu.w";
+      case Op::AMOMAXU_W: return "amomaxu.w";
+      case Op::FADD_S: return "fadd.s";
+      case Op::FSUB_S: return "fsub.s";
+      case Op::FMUL_S: return "fmul.s";
+      case Op::FDIV_S: return "fdiv.s";
+      case Op::FSQRT_S: return "fsqrt.s";
+      case Op::FMIN_S: return "fmin.s";
+      case Op::FMAX_S: return "fmax.s";
+      case Op::FCVT_W_S: return "fcvt.w.s";
+      case Op::FCVT_WU_S: return "fcvt.wu.s";
+      case Op::FCVT_S_W: return "fcvt.s.w";
+      case Op::FCVT_S_WU: return "fcvt.s.wu";
+      case Op::FEQ_S: return "feq.s";
+      case Op::FLT_S: return "flt.s";
+      case Op::FLE_S: return "fle.s";
+      case Op::CSRRW: return "csrrw";
+      case Op::CSRRS: return "csrrs";
+      case Op::SIMT_PUSH: return "simt.push";
+      case Op::SIMT_POP: return "simt.pop";
+      case Op::SIMT_BARRIER: return "simt.barrier";
+      case Op::SIMT_HALT: return "simt.halt";
+      case Op::SIMT_TRAP: return "simt.trap";
+      case Op::CSETBOUNDS: return "csetbounds";
+      case Op::CSETBOUNDSEXACT: return "csetboundsexact";
+      case Op::CSETBOUNDSIMM: return "csetboundsimm";
+      case Op::CSETADDR: return "csetaddr";
+      case Op::CINCOFFSET: return "cincoffset";
+      case Op::CINCOFFSETIMM: return "cincoffsetimm";
+      case Op::CANDPERM: return "candperm";
+      case Op::CSETFLAGS: return "csetflags";
+      case Op::CSPECIALRW: return "cspecialrw";
+      case Op::CGETPERM: return "cgetperm";
+      case Op::CGETTYPE: return "cgettype";
+      case Op::CGETBASE: return "cgetbase";
+      case Op::CGETLEN: return "cgetlen";
+      case Op::CGETTAG: return "cgettag";
+      case Op::CGETSEALED: return "cgetsealed";
+      case Op::CGETADDR: return "cgetaddr";
+      case Op::CGETFLAGS: return "cgetflags";
+      case Op::CMOVE: return "cmove";
+      case Op::CCLEARTAG: return "ccleartag";
+      case Op::CSEALENTRY: return "csealentry";
+      case Op::CRRL: return "crrl";
+      case Op::CRAM: return "cram";
+      case Op::CJALR_CAP: return "cjalr.cap";
+      case Op::CLC: return "clc";
+      case Op::CSC: return "csc";
+      default: return "unknown";
+    }
+}
+
+std::string
+toString(const Instr &i, bool purecap)
+{
+    std::string s = opName(i.op, purecap);
+    if (isLoad(i.op)) {
+        return support::strprintf("%s x%d, %d(x%d)", s.c_str(), i.rd, i.imm,
+                                  i.rs1);
+    }
+    if (isStore(i.op)) {
+        return support::strprintf("%s x%d, %d(x%d)", s.c_str(), i.rs2, i.imm,
+                                  i.rs1);
+    }
+    if (isBranch(i.op)) {
+        return support::strprintf("%s x%d, x%d, %d", s.c_str(), i.rs1, i.rs2,
+                                  i.imm);
+    }
+    if (usesRd(i.op) && usesRs1(i.op) && usesRs2(i.op)) {
+        return support::strprintf("%s x%d, x%d, x%d", s.c_str(), i.rd, i.rs1,
+                                  i.rs2);
+    }
+    if (usesRd(i.op) && usesRs1(i.op)) {
+        return support::strprintf("%s x%d, x%d, %d", s.c_str(), i.rd, i.rs1,
+                                  i.imm);
+    }
+    if (usesRd(i.op)) {
+        return support::strprintf("%s x%d, %d", s.c_str(), i.rd, i.imm);
+    }
+    return s;
+}
+
+} // namespace isa

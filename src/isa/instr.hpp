@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Instruction set definition for the CHERI-SIMT reproduction.
+ *
+ * The simulated machine implements RISC-V rv32ima_zfinx (as in SIMTight)
+ * plus a large subset of CHERI-RISC-V v9 (the instructions of the paper's
+ * Figure 4) and a handful of SIMT control instructions (convergence hints,
+ * block barrier, thread halt) that SIMTight exposes through its runtime.
+ *
+ * In pure-capability mode the standard load/store/jump opcodes operate
+ * through capabilities (the paper's CL[BHW][U]/CS[BHW]/AUIPCC/CJAL/CJALR
+ * names); CLC/CSC additionally move whole capabilities between registers
+ * and memory.
+ */
+
+#ifndef CHERI_SIMT_ISA_INSTR_HPP_
+#define CHERI_SIMT_ISA_INSTR_HPP_
+
+#include <cstdint>
+#include <string>
+
+namespace isa
+{
+
+/** Mnemonic-level opcodes. */
+enum class Op : uint8_t
+{
+    ILLEGAL = 0,
+
+    // RV32I
+    LUI, AUIPC, JAL, JALR,
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    LB, LH, LW, LBU, LHU,
+    SB, SH, SW,
+    ADDI, SLTI, SLTIU, XORI, ORI, ANDI, SLLI, SRLI, SRAI,
+    ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+
+    // RV32M
+    MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU,
+
+    // RV32A (word atomics)
+    AMOADD_W, AMOSWAP_W, AMOAND_W, AMOOR_W, AMOXOR_W,
+    AMOMIN_W, AMOMAX_W, AMOMINU_W, AMOMAXU_W,
+
+    // Zfinx single-precision floating point in the integer registers
+    FADD_S, FSUB_S, FMUL_S, FDIV_S, FSQRT_S, FMIN_S, FMAX_S,
+    FCVT_W_S, FCVT_WU_S, FCVT_S_W, FCVT_S_WU,
+    FEQ_S, FLT_S, FLE_S,
+
+    // Zicsr subset
+    CSRRW, CSRRS,
+
+    // SIMT control (custom-0 opcode space)
+    SIMT_PUSH,    ///< enter a deeper convergence nesting level
+    SIMT_POP,     ///< leave the current convergence nesting level
+    SIMT_BARRIER, ///< block-wide barrier (__syncthreads)
+    SIMT_HALT,    ///< terminate the executing thread
+    SIMT_TRAP,    ///< software trap (failed software bounds check)
+
+    // CHERI-RISC-V (two register sources)
+    CSETBOUNDS, CSETBOUNDSEXACT, CSETADDR, CINCOFFSET, CANDPERM, CSETFLAGS,
+    CSPECIALRW,
+
+    // CHERI-RISC-V (one register source, encoded via rs2 selector)
+    CGETPERM, CGETTYPE, CGETBASE, CGETLEN, CGETTAG, CGETSEALED, CGETADDR,
+    CGETFLAGS, CMOVE, CCLEARTAG, CSEALENTRY, CRRL, CRAM, CJALR_CAP,
+
+    // CHERI-RISC-V (immediate forms)
+    CINCOFFSETIMM, CSETBOUNDSIMM,
+
+    // Capability load/store (65-bit register <-> tagged memory)
+    CLC, CSC,
+
+    NUM_OPS
+};
+
+/** Special capability registers addressed by CSpecialRW. */
+enum Scr : uint8_t
+{
+    SCR_PCC = 0,  ///< program-counter capability (read-only)
+    SCR_DDC = 1,  ///< default data capability
+    SCR_STC = 2,  ///< stack root capability (set at kernel launch)
+    SCR_ARG = 3,  ///< kernel-argument block capability
+    NUM_SCRS = 4,
+};
+
+/** CSR addresses understood by the simulator. */
+enum Csr : uint16_t
+{
+    CSR_HARTID = 0xf14,     ///< global hardware thread id
+    CSR_NUMTHREADS = 0xfc0, ///< total hardware threads in the SM
+    CSR_WARPID = 0xfc1,     ///< warp index of this thread
+    CSR_LANEID = 0xfc2,     ///< lane index within the warp
+};
+
+/** A decoded instruction. */
+struct Instr
+{
+    Op op = Op::ILLEGAL;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int32_t imm = 0; ///< sign-extended immediate / CSR address / SCR index
+
+    bool operator==(const Instr &) const = default;
+};
+
+/** Instruction classification helpers. */
+bool isCheri(Op op);
+
+/** Ops the optimised configuration executes in the shared function unit. */
+bool isCheriSlowPath(Op op);
+
+/** Memory access (load/store/atomic, including CLC/CSC). */
+bool isMemAccess(Op op);
+bool isLoad(Op op);
+bool isStore(Op op);
+bool isAtomic(Op op);
+
+/** Floating-point ops executed in the shared function unit in SIMTight. */
+bool isFpSlowPath(Op op);
+
+/** Control transfer. */
+bool isBranch(Op op);
+bool isJump(Op op);
+
+/** log2 of access size in bytes for memory ops (CLC/CSC are 3). */
+unsigned accessLogWidth(Op op);
+
+/** Operand-usage queries (used for decode normalisation and disassembly). */
+bool usesRd(Op op);
+bool usesRs1(Op op);
+bool usesRs2(Op op);
+
+/** Zero the operand fields an instruction does not use. */
+void normalizeOperands(Instr &instr);
+
+/** Mnemonic name; with @p purecap, load/store/jump names are CHERI-style. */
+std::string opName(Op op, bool purecap = false);
+
+/** Render a full instruction for debugging/disassembly. */
+std::string toString(const Instr &instr, bool purecap = false);
+
+} // namespace isa
+
+#endif // CHERI_SIMT_ISA_INSTR_HPP_

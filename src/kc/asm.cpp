@@ -1,0 +1,103 @@
+#include "kc/asm.hpp"
+
+#include "isa/encoding.hpp"
+#include "support/logging.hpp"
+
+namespace kc
+{
+
+size_t
+Assembler::emit(const isa::Instr &instr)
+{
+    instrs_.push_back(instr);
+    return instrs_.size() - 1;
+}
+
+size_t
+Assembler::emit(isa::Op op, uint8_t rd, uint8_t rs1, uint8_t rs2,
+                int32_t imm)
+{
+    isa::Instr i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.imm = imm;
+    isa::normalizeOperands(i);
+    return emit(i);
+}
+
+size_t
+Assembler::emitI(isa::Op op, uint8_t rd, uint8_t rs1, int32_t imm)
+{
+    return emit(op, rd, rs1, 0, imm);
+}
+
+size_t
+Assembler::emitR(isa::Op op, uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    return emit(op, rd, rs1, rs2, 0);
+}
+
+Label
+Assembler::newLabel()
+{
+    Label l;
+    l.id = static_cast<int>(labelPos_.size());
+    labelPos_.push_back(-1);
+    return l;
+}
+
+void
+Assembler::place(Label label)
+{
+    panic_if(!label.valid(), "placing an invalid label");
+    panic_if(labelPos_[label.id] >= 0, "label placed twice");
+    labelPos_[label.id] = static_cast<int64_t>(instrs_.size());
+}
+
+size_t
+Assembler::emitBranch(isa::Op op, uint8_t rs1, uint8_t rs2, Label target)
+{
+    panic_if(!isa::isBranch(op), "emitBranch with non-branch op");
+    const size_t idx = emit(op, 0, rs1, rs2, 0);
+    fixups_.push_back(Fixup{idx, target.id});
+    return idx;
+}
+
+size_t
+Assembler::emitJump(uint8_t rd, Label target)
+{
+    const size_t idx = emit(isa::Op::JAL, rd, 0, 0, 0);
+    fixups_.push_back(Fixup{idx, target.id});
+    return idx;
+}
+
+std::vector<uint32_t>
+Assembler::finalize(uint32_t base_addr)
+{
+    (void)base_addr; // offsets are PC-relative; base only matters to the
+                     // loader, which places code at kTcimBase.
+    for (const Fixup &f : fixups_) {
+        const int64_t pos = labelPos_[f.labelId];
+        panic_if(pos < 0, "unplaced label referenced by instruction %zu",
+                 f.index);
+        const int64_t delta =
+            (pos - static_cast<int64_t>(f.index)) * 4;
+        const bool is_branch = isa::isBranch(instrs_[f.index].op);
+        const int64_t limit = is_branch ? 4096 : (1 << 20);
+        panic_if(delta < -limit || delta >= limit,
+                 "%s offset %lld out of range",
+                 is_branch ? "branch" : "jump",
+                 static_cast<long long>(delta));
+        instrs_[f.index].imm = static_cast<int32_t>(delta);
+    }
+    // JAL has a 21-bit range; re-check the jump fixups after patching.
+    std::vector<uint32_t> words;
+    words.reserve(instrs_.size());
+    for (const auto &i : instrs_)
+        words.push_back(isa::encode(i));
+    return words;
+}
+
+} // namespace kc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A small two-pass assembler: instructions are emitted against symbolic
+ * labels, and branch/jump immediates are patched when the program is
+ * finalised. Used by the kernel compiler's code generator and by tests
+ * that hand-assemble programs.
+ */
+
+#ifndef CHERI_SIMT_KC_ASM_HPP_
+#define CHERI_SIMT_KC_ASM_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instr.hpp"
+
+namespace kc
+{
+
+/** Symbolic code label. */
+struct Label
+{
+    int id = -1;
+    bool valid() const { return id >= 0; }
+};
+
+class Assembler
+{
+  public:
+    /** Append an instruction; returns its index. */
+    size_t emit(const isa::Instr &instr);
+
+    /** Convenience emitters. */
+    size_t emit(isa::Op op, uint8_t rd, uint8_t rs1, uint8_t rs2,
+                int32_t imm = 0);
+    size_t emitI(isa::Op op, uint8_t rd, uint8_t rs1, int32_t imm);
+    size_t emitR(isa::Op op, uint8_t rd, uint8_t rs1, uint8_t rs2);
+
+    /** Create an unplaced label. */
+    Label newLabel();
+
+    /** Place a label at the current position. */
+    void place(Label label);
+
+    /** Emit a branch to @p target (immediate patched at finalise). */
+    size_t emitBranch(isa::Op op, uint8_t rs1, uint8_t rs2, Label target);
+
+    /** Emit a JAL to @p target. */
+    size_t emitJump(uint8_t rd, Label target);
+
+    /** Current instruction count. */
+    size_t size() const { return instrs_.size(); }
+
+    const std::vector<isa::Instr> &instrs() const { return instrs_; }
+
+    /**
+     * Resolve labels and encode. @p base_addr is the address of the first
+     * instruction.
+     */
+    std::vector<uint32_t> finalize(uint32_t base_addr = 0);
+
+  private:
+    struct Fixup
+    {
+        size_t index;
+        int labelId;
+    };
+
+    std::vector<isa::Instr> instrs_;
+    std::vector<int64_t> labelPos_; // instruction index or -1
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace kc
+
+#endif // CHERI_SIMT_KC_ASM_HPP_

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Intermediate representation of NoCL-style compute kernels.
+ *
+ * Kernels are built by the embedded DSL in kc/kernel.hpp: expressions form
+ * a pure (re-evaluable) DAG held in an arena, and statements form a
+ * structured tree (blocks, if/else, while) over mutable variables. The
+ * code generator in kc/codegen.hpp lowers this IR to RV32IMA, CHERI
+ * pure-capability, or software-bounds-checked machine code.
+ */
+
+#ifndef CHERI_SIMT_KC_IR_HPP_
+#define CHERI_SIMT_KC_IR_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kc
+{
+
+/** Element/scalar types. Register values are always 32 bits wide. */
+enum class Scalar : uint8_t
+{
+    U8, I8, U16, I16, I32, U32, F32
+};
+
+/** Size in bytes of a scalar in memory. */
+constexpr unsigned
+scalarBytes(Scalar s)
+{
+    switch (s) {
+      case Scalar::U8:
+      case Scalar::I8:
+        return 1;
+      case Scalar::U16:
+      case Scalar::I16:
+        return 2;
+      default:
+        return 4;
+    }
+}
+
+constexpr bool
+scalarSigned(Scalar s)
+{
+    return s == Scalar::I8 || s == Scalar::I16 || s == Scalar::I32;
+}
+
+/** Address spaces a pointer can refer to. */
+enum class Space : uint8_t
+{
+    Global, ///< DRAM buffer (kernel parameter)
+    Shared, ///< scratchpad array
+    Stack,  ///< per-thread stack array
+};
+
+/** Value type: a 32-bit int/uint/float or a pointer to scalars. */
+struct VType
+{
+    enum Kind : uint8_t { Int, Uint, Float, Ptr } kind = Int;
+    Scalar elem = Scalar::I32; ///< element type when kind == Ptr
+    Space space = Space::Global;
+
+    bool isPtr() const { return kind == Ptr; }
+    bool operator==(const VType &) const = default;
+};
+
+inline VType
+intType()
+{
+    return VType{VType::Int, Scalar::I32, Space::Global};
+}
+
+inline VType
+uintType()
+{
+    return VType{VType::Uint, Scalar::U32, Space::Global};
+}
+
+inline VType
+floatType()
+{
+    return VType{VType::Float, Scalar::F32, Space::Global};
+}
+
+inline VType
+ptrType(Scalar elem, Space space)
+{
+    return VType{VType::Ptr, elem, space};
+}
+
+/** Binary operators (signedness comes from the operand type). */
+enum class BinOp : uint8_t
+{
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    Min, Max,
+};
+
+enum class UnOp : uint8_t
+{
+    Neg,     ///< arithmetic negation
+    Not,     ///< bitwise complement
+    ToFloat, ///< int -> float
+    ToInt,   ///< float -> int (truncating)
+    Sqrt,    ///< float square root
+};
+
+/** Built-in kernel values. */
+enum class Builtin : uint8_t
+{
+    ThreadIdx, ///< thread index within the block
+    BlockIdx,  ///< block index within the grid
+    BlockDim,  ///< threads per block
+    GridDim,   ///< blocks in the grid
+};
+
+enum class ExprKind : uint8_t
+{
+    ConstInt,
+    ConstFloat,
+    BuiltinVal,
+    ParamRef,  ///< kernel parameter (scalar or pointer)
+    VarRef,    ///< mutable variable
+    SharedRef, ///< base of a shared array
+    LocalRef,  ///< base of a per-thread stack array
+    Unary,
+    Binary,
+    Load,   ///< load through pointer operand a
+    Select, ///< a ? b : c
+    Cast,   ///< reinterpret int<->uint (no code)
+};
+
+struct ExprNode
+{
+    ExprKind kind = ExprKind::ConstInt;
+    VType type;
+    int a = -1, b = -1, c = -1; ///< operand node ids
+    int32_t iconst = 0;
+    float fconst = 0.0f;
+    BinOp bop = BinOp::Add;
+    UnOp uop = UnOp::Neg;
+    Builtin builtin = Builtin::ThreadIdx;
+    int index = -1; ///< param / var / shared / local id
+};
+
+enum class StmtKind : uint8_t
+{
+    Assign,  ///< var <- expr
+    Store,   ///< *(ptr expr) <- value expr
+    If,      ///< cond, thenBody, elseBody
+    While,   ///< cond, body
+    Barrier, ///< __syncthreads
+    AtomicStmt, ///< atomic RMW through ptr, no result
+};
+
+/** Atomic operations supported as statements. */
+enum class AtomicOp : uint8_t
+{
+    Add, Min, Max, And, Or, Xor
+};
+
+struct Stmt
+{
+    StmtKind kind = StmtKind::Barrier;
+    int var = -1;  ///< Assign target
+    int expr = -1; ///< Assign/Store value, If/While condition
+    int ptr = -1;  ///< Store/Atomic address expression
+    AtomicOp atomic = AtomicOp::Add;
+    std::vector<Stmt> body;     ///< If-then / While body
+    std::vector<Stmt> elseBody; ///< If-else
+    std::vector<int> bodyVars;  ///< variables scoped to body
+    std::vector<int> elseVars;  ///< variables scoped to elseBody
+};
+
+/** A kernel parameter. */
+struct ParamInfo
+{
+    std::string name;
+    VType type; ///< Int/Uint/Float or Ptr(Global)
+};
+
+/** A declared mutable variable. */
+struct VarInfo
+{
+    VType type;
+    int init = -1; ///< initialising expression
+};
+
+/** A shared (scratchpad) array. */
+struct SharedInfo
+{
+    std::string name;
+    Scalar elem = Scalar::I32;
+    unsigned count = 0;
+    unsigned byteOffset = 0; ///< assigned within the scratchpad
+};
+
+/** A per-thread stack array. */
+struct LocalInfo
+{
+    Scalar elem = Scalar::I32;
+    bool isPtrArray = false; ///< elements are pointers (capabilities)
+    unsigned count = 0;
+    unsigned byteOffset = 0; ///< assigned within the thread's frame
+};
+
+/** A complete kernel in IR form. */
+struct KernelIr
+{
+    std::string name;
+    std::vector<ExprNode> exprs;
+    std::vector<ParamInfo> params;
+    std::vector<VarInfo> vars;
+    std::vector<SharedInfo> shared;
+    std::vector<LocalInfo> locals;
+    std::vector<Stmt> top; ///< top-level statement block
+
+    unsigned sharedBytes = 0;
+    unsigned localBytes = 0; ///< per-thread stack frame
+
+    const ExprNode &expr(int id) const { return exprs[id]; }
+};
+
+} // namespace kc
+
+#endif // CHERI_SIMT_KC_IR_HPP_

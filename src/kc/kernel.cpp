@@ -1,0 +1,656 @@
+#include "kc/kernel.hpp"
+
+#include "support/bits.hpp"
+#include "support/logging.hpp"
+
+namespace kc
+{
+
+// ------------------------------------------------------------ value handles
+
+Ref
+Val::operator[](Val idx) const
+{
+    Ref r;
+    r.b = b;
+    r.ptrExpr = b->index(*this, idx).id;
+    return r;
+}
+
+Ref
+Val::operator[](int idx) const
+{
+    return (*this)[b->c(idx)];
+}
+
+Var::operator Val() const
+{
+    ExprNode n;
+    n.kind = ExprKind::VarRef;
+    n.type = type;
+    n.index = varId;
+    Val v;
+    v.b = b;
+    v.id = b->addExpr(n);
+    return v;
+}
+
+const Var &
+Var::operator=(Val v) const
+{
+    b->assign(*this, v);
+    return *this;
+}
+
+const Var &
+Var::operator=(const Var &v) const
+{
+    b->assign(*this, static_cast<Val>(v));
+    return *this;
+}
+
+const Var &
+Var::operator+=(Val v) const
+{
+    b->assign(*this, static_cast<Val>(*this) + v);
+    return *this;
+}
+
+const Var &
+Var::operator-=(Val v) const
+{
+    b->assign(*this, static_cast<Val>(*this) - v);
+    return *this;
+}
+
+Ref::operator Val() const
+{
+    Val p;
+    p.b = b;
+    p.id = ptrExpr;
+    return b->load(p);
+}
+
+const Ref &
+Ref::operator=(Val v) const
+{
+    Val p;
+    p.b = b;
+    p.id = ptrExpr;
+    b->store(p, v);
+    return *this;
+}
+
+const Ref &
+Ref::operator=(const Ref &other) const
+{
+    return (*this) = static_cast<Val>(other);
+}
+
+const Ref &
+Ref::operator+=(Val v) const
+{
+    Val p;
+    p.b = b;
+    p.id = ptrExpr;
+    b->store(p, b->load(p) + v);
+    return *this;
+}
+
+#define KC_BINOP(sym, op)                                                     \
+    Val operator sym(Val a, Val b) { return a.b->binary(BinOp::op, a, b); }
+
+KC_BINOP(+, Add)
+KC_BINOP(-, Sub)
+KC_BINOP(*, Mul)
+KC_BINOP(/, Div)
+KC_BINOP(%, Rem)
+KC_BINOP(&, And)
+KC_BINOP(|, Or)
+KC_BINOP(^, Xor)
+KC_BINOP(<<, Shl)
+KC_BINOP(>>, Shr)
+KC_BINOP(<, Lt)
+KC_BINOP(<=, Le)
+KC_BINOP(>, Gt)
+KC_BINOP(>=, Ge)
+KC_BINOP(==, Eq)
+KC_BINOP(!=, Ne)
+#undef KC_BINOP
+
+Val
+operator+(Val a, int v)
+{
+    return a + a.b->c(v);
+}
+
+Val
+operator-(Val a, int v)
+{
+    return a - a.b->c(v);
+}
+
+Val
+operator*(Val a, int v)
+{
+    return a * a.b->c(v);
+}
+
+Val
+operator<(Val a, int v)
+{
+    return a < a.b->c(v);
+}
+
+Val
+operator>=(Val a, int v)
+{
+    return a >= a.b->c(v);
+}
+
+// ------------------------------------------------------------------ builder
+
+Kb::Kb(const std::string &kernel_name)
+{
+    ir_.name = kernel_name;
+    blockStack_.push_back(&ir_.top);
+}
+
+int
+Kb::addExpr(const ExprNode &node)
+{
+    ir_.exprs.push_back(node);
+    return static_cast<int>(ir_.exprs.size()) - 1;
+}
+
+void
+Kb::addStmt(Stmt &&stmt)
+{
+    blockStack_.back()->push_back(std::move(stmt));
+}
+
+const VType &
+Kb::typeOf(Val v) const
+{
+    return ir_.exprs[v.id].type;
+}
+
+Val
+Kb::paramI32(const std::string &name)
+{
+    ir_.params.push_back(ParamInfo{name, intType()});
+    ExprNode n;
+    n.kind = ExprKind::ParamRef;
+    n.type = intType();
+    n.index = static_cast<int>(ir_.params.size()) - 1;
+    return Val{this, addExpr(n)};
+}
+
+Val
+Kb::paramU32(const std::string &name)
+{
+    ir_.params.push_back(ParamInfo{name, uintType()});
+    ExprNode n;
+    n.kind = ExprKind::ParamRef;
+    n.type = uintType();
+    n.index = static_cast<int>(ir_.params.size()) - 1;
+    return Val{this, addExpr(n)};
+}
+
+Val
+Kb::paramF32(const std::string &name)
+{
+    ir_.params.push_back(ParamInfo{name, floatType()});
+    ExprNode n;
+    n.kind = ExprKind::ParamRef;
+    n.type = floatType();
+    n.index = static_cast<int>(ir_.params.size()) - 1;
+    return Val{this, addExpr(n)};
+}
+
+Val
+Kb::paramPtr(const std::string &name, Scalar elem)
+{
+    ir_.params.push_back(ParamInfo{name, ptrType(elem, Space::Global)});
+    ExprNode n;
+    n.kind = ExprKind::ParamRef;
+    n.type = ptrType(elem, Space::Global);
+    n.index = static_cast<int>(ir_.params.size()) - 1;
+    return Val{this, addExpr(n)};
+}
+
+Val
+Kb::shared(const std::string &name, Scalar elem, unsigned count)
+{
+    SharedInfo info;
+    info.name = name;
+    info.elem = elem;
+    info.count = count;
+    ir_.shared.push_back(info);
+    ExprNode n;
+    n.kind = ExprKind::SharedRef;
+    n.type = ptrType(elem, Space::Shared);
+    n.index = static_cast<int>(ir_.shared.size()) - 1;
+    return Val{this, addExpr(n)};
+}
+
+Val
+Kb::localArray(Scalar elem, unsigned count)
+{
+    LocalInfo info;
+    info.elem = elem;
+    info.count = count;
+    ir_.locals.push_back(info);
+    ExprNode n;
+    n.kind = ExprKind::LocalRef;
+    n.type = ptrType(elem, Space::Stack);
+    n.index = static_cast<int>(ir_.locals.size()) - 1;
+    return Val{this, addExpr(n)};
+}
+
+Val
+Kb::localPtrArray(Scalar pointee, unsigned count)
+{
+    LocalInfo info;
+    info.elem = pointee;
+    info.isPtrArray = true;
+    info.count = count;
+    ir_.locals.push_back(info);
+    ExprNode n;
+    n.kind = ExprKind::LocalRef;
+    // A pointer array's base is a pointer whose elements are themselves
+    // pointers; the element scalar records the eventual pointee.
+    n.type = ptrType(pointee, Space::Stack);
+    n.index = static_cast<int>(ir_.locals.size()) - 1;
+    return Val{this, addExpr(n)};
+}
+
+Var
+Kb::var(Val init)
+{
+    return var(typeOf(init), init);
+}
+
+Var
+Kb::var(VType type, Val init)
+{
+    VarInfo info;
+    info.type = type;
+    info.init = init.id;
+    ir_.vars.push_back(info);
+    const int id = static_cast<int>(ir_.vars.size()) - 1;
+    // Initialisation is an explicit assignment in program order.
+    Stmt s;
+    s.kind = StmtKind::Assign;
+    s.var = id;
+    s.expr = init.id;
+    addStmt(std::move(s));
+    return Var(this, id, type);
+}
+
+Val
+Kb::makeBuiltin(Builtin which)
+{
+    ExprNode n;
+    n.kind = ExprKind::BuiltinVal;
+    n.type = intType();
+    n.builtin = which;
+    return Val{this, addExpr(n)};
+}
+
+Val Kb::threadIdx() { return makeBuiltin(Builtin::ThreadIdx); }
+Val Kb::blockIdx() { return makeBuiltin(Builtin::BlockIdx); }
+Val Kb::blockDim() { return makeBuiltin(Builtin::BlockDim); }
+Val Kb::gridDim() { return makeBuiltin(Builtin::GridDim); }
+
+Val
+Kb::c(int32_t v)
+{
+    ExprNode n;
+    n.kind = ExprKind::ConstInt;
+    n.type = intType();
+    n.iconst = v;
+    return Val{this, addExpr(n)};
+}
+
+Val
+Kb::cu(uint32_t v)
+{
+    ExprNode n;
+    n.kind = ExprKind::ConstInt;
+    n.type = uintType();
+    n.iconst = static_cast<int32_t>(v);
+    return Val{this, addExpr(n)};
+}
+
+Val
+Kb::cf(float v)
+{
+    ExprNode n;
+    n.kind = ExprKind::ConstFloat;
+    n.type = floatType();
+    n.fconst = v;
+    return Val{this, addExpr(n)};
+}
+
+Val
+Kb::binary(BinOp op, Val a, Val b)
+{
+    const VType &ta = typeOf(a);
+    const VType &tb = typeOf(b);
+
+    ExprNode n;
+    n.kind = ExprKind::Binary;
+    n.bop = op;
+    n.a = a.id;
+    n.b = b.id;
+
+    if (ta.isPtr()) {
+        // Pointer arithmetic: ptr +/- int (in elements).
+        panic_if(op != BinOp::Add && op != BinOp::Sub &&
+                     op != BinOp::Eq && op != BinOp::Ne,
+                 "unsupported pointer operation");
+        n.type = (op == BinOp::Eq || op == BinOp::Ne) ? intType() : ta;
+        return Val{this, addExpr(n)};
+    }
+    panic_if(tb.isPtr(), "int op pointer is not supported");
+    panic_if((ta.kind == VType::Float) != (tb.kind == VType::Float),
+             "mixing float and integer operands in kernel %s",
+             ir_.name.c_str());
+
+    const bool cmp = op == BinOp::Lt || op == BinOp::Le || op == BinOp::Gt ||
+                     op == BinOp::Ge || op == BinOp::Eq || op == BinOp::Ne;
+    n.type = cmp ? intType() : ta;
+    return Val{this, addExpr(n)};
+}
+
+Val
+Kb::unary(UnOp op, Val a)
+{
+    ExprNode n;
+    n.kind = ExprKind::Unary;
+    n.uop = op;
+    n.a = a.id;
+    switch (op) {
+      case UnOp::ToFloat:
+      case UnOp::Sqrt:
+        n.type = floatType();
+        break;
+      case UnOp::ToInt:
+        n.type = intType();
+        break;
+      default:
+        n.type = typeOf(a);
+        break;
+    }
+    return Val{this, addExpr(n)};
+}
+
+Val
+Kb::load(Val ptr)
+{
+    const VType &tp = typeOf(ptr);
+    panic_if(!tp.isPtr(), "load through non-pointer");
+    ExprNode n;
+    n.kind = ExprKind::Load;
+    n.a = ptr.id;
+
+    // Loading from a pointer array yields a pointer; otherwise the
+    // element's scalar type widened to 32 bits.
+    bool ptr_array = false;
+    const ExprNode &pn = ir_.exprs[ptr.id];
+    if (tp.space == Space::Stack) {
+        // Find the underlying local array to check for pointer elements.
+        int node = ptr.id;
+        while (ir_.exprs[node].kind == ExprKind::Binary)
+            node = ir_.exprs[node].a;
+        if (ir_.exprs[node].kind == ExprKind::LocalRef)
+            ptr_array = ir_.locals[ir_.exprs[node].index].isPtrArray;
+    }
+    (void)pn;
+    if (ptr_array) {
+        n.type = ptrType(tp.elem, Space::Global);
+    } else if (tp.elem == Scalar::F32) {
+        n.type = floatType();
+    } else {
+        n.type = scalarSigned(tp.elem) ? intType() : uintType();
+    }
+    return Val{this, addExpr(n)};
+}
+
+Val
+Kb::select(Val cond, Val if_true, Val if_false)
+{
+    const VType &tt = typeOf(if_true);
+    const VType &tf = typeOf(if_false);
+    ExprNode n;
+    n.kind = ExprKind::Select;
+    n.a = cond.id;
+    n.b = if_true.id;
+    n.c = if_false.id;
+    if (tt.isPtr() && tf.isPtr() && tt.elem == tf.elem) {
+        // Pointers into different address spaces may be selected (the
+        // BlkStencil pattern); the result's provenance is dynamic.
+        n.type = ptrType(tt.elem, Space::Global);
+    } else {
+        panic_if(!(tt == tf), "select arms must have identical types");
+        n.type = tt;
+    }
+    return Val{this, addExpr(n)};
+}
+
+Val
+Kb::min_(Val a, Val b)
+{
+    return binary(BinOp::Min, a, b);
+}
+
+Val
+Kb::max_(Val a, Val b)
+{
+    return binary(BinOp::Max, a, b);
+}
+
+Val
+Kb::toFloat(Val v)
+{
+    return unary(UnOp::ToFloat, v);
+}
+
+Val
+Kb::toInt(Val v)
+{
+    return unary(UnOp::ToInt, v);
+}
+
+Val
+Kb::asUint(Val v)
+{
+    ExprNode n;
+    n.kind = ExprKind::Cast;
+    n.a = v.id;
+    n.type = uintType();
+    return Val{this, addExpr(n)};
+}
+
+Val
+Kb::asInt(Val v)
+{
+    ExprNode n;
+    n.kind = ExprKind::Cast;
+    n.a = v.id;
+    n.type = intType();
+    return Val{this, addExpr(n)};
+}
+
+Val
+Kb::sqrt_(Val v)
+{
+    return unary(UnOp::Sqrt, v);
+}
+
+Val
+Kb::index(Val ptr, Val idx)
+{
+    return binary(BinOp::Add, ptr, idx);
+}
+
+void
+Kb::assign(const Var &v, Val value)
+{
+    Stmt s;
+    s.kind = StmtKind::Assign;
+    s.var = v.varId;
+    s.expr = value.id;
+    addStmt(std::move(s));
+}
+
+void
+Kb::store(Val ptr, Val value)
+{
+    panic_if(!typeOf(ptr).isPtr(), "store through non-pointer");
+    Stmt s;
+    s.kind = StmtKind::Store;
+    s.ptr = ptr.id;
+    s.expr = value.id;
+    addStmt(std::move(s));
+}
+
+void
+Kb::atomic(AtomicOp op, Val ptr, Val value)
+{
+    panic_if(!typeOf(ptr).isPtr(), "atomic through non-pointer");
+    Stmt s;
+    s.kind = StmtKind::AtomicStmt;
+    s.atomic = op;
+    s.ptr = ptr.id;
+    s.expr = value.id;
+    addStmt(std::move(s));
+}
+
+void
+Kb::barrier()
+{
+    Stmt s;
+    s.kind = StmtKind::Barrier;
+    addStmt(std::move(s));
+}
+
+void
+Kb::collectScopedVars(int marker, std::vector<int> &out)
+{
+    varClaimed_.resize(ir_.vars.size(), false);
+    for (int v = marker; v < static_cast<int>(ir_.vars.size()); ++v) {
+        if (!varClaimed_[v]) {
+            out.push_back(v);
+            varClaimed_[v] = true;
+        }
+    }
+}
+
+void
+Kb::if_(Val cond, const std::function<void()> &then_fn)
+{
+    Stmt s;
+    s.kind = StmtKind::If;
+    s.expr = cond.id;
+    const int marker = static_cast<int>(ir_.vars.size());
+    blockStack_.push_back(&s.body);
+    then_fn();
+    blockStack_.pop_back();
+    collectScopedVars(marker, s.bodyVars);
+    addStmt(std::move(s));
+}
+
+void
+Kb::ifElse(Val cond, const std::function<void()> &then_fn,
+           const std::function<void()> &else_fn)
+{
+    Stmt s;
+    s.kind = StmtKind::If;
+    s.expr = cond.id;
+    const int then_marker = static_cast<int>(ir_.vars.size());
+    blockStack_.push_back(&s.body);
+    then_fn();
+    blockStack_.pop_back();
+    const int else_marker = static_cast<int>(ir_.vars.size());
+    collectScopedVars(then_marker, s.bodyVars);
+    blockStack_.push_back(&s.elseBody);
+    else_fn();
+    blockStack_.pop_back();
+    collectScopedVars(else_marker, s.elseVars);
+    addStmt(std::move(s));
+}
+
+void
+Kb::while_(Val cond, const std::function<void()> &body_fn)
+{
+    Stmt s;
+    s.kind = StmtKind::While;
+    s.expr = cond.id;
+    const int marker = static_cast<int>(ir_.vars.size());
+    blockStack_.push_back(&s.body);
+    body_fn();
+    blockStack_.pop_back();
+    collectScopedVars(marker, s.bodyVars);
+    addStmt(std::move(s));
+}
+
+void
+Kb::forRange(const Var &v, Val limit, Val step,
+             const std::function<void()> &body_fn)
+{
+    const Val cond = static_cast<Val>(v) < limit;
+    Stmt s;
+    s.kind = StmtKind::While;
+    s.expr = cond.id;
+    const int marker = static_cast<int>(ir_.vars.size());
+    blockStack_.push_back(&s.body);
+    body_fn();
+    blockStack_.pop_back();
+    collectScopedVars(marker, s.bodyVars);
+    // v += step
+    const Val next = static_cast<Val>(v) + step;
+    Stmt inc;
+    inc.kind = StmtKind::Assign;
+    inc.var = v.varId;
+    inc.expr = next.id;
+    s.body.push_back(std::move(inc));
+    addStmt(std::move(s));
+}
+
+KernelIr
+Kb::finish()
+{
+    // Assign scratchpad offsets (8-byte aligned so capabilities fit).
+    unsigned offset = 0;
+    for (auto &sh : ir_.shared) {
+        offset = static_cast<unsigned>(support::roundUp(offset, 8));
+        sh.byteOffset = offset;
+        offset += sh.count * scalarBytes(sh.elem);
+    }
+    ir_.sharedBytes = static_cast<unsigned>(support::roundUp(offset, 8));
+
+    // Assign per-thread stack-frame offsets; pointer arrays hold 8-byte
+    // slots so capabilities fit in pure-capability mode.
+    unsigned frame = 0;
+    for (auto &lo : ir_.locals) {
+        const unsigned elem_bytes =
+            lo.isPtrArray ? 8 : scalarBytes(lo.elem);
+        frame = static_cast<unsigned>(support::roundUp(frame, elem_bytes));
+        lo.byteOffset = frame;
+        frame += lo.count * elem_bytes;
+    }
+    ir_.localBytes = static_cast<unsigned>(support::roundUp(frame, 8));
+    return std::move(ir_);
+}
+
+KernelIr
+buildIr(KernelDef &def)
+{
+    Kb b(def.name());
+    def.build(b);
+    return b.finish();
+}
+
+} // namespace kc

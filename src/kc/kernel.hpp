@@ -1,0 +1,223 @@
+/**
+ * @file
+ * NoCL-style embedded DSL for writing compute kernels in plain C++.
+ *
+ * A kernel is a subclass of KernelDef whose build() method declares
+ * parameters, shared/local arrays and the kernel body through a Kb
+ * (kernel builder). The result is a KernelIr, compiled by kc/codegen.hpp
+ * for the simulated GPU. Example (the paper's Figure 3 histogram):
+ *
+ *   struct Histogram : kc::KernelDef {
+ *       std::string name() const override { return "Histogram"; }
+ *       void build(kc::Kb &b) override {
+ *           auto len  = b.paramI32("len");
+ *           auto in   = b.paramPtr("in", kc::Scalar::U8);
+ *           auto out  = b.paramPtr("out", kc::Scalar::I32);
+ *           auto bins = b.shared("bins", kc::Scalar::I32, 256);
+ *           auto i = b.var(b.threadIdx());
+ *           b.forRange(i, b.c(256), b.blockDim(), [&] {
+ *               bins[i] = b.c(0);
+ *           });
+ *           b.barrier();
+ *           ...
+ *       }
+ *   };
+ */
+
+#ifndef CHERI_SIMT_KC_KERNEL_HPP_
+#define CHERI_SIMT_KC_KERNEL_HPP_
+
+#include <functional>
+#include <string>
+
+#include "kc/ir.hpp"
+
+namespace kc
+{
+
+class Kb;
+
+/** A value handle: an expression node in the kernel builder's arena. */
+struct Val
+{
+    Kb *b = nullptr;
+    int id = -1;
+
+    bool valid() const { return b != nullptr && id >= 0; }
+
+    /** Element access through a pointer value; see struct Ref. */
+    struct Ref operator[](Val index) const;
+    struct Ref operator[](int index) const;
+};
+
+/** A mutable variable handle. Assignment records an Assign statement. */
+struct Var
+{
+    Kb *b = nullptr;
+    int varId = -1;
+    VType type;
+
+    operator Val() const;
+    const Var &operator=(Val v) const;
+    const Var &operator=(const Var &v) const;
+    const Var &operator+=(Val v) const;
+    const Var &operator-=(Val v) const;
+    Var() = default;
+    Var(Kb *builder, int id, VType t) : b(builder), varId(id), type(t) {}
+    Var(const Var &) = default;
+};
+
+/** An lvalue reference to *ptr: reads load, writes store. */
+struct Ref
+{
+    Kb *b = nullptr;
+    int ptrExpr = -1;
+
+    operator Val() const;
+    const Ref &operator=(Val v) const;
+    const Ref &operator+=(Val v) const;
+
+    /**
+     * Ref-to-Ref assignment must load-then-store; without this overload
+     * C++ would pick the implicit member-wise copy assignment and the
+     * statement would silently vanish from the kernel.
+     */
+    const Ref &operator=(const Ref &other) const;
+
+    Ref() = default;
+    Ref(const Ref &) = default;
+};
+
+// Arithmetic/comparison operators on values.
+Val operator+(Val a, Val b);
+Val operator-(Val a, Val b);
+Val operator*(Val a, Val b);
+Val operator/(Val a, Val b);
+Val operator%(Val a, Val b);
+Val operator&(Val a, Val b);
+Val operator|(Val a, Val b);
+Val operator^(Val a, Val b);
+Val operator<<(Val a, Val b);
+Val operator>>(Val a, Val b);
+Val operator<(Val a, Val b);
+Val operator<=(Val a, Val b);
+Val operator>(Val a, Val b);
+Val operator>=(Val a, Val b);
+Val operator==(Val a, Val b);
+Val operator!=(Val a, Val b);
+
+// Mixed-literal conveniences.
+Val operator+(Val a, int b);
+Val operator-(Val a, int b);
+Val operator*(Val a, int b);
+Val operator<(Val a, int b);
+Val operator>=(Val a, int b);
+
+/** Kernel builder. */
+class Kb
+{
+  public:
+    explicit Kb(const std::string &kernel_name);
+
+    // ---- Declarations ----
+    Val paramI32(const std::string &name);
+    Val paramU32(const std::string &name);
+    Val paramF32(const std::string &name);
+    Val paramPtr(const std::string &name, Scalar elem);
+
+    /** Shared (scratchpad) array; returns its base pointer. */
+    Val shared(const std::string &name, Scalar elem, unsigned count);
+
+    /** Per-thread stack array of scalars. */
+    Val localArray(Scalar elem, unsigned count);
+
+    /**
+     * Per-thread stack array of pointers. Loads/stores of its elements
+     * move whole capabilities (CLC/CSC) in pure-capability mode.
+     */
+    Val localPtrArray(Scalar pointee, unsigned count);
+
+    Var var(Val init);
+    Var var(VType type, Val init);
+
+    // ---- Built-ins and constants ----
+    Val threadIdx();
+    Val blockIdx();
+    Val blockDim();
+    Val gridDim();
+    Val c(int32_t v);       ///< signed constant
+    Val cu(uint32_t v);     ///< unsigned constant
+    Val cf(float v);        ///< float constant
+
+    // ---- Expressions ----
+    Val binary(BinOp op, Val a, Val b);
+    Val unary(UnOp op, Val a);
+    Val load(Val ptr);
+    Val select(Val cond, Val if_true, Val if_false);
+    Val min_(Val a, Val b);
+    Val max_(Val a, Val b);
+    Val toFloat(Val v);
+    Val toInt(Val v);
+    Val asUint(Val v);
+    Val asInt(Val v);
+    Val sqrt_(Val v);
+
+    /** ptr advanced by index elements. */
+    Val index(Val ptr, Val idx);
+
+    // ---- Statements ----
+    void assign(const Var &v, Val value);
+    void store(Val ptr, Val value);
+    void atomic(AtomicOp op, Val ptr, Val value);
+    void atomicAdd(Val ptr, Val value) { atomic(AtomicOp::Add, ptr, value); }
+    void barrier();
+
+    void if_(Val cond, const std::function<void()> &then_fn);
+    void ifElse(Val cond, const std::function<void()> &then_fn,
+                const std::function<void()> &else_fn);
+    void while_(Val cond, const std::function<void()> &body_fn);
+
+    /**
+     * The canonical NoCL grid-stride loop:
+     * for (; var < limit; var += step) body.
+     */
+    void forRange(const Var &v, Val limit, Val step,
+                  const std::function<void()> &body_fn);
+
+    /** Finish building and return the IR (assigns array offsets). */
+    KernelIr finish();
+
+    const VType &typeOf(Val v) const;
+
+  private:
+    friend struct Val;
+    friend struct Var;
+    friend struct Ref;
+
+    int addExpr(const ExprNode &node);
+    void addStmt(Stmt &&stmt);
+    Val makeBuiltin(Builtin which);
+
+    /** Collect vars created since @p marker into @p out (innermost wins). */
+    void collectScopedVars(int marker, std::vector<int> &out);
+
+    KernelIr ir_;
+    std::vector<std::vector<Stmt> *> blockStack_;
+    std::vector<bool> varClaimed_;
+};
+
+/** Base class for kernel definitions. */
+class KernelDef
+{
+  public:
+    virtual ~KernelDef() = default;
+    virtual std::string name() const = 0;
+    virtual void build(Kb &b) = 0;
+};
+
+/** Build a kernel definition into IR. */
+KernelIr buildIr(KernelDef &def);
+
+} // namespace kc
+
+#endif // CHERI_SIMT_KC_KERNEL_HPP_

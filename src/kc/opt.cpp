@@ -1,0 +1,501 @@
+#include "kc/opt.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "support/logging.hpp"
+
+namespace kc
+{
+
+namespace
+{
+
+bool
+isConstInt(const ExprNode &n)
+{
+    return n.kind == ExprKind::ConstInt;
+}
+
+bool
+isConstZero(const ExprNode &n)
+{
+    return isConstInt(n) && n.iconst == 0;
+}
+
+bool
+isConstOne(const ExprNode &n)
+{
+    return isConstInt(n) && n.iconst == 1;
+}
+
+/** Evaluate an integer binary op on constants (codegen semantics). */
+bool
+evalIntBinary(BinOp op, bool is_signed, int32_t a, int32_t b,
+              int32_t &out)
+{
+    const uint32_t ua = static_cast<uint32_t>(a);
+    const uint32_t ub = static_cast<uint32_t>(b);
+    switch (op) {
+      case BinOp::Add: out = static_cast<int32_t>(ua + ub); return true;
+      case BinOp::Sub: out = static_cast<int32_t>(ua - ub); return true;
+      case BinOp::Mul: out = static_cast<int32_t>(ua * ub); return true;
+      case BinOp::And: out = static_cast<int32_t>(ua & ub); return true;
+      case BinOp::Or: out = static_cast<int32_t>(ua | ub); return true;
+      case BinOp::Xor: out = static_cast<int32_t>(ua ^ ub); return true;
+      case BinOp::Shl:
+        out = static_cast<int32_t>(ua << (ub & 31));
+        return true;
+      case BinOp::Shr:
+        out = is_signed ? (a >> (ub & 31))
+                        : static_cast<int32_t>(ua >> (ub & 31));
+        return true;
+      case BinOp::Lt:
+        out = is_signed ? (a < b) : (ua < ub);
+        return true;
+      case BinOp::Le:
+        out = is_signed ? (a <= b) : (ua <= ub);
+        return true;
+      case BinOp::Gt:
+        out = is_signed ? (a > b) : (ua > ub);
+        return true;
+      case BinOp::Ge:
+        out = is_signed ? (a >= b) : (ua >= ub);
+        return true;
+      case BinOp::Eq: out = a == b; return true;
+      case BinOp::Ne: out = a != b; return true;
+      case BinOp::Min:
+        out = is_signed ? std::min(a, b)
+                        : static_cast<int32_t>(std::min(ua, ub));
+        return true;
+      case BinOp::Max:
+        out = is_signed ? std::max(a, b)
+                        : static_cast<int32_t>(std::max(ua, ub));
+        return true;
+      case BinOp::Div:
+      case BinOp::Rem:
+        // Division folds only with a non-zero divisor (the zero case has
+        // RISC-V-defined runtime semantics we keep at run time).
+        if (b == 0)
+            return false;
+        if (is_signed && a == INT32_MIN && b == -1) {
+            out = op == BinOp::Div ? INT32_MIN : 0;
+            return true;
+        }
+        if (op == BinOp::Div)
+            out = is_signed ? a / b : static_cast<int32_t>(ua / ub);
+        else
+            out = is_signed ? a % b : static_cast<int32_t>(ua % ub);
+        return true;
+    }
+    return false;
+}
+
+class Folder
+{
+  public:
+    explicit Folder(KernelIr &ir) : ir_(ir), remap_(ir.exprs.size()) {}
+
+    FoldStats
+    run()
+    {
+        for (size_t i = 0; i < ir_.exprs.size(); ++i) {
+            remap_[i] = static_cast<int>(i);
+            foldNode(static_cast<int>(i));
+        }
+        rewriteBlock(ir_.top);
+        for (auto &v : ir_.vars) {
+            if (v.init >= 0)
+                v.init = remap_[v.init];
+        }
+        return stats_;
+    }
+
+  private:
+    void
+    foldNode(int id)
+    {
+        ExprNode &n = ir_.exprs[id];
+        // Redirect operands through earlier rewrites first.
+        if (n.a >= 0)
+            n.a = remap_[n.a];
+        if (n.b >= 0)
+            n.b = remap_[n.b];
+        if (n.c >= 0)
+            n.c = remap_[n.c];
+
+        switch (n.kind) {
+          case ExprKind::Binary:
+            foldBinary(id, n);
+            break;
+          case ExprKind::Unary:
+            foldUnary(n);
+            break;
+          case ExprKind::Select:
+            if (isConstInt(ir_.exprs[n.a])) {
+                alias(id, ir_.exprs[n.a].iconst != 0 ? n.b : n.c);
+                ++stats_.selectsResolved;
+            }
+            break;
+          case ExprKind::Cast:
+            // Int<->uint reinterpretation of a constant is the constant
+            // itself (the node keeps its own type).
+            if (isConstInt(ir_.exprs[n.a])) {
+                const int32_t v = ir_.exprs[n.a].iconst;
+                n.kind = ExprKind::ConstInt;
+                n.iconst = v;
+                n.a = -1;
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    /**
+     * Redirect uses of @p id to @p target and neutralise the node (an
+     * alias is a type-preserving Cast), so re-running the pass does not
+     * rediscover the same rewrite.
+     */
+    void
+    alias(int id, int target)
+    {
+        remap_[id] = target;
+        ExprNode &n = ir_.exprs[id];
+        n.kind = ExprKind::Cast;
+        n.a = target;
+        n.b = n.c = -1;
+    }
+
+    void
+    foldBinary(int id, ExprNode &n)
+    {
+        const ExprNode &na = ir_.exprs[n.a];
+        const ExprNode &nb = ir_.exprs[n.b];
+        const bool is_float = na.type.kind == VType::Float;
+        const bool is_ptr = na.type.isPtr();
+        const bool is_signed = na.type.kind == VType::Int && !is_ptr;
+
+        if (is_float) {
+            if (na.kind == ExprKind::ConstFloat &&
+                nb.kind == ExprKind::ConstFloat) {
+                float out;
+                switch (n.bop) {
+                  case BinOp::Add: out = na.fconst + nb.fconst; break;
+                  case BinOp::Sub: out = na.fconst - nb.fconst; break;
+                  case BinOp::Mul: out = na.fconst * nb.fconst; break;
+                  case BinOp::Div: out = na.fconst / nb.fconst; break;
+                  default: return;
+                }
+                n.kind = ExprKind::ConstFloat;
+                n.fconst = out;
+                n.a = n.b = -1;
+                ++stats_.foldedConstants;
+            }
+            return;
+        }
+
+        // const op const (integers only; pointer bases are not constant).
+        if (!is_ptr && isConstInt(na) && isConstInt(nb)) {
+            int32_t out;
+            if (evalIntBinary(n.bop, is_signed, na.iconst, nb.iconst,
+                              out)) {
+                n.kind = ExprKind::ConstInt;
+                n.iconst = out;
+                n.a = n.b = -1;
+                ++stats_.foldedConstants;
+                return;
+            }
+        }
+
+        // Algebraic identities (right-hand constant).
+        switch (n.bop) {
+          case BinOp::Add:
+          case BinOp::Sub:
+          case BinOp::Shl:
+          case BinOp::Shr:
+          case BinOp::Or:
+          case BinOp::Xor: {
+            const int a = n.a, b2 = n.b;
+            if (isConstZero(nb)) {
+                alias(id, a);
+                ++stats_.identitiesRemoved;
+            } else if (!is_ptr && n.bop == BinOp::Add &&
+                       isConstZero(na)) {
+                alias(id, b2);
+                ++stats_.identitiesRemoved;
+            }
+            break;
+          }
+          case BinOp::Mul: {
+            const int a = n.a, b2 = n.b;
+            if (isConstOne(nb)) {
+                alias(id, a);
+                ++stats_.identitiesRemoved;
+            } else if (isConstOne(na)) {
+                alias(id, b2);
+                ++stats_.identitiesRemoved;
+            } else if (isConstZero(nb)) {
+                alias(id, b2); // x*0 == 0
+                ++stats_.identitiesRemoved;
+            } else if (isConstZero(na)) {
+                alias(id, a);
+                ++stats_.identitiesRemoved;
+            }
+            break;
+          }
+          case BinOp::And:
+            if (isConstZero(nb)) {
+                alias(id, n.b); // x&0 == 0
+                ++stats_.identitiesRemoved;
+            }
+            break;
+          case BinOp::Div:
+            if (!is_ptr && isConstOne(nb)) {
+                alias(id, n.a);
+                ++stats_.identitiesRemoved;
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    foldUnary(ExprNode &n)
+    {
+        const ExprNode &na = ir_.exprs[n.a];
+        switch (n.uop) {
+          case UnOp::Neg:
+            if (isConstInt(na)) {
+                n.kind = ExprKind::ConstInt;
+                n.iconst = static_cast<int32_t>(
+                    -static_cast<uint32_t>(na.iconst));
+                n.a = -1;
+                ++stats_.foldedConstants;
+            }
+            break;
+          case UnOp::Not:
+            if (isConstInt(na)) {
+                n.kind = ExprKind::ConstInt;
+                n.iconst = ~na.iconst;
+                n.a = -1;
+                ++stats_.foldedConstants;
+            }
+            break;
+          case UnOp::ToFloat:
+            if (isConstInt(na)) {
+                n.kind = ExprKind::ConstFloat;
+                n.fconst = static_cast<float>(na.iconst);
+                n.a = -1;
+                ++stats_.foldedConstants;
+            }
+            break;
+          case UnOp::ToInt:
+            if (na.kind == ExprKind::ConstFloat) {
+                n.kind = ExprKind::ConstInt;
+                n.iconst = static_cast<int32_t>(na.fconst);
+                n.a = -1;
+                ++stats_.foldedConstants;
+            }
+            break;
+          case UnOp::Sqrt:
+            if (na.kind == ExprKind::ConstFloat && na.fconst >= 0.0f) {
+                n.kind = ExprKind::ConstFloat;
+                n.fconst = std::sqrt(na.fconst);
+                n.a = -1;
+                ++stats_.foldedConstants;
+            }
+            break;
+        }
+    }
+
+    void
+    rewriteBlock(std::vector<Stmt> &stmts)
+    {
+        for (Stmt &s : stmts) {
+            if (s.expr >= 0)
+                s.expr = remap_[s.expr];
+            if (s.ptr >= 0)
+                s.ptr = remap_[s.ptr];
+            rewriteBlock(s.body);
+            rewriteBlock(s.elseBody);
+        }
+    }
+
+    KernelIr &ir_;
+    std::vector<int> remap_;
+    FoldStats stats_;
+};
+
+const char *
+binOpName(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add: return "+";
+      case BinOp::Sub: return "-";
+      case BinOp::Mul: return "*";
+      case BinOp::Div: return "/";
+      case BinOp::Rem: return "%";
+      case BinOp::And: return "&";
+      case BinOp::Or: return "|";
+      case BinOp::Xor: return "^";
+      case BinOp::Shl: return "<<";
+      case BinOp::Shr: return ">>";
+      case BinOp::Lt: return "<";
+      case BinOp::Le: return "<=";
+      case BinOp::Gt: return ">";
+      case BinOp::Ge: return ">=";
+      case BinOp::Eq: return "==";
+      case BinOp::Ne: return "!=";
+      case BinOp::Min: return "min";
+      case BinOp::Max: return "max";
+    }
+    return "?";
+}
+
+class Printer
+{
+  public:
+    explicit Printer(const KernelIr &ir) : ir_(ir) {}
+
+    std::string
+    run()
+    {
+        os_ << "kernel " << ir_.name << "\n";
+        for (size_t p = 0; p < ir_.params.size(); ++p) {
+            os_ << "  param p" << p << " \"" << ir_.params[p].name
+                << "\"" << (ir_.params[p].type.isPtr() ? " ptr" : "")
+                << "\n";
+        }
+        for (size_t s = 0; s < ir_.shared.size(); ++s) {
+            os_ << "  shared s" << s << " \"" << ir_.shared[s].name
+                << "\"[" << ir_.shared[s].count << "]\n";
+        }
+        printBlock(ir_.top, 1);
+        return os_.str();
+    }
+
+  private:
+    void
+    printExpr(int id)
+    {
+        const ExprNode &n = ir_.exprs[id];
+        switch (n.kind) {
+          case ExprKind::ConstInt: os_ << n.iconst; break;
+          case ExprKind::ConstFloat: os_ << n.fconst << "f"; break;
+          case ExprKind::BuiltinVal:
+            switch (n.builtin) {
+              case Builtin::ThreadIdx: os_ << "threadIdx"; break;
+              case Builtin::BlockIdx: os_ << "blockIdx"; break;
+              case Builtin::BlockDim: os_ << "blockDim"; break;
+              case Builtin::GridDim: os_ << "gridDim"; break;
+            }
+            break;
+          case ExprKind::ParamRef: os_ << "p" << n.index; break;
+          case ExprKind::VarRef: os_ << "v" << n.index; break;
+          case ExprKind::SharedRef: os_ << "s" << n.index; break;
+          case ExprKind::LocalRef: os_ << "l" << n.index; break;
+          case ExprKind::Unary:
+            os_ << "(u" << static_cast<int>(n.uop) << " ";
+            printExpr(n.a);
+            os_ << ")";
+            break;
+          case ExprKind::Binary:
+            os_ << "(";
+            printExpr(n.a);
+            os_ << " " << binOpName(n.bop) << " ";
+            printExpr(n.b);
+            os_ << ")";
+            break;
+          case ExprKind::Load:
+            os_ << "*";
+            printExpr(n.a);
+            break;
+          case ExprKind::Select:
+            os_ << "(";
+            printExpr(n.a);
+            os_ << " ? ";
+            printExpr(n.b);
+            os_ << " : ";
+            printExpr(n.c);
+            os_ << ")";
+            break;
+          case ExprKind::Cast:
+            os_ << "(cast ";
+            printExpr(n.a);
+            os_ << ")";
+            break;
+        }
+    }
+
+    void
+    printBlock(const std::vector<Stmt> &stmts, int depth)
+    {
+        const std::string pad(static_cast<size_t>(depth) * 2, ' ');
+        for (const Stmt &s : stmts) {
+            os_ << pad;
+            switch (s.kind) {
+              case StmtKind::Assign:
+                os_ << "v" << s.var << " = ";
+                printExpr(s.expr);
+                os_ << "\n";
+                break;
+              case StmtKind::Store:
+                os_ << "*";
+                printExpr(s.ptr);
+                os_ << " = ";
+                printExpr(s.expr);
+                os_ << "\n";
+                break;
+              case StmtKind::AtomicStmt:
+                os_ << "atomic" << static_cast<int>(s.atomic) << " ";
+                printExpr(s.ptr);
+                os_ << ", ";
+                printExpr(s.expr);
+                os_ << "\n";
+                break;
+              case StmtKind::Barrier:
+                os_ << "barrier\n";
+                break;
+              case StmtKind::If:
+                os_ << "if ";
+                printExpr(s.expr);
+                os_ << "\n";
+                printBlock(s.body, depth + 1);
+                if (!s.elseBody.empty()) {
+                    os_ << pad << "else\n";
+                    printBlock(s.elseBody, depth + 1);
+                }
+                break;
+              case StmtKind::While:
+                os_ << "while ";
+                printExpr(s.expr);
+                os_ << "\n";
+                printBlock(s.body, depth + 1);
+                break;
+            }
+        }
+    }
+
+    const KernelIr &ir_;
+    std::ostringstream os_;
+};
+
+} // namespace
+
+FoldStats
+foldConstants(KernelIr &ir)
+{
+    Folder folder(ir);
+    return folder.run();
+}
+
+std::string
+dumpIr(const KernelIr &ir)
+{
+    return Printer(ir).run();
+}
+
+} // namespace kc

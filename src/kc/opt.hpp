@@ -1,0 +1,43 @@
+/**
+ * @file
+ * IR-level optimisations and diagnostics for the kernel compiler:
+ *
+ *  - foldConstants(): bottom-up constant folding and algebraic
+ *    simplification of the expression arena (x+0, x*1, x*0, x&0,
+ *    const+const, select with a constant condition, ...). Runs before
+ *    code generation; statements are rewritten to reference the
+ *    simplified nodes.
+ *  - dumpIr(): a human-readable rendering of a kernel's IR, used for
+ *    debugging kernels and in compiler tests.
+ */
+
+#ifndef CHERI_SIMT_KC_OPT_HPP_
+#define CHERI_SIMT_KC_OPT_HPP_
+
+#include <string>
+
+#include "kc/ir.hpp"
+
+namespace kc
+{
+
+/** Statistics of one folding run. */
+struct FoldStats
+{
+    unsigned foldedConstants = 0;  ///< const-op-const evaluated
+    unsigned identitiesRemoved = 0; ///< x+0, x*1, x<<0, ...
+    unsigned selectsResolved = 0;  ///< select with constant condition
+};
+
+/**
+ * Fold and simplify the expression DAG of @p ir in place.
+ * Idempotent: a second run performs no further rewrites.
+ */
+FoldStats foldConstants(KernelIr &ir);
+
+/** Render the kernel IR as text (expressions inline, statements nested). */
+std::string dumpIr(const KernelIr &ir);
+
+} // namespace kc
+
+#endif // CHERI_SIMT_KC_OPT_HPP_

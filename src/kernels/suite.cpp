@@ -1,0 +1,1274 @@
+#include "kernels/suite.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/bits.hpp"
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace kernels
+{
+
+namespace
+{
+
+using kc::Kb;
+using kc::Scalar;
+using kc::Val;
+using nocl::Arg;
+using nocl::Buffer;
+using nocl::Device;
+using nocl::LaunchConfig;
+
+/** Grid-stride global index: blockIdx*blockDim + threadIdx. */
+Val
+globalIdx(Kb &b)
+{
+    return b.blockIdx() * b.blockDim() + b.threadIdx();
+}
+
+Val
+gridStride(Kb &b)
+{
+    return b.blockDim() * b.gridDim();
+}
+
+// =========================================================== 1. VecAdd
+
+struct VecAddKernel : kc::KernelDef
+{
+    std::string name() const override { return "VecAdd"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto len = b.paramI32("len");
+        auto a = b.paramPtr("a", Scalar::U32);
+        auto bb = b.paramPtr("b", Scalar::U32);
+        auto out = b.paramPtr("out", Scalar::U32);
+        auto i = b.var(globalIdx(b));
+        b.forRange(i, len, gridStride(b), [&] { out[i] = a[i] + bb[i]; });
+    }
+};
+
+class VecAdd : public Benchmark
+{
+  public:
+    std::string name() const override { return "VecAdd"; }
+
+    Prepared
+    prepare(Device &dev, Size size) override
+    {
+        const unsigned n = size == Size::Small ? 4096 : 262144;
+        support::Rng rng(101);
+        std::vector<uint32_t> a(n), c(n);
+        for (auto &v : a)
+            v = rng.next();
+        for (auto &v : c)
+            v = rng.next();
+
+        ba_ = dev.alloc(n * 4);
+        bb_ = dev.alloc(n * 4);
+        bo_ = dev.alloc(n * 4);
+        dev.write32(ba_, a);
+        dev.write32(bb_, c);
+
+        std::vector<uint32_t> expect(n);
+        for (unsigned i = 0; i < n; ++i)
+            expect[i] = a[i] + c[i];
+
+        Prepared p;
+        p.kernel = &kernel_;
+        p.cfg.blockDim = 256;
+        p.cfg.gridDim = n / 256;
+        p.args = {Arg::integer(static_cast<int32_t>(n)), Arg::buffer(ba_),
+                  Arg::buffer(bb_), Arg::buffer(bo_)};
+        p.verify = [this, expect](Device &d) {
+            return d.read32(bo_) == expect;
+        };
+        return p;
+    }
+
+  private:
+    VecAddKernel kernel_;
+    Buffer ba_, bb_, bo_;
+};
+
+// ======================================================== 2. Histogram
+
+struct HistogramKernel : kc::KernelDef
+{
+    std::string name() const override { return "Histogram"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto len = b.paramI32("len");
+        auto in = b.paramPtr("in", Scalar::U8);
+        auto out = b.paramPtr("out", Scalar::I32);
+        auto bins = b.shared("bins", Scalar::I32, 256);
+
+        auto i = b.var(b.threadIdx());
+        b.forRange(i, b.c(256), b.blockDim(), [&] { bins[i] = b.c(0); });
+        b.barrier();
+        auto j = b.var(globalIdx(b));
+        b.forRange(j, len, gridStride(b), [&] {
+            b.atomicAdd(b.index(bins, b.asInt(in[j])), b.c(1));
+        });
+        b.barrier();
+        auto k = b.var(b.threadIdx());
+        b.forRange(k, b.c(256), b.blockDim(), [&] {
+            b.atomicAdd(b.index(out, k), bins[k]);
+        });
+        b.barrier();
+    }
+};
+
+class Histogram : public Benchmark
+{
+  public:
+    std::string name() const override { return "Histogram"; }
+
+    Prepared
+    prepare(Device &dev, Size size) override
+    {
+        const unsigned n = size == Size::Small ? 16384 : 262144;
+        support::Rng rng(202);
+        std::vector<uint8_t> data(n);
+        std::vector<uint32_t> expect(256, 0);
+        for (auto &v : data) {
+            v = static_cast<uint8_t>(rng.nextBounded(256));
+            ++expect[v];
+        }
+        bi_ = dev.alloc(n);
+        bo_ = dev.alloc(256 * 4);
+        dev.write8(bi_, data);
+
+        Prepared p;
+        p.kernel = &kernel_;
+        p.cfg.blockDim = 256;
+        p.cfg.gridDim = 8;
+        p.args = {Arg::integer(static_cast<int32_t>(n)), Arg::buffer(bi_),
+                  Arg::buffer(bo_)};
+        p.verify = [this, expect](Device &d) {
+            return d.read32(bo_) == expect;
+        };
+        return p;
+    }
+
+  private:
+    HistogramKernel kernel_;
+    Buffer bi_, bo_;
+};
+
+// =========================================================== 3. Reduce
+
+struct ReduceKernel : kc::KernelDef
+{
+    explicit ReduceKernel(unsigned block_dim) : blockDim_(block_dim) {}
+    std::string name() const override { return "Reduce"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto len = b.paramI32("len");
+        auto in = b.paramPtr("in", Scalar::U32);
+        auto out = b.paramPtr("out", Scalar::U32);
+        auto partial = b.shared("partial", Scalar::U32, blockDim_);
+
+        auto acc = b.var(b.cu(0));
+        auto i = b.var(globalIdx(b));
+        b.forRange(i, len, gridStride(b), [&] { acc += in[i]; });
+        partial[b.threadIdx()] = acc;
+        b.barrier();
+
+        auto s = b.var(b.c(static_cast<int32_t>(blockDim_ / 2)));
+        b.while_(static_cast<Val>(s) > b.c(0), [&] {
+            b.if_(b.threadIdx() < s, [&] {
+                partial[b.threadIdx()] +=
+                    partial[b.threadIdx() + s];
+            });
+            b.barrier();
+            s = static_cast<Val>(s) >> b.c(1);
+        });
+        b.if_((b.threadIdx() == b.c(0)), [&] {
+            b.atomicAdd(b.index(out, b.c(0)), partial[0]);
+        });
+    }
+
+  private:
+    unsigned blockDim_;
+};
+
+class Reduce : public Benchmark
+{
+  public:
+    std::string name() const override { return "Reduce"; }
+
+    Prepared
+    prepare(Device &dev, Size size) override
+    {
+        const unsigned n = size == Size::Small ? 8192 : 524288;
+        support::Rng rng(303);
+        std::vector<uint32_t> data(n);
+        uint32_t expect = 0;
+        for (auto &v : data) {
+            v = rng.next();
+            expect += v;
+        }
+        bi_ = dev.alloc(n * 4);
+        bo_ = dev.alloc(4);
+        dev.write32(bi_, data);
+
+        Prepared p;
+        p.kernel = &kernel_;
+        p.cfg.blockDim = 256;
+        p.cfg.gridDim = 32;
+        p.args = {Arg::integer(static_cast<int32_t>(n)), Arg::buffer(bi_),
+                  Arg::buffer(bo_)};
+        p.verify = [this, expect](Device &d) {
+            return d.read32(bo_)[0] == expect;
+        };
+        return p;
+    }
+
+  private:
+    ReduceKernel kernel_{256};
+    Buffer bi_, bo_;
+};
+
+// ============================================================= 4. Scan
+
+/** Block-level inclusive prefix sum (Hillis-Steele, ping-pong buffer). */
+struct ScanKernel : kc::KernelDef
+{
+    explicit ScanKernel(unsigned block_dim) : blockDim_(block_dim) {}
+    std::string name() const override { return "Scan"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto in = b.paramPtr("in", Scalar::U32);
+        auto out = b.paramPtr("out", Scalar::U32);
+        auto buf = b.shared("buf", Scalar::U32, 2 * blockDim_);
+        const int32_t bd = static_cast<int32_t>(blockDim_);
+
+        auto base = b.var(b.blockIdx() * b.blockDim());
+        buf[b.threadIdx()] = in[static_cast<Val>(base) + b.threadIdx()];
+        b.barrier();
+
+        auto pp = b.var(b.c(0));
+        auto d = b.var(b.c(1));
+        b.while_(static_cast<Val>(d) < b.c(bd), [&] {
+            auto src = b.var(static_cast<Val>(pp) * b.c(bd) +
+                             b.threadIdx());
+            auto v = b.var(buf[src]);
+            b.if_(b.threadIdx() >= d, [&] {
+                v += buf[static_cast<Val>(src) - static_cast<Val>(d)];
+            });
+            buf[(b.c(1) - pp) * b.c(bd) + b.threadIdx()] = v;
+            b.barrier();
+            pp = b.c(1) - pp;
+            d = static_cast<Val>(d) << b.c(1);
+        });
+        out[static_cast<Val>(base) + b.threadIdx()] =
+            buf[static_cast<Val>(pp) * b.c(bd) + b.threadIdx()];
+    }
+
+  private:
+    unsigned blockDim_;
+};
+
+class Scan : public Benchmark
+{
+  public:
+    std::string name() const override { return "Scan"; }
+
+    Prepared
+    prepare(Device &dev, Size size) override
+    {
+        const unsigned bd = 256;
+        const unsigned segs = size == Size::Small ? 8 : 64;
+        const unsigned n = bd * segs;
+        support::Rng rng(404);
+        std::vector<uint32_t> data(n);
+        for (auto &v : data)
+            v = rng.nextBounded(1000);
+        std::vector<uint32_t> expect(n);
+        for (unsigned s = 0; s < segs; ++s) {
+            uint32_t acc = 0;
+            for (unsigned i = 0; i < bd; ++i) {
+                acc += data[s * bd + i];
+                expect[s * bd + i] = acc;
+            }
+        }
+        bi_ = dev.alloc(n * 4);
+        bo_ = dev.alloc(n * 4);
+        dev.write32(bi_, data);
+
+        Prepared p;
+        p.kernel = &kernel_;
+        p.cfg.blockDim = bd;
+        p.cfg.gridDim = segs;
+        p.args = {Arg::buffer(bi_), Arg::buffer(bo_)};
+        p.verify = [this, expect](Device &d) {
+            return d.read32(bo_) == expect;
+        };
+        return p;
+    }
+
+  private:
+    ScanKernel kernel_{256};
+    Buffer bi_, bo_;
+};
+
+// ======================================================== 5. Transpose
+
+/** Tiled transpose through a padded shared-memory tile. */
+struct TransposeKernel : kc::KernelDef
+{
+    TransposeKernel(unsigned tile, unsigned width, unsigned height)
+        : tile_(tile), width_(width), height_(height)
+    {
+    }
+    std::string name() const override { return "Transpose"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto in = b.paramPtr("in", Scalar::U32);
+        auto out = b.paramPtr("out", Scalar::U32);
+        // Padded tile avoids bank conflicts on the transposed read.
+        auto tile = b.shared("tile", Scalar::U32, tile_ * (tile_ + 1));
+
+        const int32_t t = static_cast<int32_t>(tile_);
+        const unsigned log2t = support::ceilLog2(tile_);
+        const unsigned tiles_x = width_ / tile_;
+        const unsigned log2tx = support::ceilLog2(tiles_x);
+
+        auto lx = b.var(b.threadIdx() & b.c(t - 1));
+        auto ly = b.var(b.threadIdx() >> b.c(static_cast<int32_t>(log2t)));
+        auto tx = b.var(b.blockIdx() &
+                        b.c(static_cast<int32_t>(tiles_x - 1)));
+        auto ty = b.var(b.blockIdx() >>
+                        b.c(static_cast<int32_t>(log2tx)));
+
+        auto row = b.var(static_cast<Val>(ty) * b.c(t) + ly);
+        auto col = b.var(static_cast<Val>(tx) * b.c(t) + lx);
+        tile[static_cast<Val>(ly) * b.c(t + 1) + lx] =
+            in[static_cast<Val>(row) *
+                   b.c(static_cast<int32_t>(width_)) +
+               col];
+        b.barrier();
+
+        auto orow = b.var(static_cast<Val>(tx) * b.c(t) + ly);
+        auto ocol = b.var(static_cast<Val>(ty) * b.c(t) + lx);
+        out[static_cast<Val>(orow) *
+                b.c(static_cast<int32_t>(height_)) +
+            ocol] = tile[static_cast<Val>(lx) * b.c(t + 1) + ly];
+    }
+
+  private:
+    unsigned tile_;
+    unsigned width_;
+    unsigned height_;
+};
+
+class Transpose : public Benchmark
+{
+  public:
+    std::string name() const override { return "Transpose"; }
+
+    Prepared
+    prepare(Device &dev, Size size) override
+    {
+        const unsigned tile = 16; // 256-thread blocks
+        const unsigned w = size == Size::Small ? 64 : 256;
+        kernel_ = std::make_unique<TransposeKernel>(tile, w, w);
+
+        support::Rng rng(505);
+        std::vector<uint32_t> data(w * w);
+        for (auto &v : data)
+            v = rng.next();
+        std::vector<uint32_t> expect(w * w);
+        for (unsigned y = 0; y < w; ++y)
+            for (unsigned x = 0; x < w; ++x)
+                expect[x * w + y] = data[y * w + x];
+
+        bi_ = dev.alloc(w * w * 4);
+        bo_ = dev.alloc(w * w * 4);
+        dev.write32(bi_, data);
+
+        Prepared p;
+        p.kernel = kernel_.get();
+        p.cfg.blockDim = tile * tile;
+        p.cfg.gridDim = (w / tile) * (w / tile);
+        p.args = {Arg::buffer(bi_), Arg::buffer(bo_)};
+        p.verify = [this, expect](Device &d) {
+            return d.read32(bo_) == expect;
+        };
+        return p;
+    }
+
+  private:
+    std::unique_ptr<TransposeKernel> kernel_;
+    Buffer bi_, bo_;
+};
+
+// ======================================================= 6. MatVecMul
+
+struct MatVecMulKernel : kc::KernelDef
+{
+    std::string name() const override { return "MatVecMul"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto rows = b.paramI32("rows");
+        auto cols = b.paramI32("cols");
+        auto mat = b.paramPtr("mat", Scalar::F32);
+        auto vec = b.paramPtr("vec", Scalar::F32);
+        auto out = b.paramPtr("out", Scalar::F32);
+
+        auto r = b.var(globalIdx(b));
+        b.forRange(r, rows, gridStride(b), [&] {
+            auto acc = b.var(b.cf(0.0f));
+            auto c = b.var(b.c(0));
+            b.forRange(c, cols, b.c(1), [&] {
+                acc += mat[static_cast<Val>(r) * cols + c] * vec[c];
+            });
+            out[r] = acc;
+        });
+    }
+};
+
+class MatVecMul : public Benchmark
+{
+  public:
+    std::string name() const override { return "MatVecMul"; }
+
+    Prepared
+    prepare(Device &dev, Size size) override
+    {
+        const unsigned rows = size == Size::Small ? 256 : 2048;
+        const unsigned cols = size == Size::Small ? 64 : 256;
+        support::Rng rng(606);
+        std::vector<float> mat(rows * cols), vec(cols);
+        for (auto &v : mat)
+            v = rng.nextFloat();
+        for (auto &v : vec)
+            v = rng.nextFloat();
+        std::vector<float> expect(rows);
+        for (unsigned r = 0; r < rows; ++r) {
+            float acc = 0.0f;
+            for (unsigned c = 0; c < cols; ++c)
+                acc += mat[r * cols + c] * vec[c];
+            expect[r] = acc;
+        }
+        bm_ = dev.alloc(rows * cols * 4);
+        bv_ = dev.alloc(cols * 4);
+        bo_ = dev.alloc(rows * 4);
+        dev.writeF32(bm_, mat);
+        dev.writeF32(bv_, vec);
+
+        Prepared p;
+        p.kernel = &kernel_;
+        p.cfg.blockDim = 256;
+        p.cfg.gridDim = rows / 256;
+        p.args = {Arg::integer(static_cast<int32_t>(rows)),
+                  Arg::integer(static_cast<int32_t>(cols)),
+                  Arg::buffer(bm_), Arg::buffer(bv_), Arg::buffer(bo_)};
+        p.verify = [this, expect](Device &d) {
+            return d.readF32(bo_) == expect;
+        };
+        return p;
+    }
+
+  private:
+    MatVecMulKernel kernel_;
+    Buffer bm_, bv_, bo_;
+};
+
+// =========================================================== 7. MatMul
+
+struct MatMulKernel : kc::KernelDef
+{
+    explicit MatMulKernel(unsigned n) : n_(n) {}
+    std::string name() const override { return "MatMul"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto ma = b.paramPtr("a", Scalar::F32);
+        auto mb = b.paramPtr("b", Scalar::F32);
+        auto mc = b.paramPtr("c", Scalar::F32);
+        const int32_t n = static_cast<int32_t>(n_);
+        const int32_t log2n = static_cast<int32_t>(support::ceilLog2(n_));
+
+        auto idx = b.var(globalIdx(b));
+        b.forRange(idx, b.c(n * n), gridStride(b), [&] {
+            auto row = b.var(static_cast<Val>(idx) >> b.c(log2n));
+            auto col = b.var(static_cast<Val>(idx) & b.c(n - 1));
+            auto acc = b.var(b.cf(0.0f));
+            auto k = b.var(b.c(0));
+            b.forRange(k, b.c(n), b.c(1), [&] {
+                acc += ma[static_cast<Val>(row) * b.c(n) + k] *
+                       mb[static_cast<Val>(k) * b.c(n) + col];
+            });
+            mc[idx] = acc;
+        });
+    }
+
+  private:
+    unsigned n_;
+};
+
+class MatMul : public Benchmark
+{
+  public:
+    std::string name() const override { return "MatMul"; }
+
+    Prepared
+    prepare(Device &dev, Size size) override
+    {
+        const unsigned n = size == Size::Small ? 32 : 128;
+        kernel_ = std::make_unique<MatMulKernel>(n);
+        support::Rng rng(707);
+        std::vector<float> a(n * n), c(n * n);
+        for (auto &v : a)
+            v = rng.nextFloat();
+        for (auto &v : c)
+            v = rng.nextFloat();
+        std::vector<float> expect(n * n);
+        for (unsigned r = 0; r < n; ++r) {
+            for (unsigned col = 0; col < n; ++col) {
+                float acc = 0.0f;
+                for (unsigned k = 0; k < n; ++k)
+                    acc += a[r * n + k] * c[k * n + col];
+                expect[r * n + col] = acc;
+            }
+        }
+        ba_ = dev.alloc(n * n * 4);
+        bb_ = dev.alloc(n * n * 4);
+        bc_ = dev.alloc(n * n * 4);
+        dev.writeF32(ba_, a);
+        dev.writeF32(bb_, c);
+
+        Prepared p;
+        p.kernel = kernel_.get();
+        p.cfg.blockDim = 256;
+        p.cfg.gridDim = std::max(1u, n * n / 256);
+        p.args = {Arg::buffer(ba_), Arg::buffer(bb_), Arg::buffer(bc_)};
+        p.verify = [this, expect](Device &d) {
+            return d.readF32(bc_) == expect;
+        };
+        return p;
+    }
+
+  private:
+    std::unique_ptr<MatMulKernel> kernel_;
+    Buffer ba_, bb_, bc_;
+};
+
+// ======================================================== 8. BitonicSm
+
+/** Bitonic sort of blockDim-element segments in shared memory. */
+struct BitonicSmKernel : kc::KernelDef
+{
+    explicit BitonicSmKernel(unsigned block_dim) : blockDim_(block_dim) {}
+    std::string name() const override { return "BitonicSm"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto data = b.paramPtr("data", Scalar::U32);
+        auto sdata = b.shared("sdata", Scalar::U32, blockDim_);
+        const int32_t bd = static_cast<int32_t>(blockDim_);
+
+        auto g = b.var(globalIdx(b));
+        sdata[b.threadIdx()] = data[g];
+        b.barrier();
+
+        auto k = b.var(b.c(2));
+        b.while_(static_cast<Val>(k) <= b.c(bd), [&] {
+            auto j = b.var(static_cast<Val>(k) >> b.c(1));
+            b.while_(static_cast<Val>(j) > b.c(0), [&] {
+                auto ixj = b.var(b.threadIdx() ^ j);
+                auto va = b.var(sdata[b.threadIdx()]);
+                auto vb = b.var(sdata[ixj]);
+                // Ascending iff bit k of tid clear; this thread keeps the
+                // min iff it is the lower index of the pair.
+                auto asc =
+                    b.var((b.threadIdx() & k) == b.c(0));
+                auto lower =
+                    b.var((b.threadIdx() & j) == b.c(0));
+                auto keep_min = b.var(static_cast<Val>(asc) ==
+                                      static_cast<Val>(lower));
+                auto v = b.var(b.select(keep_min, b.min_(va, vb),
+                                        b.max_(va, vb)));
+                b.barrier();
+                sdata[b.threadIdx()] = v;
+                b.barrier();
+                j = static_cast<Val>(j) >> b.c(1);
+            });
+            k = static_cast<Val>(k) << b.c(1);
+        });
+        data[g] = sdata[b.threadIdx()];
+    }
+
+  private:
+    unsigned blockDim_;
+};
+
+class BitonicSm : public Benchmark
+{
+  public:
+    std::string name() const override { return "BitonicSm"; }
+
+    Prepared
+    prepare(Device &dev, Size size) override
+    {
+        const unsigned bd = 256;
+        const unsigned segs = size == Size::Small ? 4 : 64;
+        const unsigned n = bd * segs;
+        support::Rng rng(808);
+        std::vector<uint32_t> data(n);
+        for (auto &v : data)
+            v = rng.next();
+        std::vector<uint32_t> expect = data;
+        for (unsigned s = 0; s < segs; ++s)
+            std::sort(expect.begin() + s * bd,
+                      expect.begin() + (s + 1) * bd);
+        bd_ = dev.alloc(n * 4);
+        dev.write32(bd_, data);
+
+        Prepared p;
+        p.kernel = &kernel_;
+        p.cfg.blockDim = bd;
+        p.cfg.gridDim = segs;
+        p.args = {Arg::buffer(bd_)};
+        p.verify = [this, expect](Device &d) {
+            return d.read32(bd_) == expect;
+        };
+        return p;
+    }
+
+  private:
+    BitonicSmKernel kernel_{256};
+    Buffer bd_;
+};
+
+// ======================================================== 9. BitonicLa
+
+/** Bitonic sort of large segments directly in global memory. */
+struct BitonicLaKernel : kc::KernelDef
+{
+    std::string name() const override { return "BitonicLa"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto seglen = b.paramI32("seglen");
+        auto data = b.paramPtr("data", Scalar::U32);
+
+        auto base = b.var(b.blockIdx() * seglen);
+        auto k = b.var(b.c(2));
+        b.while_(static_cast<Val>(k) <= seglen, [&] {
+            auto j = b.var(static_cast<Val>(k) >> b.c(1));
+            b.while_(static_cast<Val>(j) > b.c(0), [&] {
+                // Each thread handles elements tid, tid+blockDim, ...
+                auto i = b.var(b.threadIdx());
+                b.forRange(i, seglen, b.blockDim(), [&] {
+                    auto ixj = b.var(static_cast<Val>(i) ^ j);
+                    b.if_(static_cast<Val>(ixj) > i, [&] {
+                        auto va = b.var(data[static_cast<Val>(base) + i]);
+                        auto vb = b.var(
+                            data[static_cast<Val>(base) + ixj]);
+                        auto asc = b.var((static_cast<Val>(i) & k) ==
+                                         b.c(0));
+                        auto swap =
+                            b.var(b.select(asc, vb < va, va < vb));
+                        b.if_(swap, [&] {
+                            data[static_cast<Val>(base) + i] = vb;
+                            data[static_cast<Val>(base) + ixj] = va;
+                        });
+                    });
+                });
+                b.barrier();
+                j = static_cast<Val>(j) >> b.c(1);
+            });
+            k = static_cast<Val>(k) << b.c(1);
+        });
+    }
+};
+
+class BitonicLa : public Benchmark
+{
+  public:
+    std::string name() const override { return "BitonicLa"; }
+
+    Prepared
+    prepare(Device &dev, Size size) override
+    {
+        // One block spans the whole SM; segments live in global memory.
+        const unsigned bd = dev.sm().config().numThreads();
+        const unsigned seglen = size == Size::Small ? bd * 2 : bd * 4;
+        const unsigned segs = size == Size::Small ? 2 : 4;
+        const unsigned n = seglen * segs;
+        support::Rng rng(909);
+        std::vector<uint32_t> data(n);
+        for (auto &v : data)
+            v = rng.next();
+        std::vector<uint32_t> expect = data;
+        for (unsigned s = 0; s < segs; ++s)
+            std::sort(expect.begin() + s * seglen,
+                      expect.begin() + (s + 1) * seglen);
+        bd_ = dev.alloc(n * 4);
+        dev.write32(bd_, data);
+
+        Prepared p;
+        p.kernel = &kernel_;
+        p.cfg.blockDim = bd;
+        p.cfg.gridDim = segs;
+        p.args = {Arg::integer(static_cast<int32_t>(seglen)),
+                  Arg::buffer(bd_)};
+        p.verify = [this, expect](Device &d) {
+            return d.read32(bd_) == expect;
+        };
+        return p;
+    }
+
+  private:
+    BitonicLaKernel kernel_;
+    Buffer bd_;
+};
+
+// ============================================================ 10. SPMV
+
+struct SpmvKernel : kc::KernelDef
+{
+    std::string name() const override { return "SPMV"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto rows = b.paramI32("rows");
+        auto rowptr = b.paramPtr("rowptr", Scalar::I32);
+        auto colidx = b.paramPtr("colidx", Scalar::I32);
+        auto vals = b.paramPtr("vals", Scalar::F32);
+        auto x = b.paramPtr("x", Scalar::F32);
+        auto y = b.paramPtr("y", Scalar::F32);
+
+        auto r = b.var(globalIdx(b));
+        b.forRange(r, rows, gridStride(b), [&] {
+            auto acc = b.var(b.cf(0.0f));
+            auto e = b.var(rowptr[r]);
+            b.forRange(e, rowptr[static_cast<Val>(r) + b.c(1)], b.c(1),
+                       [&] { acc += vals[e] * x[colidx[e]]; });
+            y[r] = acc;
+        });
+    }
+};
+
+class Spmv : public Benchmark
+{
+  public:
+    std::string name() const override { return "SPMV"; }
+
+    Prepared
+    prepare(Device &dev, Size size) override
+    {
+        const unsigned rows = size == Size::Small ? 256 : 2048;
+        const unsigned avg_nnz = size == Size::Small ? 8 : 16;
+        support::Rng rng(1010);
+
+        std::vector<uint32_t> rowptr(rows + 1, 0);
+        std::vector<uint32_t> colidx;
+        std::vector<float> vals;
+        for (unsigned r = 0; r < rows; ++r) {
+            const unsigned nnz = 1 + rng.nextBounded(2 * avg_nnz - 1);
+            rowptr[r + 1] = rowptr[r] + nnz;
+            for (unsigned e = 0; e < nnz; ++e) {
+                colidx.push_back(rng.nextBounded(rows));
+                vals.push_back(rng.nextFloat());
+            }
+        }
+        std::vector<float> x(rows);
+        for (auto &v : x)
+            v = rng.nextFloat();
+        std::vector<float> expect(rows);
+        for (unsigned r = 0; r < rows; ++r) {
+            float acc = 0.0f;
+            for (uint32_t e = rowptr[r]; e < rowptr[r + 1]; ++e)
+                acc += vals[e] * x[colidx[e]];
+            expect[r] = acc;
+        }
+
+        brp_ = dev.alloc((rows + 1) * 4);
+        bci_ = dev.alloc(static_cast<uint32_t>(colidx.size() * 4));
+        bva_ = dev.alloc(static_cast<uint32_t>(vals.size() * 4));
+        bx_ = dev.alloc(rows * 4);
+        by_ = dev.alloc(rows * 4);
+        dev.write32(brp_, rowptr);
+        dev.write32(bci_, colidx);
+        dev.writeF32(bva_, vals);
+        dev.writeF32(bx_, x);
+
+        Prepared p;
+        p.kernel = &kernel_;
+        p.cfg.blockDim = 256;
+        p.cfg.gridDim = rows / 256;
+        p.args = {Arg::integer(static_cast<int32_t>(rows)),
+                  Arg::buffer(brp_), Arg::buffer(bci_), Arg::buffer(bva_),
+                  Arg::buffer(bx_), Arg::buffer(by_)};
+        p.verify = [this, expect](Device &d) {
+            return d.readF32(by_) == expect;
+        };
+        return p;
+    }
+
+  private:
+    SpmvKernel kernel_;
+    Buffer brp_, bci_, bva_, bx_, by_;
+};
+
+// ====================================================== 11. BlkStencil
+
+/**
+ * Block-based 3-point stencil: interior neighbours come from a shared
+ * tile, halo neighbours from global memory. The left/right neighbour
+ * pointers are selected between a shared-memory and a global-memory
+ * pointer and parked in a stack pointer array -- the exact pattern that
+ * causes capability-metadata divergence and CSC/CLC traffic in the
+ * paper's analysis of this benchmark.
+ */
+struct BlkStencilKernel : kc::KernelDef
+{
+    explicit BlkStencilKernel(unsigned block_dim) : blockDim_(block_dim) {}
+    std::string name() const override { return "BlkStencil"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto len = b.paramI32("len");
+        auto in = b.paramPtr("in", Scalar::I32);
+        auto out = b.paramPtr("out", Scalar::I32);
+        auto tile = b.shared("tile", Scalar::I32, blockDim_);
+        auto nbrs = b.localPtrArray(Scalar::I32, 2);
+
+        auto gi = b.var(globalIdx(b));
+        tile[b.threadIdx()] = in[gi];
+        b.barrier();
+
+        b.ifElse(
+            ((static_cast<Val>(gi) > b.c(0)) &
+             (static_cast<Val>(gi) < (len - 1))) == b.c(1),
+            [&] {
+                // Interior: neighbours from the tile where possible,
+                // from global memory at tile boundaries.
+                auto left = b.select(
+                    b.threadIdx() > b.c(0),
+                    b.index(tile, b.threadIdx() - 1),
+                    b.index(in, static_cast<Val>(gi) - b.c(1)));
+                auto right = b.select(
+                    b.threadIdx() < (b.blockDim() - 1),
+                    b.index(tile, b.threadIdx() + 1),
+                    b.index(in, static_cast<Val>(gi) + b.c(1)));
+                nbrs[0] = left;   // capability stores (CSC)
+                nbrs[1] = right;
+                auto lp = b.var(b.load(b.index(nbrs, b.c(0))));
+                auto rp = b.var(b.load(b.index(nbrs, b.c(1))));
+                out[gi] = (b.load(lp) + tile[b.threadIdx()] +
+                           b.load(rp)) /
+                          b.c(3);
+            },
+            [&] { out[gi] = tile[b.threadIdx()]; });
+    }
+
+  private:
+    unsigned blockDim_;
+};
+
+class BlkStencil : public Benchmark
+{
+  public:
+    std::string name() const override { return "BlkStencil"; }
+
+    Prepared
+    prepare(Device &dev, Size size) override
+    {
+        const unsigned n = size == Size::Small ? 8192 : 262144;
+        support::Rng rng(1111);
+        std::vector<uint32_t> data(n);
+        for (auto &v : data)
+            v = rng.nextBounded(1 << 20);
+        std::vector<uint32_t> expect(n);
+        for (unsigned i = 0; i < n; ++i) {
+            if (i == 0 || i == n - 1) {
+                expect[i] = data[i];
+            } else {
+                const int64_t sum = static_cast<int64_t>(data[i - 1]) +
+                                    data[i] + data[i + 1];
+                expect[i] = static_cast<uint32_t>(sum / 3);
+            }
+        }
+        bi_ = dev.alloc(n * 4);
+        bo_ = dev.alloc(n * 4);
+        dev.write32(bi_, data);
+
+        Prepared p;
+        p.kernel = &kernel_;
+        p.cfg.blockDim = 256;
+        p.cfg.gridDim = n / 256;
+        p.args = {Arg::integer(static_cast<int32_t>(n)), Arg::buffer(bi_),
+                  Arg::buffer(bo_)};
+        p.verify = [this, expect](Device &d) {
+            return d.read32(bo_) == expect;
+        };
+        return p;
+    }
+
+  private:
+    BlkStencilKernel kernel_{256};
+    Buffer bi_, bo_;
+};
+
+// ====================================================== 12. StrStencil
+
+/** Stripe-based stencil: each thread sweeps a contiguous stripe. */
+struct StrStencilKernel : kc::KernelDef
+{
+    explicit StrStencilKernel(unsigned stripe) : stripe_(stripe) {}
+    std::string name() const override { return "StrStencil"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto len = b.paramI32("len");
+        auto in = b.paramPtr("in", Scalar::I32);
+        auto out = b.paramPtr("out", Scalar::I32);
+        const int32_t stripe = static_cast<int32_t>(stripe_);
+
+        auto start = b.var(globalIdx(b) * b.c(stripe));
+        auto i = b.var(static_cast<Val>(start));
+        b.forRange(i, static_cast<Val>(start) + b.c(stripe), b.c(1), [&] {
+            b.ifElse(
+                ((static_cast<Val>(i) > b.c(0)) &
+                 (static_cast<Val>(i) < (len - 1))) == b.c(1),
+                [&] {
+                    out[i] = (in[static_cast<Val>(i) - b.c(1)] + in[i] +
+                              in[static_cast<Val>(i) + b.c(1)]) /
+                             b.c(3);
+                },
+                [&] { out[i] = in[i]; });
+        });
+    }
+
+  private:
+    unsigned stripe_;
+};
+
+class StrStencil : public Benchmark
+{
+  public:
+    std::string name() const override { return "StrStencil"; }
+
+    Prepared
+    prepare(Device &dev, Size size) override
+    {
+        const unsigned stripe = size == Size::Small ? 4 : 128;
+        const unsigned threads = 256 * 8;
+        const unsigned n = stripe * threads;
+        kernel_ = std::make_unique<StrStencilKernel>(stripe);
+
+        support::Rng rng(1212);
+        std::vector<uint32_t> data(n);
+        for (auto &v : data)
+            v = rng.nextBounded(1 << 20);
+        std::vector<uint32_t> expect(n);
+        for (unsigned i = 0; i < n; ++i) {
+            if (i == 0 || i == n - 1) {
+                expect[i] = data[i];
+            } else {
+                const int64_t sum = static_cast<int64_t>(data[i - 1]) +
+                                    data[i] + data[i + 1];
+                expect[i] = static_cast<uint32_t>(sum / 3);
+            }
+        }
+        bi_ = dev.alloc(n * 4);
+        bo_ = dev.alloc(n * 4);
+        dev.write32(bi_, data);
+
+        Prepared p;
+        p.kernel = kernel_.get();
+        p.cfg.blockDim = 256;
+        p.cfg.gridDim = 8;
+        p.args = {Arg::integer(static_cast<int32_t>(n)), Arg::buffer(bi_),
+                  Arg::buffer(bo_)};
+        p.verify = [this, expect](Device &d) {
+            return d.read32(bo_) == expect;
+        };
+        return p;
+    }
+
+  private:
+    std::unique_ptr<StrStencilKernel> kernel_;
+    Buffer bi_, bo_;
+};
+
+// ========================================================== 13. VecGCD
+
+struct VecGcdKernel : kc::KernelDef
+{
+    std::string name() const override { return "VecGCD"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto len = b.paramI32("len");
+        auto ina = b.paramPtr("a", Scalar::U32);
+        auto inb = b.paramPtr("b", Scalar::U32);
+        auto out = b.paramPtr("out", Scalar::U32);
+
+        auto i = b.var(globalIdx(b));
+        b.forRange(i, len, gridStride(b), [&] {
+            auto x = b.var(b.asUint(ina[i]));
+            auto y = b.var(b.asUint(inb[i]));
+            b.while_(static_cast<Val>(y) != b.cu(0), [&] {
+                auto t = b.var(static_cast<Val>(x) % static_cast<Val>(y));
+                x = y;
+                y = t;
+            });
+            out[i] = x;
+        });
+    }
+};
+
+class VecGcd : public Benchmark
+{
+  public:
+    std::string name() const override { return "VecGCD"; }
+
+    Prepared
+    prepare(Device &dev, Size size) override
+    {
+        const unsigned n = size == Size::Small ? 4096 : 65536;
+        support::Rng rng(1313);
+        std::vector<uint32_t> a(n), c(n), expect(n);
+        for (unsigned i = 0; i < n; ++i) {
+            const uint32_t f = 1 + rng.nextBounded(1000);
+            a[i] = f * (1 + rng.nextBounded(5000));
+            c[i] = f * (1 + rng.nextBounded(5000));
+            uint32_t x = a[i], y = c[i];
+            while (y != 0) {
+                const uint32_t t = x % y;
+                x = y;
+                y = t;
+            }
+            expect[i] = x;
+        }
+        ba_ = dev.alloc(n * 4);
+        bb_ = dev.alloc(n * 4);
+        bo_ = dev.alloc(n * 4);
+        dev.write32(ba_, a);
+        dev.write32(bb_, c);
+
+        Prepared p;
+        p.kernel = &kernel_;
+        p.cfg.blockDim = 256;
+        p.cfg.gridDim = n / 256 / 4;
+        p.args = {Arg::integer(static_cast<int32_t>(n)), Arg::buffer(ba_),
+                  Arg::buffer(bb_), Arg::buffer(bo_)};
+        p.verify = [this, expect](Device &d) {
+            return d.read32(bo_) == expect;
+        };
+        return p;
+    }
+
+  private:
+    VecGcdKernel kernel_;
+    Buffer ba_, bb_, bo_;
+};
+
+// ======================================================= 14. MotionEst
+
+/**
+ * Motion estimation: one thread per (macroblock, candidate offset) pair
+ * computes the 8x8 SAD and atomically minimises a packed
+ * (SAD << 8 | candidate) per macroblock.
+ */
+struct MotionEstKernel : kc::KernelDef
+{
+    explicit MotionEstKernel(unsigned width) : width_(width) {}
+    std::string name() const override { return "MotionEst"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto cur = b.paramPtr("cur", Scalar::U8);
+        auto ref = b.paramPtr("ref", Scalar::U8);
+        auto best = b.paramPtr("best", Scalar::I32);
+
+        const int32_t w = static_cast<int32_t>(width_);
+        const int32_t log2w =
+            static_cast<int32_t>(support::ceilLog2(width_));
+        const unsigned mbw = width_ / 8;
+        const int32_t log2mbw =
+            static_cast<int32_t>(support::ceilLog2(mbw));
+        const int32_t work =
+            static_cast<int32_t>(mbw * mbw * 64); // 64 candidates per MB
+
+        auto idx = b.var(globalIdx(b));
+        b.forRange(idx, b.c(work), gridStride(b), [&] {
+            auto mb = b.var(static_cast<Val>(idx) >> b.c(6));
+            auto cand = b.var(static_cast<Val>(idx) & b.c(63));
+            auto dx = b.var((static_cast<Val>(cand) & b.c(7)) - b.c(4));
+            auto dy = b.var((static_cast<Val>(cand) >> b.c(3)) - b.c(4));
+            auto mbx = b.var((static_cast<Val>(mb) &
+                              b.c(static_cast<int32_t>(mbw - 1)))
+                             << b.c(3));
+            auto mby =
+                b.var((static_cast<Val>(mb) >> b.c(log2mbw)) << b.c(3));
+
+            auto sad = b.var(b.c(0));
+            auto yy = b.var(b.c(0));
+            b.forRange(yy, b.c(8), b.c(1), [&] {
+                auto xx = b.var(b.c(0));
+                b.forRange(xx, b.c(8), b.c(1), [&] {
+                    auto rx = b.var(b.min_(
+                        b.max_(static_cast<Val>(mbx) + xx +
+                                   static_cast<Val>(dx),
+                               b.c(0)),
+                        b.c(w - 1)));
+                    auto ry = b.var(b.min_(
+                        b.max_(static_cast<Val>(mby) + yy +
+                                   static_cast<Val>(dy),
+                               b.c(0)),
+                        b.c(w - 1)));
+                    auto d = b.var(
+                        b.asInt(cur[((static_cast<Val>(mby) + yy)
+                                     << b.c(log2w)) +
+                                    mbx + xx]) -
+                        b.asInt(
+                            ref[(static_cast<Val>(ry) << b.c(log2w)) +
+                                rx]));
+                    sad += (static_cast<Val>(d) ^
+                            (static_cast<Val>(d) >> b.c(31))) -
+                           (static_cast<Val>(d) >> b.c(31));
+                });
+            });
+            b.atomic(kc::AtomicOp::Min, b.index(best, mb),
+                     (static_cast<Val>(sad) << b.c(8)) | cand);
+        });
+    }
+
+  private:
+    unsigned width_;
+};
+
+class MotionEst : public Benchmark
+{
+  public:
+    std::string name() const override { return "MotionEst"; }
+
+    Prepared
+    prepare(Device &dev, Size size) override
+    {
+        const unsigned w = size == Size::Small ? 32 : 64;
+        kernel_ = std::make_unique<MotionEstKernel>(w);
+        const unsigned mbw = w / 8;
+        const unsigned nmb = mbw * mbw;
+
+        support::Rng rng(1414);
+        std::vector<uint8_t> cur(w * w), ref(w * w);
+        for (auto &v : cur)
+            v = static_cast<uint8_t>(rng.nextBounded(256));
+        for (auto &v : ref)
+            v = static_cast<uint8_t>(rng.nextBounded(256));
+
+        std::vector<uint32_t> expect(nmb, 0x7fffffff);
+        for (unsigned mb = 0; mb < nmb; ++mb) {
+            const int mbx = static_cast<int>(mb % mbw) * 8;
+            const int mby = static_cast<int>(mb / mbw) * 8;
+            for (unsigned cand = 0; cand < 64; ++cand) {
+                const int dx = static_cast<int>(cand & 7) - 4;
+                const int dy = static_cast<int>(cand >> 3) - 4;
+                int sad = 0;
+                for (int yy = 0; yy < 8; ++yy) {
+                    for (int xx = 0; xx < 8; ++xx) {
+                        const int cx = mbx + xx;
+                        const int cy = mby + yy;
+                        const int rx = std::clamp(
+                            cx + dx, 0, static_cast<int>(w) - 1);
+                        const int ry = std::clamp(
+                            cy + dy, 0, static_cast<int>(w) - 1);
+                        sad += std::abs(
+                            static_cast<int>(cur[cy * w + cx]) -
+                            static_cast<int>(ref[ry * w + rx]));
+                    }
+                }
+                const uint32_t packed =
+                    (static_cast<uint32_t>(sad) << 8) | cand;
+                expect[mb] = std::min(expect[mb], packed);
+            }
+        }
+
+        bc_ = dev.alloc(w * w);
+        br_ = dev.alloc(w * w);
+        bb_ = dev.alloc(nmb * 4);
+        dev.write8(bc_, cur);
+        dev.write8(br_, ref);
+        dev.write32(bb_, std::vector<uint32_t>(nmb, 0x7fffffff));
+
+        Prepared p;
+        p.kernel = kernel_.get();
+        p.cfg.blockDim = 256;
+        p.cfg.gridDim = std::max(1u, nmb * 64 / 256);
+        p.args = {Arg::buffer(bc_), Arg::buffer(br_), Arg::buffer(bb_)};
+        p.verify = [this, expect](Device &d) {
+            return d.read32(bb_) == expect;
+        };
+        return p;
+    }
+
+  private:
+    std::unique_ptr<MotionEstKernel> kernel_;
+    Buffer bc_, br_, bb_;
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<Benchmark>>
+makeSuite()
+{
+    std::vector<std::unique_ptr<Benchmark>> suite;
+    suite.push_back(std::make_unique<VecAdd>());
+    suite.push_back(std::make_unique<Histogram>());
+    suite.push_back(std::make_unique<Reduce>());
+    suite.push_back(std::make_unique<Scan>());
+    suite.push_back(std::make_unique<Transpose>());
+    suite.push_back(std::make_unique<MatVecMul>());
+    suite.push_back(std::make_unique<MatMul>());
+    suite.push_back(std::make_unique<BitonicSm>());
+    suite.push_back(std::make_unique<BitonicLa>());
+    suite.push_back(std::make_unique<Spmv>());
+    suite.push_back(std::make_unique<BlkStencil>());
+    suite.push_back(std::make_unique<StrStencil>());
+    suite.push_back(std::make_unique<VecGcd>());
+    suite.push_back(std::make_unique<MotionEst>());
+    return suite;
+}
+
+std::unique_ptr<Benchmark>
+makeBenchmark(const std::string &name)
+{
+    auto suite = makeSuite();
+    for (auto &b : suite) {
+        if (b->name() == name)
+            return std::move(b);
+    }
+    return nullptr;
+}
+
+} // namespace kernels

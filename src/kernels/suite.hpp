@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The NoCL benchmark suite of the paper (Table 1): fourteen CUDA-style
+ * compute kernels written in the kc embedded DSL, each paired with a
+ * host-side workload generator and reference checker.
+ *
+ * | Benchmark  | Description                              |
+ * |------------|------------------------------------------|
+ * | VecAdd     | Vector addition                          |
+ * | Histogram  | 256-bin histogram                        |
+ * | Reduce     | Vector summation                         |
+ * | Scan       | Block-level parallel prefix sum          |
+ * | Transpose  | Tiled matrix transpose (shared memory)   |
+ * | MatVecMul  | Matrix x vector multiplication           |
+ * | MatMul     | Matrix x matrix multiplication           |
+ * | BitonicSm  | Bitonic sort of small (shared) arrays    |
+ * | BitonicLa  | Bitonic sort of a large (global) array   |
+ * | SPMV       | Sparse matrix x vector (CSR)             |
+ * | BlkStencil | Block-based stencil (shared-memory tile) |
+ * | StrStencil | Stripe-based stencil (global memory)     |
+ * | VecGCD     | Vectorised greatest common divisor       |
+ * | MotionEst  | Motion estimation (SAD search)           |
+ *
+ * BlkStencil deliberately contains the select-between-pointers pattern
+ * (one pointer into shared memory, one into global memory) plus a
+ * pointer array spilled to the stack: the source of capability-metadata
+ * divergence and CSC traffic the paper analyses in Sections 4.3/4.5.
+ */
+
+#ifndef CHERI_SIMT_KERNELS_SUITE_HPP_
+#define CHERI_SIMT_KERNELS_SUITE_HPP_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nocl/nocl.hpp"
+
+namespace kernels
+{
+
+/** Workload size: Small keeps unit tests fast, Full is for benchmarks. */
+enum class Size
+{
+    Small,
+    Full,
+};
+
+/** A prepared run: kernel + launch geometry + args + result checker. */
+struct Prepared
+{
+    kc::KernelDef *kernel = nullptr;
+    nocl::LaunchConfig cfg;
+    std::vector<nocl::Arg> args;
+    std::function<bool(nocl::Device &)> verify;
+};
+
+class Benchmark
+{
+  public:
+    virtual ~Benchmark() = default;
+    virtual std::string name() const = 0;
+
+    /** Allocate and fill device buffers; returns the run description. */
+    virtual Prepared prepare(nocl::Device &dev, Size size) = 0;
+};
+
+/** The full 14-benchmark suite, in Table 1 order. */
+std::vector<std::unique_ptr<Benchmark>> makeSuite();
+
+/** A single benchmark by name (nullptr if unknown). */
+std::unique_ptr<Benchmark> makeBenchmark(const std::string &name);
+
+} // namespace kernels
+
+#endif // CHERI_SIMT_KERNELS_SUITE_HPP_

@@ -1,0 +1,237 @@
+#include "nocl/nocl.hpp"
+
+#include "support/bits.hpp"
+#include "support/logging.hpp"
+
+namespace nocl
+{
+
+namespace
+{
+
+/** First heap address: the argument block occupies the page before it. */
+constexpr uint32_t kHeapBase = simt::kDramBase + 0x2000;
+
+/** Data permissions granted to buffer capabilities. */
+constexpr uint8_t kDataPerms =
+    cap::PERM_GLOBAL | cap::PERM_LOAD | cap::PERM_STORE |
+    cap::PERM_LOAD_CAP | cap::PERM_STORE_CAP;
+
+} // namespace
+
+Device::Device(const simt::SmConfig &sm_cfg, kc::CompileOptions::Mode mode)
+    : smCfg_(sm_cfg), mode_(mode)
+{
+    fatal_if(mode == kc::CompileOptions::Mode::Purecap && !sm_cfg.purecap,
+             "pure-capability code requires a CHERI-enabled SM");
+    fatal_if(mode != kc::CompileOptions::Mode::Purecap && sm_cfg.purecap,
+             "a CHERI SM runs pure-capability code");
+    sm_ = std::make_unique<simt::Sm>(smCfg_);
+
+    kc::CompileOptions opts = compileOptions(LaunchConfig{});
+    heapNext_ = kHeapBase;
+    heapLimit_ = kc::stackRegionBase(opts);
+}
+
+kc::CompileOptions
+Device::compileOptions(const LaunchConfig &cfg) const
+{
+    kc::CompileOptions opts;
+    opts.mode = mode_;
+    opts.blockDim = cfg.blockDim;
+    opts.gridDim = cfg.gridDim;
+    opts.numThreads = smCfg_.numThreads();
+    opts.capRegLimit = cfg.capRegLimit;
+    return opts;
+}
+
+Buffer
+Device::alloc(uint32_t bytes)
+{
+    fatal_if(bytes == 0, "zero-sized allocation");
+    // Align the base so the buffer's capability bounds are exactly
+    // representable (what a CHERI-aware allocator does).
+    const uint32_t len = cap::representableLength(bytes);
+    const uint32_t mask = cap::representableAlignmentMask(bytes);
+    uint32_t base = heapNext_;
+    base = (base + ~mask) & mask;
+    fatal_if(base + len > heapLimit_, "device heap exhausted");
+    heapNext_ = base + len;
+
+    Buffer b;
+    b.addr = base;
+    b.bytes = bytes;
+    for (uint32_t a = base; a < base + len; a += 4)
+        sm_->dram().store32(a, 0);
+    return b;
+}
+
+void
+Device::write8(const Buffer &b, const std::vector<uint8_t> &data)
+{
+    panic_if(data.size() > b.bytes, "write exceeds buffer");
+    for (size_t i = 0; i < data.size(); ++i)
+        sm_->dram().store8(b.addr + static_cast<uint32_t>(i), data[i]);
+}
+
+void
+Device::write32(const Buffer &b, const std::vector<uint32_t> &data)
+{
+    panic_if(data.size() * 4 > b.bytes, "write exceeds buffer");
+    for (size_t i = 0; i < data.size(); ++i)
+        sm_->dram().store32(b.addr + static_cast<uint32_t>(i) * 4, data[i]);
+}
+
+void
+Device::writeF32(const Buffer &b, const std::vector<float> &data)
+{
+    std::vector<uint32_t> words(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+        uint32_t w;
+        static_assert(sizeof(float) == 4);
+        __builtin_memcpy(&w, &data[i], 4);
+        words[i] = w;
+    }
+    write32(b, words);
+}
+
+std::vector<uint8_t>
+Device::read8(const Buffer &b) const
+{
+    std::vector<uint8_t> out(b.bytes);
+    for (uint32_t i = 0; i < b.bytes; ++i)
+        out[i] = sm_->dram().load8(b.addr + i);
+    return out;
+}
+
+std::vector<uint32_t>
+Device::read32(const Buffer &b) const
+{
+    std::vector<uint32_t> out(b.bytes / 4);
+    for (uint32_t i = 0; i < out.size(); ++i)
+        out[i] = sm_->dram().load32(b.addr + i * 4);
+    return out;
+}
+
+std::vector<float>
+Device::readF32(const Buffer &b) const
+{
+    const std::vector<uint32_t> words = read32(b);
+    std::vector<float> out(words.size());
+    for (size_t i = 0; i < words.size(); ++i)
+        __builtin_memcpy(&out[i], &words[i], 4);
+    return out;
+}
+
+kc::CompiledKernel
+Device::compileOnly(kc::KernelDef &def, const LaunchConfig &cfg) const
+{
+    const kc::KernelIr ir = kc::buildIr(def);
+    return kc::compile(ir, compileOptions(cfg));
+}
+
+RunResult
+Device::launch(kc::KernelDef &def, const LaunchConfig &cfg,
+               const std::vector<Arg> &args)
+{
+    fatal_if(cfg.blockDim < smCfg_.numLanes ||
+                 cfg.blockDim % smCfg_.numLanes != 0,
+             "blockDim must be a multiple of the warp size");
+    fatal_if(cfg.blockDim > smCfg_.numThreads(),
+             "blockDim exceeds the SM thread count");
+
+    const kc::KernelIr ir = kc::buildIr(def);
+    const kc::CompileOptions opts = compileOptions(cfg);
+    kc::CompiledKernel compiled = kc::compile(ir, opts);
+
+    fatal_if(args.size() != compiled.params.size(),
+             "kernel %s expects %zu arguments, got %zu",
+             ir.name.c_str(), compiled.params.size(), args.size());
+    const unsigned num_slots = smCfg_.numThreads() / cfg.blockDim;
+    fatal_if(static_cast<uint64_t>(compiled.sharedBytes) * num_slots >
+                 simt::kSharedSize,
+             "kernel %s: shared arrays (%u B x %u block slots) exceed the "
+             "scratchpad",
+             ir.name.c_str(), compiled.sharedBytes, num_slots);
+
+    // ---- Write the argument block ----
+    const uint32_t arg_base = kc::argBlockAddress();
+    const bool purecap = mode_ == kc::CompileOptions::Mode::Purecap;
+    const bool soft = mode_ == kc::CompileOptions::Mode::SoftBounds;
+
+    for (size_t p = 0; p < args.size(); ++p) {
+        const kc::ParamSlot &slot = compiled.params[p];
+        const Arg &arg = args[p];
+        const uint32_t at = arg_base + slot.offset;
+        if (slot.isPtr) {
+            fatal_if(arg.kind != Arg::Kind::Buf,
+                     "argument %zu of %s must be a buffer", p,
+                     ir.name.c_str());
+            if (purecap) {
+                // The host narrows a root-derived capability to the
+                // buffer and stores it, tagged, into the block.
+                cap::CapPipe c = cap::setAddr(cap::rootCap(), arg.buf.addr);
+                c = cap::setBounds(c, arg.buf.bytes).cap;
+                c = cap::andPerms(c, kDataPerms);
+                sm_->dram().storeCap(at, cap::toMem(c));
+            } else if (soft) {
+                sm_->dram().store32(at, arg.buf.addr);
+                sm_->dram().store32(at + 4,
+                                    arg.buf.bytes / slot.elemBytes);
+                sm_->dram().clearTagForStore(at, 8);
+            } else {
+                sm_->dram().store32(at, arg.buf.addr);
+                sm_->dram().clearTagForStore(at, 4);
+            }
+        } else {
+            uint32_t word;
+            if (arg.kind == Arg::Kind::Float) {
+                __builtin_memcpy(&word, &arg.f, 4);
+            } else {
+                word = static_cast<uint32_t>(arg.i);
+            }
+            sm_->dram().store32(at, word);
+            sm_->dram().clearTagForStore(at, 4);
+        }
+    }
+
+    // ---- Special capability registers ----
+    if (purecap) {
+        sm_->setScr(isa::SCR_DDC, cap::rootCap());
+
+        cap::CapPipe stc =
+            cap::setAddr(cap::rootCap(), kc::stackRegionBase(opts));
+        stc = cap::setBounds(stc, opts.numThreads * opts.stackBytes).cap;
+        stc = cap::andPerms(stc, kDataPerms);
+        sm_->setScr(isa::SCR_STC, stc);
+
+        cap::CapPipe argc = cap::setAddr(cap::rootCap(), arg_base);
+        argc = cap::setBounds(argc, compiled.paramBlockBytes).cap;
+        argc = cap::andPerms(argc,
+                             cap::PERM_GLOBAL | cap::PERM_LOAD |
+                                 cap::PERM_LOAD_CAP);
+        sm_->setScr(isa::SCR_ARG, argc);
+    }
+
+    // ---- Run ----
+    sm_->loadProgram(compiled.code);
+    sm_->launch(0, cfg.blockDim / smCfg_.numLanes);
+    const bool completed = sm_->run();
+
+    RunResult res;
+    res.completed = completed;
+    res.trapped = sm_->trapped();
+    if (res.trapped) {
+        res.trapKind = sm_->firstTrap().kind;
+        res.trapAddr = sm_->firstTrap().addr;
+    }
+    res.cycles = sm_->cycles();
+    res.stats = sm_->stats();
+    res.kernel = std::move(compiled);
+    res.avgDataVrf = sm_->avgDataVectorsInVrf();
+    res.avgMetaVrf = sm_->avgMetaVectorsInVrf();
+    res.rfCapRegMask = sm_->regfile().capRegMask();
+    return res;
+}
+
+} // namespace nocl

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The NoCL host runtime: device-memory management, kernel-argument
+ * marshalling and kernel launch for the simulated SIMTight SoC.
+ *
+ * Mirrors the NoCL library of the paper: the host (a CHERI-enabled CPU in
+ * the paper's SoC) allocates buffers, sets the bounds of dynamically
+ * allocated memory and of the stack, writes the argument block, and
+ * launches the kernel. In pure-capability mode arguments are stored as
+ * tagged capabilities and the special capability registers (DDC, stack
+ * root, argument block) are installed before the kernel starts.
+ */
+
+#ifndef CHERI_SIMT_NOCL_NOCL_HPP_
+#define CHERI_SIMT_NOCL_NOCL_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kc/codegen.hpp"
+#include "kc/kernel.hpp"
+#include "simt/sm.hpp"
+
+namespace nocl
+{
+
+/** A device buffer handle. */
+struct Buffer
+{
+    uint32_t addr = 0;
+    uint32_t bytes = 0;
+};
+
+/** A kernel argument: a scalar or a buffer. */
+struct Arg
+{
+    enum class Kind { Int, Float, Buf } kind = Kind::Int;
+    int32_t i = 0;
+    float f = 0.0f;
+    Buffer buf;
+
+    static Arg
+    integer(int32_t v)
+    {
+        Arg a;
+        a.kind = Kind::Int;
+        a.i = v;
+        return a;
+    }
+
+    static Arg
+    real(float v)
+    {
+        Arg a;
+        a.kind = Kind::Float;
+        a.f = v;
+        return a;
+    }
+
+    static Arg
+    buffer(Buffer b)
+    {
+        Arg a;
+        a.kind = Kind::Buf;
+        a.buf = b;
+        return a;
+    }
+};
+
+/** Launch geometry. */
+struct LaunchConfig
+{
+    unsigned blockDim = 256;
+    unsigned gridDim = 1;
+
+    /** Capability-register limit passed to the compiler (0 = off). */
+    unsigned capRegLimit = 0;
+};
+
+/** Result of one kernel launch. */
+struct RunResult
+{
+    bool completed = false;
+    bool trapped = false;
+    std::string trapKind;
+    uint32_t trapAddr = 0;
+    uint64_t cycles = 0;
+    support::StatSet stats;
+    kc::CompiledKernel kernel;
+    double avgDataVrf = 0.0; ///< time-averaged data vectors in the VRF
+    double avgMetaVrf = 0.0; ///< time-averaged metadata vectors in the VRF
+    uint32_t rfCapRegMask = 0; ///< registers observed holding capabilities
+};
+
+/**
+ * A simulated device: one SM plus host-side memory management.
+ */
+class Device
+{
+  public:
+    Device(const simt::SmConfig &sm_cfg, kc::CompileOptions::Mode mode);
+
+    simt::Sm &sm() { return *sm_; }
+    kc::CompileOptions::Mode mode() const { return mode_; }
+
+    /** Allocate a device buffer (zero-initialised). */
+    Buffer alloc(uint32_t bytes);
+
+    /** Host writes into a buffer. */
+    void write8(const Buffer &b, const std::vector<uint8_t> &data);
+    void write32(const Buffer &b, const std::vector<uint32_t> &data);
+    void writeF32(const Buffer &b, const std::vector<float> &data);
+
+    /** Host reads from a buffer. */
+    std::vector<uint8_t> read8(const Buffer &b) const;
+    std::vector<uint32_t> read32(const Buffer &b) const;
+    std::vector<float> readF32(const Buffer &b) const;
+
+    /**
+     * Compile and run a kernel. Arguments must match the kernel's
+     * declared parameters in order and kind.
+     */
+    RunResult launch(kc::KernelDef &def, const LaunchConfig &cfg,
+                     const std::vector<Arg> &args);
+
+    /** Compile without running (for inspecting generated code). */
+    kc::CompiledKernel compileOnly(kc::KernelDef &def,
+                                   const LaunchConfig &cfg) const;
+
+  private:
+    kc::CompileOptions compileOptions(const LaunchConfig &cfg) const;
+
+    simt::SmConfig smCfg_;
+    kc::CompileOptions::Mode mode_;
+    std::unique_ptr<simt::Sm> sm_;
+    uint32_t heapNext_ = 0;
+    uint32_t heapLimit_ = 0;
+};
+
+} // namespace nocl
+
+#endif // CHERI_SIMT_NOCL_NOCL_HPP_

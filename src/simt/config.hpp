@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Configuration of the simulated SIMTight-style streaming multiprocessor.
+ *
+ * The three configurations evaluated in the paper (Section 4.1) map to
+ * presets of this struct:
+ *
+ *  - Baseline:         purecap off; compressed general-purpose register
+ *                      file with a 3/8-size VRF.
+ *  - CHERI:            purecap on; the capability-metadata register file is
+ *                      not compressed; no CHERI instructions in the shared
+ *                      function unit; dynamic PC metadata.
+ *  - CHERI (Optimised): purecap on; compressed metadata register file with
+ *                      the shared VRF, the null-value optimisation, a
+ *                      single-read-port metadata SRF (CSC pays one extra
+ *                      cycle), SFU offload of bounds instructions, and the
+ *                      static PC metadata restriction.
+ */
+
+#ifndef CHERI_SIMT_SIMT_CONFIG_HPP_
+#define CHERI_SIMT_SIMT_CONFIG_HPP_
+
+#include <cstdint>
+
+namespace simt
+{
+
+/** Simulated physical memory map. */
+constexpr uint32_t kTcimBase = 0x00000000;   ///< instruction memory
+constexpr uint32_t kTcimSize = 1 << 16;      ///< 64 KiB
+constexpr uint32_t kDramBase = 0x10000000;   ///< main memory
+constexpr uint32_t kDramSize = 1 << 26;      ///< 64 MiB
+constexpr uint32_t kSharedBase = 0x20000000; ///< scratchpad memory
+constexpr uint32_t kSharedSize = 1 << 16;    ///< 64 KiB
+
+/** SM configuration. */
+struct SmConfig
+{
+    unsigned numWarps = 64;
+    unsigned numLanes = 32;
+    unsigned numRegs = 32;
+
+    /** Enable CHERI: pure-capability code, tagged memory, bounds checks. */
+    bool purecap = false;
+
+    // ---- Register-file organisation ----
+
+    /**
+     * Capacity of the vector register file in vector registers. The
+     * architectural total is numWarps*numRegs; the paper's baseline uses a
+     * 3/8-size VRF (768 of 2,048 vector registers).
+     */
+    unsigned vrfCapacity = 768;
+
+    /** Compress the capability-metadata register file (uniform vectors). */
+    bool metaCompressed = false;
+
+    /** Metadata vectors share the VRF with general-purpose vectors. */
+    bool sharedVrf = false;
+
+    /** Null-value optimisation: partial scalarisation with a null mask. */
+    bool nvo = false;
+
+    /**
+     * Registers per thread with capability-metadata SRF entries. With
+     * compiler support limiting capability-holding registers (Section
+     * 4.3), the metadata SRF can cover fewer than numRegs registers;
+     * writing a valid capability to an untracked register is a contract
+     * violation. Defaults to numRegs (all registers tracked).
+     */
+    unsigned metaRegsTracked = 32;
+
+    /**
+     * Single-read-port capability-metadata SRF: CSC (which reads two
+     * capability source operands) pays one extra operand-fetch cycle.
+     */
+    bool metaSrfSinglePort = false;
+
+    // ---- Pipeline / SFU ----
+
+    /** Execute bounds-manipulation CHERI instructions in the SFU. */
+    bool sfuCheriOffload = false;
+
+    /** PC metadata is set once per kernel launch and never changed. */
+    bool staticPcMeta = false;
+
+    /** Pipeline depth: a warp re-issues this many cycles after issue. */
+    unsigned pipelineDepth = 6;
+
+    /** Integer divide latency (per-lane iterative divider). */
+    unsigned divLatency = 16;
+
+    /** Per-element SFU service time (serialised over active lanes). */
+    unsigned sfuCyclesPerElem = 1;
+
+    // ---- Memory subsystem ----
+
+    unsigned dramLatency = 200;      ///< cycles from request to response
+    unsigned dramBytesPerCycle = 32; ///< DRAM bandwidth
+    unsigned coalesceBytes = 32;     ///< coalescing segment size
+    unsigned scratchpadBanks = 32;
+
+    /** Maintain memory tag bits via the tag controller. */
+    bool taggedMem = false;
+
+    unsigned tagCacheLines = 64;     ///< tag-cache capacity in lines
+    unsigned tagCacheLineBytes = 32; ///< tag bits per line: 8 * this value
+
+    /**
+     * Root-table filter of the tag controller (Joannou et al.): regions
+     * that have never held a capability are served without tag traffic.
+     */
+    bool tagRootFilter = true;
+
+    /**
+     * Stack cache (SIMTight's proof-of-concept stack cache): absorbs the
+     * poorly-coalescing per-thread stack traffic. 0 lines disables it.
+     */
+    unsigned stackCacheLines = 256;
+    unsigned stackCacheLineBytes = 128;
+
+    /** Per-thread stack bytes (matches the compiler's stack layout). */
+    unsigned stackBytesPerThread = 512;
+
+    // ---- Derived quantities ----
+
+    unsigned numThreads() const { return numWarps * numLanes; }
+    unsigned numVectorRegs() const { return numWarps * numRegs; }
+
+    /** Base of the per-thread stack region at the top of DRAM. */
+    uint32_t
+    stackRegionBase() const
+    {
+        return kDramBase + kDramSize - numThreads() * stackBytesPerThread;
+    }
+
+    /** Paper presets. */
+    static SmConfig baseline();
+    static SmConfig cheri();
+    static SmConfig cheriOptimised();
+};
+
+inline SmConfig
+SmConfig::baseline()
+{
+    SmConfig c;
+    return c;
+}
+
+inline SmConfig
+SmConfig::cheri()
+{
+    SmConfig c;
+    c.purecap = true;
+    c.taggedMem = true;
+    c.metaCompressed = false;
+    c.sharedVrf = false;
+    c.nvo = false;
+    c.metaSrfSinglePort = false;
+    c.sfuCheriOffload = false;
+    c.staticPcMeta = false;
+    return c;
+}
+
+inline SmConfig
+SmConfig::cheriOptimised()
+{
+    SmConfig c;
+    c.purecap = true;
+    c.taggedMem = true;
+    c.metaCompressed = true;
+    c.sharedVrf = true;
+    c.nvo = true;
+    c.metaSrfSinglePort = true;
+    c.sfuCheriOffload = true;
+    c.staticPcMeta = true;
+    return c;
+}
+
+} // namespace simt
+
+#endif // CHERI_SIMT_SIMT_CONFIG_HPP_

@@ -1,0 +1,245 @@
+#include "simt/mem.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace simt
+{
+
+MainMemory::MainMemory()
+    : data_(kDramSize, 0), tags_(kDramSize / 4, false)
+{
+}
+
+size_t
+MainMemory::index(uint32_t addr) const
+{
+    panic_if(!contains(addr), "DRAM address 0x%08x out of range", addr);
+    return addr - kDramBase;
+}
+
+uint8_t
+MainMemory::load8(uint32_t addr) const
+{
+    return data_[index(addr)];
+}
+
+uint16_t
+MainMemory::load16(uint32_t addr) const
+{
+    const size_t i = index(addr);
+    return static_cast<uint16_t>(data_[i] | (data_[i + 1] << 8));
+}
+
+uint32_t
+MainMemory::load32(uint32_t addr) const
+{
+    const size_t i = index(addr);
+    return static_cast<uint32_t>(data_[i]) |
+           (static_cast<uint32_t>(data_[i + 1]) << 8) |
+           (static_cast<uint32_t>(data_[i + 2]) << 16) |
+           (static_cast<uint32_t>(data_[i + 3]) << 24);
+}
+
+void
+MainMemory::store8(uint32_t addr, uint8_t value)
+{
+    data_[index(addr)] = value;
+}
+
+void
+MainMemory::store16(uint32_t addr, uint16_t value)
+{
+    const size_t i = index(addr);
+    data_[i] = static_cast<uint8_t>(value);
+    data_[i + 1] = static_cast<uint8_t>(value >> 8);
+}
+
+void
+MainMemory::store32(uint32_t addr, uint32_t value)
+{
+    const size_t i = index(addr);
+    data_[i] = static_cast<uint8_t>(value);
+    data_[i + 1] = static_cast<uint8_t>(value >> 8);
+    data_[i + 2] = static_cast<uint8_t>(value >> 16);
+    data_[i + 3] = static_cast<uint8_t>(value >> 24);
+}
+
+bool
+MainMemory::wordTag(uint32_t addr) const
+{
+    return tags_[index(addr) / 4];
+}
+
+void
+MainMemory::setWordTag(uint32_t addr, bool tag)
+{
+    tags_[index(addr) / 4] = tag;
+}
+
+cap::CapMem
+MainMemory::loadCap(uint32_t addr) const
+{
+    panic_if(addr % 8 != 0, "misaligned capability load at 0x%08x", addr);
+    cap::CapMem c;
+    c.bits = static_cast<uint64_t>(load32(addr)) |
+             (static_cast<uint64_t>(load32(addr + 4)) << 32);
+    // The invariant of Section 3.4: a capability is valid only if the tag
+    // bits of both its 32-bit halves are set.
+    c.tag = wordTag(addr) && wordTag(addr + 4);
+    return c;
+}
+
+void
+MainMemory::storeCap(uint32_t addr, const cap::CapMem &value)
+{
+    panic_if(addr % 8 != 0, "misaligned capability store at 0x%08x", addr);
+    store32(addr, static_cast<uint32_t>(value.bits));
+    store32(addr + 4, static_cast<uint32_t>(value.bits >> 32));
+    setWordTag(addr, value.tag);
+    setWordTag(addr + 4, value.tag);
+}
+
+void
+MainMemory::clearTagForStore(uint32_t addr, unsigned bytes)
+{
+    const uint32_t first = addr & ~3u;
+    const uint32_t last = (addr + bytes - 1) & ~3u;
+    for (uint32_t a = first; a <= last; a += 4)
+        setWordTag(a, false);
+}
+
+std::vector<MemTransaction>
+Coalescer::coalesce(const std::vector<uint32_t> &addrs,
+                    const std::vector<bool> &active,
+                    unsigned access_bytes) const
+{
+    std::vector<MemTransaction> txns;
+    for (size_t lane = 0; lane < addrs.size(); ++lane) {
+        if (!active[lane])
+            continue;
+        // An access may straddle a segment boundary; cover both segments.
+        const uint32_t first = addrs[lane] & ~(segmentBytes_ - 1);
+        const uint32_t last =
+            (addrs[lane] + access_bytes - 1) & ~(segmentBytes_ - 1);
+        for (uint32_t seg = first;; seg += segmentBytes_) {
+            bool found = false;
+            for (const auto &t : txns) {
+                if (t.segment == seg) {
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                txns.push_back(MemTransaction{seg, segmentBytes_});
+            if (seg == last)
+                break;
+        }
+    }
+    std::sort(txns.begin(), txns.end(),
+              [](const MemTransaction &a, const MemTransaction &b) {
+                  return a.segment < b.segment;
+              });
+    return txns;
+}
+
+StackCache::StackCache(unsigned entries, unsigned fill_bytes,
+                       DramTimer &dram, support::StatSet &stats)
+    : fillBytes_(fill_bytes), dram_(dram), stats_(stats), lines_(entries)
+{
+}
+
+void
+StackCache::reset()
+{
+    std::fill(lines_.begin(), lines_.end(), Line{});
+}
+
+uint64_t
+StackCache::access(uint64_t now, uint32_t key, bool is_write)
+{
+    Line &line = lines_[key % lines_.size()];
+
+    uint64_t done = now + 1;
+    if (line.valid && line.key == key) {
+        stats_.add("stack_cache_hits");
+    } else {
+        stats_.add("stack_cache_misses");
+        if (line.valid && line.dirty) {
+            done = dram_.access(done, fillBytes_);
+            stats_.add("stack_dram_bytes_written", fillBytes_);
+        }
+        done = dram_.access(done, fillBytes_);
+        stats_.add("stack_dram_bytes_read", fillBytes_);
+        line.valid = true;
+        line.dirty = false;
+        line.key = key;
+    }
+    if (is_write)
+        line.dirty = true;
+    return done;
+}
+
+TagController::TagController(const SmConfig &cfg, DramTimer &dram,
+                             support::StatSet &stats)
+    : cfg_(cfg), dram_(dram), stats_(stats),
+      lines_(cfg.tagCacheLines),
+      regionHasCaps_(kDramSize / kRegionBytes, false)
+{
+}
+
+void
+TagController::reset()
+{
+    std::fill(lines_.begin(), lines_.end(), Line{});
+    std::fill(regionHasCaps_.begin(), regionHasCaps_.end(), false);
+}
+
+uint64_t
+TagController::access(uint64_t now, uint32_t addr, bool is_write,
+                      bool writes_cap)
+{
+    if (!cfg_.taggedMem)
+        return now;
+
+    const uint32_t offset = addr - kDramBase;
+    const uint32_t region = offset / kRegionBytes;
+
+    // Root-table filter: regions that have never held a capability need no
+    // tag traffic at all -- reads return all-zero tags, and non-capability
+    // writes leave the (already zero) tags unchanged.
+    if (cfg_.tagRootFilter && !regionHasCaps_[region]) {
+        if (!writes_cap) {
+            stats_.add("tag_root_filtered");
+            return now;
+        }
+        regionHasCaps_[region] = true;
+    }
+
+    const uint32_t tag_line_addr = offset / lineCoverage();
+    const uint32_t set = tag_line_addr % cfg_.tagCacheLines;
+    Line &line = lines_[set];
+
+    uint64_t done = now;
+    if (line.valid && line.tagAddr == tag_line_addr) {
+        stats_.add("tag_cache_hits");
+    } else {
+        stats_.add("tag_cache_misses");
+        if (line.valid && line.dirty) {
+            // Write back the victim tag line.
+            done = dram_.access(done, cfg_.tagCacheLineBytes);
+            stats_.add("tag_dram_bytes_written", cfg_.tagCacheLineBytes);
+        }
+        done = dram_.access(done, cfg_.tagCacheLineBytes);
+        stats_.add("tag_dram_bytes_read", cfg_.tagCacheLineBytes);
+        line.valid = true;
+        line.dirty = false;
+        line.tagAddr = tag_line_addr;
+    }
+    if (is_write)
+        line.dirty = true;
+    return done;
+}
+
+} // namespace simt

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Memory subsystem of the simulated SoC: main memory with per-word tag
+ * bits, the tag controller with its tag cache, the DRAM timing model, and
+ * the coalescing unit.
+ *
+ * Following Section 3.4 of the paper, the memory subsystem is natively
+ * 32-bit: a 1-bit tag is maintained for every naturally aligned 32-bit
+ * word, and a 64-bit capability is valid only if the tags of both halves
+ * are set. Capability accesses are two-flit transactions.
+ */
+
+#ifndef CHERI_SIMT_SIMT_MEM_HPP_
+#define CHERI_SIMT_SIMT_MEM_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "cap/cheri_concentrate.hpp"
+#include "simt/config.hpp"
+#include "support/stats.hpp"
+
+namespace simt
+{
+
+/**
+ * Functional main-memory storage: kDramSize bytes of data plus one tag bit
+ * per aligned 32-bit word. Addresses are absolute (kDramBase-relative
+ * translation happens internally).
+ */
+class MainMemory
+{
+  public:
+    MainMemory();
+
+    static bool
+    contains(uint32_t addr)
+    {
+        return addr >= kDramBase && addr < kDramBase + kDramSize;
+    }
+
+    uint8_t load8(uint32_t addr) const;
+    uint16_t load16(uint32_t addr) const;
+    uint32_t load32(uint32_t addr) const;
+    void store8(uint32_t addr, uint8_t value);
+    void store16(uint32_t addr, uint16_t value);
+    void store32(uint32_t addr, uint32_t value);
+
+    /** Word-tag accessors (addr is rounded down to a word boundary). */
+    bool wordTag(uint32_t addr) const;
+    void setWordTag(uint32_t addr, bool tag);
+
+    /**
+     * Capability load/store: 64 bits at an 8-byte-aligned address plus the
+     * combined tag (both word tags must be set for the load tag to be set;
+     * stores set or clear both).
+     */
+    cap::CapMem loadCap(uint32_t addr) const;
+    void storeCap(uint32_t addr, const cap::CapMem &value);
+
+    /** Non-capability stores clear the covering word tag. */
+    void clearTagForStore(uint32_t addr, unsigned bytes);
+
+  private:
+    size_t index(uint32_t addr) const;
+
+    std::vector<uint8_t> data_;
+    std::vector<bool> tags_; // one per 32-bit word
+};
+
+/**
+ * DRAM timing: fixed service latency plus a bandwidth-limited channel.
+ * Transactions occupy the channel for bytes/bandwidth cycles; responses
+ * arrive after the channel occupancy plus the access latency.
+ */
+class DramTimer
+{
+  public:
+    DramTimer(unsigned latency, unsigned bytes_per_cycle)
+        : latency_(latency), bytesPerCycle_(bytes_per_cycle)
+    {
+    }
+
+    /** Issue a transaction at @p now; returns its completion time. */
+    uint64_t
+    access(uint64_t now, unsigned bytes)
+    {
+        const uint64_t start = now > busyUntil_ ? now : busyUntil_;
+        const uint64_t occupancy =
+            (bytes + bytesPerCycle_ - 1) / bytesPerCycle_;
+        busyUntil_ = start + (occupancy ? occupancy : 1);
+        // Deterministic service-time jitter (bank conflicts, refresh):
+        // keeps lockstep warps from resonating into artificial convoys.
+        const uint64_t jitter = (seq_++ * 7) % 37;
+        return busyUntil_ + latency_ + jitter;
+    }
+
+    uint64_t busyUntil() const { return busyUntil_; }
+
+    void
+    reset()
+    {
+        busyUntil_ = 0;
+        seq_ = 0;
+    }
+
+  private:
+    unsigned latency_;
+    unsigned bytesPerCycle_;
+    uint64_t busyUntil_ = 0;
+    uint64_t seq_ = 0;
+};
+
+/** A coalesced memory transaction: one aligned segment of DRAM. */
+struct MemTransaction
+{
+    uint32_t segment = 0; ///< segment-aligned base address
+    unsigned bytes = 0;
+
+    bool operator==(const MemTransaction &) const = default;
+};
+
+/**
+ * Coalescing unit: packs per-lane accesses into aligned segments in the
+ * style of early NVIDIA Tesla devices -- every distinct naturally aligned
+ * segment touched by the active lanes becomes one wide transaction.
+ */
+class Coalescer
+{
+  public:
+    explicit Coalescer(unsigned segment_bytes)
+        : segmentBytes_(segment_bytes)
+    {
+    }
+
+    /**
+     * Compute the transactions for a set of per-lane accesses.
+     * @param addrs      per-lane addresses (only active entries are read)
+     * @param active     per-lane enable mask
+     * @param accessBytes bytes accessed per lane
+     */
+    std::vector<MemTransaction>
+    coalesce(const std::vector<uint32_t> &addrs,
+             const std::vector<bool> &active, unsigned access_bytes) const;
+
+  private:
+    unsigned segmentBytes_;
+};
+
+/**
+ * Compressed stack cache (SIMTight's proof-of-concept, Section 4.4 of
+ * the paper). Per-thread stacks are strided in memory, so a warp's
+ * access to one stack slot touches 32 widely separated addresses and
+ * coalesces terribly. Because the 32 addresses are affine (uniform slot
+ * offset, per-thread stride) the cache stores one *compressed* entry per
+ * (warp, slot granule): a hit serves the whole warp in one cycle, a miss
+ * transfers the warp's full slot data to/from DRAM. Only timing is
+ * modelled here -- functional data lives in MainMemory.
+ */
+class StackCache
+{
+  public:
+    StackCache(unsigned entries, unsigned fill_bytes, DramTimer &dram,
+               support::StatSet &stats);
+
+    /**
+     * Account one warp access to slot granule @p key (a compressed-entry
+     * identifier built from warp and slot offset); returns its
+     * completion time.
+     */
+    uint64_t access(uint64_t now, uint32_t key, bool is_write);
+
+    void reset();
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint32_t key = 0;
+    };
+
+    unsigned fillBytes_;
+    DramTimer &dram_;
+    support::StatSet &stats_;
+    std::vector<Line> lines_;
+};
+
+/**
+ * Tag controller: sits in front of main memory and serves the tag bit of
+ * every transaction. Tags live in a reserved region of DRAM; a small
+ * direct-mapped tag cache plus a root "any capabilities here?" bitmap per
+ * 8 KiB region (after Joannou et al., Efficient Tagged Memory) reduce the
+ * extra DRAM traffic to almost zero for capability-free data.
+ */
+class TagController
+{
+  public:
+    TagController(const SmConfig &cfg, DramTimer &dram,
+                  support::StatSet &stats);
+
+    /**
+     * Account the tag lookup for a data transaction at @p addr.
+     * @param now         current cycle
+     * @param is_write    the data transaction is a store
+     * @param writes_cap  the store writes at least one valid capability
+     * @returns the cycle at which the tag access completes (>= now)
+     */
+    uint64_t access(uint64_t now, uint32_t addr, bool is_write,
+                    bool writes_cap);
+
+    void reset();
+
+  private:
+    static constexpr uint32_t kRegionBytes = 8192;
+
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint32_t tagAddr = 0; // aligned tag-region address
+    };
+
+    /** Data bytes covered by one tag-cache line. */
+    uint32_t
+    lineCoverage() const
+    {
+        return cfg_.tagCacheLineBytes * 8 * 4;
+    }
+
+    const SmConfig &cfg_;
+    DramTimer &dram_;
+    support::StatSet &stats_;
+    std::vector<Line> lines_;
+    std::vector<bool> regionHasCaps_; // per 8 KiB DRAM region
+};
+
+} // namespace simt
+
+#endif // CHERI_SIMT_SIMT_MEM_HPP_

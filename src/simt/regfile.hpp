@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The compressed register-file system (Sections 3.1 and 3.2 of the paper).
+ *
+ * Two architectural register files are modelled:
+ *
+ *  - a 32-bit general-purpose file with dynamic scalarisation: vector
+ *    registers that are uniform or affine across the warp live compactly
+ *    in a scalar register file (SRF); general vectors are allocated
+ *    on demand in a size-constrained vector register file (VRF) whose
+ *    overflow spills to main memory;
+ *
+ *  - a 33-bit capability-metadata file (pure-capability mode). Depending
+ *    on configuration it is either uncompressed (the paper's plain CHERI
+ *    configuration, 103% storage overhead) or compressed with
+ *    uniform-only detection, an optional shared VRF, and the null-value
+ *    optimisation (NVO): a partially-null vector is held in the SRF as a
+ *    uniform value plus a per-lane null mask.
+ *
+ * The class also implements the structural-hazard accounting the paper
+ * describes: the single-read-port metadata SRF makes CSC pay one extra
+ * operand-fetch cycle, and an instruction needing both an uncompressed
+ * data vector and an uncompressed metadata vector stalls one cycle on the
+ * shared VRF.
+ */
+
+#ifndef CHERI_SIMT_SIMT_REGFILE_HPP_
+#define CHERI_SIMT_SIMT_REGFILE_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/config.hpp"
+#include "support/stats.hpp"
+
+namespace simt
+{
+
+/** The 33 bits of capability metadata attached to a 32-bit register. */
+struct CapMeta
+{
+    uint32_t meta = 0;
+    bool tag = false;
+
+    bool isNull() const { return meta == 0 && !tag; }
+    bool operator==(const CapMeta &) const = default;
+};
+
+/** Cost/event report for one architectural register-file access. */
+struct RfAccess
+{
+    bool dataFromVrf = false;
+    bool metaFromVrf = false;
+    unsigned spills = 0;
+    unsigned reloads = 0;
+    unsigned dramBytes = 0; ///< spill/reload traffic
+
+    void
+    merge(const RfAccess &other)
+    {
+        dataFromVrf |= other.dataFromVrf;
+        metaFromVrf |= other.metaFromVrf;
+        spills += other.spills;
+        reloads += other.reloads;
+        dramBytes += other.dramBytes;
+    }
+};
+
+class RegFileSystem
+{
+  public:
+    RegFileSystem(const SmConfig &cfg, support::StatSet &stats);
+
+    // ---- Architectural access ----
+
+    void readData(unsigned warp, unsigned reg, std::vector<uint32_t> &out,
+                  RfAccess &acc);
+    void writeData(unsigned warp, unsigned reg,
+                   const std::vector<uint32_t> &vals,
+                   const std::vector<bool> &mask, RfAccess &acc);
+
+    void readMeta(unsigned warp, unsigned reg, std::vector<CapMeta> &out,
+                  RfAccess &acc);
+    void writeMeta(unsigned warp, unsigned reg,
+                   const std::vector<CapMeta> &vals,
+                   const std::vector<bool> &mask, RfAccess &acc);
+
+    /** Reset all architectural registers to zero (kernel launch). */
+    void reset();
+
+    // ---- Occupancy, for Figure 10 and Table 2 ----
+
+    /** Vector registers of each file currently resident in the VRF. */
+    unsigned dataVectorsInVrf() const { return dataVecCount_; }
+    unsigned metaVectorsInVrf() const { return metaVecCount_; }
+    unsigned vrfSlotsInUse() const { return usedSlots_; }
+
+    /** Registers that have ever held a valid capability (Figure 11). */
+    uint32_t capRegMask() const { return capRegMask_; }
+
+    // ---- Storage model, for Tables 2 and 3 ----
+
+    uint64_t dataStorageBits() const;
+    uint64_t metaStorageBits() const;
+
+    /** Storage of an uncompressed (flat) register file for comparison. */
+    uint64_t flatDataStorageBits() const;
+    uint64_t flatMetaStorageBits() const;
+
+  private:
+    enum class Kind : uint8_t
+    {
+        Scalar,      ///< data: base+stride in SRF; meta: uniform value
+        PartialNull, ///< meta only: uniform value + null mask (NVO)
+        Vector,      ///< resident in the VRF
+        Spilled,     ///< spilled to main memory
+        Flat,        ///< meta only: uncompressed dedicated storage
+    };
+
+    struct Entry
+    {
+        Kind kind = Kind::Scalar;
+        uint32_t base = 0;  ///< data scalar base / meta uniform value
+        int32_t stride = 0; ///< data scalar stride
+        bool tag = false;   ///< meta uniform tag
+        uint32_t nullMask = 0;
+        int slot = -1;
+        int spillId = -1;
+    };
+
+    struct SlotInfo
+    {
+        bool isMeta = false;
+        unsigned warp = 0;
+        unsigned reg = 0;
+        uint64_t lastUse = 0;
+    };
+
+    unsigned entryIndex(unsigned warp, unsigned reg) const;
+
+    // VRF slot management (shared or split depending on configuration).
+    int allocSlot(bool for_meta, RfAccess &acc);
+    void freeSlot(int slot, bool for_meta);
+    void spillVictim(bool for_meta, RfAccess &acc);
+
+    void expandData(const Entry &e, std::vector<uint32_t> &out) const;
+    void expandMeta(const Entry &e, std::vector<CapMeta> &out) const;
+
+    /** Reload a spilled entry into the VRF, charging traffic. */
+    void unspillData(Entry &e, unsigned warp, unsigned reg, RfAccess &acc);
+    void unspillMeta(Entry &e, unsigned warp, unsigned reg, RfAccess &acc);
+
+    const SmConfig cfg_;
+    support::StatSet &stats_;
+
+    std::vector<Entry> dataEntries_;
+    std::vector<Entry> metaEntries_;
+
+    // VRF storage: one buffer of lane values per slot. Data uses the low
+    // 32 bits; metadata packs {tag, meta} into the low 33 bits.
+    std::vector<std::vector<uint64_t>> slots_;
+    std::vector<SlotInfo> slotInfo_;
+    std::vector<int> freeSlots_;
+    unsigned usedSlots_ = 0;
+
+    // Separate allocator bookkeeping for the split-VRF configuration.
+    unsigned dataCapacity_ = 0;
+    unsigned metaCapacity_ = 0;
+    unsigned dataSlotsUsed_ = 0;
+    unsigned metaSlotsUsed_ = 0;
+
+    // Uncompressed metadata storage (plain CHERI configuration).
+    std::vector<CapMeta> flatMeta_;
+
+    // Spill backing store.
+    std::vector<std::vector<uint64_t>> spillStore_;
+    std::vector<int> freeSpillIds_;
+
+    unsigned dataVecCount_ = 0;
+    unsigned metaVecCount_ = 0;
+    uint32_t capRegMask_ = 0;
+    uint64_t useClock_ = 0;
+};
+
+} // namespace simt
+
+#endif // CHERI_SIMT_SIMT_REGFILE_HPP_

@@ -1,0 +1,1098 @@
+#include "simt/sm.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "isa/encoding.hpp"
+#include "support/bits.hpp"
+#include "support/logging.hpp"
+
+namespace simt
+{
+
+namespace
+{
+
+using cap::CapPipe;
+using isa::Instr;
+using isa::Op;
+
+/** Compose a pipeline capability from register data + metadata. */
+CapPipe
+capFromParts(uint32_t data, const CapMeta &meta)
+{
+    cap::CapMem mem;
+    mem.bits = (static_cast<uint64_t>(meta.meta) << 32) | data;
+    mem.tag = meta.tag;
+    return cap::fromMem(mem);
+}
+
+/** Split a pipeline capability into register data + metadata. */
+void
+capToParts(const CapPipe &c, uint32_t &data, CapMeta &meta)
+{
+    const cap::CapMem mem = cap::toMem(c);
+    data = static_cast<uint32_t>(mem.bits);
+    meta.meta = static_cast<uint32_t>(mem.bits >> 32);
+    meta.tag = mem.tag;
+}
+
+float
+asFloat(uint32_t v)
+{
+    return std::bit_cast<float>(v);
+}
+
+uint32_t
+asBits(float f)
+{
+    return std::bit_cast<uint32_t>(f);
+}
+
+} // namespace
+
+Sm::Sm(const SmConfig &cfg)
+    : cfg_(cfg), dram_(), scratchpad_(cfg_),
+      dramTimer_(cfg_.dramLatency, cfg_.dramBytesPerCycle),
+      tagController_(cfg_, dramTimer_, stats_),
+      stackCache_(cfg_.stackCacheLines ? cfg_.stackCacheLines : 1,
+                  cfg_.numLanes * 16, dramTimer_, stats_),
+      coalescer_(cfg_.coalesceBytes), regfile_(cfg_, stats_),
+      opCounts_(static_cast<size_t>(Op::NUM_OPS), 0)
+{
+    for (auto &scr : scrs_)
+        scr = cap::nullCapPipe();
+
+    active_.resize(cfg_.numLanes);
+    rs1Data_.resize(cfg_.numLanes);
+    rs2Data_.resize(cfg_.numLanes);
+    result_.resize(cfg_.numLanes);
+    addrs_.resize(cfg_.numLanes);
+    rs1Meta_.resize(cfg_.numLanes);
+    rs2Meta_.resize(cfg_.numLanes);
+    resultMeta_.resize(cfg_.numLanes);
+    storeCapTags_.resize(cfg_.numLanes);
+}
+
+void
+Sm::loadProgram(const std::vector<uint32_t> &words)
+{
+    fatal_if(words.size() * 4 > kTcimSize, "program exceeds TCIM size");
+    code_ = words;
+    decoded_.resize(words.size());
+    for (size_t i = 0; i < words.size(); ++i)
+        decoded_[i] = isa::decode(words[i]);
+}
+
+void
+Sm::setScr(isa::Scr scr, const CapPipe &value)
+{
+    scrs_[scr] = value;
+}
+
+void
+Sm::launch(uint32_t entry_pc, unsigned warps_per_block)
+{
+    fatal_if(warps_per_block == 0 || cfg_.numWarps % warps_per_block != 0,
+             "warps per block (%u) must divide warp count (%u)",
+             warps_per_block, cfg_.numWarps);
+    warpsPerBlock_ = warps_per_block;
+
+    // The program-counter capability covers the instruction memory with
+    // execute permission; with the static-PC-metadata restriction this is
+    // set once here and never changed.
+    CapPipe code_cap = cap::setBounds(cap::rootCap(), kTcimSize).cap;
+    code_cap = cap::andPerms(
+        code_cap, static_cast<uint8_t>(cap::PERM_EXECUTE | cap::PERM_LOAD |
+                                       cap::PERM_GLOBAL));
+
+    warps_.assign(cfg_.numWarps, Warp{});
+    for (auto &w : warps_) {
+        w.pc.assign(cfg_.numLanes, entry_pc);
+        w.nest.assign(cfg_.numLanes, 0);
+        w.halted.assign(cfg_.numLanes, false);
+        w.pcc.assign(cfg_.numLanes, code_cap);
+        w.readyAt = 0;
+        w.atBarrier = false;
+        w.liveThreads = cfg_.numLanes;
+    }
+    liveWarps_ = cfg_.numWarps;
+    rrPtr_ = 0;
+    now_ = 0;
+    sfuBusyUntil_ = 0;
+    firstTrap_ = TrapInfo{};
+    dataOccAccum_ = 0;
+    metaOccAccum_ = 0;
+
+    // A launch starts from clean microarchitectural state and counters;
+    // DRAM and scratchpad contents persist (host-visible memory).
+    regfile_.reset();
+    tagController_.reset();
+    stackCache_.reset();
+    dramTimer_.reset();
+    stats_.clear();
+    std::fill(opCounts_.begin(), opCounts_.end(), 0);
+}
+
+int
+Sm::selectActive(const Warp &warp, std::vector<bool> &active) const
+{
+    // Deepest nesting level first, then lowest PC (Section 2.3).
+    int leader = -1;
+    for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+        if (warp.halted[lane])
+            continue;
+        if (leader < 0 || warp.nest[lane] > warp.nest[leader] ||
+            (warp.nest[lane] == warp.nest[leader] &&
+             warp.pc[lane] < warp.pc[leader])) {
+            leader = static_cast<int>(lane);
+        }
+    }
+    if (leader < 0)
+        return -1;
+
+    const bool check_pcc_meta = cfg_.purecap && !cfg_.staticPcMeta;
+    for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+        bool a = !warp.halted[lane] &&
+                 warp.nest[lane] == warp.nest[leader] &&
+                 warp.pc[lane] == warp.pc[leader];
+        if (a && check_pcc_meta) {
+            // Dynamic PC metadata: active threads must agree on the whole
+            // PCC, not just the address.
+            a = warp.pcc[lane] == warp.pcc[leader];
+        }
+        active[lane] = a;
+    }
+    return leader;
+}
+
+void
+Sm::haltThread(unsigned warp, unsigned lane)
+{
+    Warp &w = warps_[warp];
+    if (w.halted[lane])
+        return;
+    w.halted[lane] = true;
+    --w.liveThreads;
+    if (w.liveThreads == 0) {
+        --liveWarps_;
+        // A finishing warp may be the last arrival its block's barrier
+        // was waiting for.
+        releaseBarrierIfReady(warp / warpsPerBlock_);
+    }
+}
+
+void
+Sm::trap(unsigned warp, unsigned lane, uint32_t pc, Op op, uint32_t addr,
+         const char *kind)
+{
+    stats_.add("cheri_traps");
+    if (!firstTrap_.trapped) {
+        firstTrap_.trapped = true;
+        firstTrap_.pc = pc;
+        firstTrap_.addr = addr;
+        firstTrap_.warp = warp;
+        firstTrap_.lane = lane;
+        firstTrap_.op = op;
+        firstTrap_.kind = kind;
+    }
+    haltThread(warp, lane);
+}
+
+uint32_t
+Sm::loadValue(uint32_t addr, unsigned log_width, bool sign)
+{
+    uint32_t raw;
+    if (Scratchpad::contains(addr)) {
+        raw = log_width == 0
+                  ? scratchpad_.load8(addr)
+                  : (log_width == 1 ? scratchpad_.load16(addr)
+                                    : scratchpad_.load32(addr));
+    } else if (MainMemory::contains(addr)) {
+        raw = log_width == 0 ? dram_.load8(addr)
+                             : (log_width == 1 ? dram_.load16(addr)
+                                               : dram_.load32(addr));
+    } else if (addr >= kTcimBase && addr < kTcimBase + kTcimSize) {
+        const size_t idx = (addr & ~3u) / 4;
+        raw = idx < code_.size() ? code_[idx] : 0;
+        raw >>= (addr & 3) * 8;
+        raw &= static_cast<uint32_t>(support::mask(8u << log_width));
+    } else {
+        panic("load from unmapped address 0x%08x", addr);
+    }
+    if (sign && log_width < 2)
+        raw = static_cast<uint32_t>(
+            support::signExtend32(raw, 8u << log_width));
+    return raw;
+}
+
+void
+Sm::storeValue(uint32_t addr, unsigned log_width, uint32_t value)
+{
+    const unsigned bytes = 1u << log_width;
+    if (Scratchpad::contains(addr)) {
+        if (log_width == 0)
+            scratchpad_.store8(addr, static_cast<uint8_t>(value));
+        else if (log_width == 1)
+            scratchpad_.store16(addr, static_cast<uint16_t>(value));
+        else
+            scratchpad_.store32(addr, value);
+        scratchpad_.clearTagForStore(addr, bytes);
+    } else if (MainMemory::contains(addr)) {
+        if (log_width == 0)
+            dram_.store8(addr, static_cast<uint8_t>(value));
+        else if (log_width == 1)
+            dram_.store16(addr, static_cast<uint16_t>(value));
+        else
+            dram_.store32(addr, value);
+        dram_.clearTagForStore(addr, bytes);
+    } else {
+        panic("store to unmapped address 0x%08x", addr);
+    }
+}
+
+uint32_t
+Sm::atomicRmw(Op op, uint32_t addr, uint32_t operand)
+{
+    const uint32_t old = loadValue(addr, 2, false);
+    uint32_t next = old;
+    switch (op) {
+      case Op::AMOADD_W: next = old + operand; break;
+      case Op::AMOSWAP_W: next = operand; break;
+      case Op::AMOAND_W: next = old & operand; break;
+      case Op::AMOOR_W: next = old | operand; break;
+      case Op::AMOXOR_W: next = old ^ operand; break;
+      case Op::AMOMIN_W:
+        next = static_cast<int32_t>(old) < static_cast<int32_t>(operand)
+                   ? old
+                   : operand;
+        break;
+      case Op::AMOMAX_W:
+        next = static_cast<int32_t>(old) > static_cast<int32_t>(operand)
+                   ? old
+                   : operand;
+        break;
+      case Op::AMOMINU_W: next = old < operand ? old : operand; break;
+      case Op::AMOMAXU_W: next = old > operand ? old : operand; break;
+      default: panic("not an atomic op");
+    }
+    storeValue(addr, 2, next);
+    return old;
+}
+
+void
+Sm::releaseBarrierIfReady(unsigned block)
+{
+    const unsigned first = block * warpsPerBlock_;
+    for (unsigned w = first; w < first + warpsPerBlock_; ++w) {
+        if (!warps_[w].done() && !warps_[w].atBarrier)
+            return;
+    }
+    for (unsigned w = first; w < first + warpsPerBlock_; ++w) {
+        if (warps_[w].atBarrier) {
+            warps_[w].atBarrier = false;
+            warps_[w].readyAt = now_ + 1;
+        }
+    }
+    stats_.add("barriers_released");
+}
+
+bool
+Sm::run(uint64_t max_cycles)
+{
+    while (now_ < max_cycles) {
+        if (liveWarps_ == 0) {
+            // Fold per-op counts into the stat set.
+            for (size_t i = 0; i < opCounts_.size(); ++i) {
+                if (opCounts_[i]) {
+                    stats_.set("op_" + isa::opName(static_cast<Op>(i),
+                                                   cfg_.purecap),
+                               opCounts_[i]);
+                }
+            }
+            stats_.set("cycles", now_);
+            return true;
+        }
+
+        // Round-robin issue among ready warps.
+        int chosen = -1;
+        for (unsigned i = 0; i < cfg_.numWarps; ++i) {
+            const unsigned wid = (rrPtr_ + i) % cfg_.numWarps;
+            const Warp &w = warps_[wid];
+            if (!w.done() && !w.atBarrier && w.readyAt <= now_) {
+                chosen = static_cast<int>(wid);
+                break;
+            }
+        }
+
+        if (chosen < 0) {
+            // Idle: fast-forward to the next warp wake-up.
+            uint64_t next = std::numeric_limits<uint64_t>::max();
+            for (const auto &w : warps_) {
+                if (!w.done() && !w.atBarrier)
+                    next = std::min(next, w.readyAt);
+            }
+            if (next == std::numeric_limits<uint64_t>::max()) {
+                warn("deadlock: all live warps waiting at a barrier");
+                return false;
+            }
+            const uint64_t dt = next - now_;
+            stats_.add("idle_cycles", dt);
+            dataOccAccum_ += regfile_.dataVectorsInVrf() * dt;
+            metaOccAccum_ += regfile_.metaVectorsInVrf() * dt;
+            now_ = next;
+            continue;
+        }
+
+        rrPtr_ = (static_cast<unsigned>(chosen) + 1) % cfg_.numWarps;
+        const unsigned slot_cycles = executeWarp(chosen);
+        dataOccAccum_ += regfile_.dataVectorsInVrf() * slot_cycles;
+        metaOccAccum_ += regfile_.metaVectorsInVrf() * slot_cycles;
+        now_ += slot_cycles;
+    }
+    warn("kernel did not complete within %llu cycles",
+         static_cast<unsigned long long>(max_cycles));
+    return false;
+}
+
+double
+Sm::avgDataVectorsInVrf() const
+{
+    return now_ ? static_cast<double>(dataOccAccum_) / now_ : 0.0;
+}
+
+double
+Sm::avgMetaVectorsInVrf() const
+{
+    return now_ ? static_cast<double>(metaOccAccum_) / now_ : 0.0;
+}
+
+unsigned
+Sm::executeWarp(unsigned wid)
+{
+    Warp &w = warps_[wid];
+    const int leader = selectActive(w, active_);
+    panic_if(leader < 0, "executeWarp on a finished warp");
+    const uint32_t pc = w.pc[leader];
+
+    // Fetch: one instruction fetched and decoded per warp (control-flow
+    // regularity). In purecap mode the PCC is checked once per warp.
+    const size_t idx = (pc - kTcimBase) / 4;
+    if (pc % 4 != 0 || idx >= decoded_.size()) {
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+            if (active_[lane])
+                trap(wid, lane, pc, Op::ILLEGAL, pc, "bad fetch pc");
+        }
+        return 1;
+    }
+    if (cfg_.purecap) {
+        const CapPipe &pcc = w.pcc[leader];
+        if (!pcc.tag || !(pcc.perms & cap::PERM_EXECUTE) ||
+            !cap::isRangeInBounds(pcc, pc, 4)) {
+            for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                if (active_[lane])
+                    trap(wid, lane, pc, Op::ILLEGAL, pc, "pcc violation");
+            }
+            return 1;
+        }
+    }
+
+    const Instr &in = decoded_[idx];
+    const Op op = in.op;
+    if (op == Op::ILLEGAL) {
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+            if (active_[lane])
+                trap(wid, lane, pc, op, pc, "illegal instruction");
+        }
+        return 1;
+    }
+
+    stats_.add("instrs");
+    opCounts_[static_cast<size_t>(op)]++;
+    if (isa::isCheri(op))
+        stats_.add("cheri_instrs");
+
+    // ---- Operand fetch ----
+    RfAccess fetch_acc;
+    if (isa::usesRs1(op))
+        regfile_.readData(wid, in.rs1, rs1Data_, fetch_acc);
+    if (isa::usesRs2(op))
+        regfile_.readData(wid, in.rs2, rs2Data_, fetch_acc);
+
+    const bool rs1_is_cap =
+        cfg_.purecap &&
+        (isa::isMemAccess(op) || op == Op::JALR ||
+         (isa::isCheri(op) && op != Op::CRRL && op != Op::CRAM));
+    const bool rs2_is_cap = cfg_.purecap &&
+                            (op == Op::CSC || op == Op::CSPECIALRW);
+    if (rs1_is_cap)
+        regfile_.readMeta(wid, in.rs1, rs1Meta_, fetch_acc);
+    else
+        std::fill(rs1Meta_.begin(), rs1Meta_.end(), CapMeta{});
+    if (rs2_is_cap)
+        regfile_.readMeta(wid, in.rs2, rs2Meta_, fetch_acc);
+    else
+        std::fill(rs2Meta_.begin(), rs2Meta_.end(), CapMeta{});
+
+    unsigned extra_cycles = 0;
+    if (cfg_.metaSrfSinglePort && op == Op::CSC) {
+        // Two capability source operands through a single-read-port
+        // metadata SRF (Section 3.2).
+        ++extra_cycles;
+        stats_.add("csc_port_stalls");
+    }
+    if (cfg_.sharedVrf && fetch_acc.dataFromVrf && fetch_acc.metaFromVrf) {
+        // Serialised data/metadata access to the shared VRF (Section 3.2).
+        ++extra_cycles;
+        stats_.add("shared_vrf_stalls");
+    }
+
+    // ---- Execute ----
+    uint64_t finish = now_ + cfg_.pipelineDepth;
+    bool writes_rd = isa::usesRd(op);
+    bool result_is_cap = false; // resultMeta_ holds capability metadata
+    const int32_t imm = in.imm;
+
+    std::fill(resultMeta_.begin(), resultMeta_.end(), CapMeta{});
+
+    const auto cap1 = [&](unsigned lane) {
+        return capFromParts(rs1Data_[lane], rs1Meta_[lane]);
+    };
+    const auto set_cap_result = [&](unsigned lane, const CapPipe &c) {
+        capToParts(c, result_[lane], resultMeta_[lane]);
+    };
+
+    const bool is_sfu_fp = isa::isFpSlowPath(op);
+    const bool is_sfu_cheri =
+        cfg_.sfuCheriOffload && isa::isCheriSlowPath(op);
+
+    if (isa::isMemAccess(op)) {
+        // ---- Memory pipeline ----
+        const unsigned log_width = isa::accessLogWidth(op);
+        const unsigned bytes = 1u << log_width;
+        const bool is_store = isa::isStore(op);
+        const bool is_atomic = isa::isAtomic(op);
+        const bool is_cap_access = op == Op::CLC || op == Op::CSC;
+
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+            if (!active_[lane])
+                continue;
+            addrs_[lane] =
+                rs1Data_[lane] +
+                static_cast<uint32_t>(is_atomic ? 0 : imm);
+        }
+
+        // Per-lane CHERI checks; faulting lanes trap and drop out.
+        if (cfg_.purecap) {
+            for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                if (!active_[lane])
+                    continue;
+                CapPipe c = cap1(lane);
+                c = cap::setAddr(c, addrs_[lane]);
+                const char *fault = nullptr;
+                if (!rs1Meta_[lane].tag)
+                    fault = "tag violation";
+                else if (rs1Meta_[lane].tag &&
+                         capFromParts(rs1Data_[lane], rs1Meta_[lane])
+                             .isSealed())
+                    fault = "seal violation";
+                else if ((is_store || is_atomic) &&
+                         !(c.perms & cap::PERM_STORE))
+                    fault = "store permission violation";
+                else if (!is_store && !(c.perms & cap::PERM_LOAD))
+                    fault = "load permission violation";
+                else if (op == Op::CSC && rs2Meta_[lane].tag &&
+                         !(c.perms & cap::PERM_STORE_CAP))
+                    fault = "store-cap permission violation";
+                else if (addrs_[lane] % bytes != 0)
+                    fault = "misaligned access";
+                else if (!cap::isRangeInBounds(c, addrs_[lane], bytes))
+                    fault = "bounds violation";
+                if (fault) {
+                    trap(wid, lane, pc, op, addrs_[lane], fault);
+                    active_[lane] = false;
+                }
+            }
+        } else {
+            for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                if (active_[lane] && addrs_[lane] % bytes != 0)
+                    panic("misaligned %s at 0x%08x (baseline)",
+                          isa::opName(op).c_str(), addrs_[lane]);
+            }
+        }
+
+        // Split shared-memory and DRAM lanes.
+        static thread_local std::vector<bool> dram_lanes, shared_lanes;
+        dram_lanes.assign(cfg_.numLanes, false);
+        shared_lanes.assign(cfg_.numLanes, false);
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+            if (!active_[lane])
+                continue;
+            if (Scratchpad::contains(addrs_[lane]))
+                shared_lanes[lane] = true;
+            else
+                dram_lanes[lane] = true;
+        }
+
+        // Scratchpad: bank-conflict serialisation. Capability accesses
+        // touch two consecutive words, doubling the occupancy.
+        unsigned shared_cycles = 0;
+        bool any_shared = false;
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane)
+            any_shared = any_shared || shared_lanes[lane];
+        if (any_shared) {
+            shared_cycles =
+                scratchpad_.conflictCycles(addrs_, shared_lanes) *
+                (is_cap_access ? 2 : 1);
+            stats_.add("scratchpad_accesses");
+        }
+
+        // DRAM: coalesce into segments, account tag traffic, queue on the
+        // bandwidth-limited channel.
+        uint64_t mem_done = now_;
+        bool any_dram = false;
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane)
+            any_dram = any_dram || dram_lanes[lane];
+        if (any_dram) {
+            bool writes_tagged_cap = false;
+            if (op == Op::CSC) {
+                for (unsigned lane = 0; lane < cfg_.numLanes; ++lane)
+                    writes_tagged_cap = writes_tagged_cap ||
+                                        (dram_lanes[lane] &&
+                                         rs2Meta_[lane].tag);
+            }
+            // A warp access entirely within the stack region is served
+            // by the compressed stack cache: the addresses are affine
+            // (uniform slot offset, per-thread stride), so one compressed
+            // entry covers the whole warp. The cache holds tag bits too.
+            const uint32_t stack_base = cfg_.stackRegionBase();
+            bool all_stack = cfg_.stackCacheLines > 0;
+            uint32_t min_addr = 0xffffffffu;
+            for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                if (!dram_lanes[lane])
+                    continue;
+                all_stack = all_stack && addrs_[lane] >= stack_base;
+                min_addr = std::min(min_addr, addrs_[lane]);
+            }
+            if (all_stack) {
+                // Compressed-entry key: slot granule (16 B) within the
+                // frame, qualified by the warp's block of stacks.
+                const uint32_t stride = cfg_.stackBytesPerThread;
+                const uint32_t warp_block =
+                    (min_addr - stack_base) / (stride * cfg_.numLanes);
+                const uint32_t slot =
+                    ((min_addr - stack_base) % stride) / 16;
+                // Dense key layout: consecutive warps map to consecutive
+                // cache entries, so a direct-mapped cache holds one live
+                // slot per warp without conflict misses.
+                const uint32_t key = slot * cfg_.numWarps + warp_block;
+                const uint64_t done = stackCache_.access(
+                    now_, key, is_store || is_atomic);
+                mem_done = std::max(mem_done, done);
+                stats_.add("stack_warp_accesses");
+            } else {
+            const auto txns =
+                coalescer_.coalesce(addrs_, dram_lanes, bytes);
+            stats_.add("dram_transactions", txns.size());
+            for (const auto &t : txns) {
+                const uint64_t tag_done = tagController_.access(
+                    now_, t.segment, is_store || is_atomic,
+                    writes_tagged_cap);
+                const uint64_t done = dramTimer_.access(tag_done, t.bytes);
+                mem_done = std::max(mem_done, done);
+                if (is_store)
+                    stats_.add("dram_bytes_written", t.bytes);
+                else if (is_atomic) {
+                    stats_.add("dram_bytes_read", t.bytes);
+                    stats_.add("dram_bytes_written", t.bytes);
+                } else {
+                    stats_.add("dram_bytes_read", t.bytes);
+                }
+            }
+            }
+        }
+
+        // Functional access per lane.
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+            if (!active_[lane])
+                continue;
+            const uint32_t addr = addrs_[lane];
+            const bool in_shared = shared_lanes[lane];
+            if (is_atomic) {
+                result_[lane] = atomicRmw(op, addr, rs2Data_[lane]);
+            } else if (op == Op::CLC) {
+                const cap::CapMem m = in_shared
+                                          ? scratchpad_.loadCap(addr)
+                                          : dram_.loadCap(addr);
+                CapPipe loaded = cap::fromMem(m);
+                // Loading via a capability without LOAD_CAP strips tags.
+                if (cfg_.purecap &&
+                    !(cap1(lane).perms & cap::PERM_LOAD_CAP))
+                    loaded.tag = false;
+                set_cap_result(lane, loaded);
+            } else if (op == Op::CSC) {
+                cap::CapMem m;
+                m.bits =
+                    (static_cast<uint64_t>(rs2Meta_[lane].meta) << 32) |
+                    rs2Data_[lane];
+                m.tag = rs2Meta_[lane].tag;
+                if (in_shared)
+                    scratchpad_.storeCap(addr, m);
+                else
+                    dram_.storeCap(addr, m);
+            } else if (is_store) {
+                storeValue(addr, log_width, rs2Data_[lane]);
+            } else {
+                const bool sign = op == Op::LB || op == Op::LH;
+                result_[lane] = loadValue(addr, log_width, sign);
+            }
+        }
+
+        result_is_cap = op == Op::CLC;
+        writes_rd = (isa::isLoad(op) || is_atomic) && in.rd != 0;
+
+        if (is_cap_access) {
+            // Two-flit (64-bit) transactions occupy the request
+            // serialiser for an extra cycle (Section 3.4).
+            ++extra_cycles;
+        }
+        const uint64_t base_done =
+            std::max(mem_done, now_ + shared_cycles);
+        finish = base_done + cfg_.pipelineDepth;
+    } else if (is_sfu_fp || is_sfu_cheri) {
+        // ---- Shared function unit: serialised over active lanes ----
+        unsigned count = 0;
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane)
+            count += active_[lane] ? 1 : 0;
+        const uint64_t start = std::max(now_, sfuBusyUntil_);
+        sfuBusyUntil_ = start + count * cfg_.sfuCyclesPerElem;
+        finish = sfuBusyUntil_ + cfg_.pipelineDepth;
+        stats_.add(is_sfu_cheri ? "sfu_cheri_ops" : "sfu_fp_ops", count);
+
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+            if (!active_[lane])
+                continue;
+            switch (op) {
+              case Op::FDIV_S:
+                result_[lane] = asBits(asFloat(rs1Data_[lane]) /
+                                       asFloat(rs2Data_[lane]));
+                break;
+              case Op::FSQRT_S:
+                result_[lane] = asBits(std::sqrt(asFloat(rs1Data_[lane])));
+                break;
+              case Op::CGETBASE:
+                result_[lane] = cap::getBase(cap1(lane));
+                break;
+              case Op::CGETLEN: {
+                const uint64_t len = cap::getLength(cap1(lane));
+                result_[lane] = static_cast<uint32_t>(
+                    std::min<uint64_t>(len, 0xffffffffull));
+                break;
+              }
+              case Op::CSETBOUNDS:
+              case Op::CSETBOUNDSEXACT:
+              case Op::CSETBOUNDSIMM: {
+                const uint32_t len =
+                    op == Op::CSETBOUNDSIMM
+                        ? static_cast<uint32_t>(imm)
+                        : rs2Data_[lane];
+                const cap::SetBoundsResult r =
+                    cap::setBounds(cap1(lane), len);
+                if (op == Op::CSETBOUNDSEXACT && !r.exact) {
+                    trap(wid, lane, pc, op, rs1Data_[lane],
+                         "inexact bounds");
+                    active_[lane] = false;
+                    break;
+                }
+                set_cap_result(lane, r.cap);
+                break;
+              }
+              case Op::CRRL:
+                result_[lane] = cap::representableLength(rs1Data_[lane]);
+                break;
+              case Op::CRAM:
+                result_[lane] =
+                    cap::representableAlignmentMask(rs1Data_[lane]);
+                break;
+              default:
+                panic("unexpected SFU op %s", isa::opName(op).c_str());
+            }
+        }
+        result_is_cap = op == Op::CSETBOUNDS || op == Op::CSETBOUNDSEXACT ||
+                        op == Op::CSETBOUNDSIMM;
+    } else {
+        // ---- Per-lane fast path ----
+        switch (op) {
+          case Op::DIV:
+          case Op::DIVU:
+          case Op::REM:
+          case Op::REMU:
+            finish = now_ + cfg_.pipelineDepth + cfg_.divLatency;
+            break;
+          default:
+            break;
+        }
+
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+            if (!active_[lane])
+                continue;
+            const uint32_t a = rs1Data_[lane];
+            const uint32_t b = rs2Data_[lane];
+            const int32_t sa = static_cast<int32_t>(a);
+            const int32_t sb = static_cast<int32_t>(b);
+            uint32_t r = 0;
+            switch (op) {
+              case Op::LUI: r = static_cast<uint32_t>(imm); break;
+              case Op::AUIPC:
+                if (cfg_.purecap) {
+                    const CapPipe c = cap::setAddr(
+                        w.pcc[lane],
+                        pc + static_cast<uint32_t>(imm));
+                    set_cap_result(lane, c);
+                    r = result_[lane];
+                } else {
+                    r = pc + static_cast<uint32_t>(imm);
+                }
+                break;
+              case Op::ADDI: r = a + static_cast<uint32_t>(imm); break;
+              case Op::SLTI: r = sa < imm ? 1 : 0; break;
+              case Op::SLTIU:
+                r = a < static_cast<uint32_t>(imm) ? 1 : 0;
+                break;
+              case Op::XORI: r = a ^ static_cast<uint32_t>(imm); break;
+              case Op::ORI: r = a | static_cast<uint32_t>(imm); break;
+              case Op::ANDI: r = a & static_cast<uint32_t>(imm); break;
+              case Op::SLLI: r = a << (imm & 31); break;
+              case Op::SRLI: r = a >> (imm & 31); break;
+              case Op::SRAI: r = static_cast<uint32_t>(sa >> (imm & 31));
+                break;
+              case Op::ADD: r = a + b; break;
+              case Op::SUB: r = a - b; break;
+              case Op::SLL: r = a << (b & 31); break;
+              case Op::SLT: r = sa < sb ? 1 : 0; break;
+              case Op::SLTU: r = a < b ? 1 : 0; break;
+              case Op::XOR: r = a ^ b; break;
+              case Op::SRL: r = a >> (b & 31); break;
+              case Op::SRA: r = static_cast<uint32_t>(sa >> (b & 31));
+                break;
+              case Op::OR: r = a | b; break;
+              case Op::AND: r = a & b; break;
+              case Op::MUL: r = a * b; break;
+              case Op::MULH:
+                r = static_cast<uint32_t>(
+                    (static_cast<int64_t>(sa) * sb) >> 32);
+                break;
+              case Op::MULHSU:
+                r = static_cast<uint32_t>(
+                    (static_cast<int64_t>(sa) *
+                     static_cast<uint64_t>(b)) >> 32);
+                break;
+              case Op::MULHU:
+                r = static_cast<uint32_t>(
+                    (static_cast<uint64_t>(a) * b) >> 32);
+                break;
+              case Op::DIV:
+                r = b == 0 ? 0xffffffffu
+                           : (sa == INT32_MIN && sb == -1
+                                  ? static_cast<uint32_t>(INT32_MIN)
+                                  : static_cast<uint32_t>(sa / sb));
+                break;
+              case Op::DIVU: r = b == 0 ? 0xffffffffu : a / b; break;
+              case Op::REM:
+                r = b == 0 ? a
+                           : (sa == INT32_MIN && sb == -1
+                                  ? 0
+                                  : static_cast<uint32_t>(sa % sb));
+                break;
+              case Op::REMU: r = b == 0 ? a : a % b; break;
+              case Op::FADD_S:
+                r = asBits(asFloat(a) + asFloat(b));
+                break;
+              case Op::FSUB_S:
+                r = asBits(asFloat(a) - asFloat(b));
+                break;
+              case Op::FMUL_S:
+                r = asBits(asFloat(a) * asFloat(b));
+                break;
+              case Op::FMIN_S:
+                r = asBits(std::fmin(asFloat(a), asFloat(b)));
+                break;
+              case Op::FMAX_S:
+                r = asBits(std::fmax(asFloat(a), asFloat(b)));
+                break;
+              case Op::FCVT_W_S:
+                r = static_cast<uint32_t>(
+                    static_cast<int32_t>(asFloat(a)));
+                break;
+              case Op::FCVT_WU_S:
+                r = static_cast<uint32_t>(asFloat(a));
+                break;
+              case Op::FCVT_S_W:
+                r = asBits(static_cast<float>(sa));
+                break;
+              case Op::FCVT_S_WU:
+                r = asBits(static_cast<float>(a));
+                break;
+              case Op::FEQ_S: r = asFloat(a) == asFloat(b) ? 1 : 0; break;
+              case Op::FLT_S: r = asFloat(a) < asFloat(b) ? 1 : 0; break;
+              case Op::FLE_S: r = asFloat(a) <= asFloat(b) ? 1 : 0; break;
+              case Op::CSRRW:
+              case Op::CSRRS:
+                switch (static_cast<uint16_t>(imm)) {
+                  case isa::CSR_HARTID:
+                    r = wid * cfg_.numLanes + lane;
+                    break;
+                  case isa::CSR_NUMTHREADS:
+                    r = cfg_.numThreads();
+                    break;
+                  case isa::CSR_WARPID: r = wid; break;
+                  case isa::CSR_LANEID: r = lane; break;
+                  default: r = 0; break;
+                }
+                break;
+
+              // Control flow and SIMT ops handled below; no result.
+              case Op::JAL:
+              case Op::JALR:
+              case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+              case Op::BLTU: case Op::BGEU:
+              case Op::SIMT_PUSH: case Op::SIMT_POP:
+              case Op::SIMT_BARRIER: case Op::SIMT_HALT:
+              case Op::SIMT_TRAP:
+                break;
+
+              // CHERI per-lane fast path.
+              case Op::CGETTAG:
+                r = rs1Meta_[lane].tag ? 1 : 0;
+                break;
+              case Op::CGETPERM: r = cap1(lane).perms; break;
+              case Op::CGETTYPE: r = cap1(lane).otype; break;
+              case Op::CGETSEALED:
+                r = cap1(lane).isSealed() ? 1 : 0;
+                break;
+              case Op::CGETFLAGS: r = cap1(lane).flag ? 1 : 0; break;
+              case Op::CGETADDR: r = a; break;
+              case Op::CMOVE:
+                result_[lane] = a;
+                resultMeta_[lane] = rs1Meta_[lane];
+                break;
+              case Op::CCLEARTAG:
+                result_[lane] = a;
+                resultMeta_[lane] = rs1Meta_[lane];
+                resultMeta_[lane].tag = false;
+                break;
+              case Op::CANDPERM:
+                set_cap_result(lane, cap::andPerms(
+                    cap1(lane), static_cast<uint8_t>(b)));
+                break;
+              case Op::CSETFLAGS: {
+                CapPipe c = cap1(lane);
+                if (c.isSealed())
+                    c.tag = false;
+                c.flag = (b & 1) != 0;
+                set_cap_result(lane, c);
+                break;
+              }
+              case Op::CSEALENTRY:
+                set_cap_result(lane, cap::sealEntry(cap1(lane)));
+                break;
+              case Op::CSETADDR:
+                set_cap_result(lane, cap::setAddr(cap1(lane), b));
+                break;
+              case Op::CINCOFFSET:
+                set_cap_result(lane, cap::incAddr(cap1(lane), b));
+                break;
+              case Op::CINCOFFSETIMM:
+                set_cap_result(lane, cap::incAddr(
+                    cap1(lane), static_cast<uint32_t>(imm)));
+                break;
+              case Op::CSPECIALRW: {
+                const auto scr_idx = static_cast<isa::Scr>(imm & 0x1f);
+                const CapPipe old = scr_idx == isa::SCR_PCC
+                                        ? w.pcc[lane]
+                                        : scrs_[scr_idx];
+                if (in.rs1 != 0 && scr_idx != isa::SCR_PCC)
+                    scrs_[scr_idx] = cap1(lane);
+                set_cap_result(lane, old);
+                break;
+              }
+              // SFU ops reach here when offload is disabled: executed
+              // in the per-lane data path at normal latency.
+              case Op::CGETBASE:
+                r = cap::getBase(cap1(lane));
+                break;
+              case Op::CGETLEN: {
+                const uint64_t len = cap::getLength(cap1(lane));
+                r = static_cast<uint32_t>(
+                    std::min<uint64_t>(len, 0xffffffffull));
+                break;
+              }
+              case Op::CSETBOUNDS:
+              case Op::CSETBOUNDSEXACT:
+              case Op::CSETBOUNDSIMM: {
+                const uint32_t len = op == Op::CSETBOUNDSIMM
+                                         ? static_cast<uint32_t>(imm)
+                                         : b;
+                const cap::SetBoundsResult res =
+                    cap::setBounds(cap1(lane), len);
+                if (op == Op::CSETBOUNDSEXACT && !res.exact) {
+                    trap(wid, lane, pc, op, a, "inexact bounds");
+                    active_[lane] = false;
+                    break;
+                }
+                set_cap_result(lane, res.cap);
+                break;
+              }
+              case Op::CRRL:
+                r = cap::representableLength(a);
+                break;
+              case Op::CRAM:
+                r = cap::representableAlignmentMask(a);
+                break;
+              default:
+                panic("unimplemented op %s", isa::opName(op).c_str());
+            }
+
+            switch (op) {
+              case Op::CMOVE: case Op::CCLEARTAG: case Op::CANDPERM:
+              case Op::CSETFLAGS: case Op::CSEALENTRY: case Op::CSETADDR:
+              case Op::CINCOFFSET: case Op::CINCOFFSETIMM:
+              case Op::CSPECIALRW: case Op::CSETBOUNDS:
+              case Op::CSETBOUNDSEXACT: case Op::CSETBOUNDSIMM:
+                break; // result_ already set via set_cap_result
+              case Op::AUIPC:
+                if (cfg_.purecap)
+                    break;
+                [[fallthrough]];
+              default:
+                result_[lane] = r;
+                break;
+            }
+        }
+        result_is_cap =
+            cfg_.purecap &&
+            (op == Op::CMOVE || op == Op::CCLEARTAG || op == Op::CANDPERM ||
+             op == Op::CSETFLAGS || op == Op::CSEALENTRY ||
+             op == Op::CSETADDR || op == Op::CINCOFFSET ||
+             op == Op::CINCOFFSETIMM || op == Op::CSPECIALRW ||
+             op == Op::CSETBOUNDS || op == Op::CSETBOUNDSEXACT ||
+             op == Op::CSETBOUNDSIMM || op == Op::AUIPC);
+    }
+
+    // ---- Control flow / PC update ----
+    for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+        if (!active_[lane])
+            continue;
+        const uint32_t a = rs1Data_[lane];
+        const uint32_t b = rs2Data_[lane];
+        const int32_t sa = static_cast<int32_t>(a);
+        const int32_t sb = static_cast<int32_t>(b);
+        switch (op) {
+          case Op::BEQ: w.pc[lane] = a == b ? pc + imm : pc + 4; break;
+          case Op::BNE: w.pc[lane] = a != b ? pc + imm : pc + 4; break;
+          case Op::BLT: w.pc[lane] = sa < sb ? pc + imm : pc + 4; break;
+          case Op::BGE: w.pc[lane] = sa >= sb ? pc + imm : pc + 4; break;
+          case Op::BLTU: w.pc[lane] = a < b ? pc + imm : pc + 4; break;
+          case Op::BGEU: w.pc[lane] = a >= b ? pc + imm : pc + 4; break;
+          case Op::JAL:
+            if (cfg_.purecap) {
+                const CapPipe ret =
+                    cap::sealEntry(cap::setAddr(w.pcc[lane], pc + 4));
+                set_cap_result(lane, ret);
+                result_is_cap = true;
+            } else {
+                result_[lane] = pc + 4;
+            }
+            w.pc[lane] = pc + static_cast<uint32_t>(imm);
+            break;
+          case Op::JALR: {
+            const uint32_t target =
+                (a + static_cast<uint32_t>(imm)) & ~1u;
+            if (cfg_.purecap) {
+                CapPipe c = cap1(lane);
+                const char *fault = nullptr;
+                if (!c.tag)
+                    fault = "jump tag violation";
+                else if (c.isSealed() && (!c.isSentry() || imm != 0))
+                    fault = "jump seal violation";
+                else if (!(c.perms & cap::PERM_EXECUTE))
+                    fault = "jump permission violation";
+                else if (!cap::isRangeInBounds(c, target, 4))
+                    fault = "jump bounds violation";
+                if (fault) {
+                    trap(wid, lane, pc, op, target, fault);
+                    active_[lane] = false;
+                    break;
+                }
+                c.otype = cap::OTYPE_UNSEALED;
+                const CapPipe ret =
+                    cap::sealEntry(cap::setAddr(w.pcc[lane], pc + 4));
+                set_cap_result(lane, ret);
+                result_is_cap = true;
+                w.pcc[lane] = c;
+            } else {
+                result_[lane] = pc + 4;
+            }
+            w.pc[lane] = target;
+            break;
+          }
+          case Op::SIMT_PUSH:
+            ++w.nest[lane];
+            w.pc[lane] = pc + 4;
+            break;
+          case Op::SIMT_POP:
+            panic_if(w.nest[lane] == 0, "SIMT_POP at nesting level 0");
+            --w.nest[lane];
+            w.pc[lane] = pc + 4;
+            break;
+          case Op::SIMT_HALT:
+            haltThread(wid, lane);
+            break;
+          case Op::SIMT_TRAP:
+            stats_.add("soft_bounds_traps");
+            trap(wid, lane, pc, op, 0, "software bounds trap");
+            break;
+          case Op::SIMT_BARRIER:
+            w.pc[lane] = pc + 4;
+            break;
+          default:
+            w.pc[lane] = pc + 4;
+            break;
+        }
+    }
+
+    // ---- Writeback ----
+    RfAccess wb_acc;
+    if (writes_rd && in.rd != 0) {
+        regfile_.writeData(wid, in.rd, result_, active_, wb_acc);
+        if (cfg_.purecap) {
+            // Writing a plain integer result sets the metadata to the
+            // null value with the tag cleared (Figure 4 caption).
+            regfile_.writeMeta(wid, in.rd, resultMeta_, active_, wb_acc);
+        }
+        (void)result_is_cap;
+    }
+
+    // Register-file spill/reload traffic goes through DRAM.
+    const unsigned rf_bytes = fetch_acc.dramBytes + wb_acc.dramBytes;
+    if (rf_bytes > 0) {
+        const uint64_t done = dramTimer_.access(now_, rf_bytes);
+        stats_.add("rf_spill_dram_bytes", rf_bytes);
+        if (fetch_acc.reloads + wb_acc.reloads > 0)
+            finish = std::max(finish, done + cfg_.pipelineDepth);
+    }
+
+    // ---- Barrier bookkeeping ----
+    if (op == Op::SIMT_BARRIER) {
+        w.atBarrier = true;
+        releaseBarrierIfReady(wid / warpsPerBlock_);
+    }
+
+    w.readyAt = std::max(finish, now_ + extra_cycles + 1);
+    stats_.add("issue_slots", 1 + extra_cycles);
+    return 1 + extra_cycles;
+}
+
+} // namespace simt

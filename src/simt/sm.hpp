@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Cycle-level model of a SIMTight streaming multiprocessor (Figure 2 of
+ * the paper) extended with CHERI (Figure 8).
+ *
+ * Key structural behaviours modelled:
+ *  - barrel scheduling with at most one instruction per warp in flight
+ *    (a warp re-issues pipelineDepth cycles after issue);
+ *  - per-thread PCs with active-thread selection by deepest nesting level
+ *    then lowest PC (convergence for structured control flow);
+ *  - a coalescing unit packing per-lane accesses into aligned segments;
+ *  - a banked scratchpad with conflict serialisation;
+ *  - a shared function unit serialising requests over active lanes, used
+ *    for floating-point divide/sqrt and (in the optimised configuration)
+ *    the CHERI bounds instructions;
+ *  - capability (64-bit) accesses as two-flit transactions;
+ *  - the compressed register files with spill traffic through DRAM;
+ *  - operand-fetch stalls: CSC with the single-read-port metadata SRF,
+ *    and data+metadata shared-VRF port conflicts.
+ */
+
+#ifndef CHERI_SIMT_SIMT_SM_HPP_
+#define CHERI_SIMT_SIMT_SM_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cap/cheri_concentrate.hpp"
+#include "isa/instr.hpp"
+#include "simt/config.hpp"
+#include "simt/mem.hpp"
+#include "simt/regfile.hpp"
+#include "simt/scratchpad.hpp"
+#include "support/stats.hpp"
+
+namespace simt
+{
+
+/** Description of the first CHERI trap taken, for diagnostics and tests. */
+struct TrapInfo
+{
+    bool trapped = false;
+    uint32_t pc = 0;
+    uint32_t addr = 0;
+    unsigned warp = 0;
+    unsigned lane = 0;
+    isa::Op op = isa::Op::ILLEGAL;
+    std::string kind;
+};
+
+class Sm
+{
+  public:
+    explicit Sm(const SmConfig &cfg);
+
+    const SmConfig &config() const { return cfg_; }
+
+    MainMemory &dram() { return dram_; }
+    Scratchpad &scratchpad() { return scratchpad_; }
+    RegFileSystem &regfile() { return regfile_; }
+    support::StatSet &stats() { return stats_; }
+    const support::StatSet &stats() const { return stats_; }
+
+    /** Load a program image into the tightly-coupled instruction memory. */
+    void loadProgram(const std::vector<uint32_t> &words);
+
+    /** Set a special capability register (DDC/STC/ARG). */
+    void setScr(isa::Scr scr, const cap::CapPipe &value);
+    const cap::CapPipe &scr(isa::Scr scr) const { return scrs_[scr]; }
+
+    /**
+     * Start all threads at @p entry_pc. Warps are grouped into thread
+     * blocks of @p warps_per_block consecutive warps for barriers.
+     */
+    void launch(uint32_t entry_pc, unsigned warps_per_block);
+
+    /**
+     * Run until every thread halts or @p max_cycles elapse.
+     * @returns true if the kernel completed.
+     */
+    bool run(uint64_t max_cycles = 2'000'000'000);
+
+    uint64_t cycles() const { return now_; }
+    const TrapInfo &firstTrap() const { return firstTrap_; }
+    bool trapped() const { return firstTrap_.trapped; }
+
+    /** Time-averaged VRF occupancy in vector registers (Figure 10). */
+    double avgDataVectorsInVrf() const;
+    double avgMetaVectorsInVrf() const;
+
+  private:
+    struct Warp
+    {
+        std::vector<uint32_t> pc;
+        std::vector<uint32_t> nest;
+        std::vector<bool> halted;
+        std::vector<cap::CapPipe> pcc;
+        uint64_t readyAt = 0;
+        bool atBarrier = false;
+        unsigned liveThreads = 0;
+
+        bool done() const { return liveThreads == 0; }
+    };
+
+    /** Halt one thread (idempotent); maintains live counters. */
+    void haltThread(unsigned warp, unsigned lane);
+
+    /** Select the active threads of a warp; returns the leader lane. */
+    int selectActive(const Warp &warp, std::vector<bool> &active) const;
+
+    /** Execute one instruction for a warp. Returns issue-slot cycles. */
+    unsigned executeWarp(unsigned warp_id);
+
+    void trap(unsigned warp, unsigned lane, uint32_t pc, isa::Op op,
+              uint32_t addr, const char *kind);
+
+    /** Per-lane memory access helpers (functional + routing). */
+    uint32_t loadValue(uint32_t addr, unsigned log_width, bool sign);
+    void storeValue(uint32_t addr, unsigned log_width, uint32_t value);
+    uint32_t atomicRmw(isa::Op op, uint32_t addr, uint32_t operand);
+
+    void releaseBarrierIfReady(unsigned block);
+
+    const SmConfig cfg_;
+    support::StatSet stats_;
+    MainMemory dram_;
+    Scratchpad scratchpad_;
+    DramTimer dramTimer_;
+    TagController tagController_;
+    StackCache stackCache_;
+    Coalescer coalescer_;
+    RegFileSystem regfile_;
+
+    std::vector<uint32_t> code_;
+    std::vector<isa::Instr> decoded_;
+
+    cap::CapPipe scrs_[isa::NUM_SCRS];
+
+    std::vector<Warp> warps_;
+    unsigned liveWarps_ = 0;
+    unsigned warpsPerBlock_ = 1;
+    unsigned rrPtr_ = 0;
+    uint64_t now_ = 0;
+    uint64_t sfuBusyUntil_ = 0;
+
+    TrapInfo firstTrap_;
+
+    // Occupancy accumulators (cycle-weighted) for Figure 10.
+    uint64_t dataOccAccum_ = 0;
+    uint64_t metaOccAccum_ = 0;
+
+    // Per-opcode dynamic execution counts (Figure 6); folded into the
+    // stat set as "op_<name>" when a run finishes.
+    std::vector<uint64_t> opCounts_;
+
+    // Reusable per-instruction buffers (avoid per-cycle allocation).
+    std::vector<bool> active_;
+    std::vector<uint32_t> rs1Data_, rs2Data_, result_, addrs_;
+    std::vector<CapMeta> rs1Meta_, rs2Meta_, resultMeta_;
+    std::vector<bool> storeCapTags_;
+};
+
+} // namespace simt
+
+#endif // CHERI_SIMT_SIMT_SM_HPP_

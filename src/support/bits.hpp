@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Bit-manipulation utilities shared across the CHERI-SIMT reproduction.
+ *
+ * Small, constexpr-friendly helpers for slicing, masking and extending
+ * fixed-width bit fields. All helpers operate on unsigned 64-bit values and
+ * treat widths in [0, 64].
+ */
+
+#ifndef CHERI_SIMT_SUPPORT_BITS_HPP_
+#define CHERI_SIMT_SUPPORT_BITS_HPP_
+
+#include <bit>
+#include <cstdint>
+
+namespace support
+{
+
+/** Return a mask with the low @p width bits set. width must be in [0,64]. */
+constexpr uint64_t
+mask(unsigned width)
+{
+    return width >= 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+}
+
+/** Extract bits [hi:lo] (inclusive) of @p value, right-aligned. */
+constexpr uint64_t
+bits(uint64_t value, unsigned hi, unsigned lo)
+{
+    return (value >> lo) & mask(hi - lo + 1);
+}
+
+/** Extract the single bit @p idx of @p value. */
+constexpr bool
+bit(uint64_t value, unsigned idx)
+{
+    return ((value >> idx) & 1) != 0;
+}
+
+/** Insert @p field into bits [hi:lo] of @p value, returning the result. */
+constexpr uint64_t
+insertBits(uint64_t value, unsigned hi, unsigned lo, uint64_t field)
+{
+    const uint64_t m = mask(hi - lo + 1);
+    return (value & ~(m << lo)) | ((field & m) << lo);
+}
+
+/** Sign-extend the low @p width bits of @p value to 64 bits. */
+constexpr int64_t
+signExtend(uint64_t value, unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return static_cast<int64_t>(value);
+    const uint64_t sign_bit = uint64_t{1} << (width - 1);
+    const uint64_t v = value & mask(width);
+    return static_cast<int64_t>((v ^ sign_bit) - sign_bit);
+}
+
+/** Sign-extend the low @p width bits of @p value to 32 bits. */
+constexpr int32_t
+signExtend32(uint32_t value, unsigned width)
+{
+    return static_cast<int32_t>(signExtend(value, width));
+}
+
+/** Count leading zeros within a field of @p width bits. */
+constexpr unsigned
+countLeadingZeros(uint64_t value, unsigned width)
+{
+    unsigned n = 0;
+    for (unsigned i = width; i-- > 0;) {
+        if (bit(value, i))
+            break;
+        ++n;
+    }
+    return n;
+}
+
+/** True if @p value is a power of two (zero is not). */
+constexpr bool
+isPowerOfTwo(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** ceil(log2(value)) for value >= 1. */
+constexpr unsigned
+ceilLog2(uint64_t value)
+{
+    unsigned n = 0;
+    uint64_t v = 1;
+    while (v < value) {
+        v <<= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Round @p value up to the next multiple of @p align (a power of two). */
+constexpr uint64_t
+roundUp(uint64_t value, uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round @p value down to a multiple of @p align (a power of two). */
+constexpr uint64_t
+roundDown(uint64_t value, uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+} // namespace support
+
+#endif // CHERI_SIMT_SUPPORT_BITS_HPP_

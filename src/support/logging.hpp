@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Logging and error-reporting helpers, following the gem5 panic/fatal
+ * distinction:
+ *
+ *  - panic():  an internal invariant of this library was violated (a bug in
+ *              the reproduction itself). Aborts.
+ *  - fatal():  the user supplied an impossible configuration or workload.
+ *              Exits with an error code.
+ *  - warn():   something is suspicious but execution can continue.
+ */
+
+#ifndef CHERI_SIMT_SUPPORT_LOGGING_HPP_
+#define CHERI_SIMT_SUPPORT_LOGGING_HPP_
+
+#include <cstdarg>
+#include <string>
+
+namespace support
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace support
+
+#define panic(...) ::support::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::support::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::support::warnImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Internal-consistency check that is always compiled in. */
+#define panic_if(cond, ...)                                                   \
+    do {                                                                      \
+        if (cond)                                                             \
+            panic(__VA_ARGS__);                                               \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                   \
+    do {                                                                      \
+        if (cond)                                                             \
+            fatal(__VA_ARGS__);                                               \
+    } while (0)
+
+#endif // CHERI_SIMT_SUPPORT_LOGGING_HPP_

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * A small xoshiro128** implementation is used instead of <random> engines so
+ * that generated workloads are bit-identical across standard libraries and
+ * platforms; every benchmark and test seeds its own generator explicitly.
+ */
+
+#ifndef CHERI_SIMT_SUPPORT_RNG_HPP_
+#define CHERI_SIMT_SUPPORT_RNG_HPP_
+
+#include <cstdint>
+
+namespace support
+{
+
+/** Deterministic xoshiro128** PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed)
+    {
+        // SplitMix64 seeding to fill the state.
+        uint64_t x = seed + 0x9e3779b97f4a7c15ULL;
+        for (auto &word : state_) {
+            uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = static_cast<uint32_t>((z ^ (z >> 31)) & 0xffffffffULL);
+        }
+        if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0)
+            state_[0] = 1;
+    }
+
+    /** Next 32-bit pseudo-random value. */
+    uint32_t
+    next()
+    {
+        const uint32_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint32_t t = state_[1] << 9;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 11);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    uint32_t
+    nextBounded(uint32_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int32_t
+    nextRange(int32_t lo, int32_t hi)
+    {
+        const uint32_t span = static_cast<uint32_t>(hi - lo) + 1;
+        return lo + static_cast<int32_t>(nextBounded(span));
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(next() >> 8) * (1.0f / 16777216.0f);
+    }
+
+  private:
+    static uint32_t
+    rotl(uint32_t x, int k)
+    {
+        return (x << k) | (x >> (32 - k));
+    }
+
+    uint32_t state_[4] = {};
+};
+
+} // namespace support
+
+#endif // CHERI_SIMT_SUPPORT_RNG_HPP_

@@ -1,0 +1,17 @@
+#include "support/stats.hpp"
+
+#include <sstream>
+
+namespace support
+{
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters_)
+        os << name << " = " << value << "\n";
+    return os.str();
+}
+
+} // namespace support

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Lightweight named-counter registry used by the simulator to expose
+ * microarchitectural event counts (cycles, instructions, DRAM traffic,
+ * register-file events, ...) to benchmarks and tests.
+ */
+
+#ifndef CHERI_SIMT_SUPPORT_STATS_HPP_
+#define CHERI_SIMT_SUPPORT_STATS_HPP_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace support
+{
+
+/** A set of named 64-bit counters. */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name, creating it at zero if absent. */
+    void
+    add(const std::string &name, uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Set counter @p name to @p value. */
+    void
+    set(const std::string &name, uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Track a maximum: counter keeps the largest value ever observed. */
+    void
+    trackMax(const std::string &name, uint64_t value)
+    {
+        auto it = counters_.find(name);
+        if (it == counters_.end() || it->second < value)
+            counters_[name] = value;
+    }
+
+    /** Read counter @p name; absent counters read as zero. */
+    uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        return counters_.count(name) != 0;
+    }
+
+    void clear() { counters_.clear(); }
+
+    /** All counters in name order (std::map keeps them sorted). */
+    const std::map<std::string, uint64_t> &all() const { return counters_; }
+
+    /** Merge another stat set into this one (summing counters). */
+    void
+    merge(const StatSet &other)
+    {
+        for (const auto &[name, value] : other.counters_)
+            counters_[name] += value;
+    }
+
+    /** Render as "name = value" lines for debugging. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace support
+
+#endif // CHERI_SIMT_SUPPORT_STATS_HPP_

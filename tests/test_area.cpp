@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests of the analytical area model against the paper's synthesis
+ * results (Table 3) and CheriCapLib costs (Figure 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "area/area_model.hpp"
+
+namespace
+{
+
+using area::AreaEstimate;
+using area::AreaModel;
+
+TEST(AreaModel, CapLibCostsMatchFigure7)
+{
+    const AreaModel m;
+    EXPECT_EQ(m.capLib().fromMem, 46u);
+    EXPECT_EQ(m.capLib().toMem, 0u);
+    EXPECT_EQ(m.capLib().setAddr, 106u);
+    EXPECT_EQ(m.capLib().isAccessInBounds, 25u);
+    EXPECT_EQ(m.capLib().getBase, 50u);
+    EXPECT_EQ(m.capLib().getLength, 20u);
+    EXPECT_EQ(m.capLib().getTop, 78u);
+    EXPECT_EQ(m.capLib().setBounds, 287u);
+    EXPECT_EQ(m.capLib().multiplier32, 567u);
+    // The cheap bounds check is an order of magnitude cheaper than a
+    // full decompression via getBase + getTop.
+    EXPECT_LT(m.capLib().isAccessInBounds,
+              (m.capLib().getBase + m.capLib().getTop) / 4);
+}
+
+TEST(AreaModel, BaselineMatchesTable3)
+{
+    const AreaModel m;
+    const AreaEstimate e = m.estimate(simt::SmConfig::baseline());
+    EXPECT_NEAR(static_cast<double>(e.alms), 126753, 126753 * 0.01);
+    EXPECT_NEAR(e.bramKbits, 2156, 2156 * 0.02);
+    EXPECT_NEAR(e.fmaxMhz, 180, 2);
+}
+
+TEST(AreaModel, CheriMatchesTable3)
+{
+    const AreaModel m;
+    const AreaEstimate e = m.estimate(simt::SmConfig::cheri());
+    EXPECT_NEAR(static_cast<double>(e.alms), 166796, 166796 * 0.01);
+    EXPECT_NEAR(e.bramKbits, 4399, 4399 * 0.025);
+    EXPECT_NEAR(e.fmaxMhz, 181, 2);
+}
+
+TEST(AreaModel, CheriOptimisedMatchesTable3)
+{
+    const AreaModel m;
+    const AreaEstimate e = m.estimate(simt::SmConfig::cheriOptimised());
+    EXPECT_NEAR(static_cast<double>(e.alms), 149356, 149356 * 0.01);
+    EXPECT_NEAR(e.bramKbits, 2394, 2394 * 0.025);
+    EXPECT_NEAR(e.fmaxMhz, 180, 2);
+}
+
+TEST(AreaModel, OptimisationReducesCheriAreaBy44Percent)
+{
+    const AreaModel m;
+    const uint64_t base = m.estimate(simt::SmConfig::baseline()).alms;
+    const uint64_t plain = m.estimate(simt::SmConfig::cheri()).alms;
+    const uint64_t opt = m.estimate(simt::SmConfig::cheriOptimised()).alms;
+
+    const double reduction =
+        1.0 - static_cast<double>(opt - base) /
+                  static_cast<double>(plain - base);
+    EXPECT_NEAR(reduction, 0.44, 0.02);
+}
+
+TEST(AreaModel, OptimisedOverheadComparableToOneMultiplierPerLane)
+{
+    // Section 4.6: 708 ALMs per vector lane, comparable to (but slightly
+    // larger than) a 567-ALM multiplier per lane.
+    const AreaModel m;
+    const simt::SmConfig cfg = simt::SmConfig::cheriOptimised();
+    const uint64_t base = m.estimate(simt::SmConfig::baseline()).alms;
+    const uint64_t opt = m.estimate(cfg).alms;
+    const double per_lane =
+        static_cast<double>(opt - base) / cfg.numLanes;
+    EXPECT_NEAR(per_lane, 708, 15);
+    EXPECT_GT(per_lane, m.capLib().multiplier32);
+}
+
+TEST(AreaModel, StorageOverheadLargelyEliminated)
+{
+    // Table 3: the CHERI storage overhead (2,156 -> 4,399 Kb) collapses
+    // to near-baseline (2,394 Kb) with the optimisations.
+    const AreaModel m;
+    const double base = m.estimate(simt::SmConfig::baseline()).bramKbits;
+    const double plain = m.estimate(simt::SmConfig::cheri()).bramKbits;
+    const double opt =
+        m.estimate(simt::SmConfig::cheriOptimised()).bramKbits;
+    EXPECT_GT(plain / base, 1.9);
+    EXPECT_LT(opt / base, 1.15);
+}
+
+TEST(AreaModel, BreakdownSumsToTotal)
+{
+    const AreaModel m;
+    for (const auto &cfg :
+         {simt::SmConfig::baseline(), simt::SmConfig::cheri(),
+          simt::SmConfig::cheriOptimised()}) {
+        const AreaEstimate e = m.estimate(cfg);
+        uint64_t sum = 0;
+        for (const auto &item : e.breakdown)
+            sum += item.alms;
+        EXPECT_EQ(sum, e.alms);
+    }
+}
+
+} // namespace

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Unit and property tests for the CHERI Concentrate capability library.
+ *
+ * The encoding is validated structurally (known-answer tests for the root
+ * and null capabilities, exactness for small objects) and by properties
+ * over randomised sweeps: containment and bounded rounding of setBounds,
+ * lossless memory round-trips, soundness of the fast representability
+ * check, and CRRL/CRAM consistency with setBounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cap/cheri_concentrate.hpp"
+#include "support/rng.hpp"
+
+namespace
+{
+
+using namespace cap;
+
+TEST(CapFormat, RootCoversAddressSpace)
+{
+    const CapPipe root = rootCap();
+    EXPECT_TRUE(root.tag);
+    EXPECT_EQ(getBase(root), 0u);
+    EXPECT_EQ(getTop(root), uint64_t{1} << 32);
+    EXPECT_EQ(getLength(root), uint64_t{1} << 32);
+    EXPECT_EQ(root.perms, kPermsAll);
+    EXPECT_FALSE(root.isSealed());
+}
+
+TEST(CapFormat, RootRoundTripsThroughMemory)
+{
+    const CapPipe root = rootCap();
+    const CapMem mem = toMem(root);
+    EXPECT_TRUE(mem.tag);
+    const CapPipe back = fromMem(mem);
+    EXPECT_EQ(back, root);
+}
+
+TEST(CapFormat, NullCapIsUntaggedEmpty)
+{
+    const CapPipe null_cap = nullCapPipe();
+    EXPECT_FALSE(null_cap.tag);
+    EXPECT_EQ(getLength(null_cap), 0u);
+    EXPECT_EQ(toMem(null_cap).bits, 0u);
+}
+
+TEST(CapFormat, SmallObjectsExact)
+{
+    const CapPipe root = rootCap();
+    // Lengths below 2^(MW-2) = 64 encode without an internal exponent and
+    // are always exact at any base alignment.
+    for (uint32_t base : {0u, 1u, 7u, 100u, 0xffffu, 0xdeadbeefu}) {
+        for (uint32_t len : {0u, 1u, 3u, 16u, 63u}) {
+            CapPipe c = setAddr(root, base);
+            ASSERT_TRUE(c.tag);
+            const SetBoundsResult r = setBounds(c, len);
+            EXPECT_TRUE(r.exact) << "base=" << base << " len=" << len;
+            EXPECT_TRUE(r.cap.tag);
+            EXPECT_EQ(getBase(r.cap), base);
+            EXPECT_EQ(getTop(r.cap), uint64_t{base} + len);
+        }
+    }
+}
+
+TEST(CapFormat, SetBoundsWholeSpace)
+{
+    const CapPipe root = rootCap();
+    const SetBoundsResult r = setBounds(root, uint64_t{1} << 32);
+    EXPECT_TRUE(r.cap.tag);
+    EXPECT_TRUE(r.exact);
+    EXPECT_EQ(getBase(r.cap), 0u);
+    EXPECT_EQ(getTop(r.cap), uint64_t{1} << 32);
+}
+
+TEST(CapFormat, SetBoundsMonotonic)
+{
+    const CapPipe root = rootCap();
+    CapPipe buf = setBounds(setAddr(root, 0x1000), 0x100).cap;
+    ASSERT_TRUE(buf.tag);
+
+    // Narrowing within bounds keeps the tag.
+    const SetBoundsResult narrower = setBounds(setAddr(buf, 0x1010), 0x20);
+    EXPECT_TRUE(narrower.cap.tag);
+
+    // Requesting bounds beyond the current top clears the tag.
+    const SetBoundsResult wider = setBounds(setAddr(buf, 0x10f0), 0x100);
+    EXPECT_FALSE(wider.cap.tag);
+
+    // Requesting bounds below the current base clears the tag.
+    CapPipe below = buf;
+    below.addr = 0xf00; // out-of-bounds address, still representable
+    const SetBoundsResult under = setBounds(below, 0x10);
+    EXPECT_FALSE(under.cap.tag);
+}
+
+TEST(CapFormat, SetBoundsContainmentSweep)
+{
+    const CapPipe root = rootCap();
+    support::Rng rng(1234);
+    for (int i = 0; i < 20000; ++i) {
+        const uint32_t base = rng.next();
+        uint32_t len = rng.next() >> (rng.next() % 32);
+        if (static_cast<uint64_t>(base) + len > (uint64_t{1} << 32))
+            len = static_cast<uint32_t>((uint64_t{1} << 32) - base);
+
+        const SetBoundsResult r = setBounds(setAddr(root, base), len);
+        ASSERT_TRUE(r.cap.tag) << "base=" << base << " len=" << len;
+        const Bounds b = getBounds(r.cap);
+
+        // Rounded bounds must contain the requested region...
+        EXPECT_LE(b.base, base);
+        EXPECT_GE(b.top, uint64_t{base} + len);
+
+        // ...and rounding is bounded. With MW = 8 the effective mantissa
+        // precision is MW-4 = 4 bits (lengths are held in fewer than 16
+        // granule units before the exponent increments), and an exponent
+        // increment doubles the granule, so total slack stays below half
+        // of the requested length.
+        const uint64_t slack = (b.top - b.base) - len;
+        EXPECT_LE(slack, (uint64_t{len} >> 1) + 2)
+            << "base=" << base << " len=" << len;
+
+        // Exactness flag is truthful.
+        if (r.exact) {
+            EXPECT_EQ(b.base, base);
+            EXPECT_EQ(b.top, uint64_t{base} + len);
+        } else {
+            EXPECT_TRUE(b.base != base || b.top != uint64_t{base} + len);
+        }
+    }
+}
+
+TEST(CapFormat, MemoryRoundTripSweep)
+{
+    const CapPipe root = rootCap();
+    support::Rng rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        const uint32_t base = rng.next();
+        uint32_t len = rng.next() >> (rng.next() % 32);
+        if (static_cast<uint64_t>(base) + len > (uint64_t{1} << 32))
+            len = static_cast<uint32_t>((uint64_t{1} << 32) - base);
+        const CapPipe c = setBounds(setAddr(root, base), len).cap;
+
+        const CapMem mem = toMem(c);
+        const CapPipe back = fromMem(mem);
+        EXPECT_EQ(back.tag, c.tag);
+        EXPECT_EQ(back.addr, c.addr);
+        EXPECT_EQ(back.perms, c.perms);
+        EXPECT_EQ(getBounds(back), getBounds(c)) << "i=" << i;
+        // A second round-trip is bit-identical (canonical form).
+        EXPECT_EQ(toMem(back).bits, mem.bits);
+    }
+}
+
+TEST(CapFormat, ArbitraryBitsDecodeDeterministically)
+{
+    // Any 65-bit pattern must decode without crashing and re-encode
+    // stably after one canonicalisation step.
+    support::Rng rng(5);
+    for (int i = 0; i < 20000; ++i) {
+        CapMem mem;
+        mem.bits = (static_cast<uint64_t>(rng.next()) << 32) | rng.next();
+        mem.tag = (rng.next() & 1) != 0;
+        const CapPipe c = fromMem(mem);
+        (void)getBounds(c);
+        (void)getLength(c);
+        const CapMem mem2 = toMem(c);
+        const CapPipe c2 = fromMem(mem2);
+        EXPECT_EQ(getBounds(c2), getBounds(c));
+        EXPECT_EQ(toMem(c2).bits, mem2.bits);
+    }
+}
+
+TEST(CapFormat, InBoundsAddressesAreRepresentable)
+{
+    // Every address inside the bounds of a setBounds-derived capability
+    // must be reachable via setAddr without losing the tag.
+    const CapPipe root = rootCap();
+    support::Rng rng(77);
+    for (int i = 0; i < 5000; ++i) {
+        const uint32_t base = rng.next();
+        uint32_t len = (rng.next() >> (rng.next() % 28)) + 1;
+        if (static_cast<uint64_t>(base) + len > (uint64_t{1} << 32))
+            len = static_cast<uint32_t>((uint64_t{1} << 32) - base);
+        if (len == 0)
+            continue;
+        const CapPipe c = setBounds(setAddr(root, base), len).cap;
+        const Bounds b = getBounds(c);
+        if (b.top - b.base >= (uint64_t{1} << 32))
+            continue; // whole-address-space caps: everything representable
+
+        for (int j = 0; j < 8; ++j) {
+            const uint32_t addr =
+                b.base +
+                rng.nextBounded(static_cast<uint32_t>(b.top - b.base));
+            const CapPipe moved = setAddr(c, addr);
+            EXPECT_TRUE(moved.tag)
+                << "base=" << base << " len=" << len << " addr=" << addr;
+            EXPECT_EQ(getBounds(moved), b);
+        }
+    }
+}
+
+TEST(CapFormat, FastRepCheckIsSound)
+{
+    // If the fast check accepts an increment, the decoded bounds must be
+    // unchanged after the address update.
+    const CapPipe root = rootCap();
+    support::Rng rng(31337);
+    for (int i = 0; i < 20000; ++i) {
+        const uint32_t base = rng.next();
+        uint32_t len = rng.next() >> (rng.next() % 30);
+        if (static_cast<uint64_t>(base) + len > (uint64_t{1} << 32))
+            len = static_cast<uint32_t>((uint64_t{1} << 32) - base);
+        const CapPipe c = setBounds(setAddr(root, base), len).cap;
+        const Bounds before = getBounds(c);
+
+        const uint32_t inc = rng.next() >> (rng.next() % 32);
+        if (inRepresentableRange(c, inc)) {
+            CapPipe moved = c;
+            moved.addr = c.addr + inc;
+            EXPECT_EQ(getBounds(moved), before) << "inc=" << inc;
+        }
+    }
+}
+
+TEST(CapFormat, SetAddrOutOfRepresentableRangeClearsTag)
+{
+    const CapPipe root = rootCap();
+    // A tiny object far from address zero: jumping to the other end of the
+    // address space cannot be representable for a small-exponent cap.
+    const CapPipe c = setBounds(setAddr(root, 0x40000000), 32).cap;
+    ASSERT_TRUE(c.tag);
+    ASSERT_FALSE(c.internalExp);
+    const CapPipe moved = setAddr(c, 0xc0000000);
+    EXPECT_FALSE(moved.tag);
+}
+
+TEST(CapFormat, AccessInBoundsEdges)
+{
+    const CapPipe root = rootCap();
+    const CapPipe c = setBounds(setAddr(root, 0x1000), 16).cap;
+
+    EXPECT_TRUE(isAccessInBounds(setAddr(c, 0x1000), 2));  // first word
+    EXPECT_TRUE(isAccessInBounds(setAddr(c, 0x100c), 2));  // last word
+    EXPECT_FALSE(isAccessInBounds(setAddr(c, 0x100d), 2)); // straddles top
+    EXPECT_FALSE(isAccessInBounds(setAddr(c, 0x1010), 0)); // at top
+    EXPECT_TRUE(isAccessInBounds(setAddr(c, 0x100f), 0));  // last byte
+    EXPECT_TRUE(isAccessInBounds(setAddr(c, 0x1008), 3));  // 64-bit
+    EXPECT_FALSE(isAccessInBounds(setAddr(c, 0x100c), 3)); // 64-bit overrun
+}
+
+TEST(CapFormat, RangeInBounds)
+{
+    const CapPipe root = rootCap();
+    const CapPipe c = setBounds(setAddr(root, 0x2000), 0x100).cap;
+    EXPECT_TRUE(isRangeInBounds(c, 0x2000, 0x100));
+    EXPECT_FALSE(isRangeInBounds(c, 0x2000, 0x101));
+    EXPECT_FALSE(isRangeInBounds(c, 0x1fff, 2));
+    EXPECT_TRUE(isRangeInBounds(c, 0x20ff, 1));
+}
+
+TEST(CapFormat, RepresentableRoundingMatchesSetBounds)
+{
+    support::Rng rng(2024);
+    const CapPipe root = rootCap();
+    for (int i = 0; i < 10000; ++i) {
+        const uint32_t len = rng.next() >> (rng.next() % 32);
+        const uint32_t rounded = representableLength(len);
+        const uint32_t m = representableAlignmentMask(len);
+
+        // CRRL wraps to zero when a length near 2^32 rounds up to the
+        // full address space; the effective length is then 2^32.
+        const uint64_t effective =
+            (rounded == 0 && len != 0) ? (uint64_t{1} << 32) : rounded;
+        EXPECT_GE(effective, len);
+
+        // A base aligned to the mask with the rounded length is exact.
+        const uint32_t base = rng.next() & m;
+        if (static_cast<uint64_t>(base) + effective > (uint64_t{1} << 32))
+            continue;
+        const SetBoundsResult r = setBounds(setAddr(root, base), effective);
+        EXPECT_TRUE(r.exact)
+            << "len=" << len << " rounded=" << rounded << " base=" << base;
+    }
+}
+
+TEST(CapFormat, RepresentableLengthSmallValuesExact)
+{
+    for (uint32_t len = 0; len < 256; ++len) {
+        const uint32_t rounded = representableLength(len);
+        if (len < 64) {
+            EXPECT_EQ(rounded, len);
+            EXPECT_EQ(representableAlignmentMask(len), ~uint32_t{0});
+        } else {
+            EXPECT_GE(rounded, len);
+        }
+    }
+}
+
+TEST(CapPerms, AndPermsOnlyClears)
+{
+    CapPipe c = rootCap();
+    const CapPipe r = andPerms(c, static_cast<uint8_t>(PERM_LOAD |
+                                                       PERM_STORE));
+    EXPECT_TRUE(r.tag);
+    EXPECT_EQ(r.perms, PERM_LOAD | PERM_STORE);
+    // And-ing in more bits cannot set them once cleared.
+    const CapPipe r2 = andPerms(r, kPermsAll);
+    EXPECT_EQ(r2.perms, PERM_LOAD | PERM_STORE);
+}
+
+TEST(CapPerms, SealingBlocksMutation)
+{
+    CapPipe c = setBounds(setAddr(rootCap(), 0x1000), 0x100).cap;
+    const CapPipe sealed = sealEntry(c);
+    EXPECT_TRUE(sealed.tag);
+    EXPECT_TRUE(sealed.isSentry());
+
+    EXPECT_FALSE(setAddr(sealed, 0x1004).tag);
+    EXPECT_FALSE(setBounds(sealed, 8).cap.tag);
+    EXPECT_FALSE(andPerms(sealed, PERM_LOAD).tag);
+    EXPECT_FALSE(sealEntry(sealed).tag);
+}
+
+TEST(CapPerms, ClearTag)
+{
+    const CapPipe c = rootCap();
+    const CapPipe r = clearTag(c);
+    EXPECT_FALSE(r.tag);
+    EXPECT_EQ(getBounds(r), getBounds(c));
+}
+
+TEST(CapFormat, IncAddrMatchesSetAddr)
+{
+    const CapPipe c = setBounds(setAddr(rootCap(), 0x8000), 0x1000).cap;
+    support::Rng rng(8);
+    for (int i = 0; i < 1000; ++i) {
+        const uint32_t inc = rng.next() >> (rng.next() % 32);
+        const CapPipe a = incAddr(c, inc);
+        const CapPipe b = setAddr(c, c.addr + inc);
+        EXPECT_EQ(a, b);
+    }
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for instruction encoding/decoding: known-answer encodings against
+ * the RISC-V specification, exhaustive round-trip properties over the whole
+ * opcode set with randomised operands, classification helpers, and
+ * disassembly smoke tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "isa/encoding.hpp"
+#include "isa/instr.hpp"
+#include "support/rng.hpp"
+
+namespace
+{
+
+using namespace isa;
+
+Instr
+mk(Op op, uint8_t rd = 0, uint8_t rs1 = 0, uint8_t rs2 = 0, int32_t imm = 0)
+{
+    Instr i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.imm = imm;
+    normalizeOperands(i);
+    return i;
+}
+
+// Known-answer encodings cross-checked against the RISC-V ISA manual
+// (e.g. "addi x1, x2, 3" == 0x00310093).
+TEST(IsaEncoding, KnownAnswers)
+{
+    EXPECT_EQ(encode(mk(Op::ADDI, 1, 2, 0, 3)), 0x00310093u);
+    EXPECT_EQ(encode(mk(Op::ADD, 3, 1, 2)), 0x002081b3u);
+    EXPECT_EQ(encode(mk(Op::SUB, 3, 1, 2)), 0x402081b3u);
+    EXPECT_EQ(encode(mk(Op::LUI, 5, 0, 0, 0x12345000)), 0x123452b7u);
+    EXPECT_EQ(encode(mk(Op::LW, 6, 7, 0, -4)), 0xffc3a303u);
+    EXPECT_EQ(encode(mk(Op::SW, 0, 8, 9, 16)), 0x00942823u);
+    EXPECT_EQ(encode(mk(Op::BEQ, 0, 1, 2, -8)), 0xfe208ce3u);
+    EXPECT_EQ(encode(mk(Op::JAL, 1, 0, 0, 2048)), 0x001000efu);
+    EXPECT_EQ(encode(mk(Op::JALR, 1, 5, 0, 0)), 0x000280e7u);
+    EXPECT_EQ(encode(mk(Op::MUL, 10, 11, 12)), 0x02c58533u);
+    EXPECT_EQ(encode(mk(Op::AMOADD_W, 4, 5, 6)), 0x0062a22fu);
+    EXPECT_EQ(encode(mk(Op::SLLI, 1, 2, 0, 5)), 0x00511093u);
+    EXPECT_EQ(encode(mk(Op::SRAI, 1, 2, 0, 5)), 0x40515093u);
+}
+
+TEST(IsaEncoding, RoundTripAllOpcodes)
+{
+    support::Rng rng(42);
+    for (int opi = 1; opi < static_cast<int>(Op::NUM_OPS); ++opi) {
+        const Op op = static_cast<Op>(opi);
+        for (int trial = 0; trial < 50; ++trial) {
+            Instr i;
+            i.op = op;
+            i.rd = static_cast<uint8_t>(rng.nextBounded(32));
+            i.rs1 = static_cast<uint8_t>(rng.nextBounded(32));
+            i.rs2 = static_cast<uint8_t>(rng.nextBounded(32));
+
+            // Pick an immediate that fits the op's format.
+            switch (op) {
+              case Op::LUI:
+              case Op::AUIPC:
+                i.imm = static_cast<int32_t>(rng.next() & 0xfffff000u);
+                break;
+              case Op::JAL:
+                i.imm = (rng.nextRange(-(1 << 19), (1 << 19) - 1)) * 2;
+                break;
+              case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+              case Op::BLTU: case Op::BGEU:
+                i.imm = rng.nextRange(-(1 << 11), (1 << 11) - 1) * 2;
+                break;
+              case Op::SLLI: case Op::SRLI: case Op::SRAI:
+                i.imm = static_cast<int32_t>(rng.nextBounded(32));
+                break;
+              case Op::CSRRW: case Op::CSRRS:
+              case Op::CSETBOUNDSIMM:
+                i.imm = static_cast<int32_t>(rng.nextBounded(4096));
+                break;
+              case Op::CSPECIALRW:
+                i.imm = static_cast<int32_t>(rng.nextBounded(NUM_SCRS));
+                break;
+              case Op::AMOADD_W: case Op::AMOSWAP_W: case Op::AMOAND_W:
+              case Op::AMOOR_W: case Op::AMOXOR_W: case Op::AMOMIN_W:
+              case Op::AMOMAX_W: case Op::AMOMINU_W: case Op::AMOMAXU_W:
+              case Op::ADD: case Op::SUB: case Op::SLL: case Op::SLT:
+              case Op::SLTU: case Op::XOR: case Op::SRL: case Op::SRA:
+              case Op::OR: case Op::AND: case Op::MUL: case Op::MULH:
+              case Op::MULHSU: case Op::MULHU: case Op::DIV: case Op::DIVU:
+              case Op::REM: case Op::REMU:
+              case Op::FADD_S: case Op::FSUB_S: case Op::FMUL_S:
+              case Op::FDIV_S: case Op::FSQRT_S: case Op::FMIN_S:
+              case Op::FMAX_S: case Op::FCVT_W_S: case Op::FCVT_WU_S:
+              case Op::FCVT_S_W: case Op::FCVT_S_WU: case Op::FEQ_S:
+              case Op::FLT_S: case Op::FLE_S:
+              case Op::CSETBOUNDS: case Op::CSETBOUNDSEXACT:
+              case Op::CSETADDR: case Op::CINCOFFSET: case Op::CANDPERM:
+              case Op::CSETFLAGS: case Op::CGETPERM: case Op::CGETTYPE:
+              case Op::CGETBASE: case Op::CGETLEN: case Op::CGETTAG:
+              case Op::CGETSEALED: case Op::CGETADDR: case Op::CGETFLAGS:
+              case Op::CMOVE: case Op::CCLEARTAG: case Op::CSEALENTRY:
+              case Op::CRRL: case Op::CRAM: case Op::CJALR_CAP:
+              case Op::SIMT_PUSH: case Op::SIMT_POP: case Op::SIMT_BARRIER:
+              case Op::SIMT_HALT: case Op::SIMT_TRAP:
+                i.imm = 0;
+                break;
+              default:
+                i.imm = rng.nextRange(-2048, 2047);
+                break;
+            }
+            normalizeOperands(i);
+
+            const uint32_t word = encode(i);
+            const Instr back = decode(word);
+            EXPECT_EQ(back, i) << "op=" << opName(op) << " word=" << word
+                               << " got=" << toString(back);
+        }
+    }
+}
+
+TEST(IsaEncoding, IllegalWordsDecodeToIllegal)
+{
+    EXPECT_EQ(decode(0).op, Op::ILLEGAL);
+    EXPECT_EQ(decode(0xffffffffu).op, Op::ILLEGAL);
+    // A plausible but unassigned encoding (LOAD with funct3 6).
+    EXPECT_EQ(decode(0x00006003u | (6u << 12)).op, Op::ILLEGAL);
+}
+
+TEST(IsaEncoding, DecodeDoesNotAliasAcrossOps)
+{
+    // Every distinct op must produce a distinct decoding for fixed operands.
+    std::vector<uint32_t> words;
+    for (int opi = 1; opi < static_cast<int>(Op::NUM_OPS); ++opi) {
+        Instr i = mk(static_cast<Op>(opi), 1, 2, 3, 0);
+        words.push_back(encode(i));
+        EXPECT_EQ(decode(words.back()).op, i.op) << opName(i.op);
+    }
+    for (size_t a = 0; a < words.size(); ++a)
+        for (size_t b = a + 1; b < words.size(); ++b)
+            EXPECT_NE(words[a], words[b])
+                << opName(static_cast<Op>(a + 1)) << " vs "
+                << opName(static_cast<Op>(b + 1));
+}
+
+TEST(IsaClassify, CheriSet)
+{
+    EXPECT_TRUE(isCheri(Op::CINCOFFSET));
+    EXPECT_TRUE(isCheri(Op::CSC));
+    EXPECT_TRUE(isCheri(Op::CLC));
+    EXPECT_FALSE(isCheri(Op::LW));
+    EXPECT_FALSE(isCheri(Op::ADD));
+}
+
+TEST(IsaClassify, SlowPathSet)
+{
+    // The SFU set is exactly the one in Section 3.3 of the paper.
+    EXPECT_TRUE(isCheriSlowPath(Op::CGETBASE));
+    EXPECT_TRUE(isCheriSlowPath(Op::CGETLEN));
+    EXPECT_TRUE(isCheriSlowPath(Op::CSETBOUNDS));
+    EXPECT_TRUE(isCheriSlowPath(Op::CSETBOUNDSIMM));
+    EXPECT_TRUE(isCheriSlowPath(Op::CSETBOUNDSEXACT));
+    EXPECT_TRUE(isCheriSlowPath(Op::CRRL));
+    EXPECT_TRUE(isCheriSlowPath(Op::CRAM));
+    EXPECT_FALSE(isCheriSlowPath(Op::CINCOFFSET));
+    EXPECT_FALSE(isCheriSlowPath(Op::CGETADDR));
+    EXPECT_FALSE(isCheriSlowPath(Op::CLC));
+}
+
+TEST(IsaClassify, MemoryOps)
+{
+    EXPECT_TRUE(isMemAccess(Op::LW));
+    EXPECT_TRUE(isMemAccess(Op::CSC));
+    EXPECT_TRUE(isMemAccess(Op::AMOADD_W));
+    EXPECT_FALSE(isMemAccess(Op::ADD));
+    EXPECT_EQ(accessLogWidth(Op::LB), 0u);
+    EXPECT_EQ(accessLogWidth(Op::LH), 1u);
+    EXPECT_EQ(accessLogWidth(Op::LW), 2u);
+    EXPECT_EQ(accessLogWidth(Op::CLC), 3u);
+    EXPECT_EQ(accessLogWidth(Op::AMOADD_W), 2u);
+}
+
+TEST(IsaClassify, FpSlowPath)
+{
+    EXPECT_TRUE(isFpSlowPath(Op::FDIV_S));
+    EXPECT_TRUE(isFpSlowPath(Op::FSQRT_S));
+    EXPECT_FALSE(isFpSlowPath(Op::FADD_S));
+}
+
+TEST(IsaDisasm, PurecapNames)
+{
+    EXPECT_EQ(opName(Op::LW, false), "lw");
+    EXPECT_EQ(opName(Op::LW, true), "clw");
+    EXPECT_EQ(opName(Op::SW, true), "csw");
+    EXPECT_EQ(opName(Op::AUIPC, true), "auipcc");
+    EXPECT_EQ(opName(Op::JALR, true), "cjalr");
+    EXPECT_EQ(opName(Op::CINCOFFSETIMM, false), "cincoffsetimm");
+}
+
+TEST(IsaDisasm, ToStringSmoke)
+{
+    EXPECT_EQ(toString(mk(Op::ADDI, 1, 2, 0, 3)), "addi x1, x2, 3");
+    EXPECT_EQ(toString(mk(Op::ADD, 3, 1, 2)), "add x3, x1, x2");
+    EXPECT_EQ(toString(mk(Op::LW, 6, 7, 0, -4)), "lw x6, -4(x7)");
+    EXPECT_EQ(toString(mk(Op::SW, 0, 8, 9, 16)), "sw x9, 16(x8)");
+    EXPECT_EQ(toString(mk(Op::BEQ, 0, 1, 2, -8)), "beq x1, x2, -8");
+    EXPECT_EQ(toString(mk(Op::SIMT_BARRIER)), "simt.barrier");
+}
+
+} // namespace

@@ -1,0 +1,495 @@
+/**
+ * @file
+ * End-to-end tests of the kernel compiler and NoCL runtime: kernels
+ * written in the embedded DSL are compiled for all three modes (baseline,
+ * pure-capability CHERI, software bounds checking) and executed on the
+ * simulated SM, checking results against host references, safety
+ * behaviour (out-of-bounds accesses trap under CHERI and soft bounds but
+ * silently corrupt under baseline), and compiler statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kc/codegen.hpp"
+#include "kc/kernel.hpp"
+#include "nocl/nocl.hpp"
+#include "support/rng.hpp"
+
+namespace
+{
+
+using kc::Kb;
+using kc::Scalar;
+using nocl::Arg;
+using nocl::Buffer;
+using nocl::Device;
+using nocl::LaunchConfig;
+using Mode = kc::CompileOptions::Mode;
+
+simt::SmConfig
+smConfigFor(Mode mode)
+{
+    simt::SmConfig cfg = mode == Mode::Purecap
+                             ? simt::SmConfig::cheriOptimised()
+                             : simt::SmConfig::baseline();
+    cfg.numWarps = 8; // keep unit tests fast
+    return cfg;
+}
+
+// --------------------------------------------------------------- kernels
+
+struct VecAddKernel : kc::KernelDef
+{
+    std::string name() const override { return "VecAdd"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto len = b.paramI32("len");
+        auto a = b.paramPtr("a", Scalar::I32);
+        auto bb = b.paramPtr("b", Scalar::I32);
+        auto out = b.paramPtr("out", Scalar::I32);
+
+        auto i = b.var(b.blockIdx() * b.blockDim() + b.threadIdx());
+        b.forRange(i, len, b.blockDim() * b.gridDim(), [&] {
+            out[i] = a[i] + bb[i];
+        });
+    }
+};
+
+struct HistogramKernel : kc::KernelDef
+{
+    std::string name() const override { return "Histogram"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto len = b.paramI32("len");
+        auto in = b.paramPtr("in", Scalar::U8);
+        auto out = b.paramPtr("out", Scalar::I32);
+        auto bins = b.shared("bins", Scalar::I32, 256);
+
+        auto i = b.var(b.threadIdx());
+        b.forRange(i, b.c(256), b.blockDim(), [&] { bins[i] = b.c(0); });
+        b.barrier();
+        auto j = b.var(b.threadIdx());
+        b.forRange(j, len, b.blockDim(), [&] {
+            b.atomicAdd(b.index(bins, b.asInt(in[j])), b.c(1));
+        });
+        b.barrier();
+        auto k = b.var(b.threadIdx());
+        b.forRange(k, b.c(256), b.blockDim(), [&] { out[k] = bins[k]; });
+    }
+};
+
+/** Deliberately reads one element past the end of its buffer. */
+struct OverreadKernel : kc::KernelDef
+{
+    std::string name() const override { return "Overread"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto len = b.paramI32("len");
+        auto in = b.paramPtr("in", Scalar::I32);
+        auto out = b.paramPtr("out", Scalar::I32);
+        auto i = b.var(b.blockIdx() * b.blockDim() + b.threadIdx());
+        b.forRange(i, len, b.blockDim() * b.gridDim(), [&] {
+            out[i] = in[i + 1]; // off-by-one overread at i == len-1
+        });
+    }
+};
+
+struct SelectKernel : kc::KernelDef
+{
+    std::string name() const override { return "Select"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto len = b.paramI32("len");
+        auto in = b.paramPtr("in", Scalar::I32);
+        auto out = b.paramPtr("out", Scalar::I32);
+        auto i = b.var(b.blockIdx() * b.blockDim() + b.threadIdx());
+        b.forRange(i, len, b.blockDim() * b.gridDim(), [&] {
+            auto v = b.var(in[i]);
+            b.ifElse(
+                (static_cast<kc::Val>(v) & b.c(1)) == b.c(1),
+                [&] { out[i] = v * 3 + 1; }, [&] { out[i] = v / b.c(2); });
+        });
+    }
+};
+
+struct FloatKernel : kc::KernelDef
+{
+    std::string name() const override { return "Saxpy"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto len = b.paramI32("len");
+        auto alpha = b.paramF32("alpha");
+        auto x = b.paramPtr("x", Scalar::F32);
+        auto y = b.paramPtr("y", Scalar::F32);
+        auto i = b.var(b.blockIdx() * b.blockDim() + b.threadIdx());
+        b.forRange(i, len, b.blockDim() * b.gridDim(), [&] {
+            y[i] = alpha * x[i] + y[i];
+        });
+    }
+};
+
+// ------------------------------------------------------------------ tests
+
+class KcModes : public ::testing::TestWithParam<Mode>
+{
+};
+
+TEST_P(KcModes, VecAddEndToEnd)
+{
+    const Mode mode = GetParam();
+    Device dev(smConfigFor(mode), mode);
+
+    const int n = 1000;
+    support::Rng rng(1);
+    std::vector<uint32_t> va(n), vb(n);
+    for (int i = 0; i < n; ++i) {
+        va[i] = rng.next();
+        vb[i] = rng.next();
+    }
+    Buffer ba = dev.alloc(n * 4);
+    Buffer bb = dev.alloc(n * 4);
+    Buffer bo = dev.alloc(n * 4);
+    dev.write32(ba, va);
+    dev.write32(bb, vb);
+
+    VecAddKernel k;
+    LaunchConfig cfg;
+    cfg.blockDim = 64;
+    cfg.gridDim = 4;
+    const nocl::RunResult r = dev.launch(
+        k, cfg,
+        {Arg::integer(n), Arg::buffer(ba), Arg::buffer(bb),
+         Arg::buffer(bo)});
+
+    ASSERT_TRUE(r.completed);
+    EXPECT_FALSE(r.trapped) << r.trapKind;
+    const std::vector<uint32_t> out = dev.read32(bo);
+    for (int i = 0; i < n; ++i)
+        ASSERT_EQ(out[i], va[i] + vb[i]) << "i=" << i;
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST_P(KcModes, HistogramEndToEnd)
+{
+    const Mode mode = GetParam();
+    Device dev(smConfigFor(mode), mode);
+
+    const int n = 4096;
+    support::Rng rng(7);
+    std::vector<uint8_t> data(n);
+    std::vector<uint32_t> expect(256, 0);
+    for (int i = 0; i < n; ++i) {
+        data[i] = static_cast<uint8_t>(rng.nextBounded(256));
+        ++expect[data[i]];
+    }
+    Buffer bin = dev.alloc(n);
+    Buffer bout = dev.alloc(256 * 4);
+    dev.write8(bin, data);
+
+    HistogramKernel k;
+    LaunchConfig cfg;
+    cfg.blockDim = 256;
+    cfg.gridDim = 1;
+    const nocl::RunResult r = dev.launch(
+        k, cfg, {Arg::integer(n), Arg::buffer(bin), Arg::buffer(bout)});
+
+    ASSERT_TRUE(r.completed);
+    EXPECT_FALSE(r.trapped) << r.trapKind;
+    EXPECT_EQ(dev.read32(bout), expect);
+    EXPECT_GT(r.stats.get("barriers_released"), 0u);
+}
+
+TEST_P(KcModes, SelectKernelDivergence)
+{
+    const Mode mode = GetParam();
+    Device dev(smConfigFor(mode), mode);
+
+    const int n = 512;
+    std::vector<uint32_t> in(n);
+    for (int i = 0; i < n; ++i)
+        in[i] = static_cast<uint32_t>(i);
+    Buffer bi = dev.alloc(n * 4);
+    Buffer bo = dev.alloc(n * 4);
+    dev.write32(bi, in);
+
+    SelectKernel k;
+    LaunchConfig cfg;
+    cfg.blockDim = 64;
+    cfg.gridDim = 2;
+    const nocl::RunResult r = dev.launch(
+        k, cfg, {Arg::integer(n), Arg::buffer(bi), Arg::buffer(bo)});
+    ASSERT_TRUE(r.completed);
+    EXPECT_FALSE(r.trapped) << r.trapKind;
+
+    const std::vector<uint32_t> out = dev.read32(bo);
+    for (int i = 0; i < n; ++i) {
+        const uint32_t expect = (i & 1) ? 3u * i + 1 : i / 2;
+        ASSERT_EQ(out[i], expect) << i;
+    }
+}
+
+TEST_P(KcModes, SaxpyFloats)
+{
+    const Mode mode = GetParam();
+    Device dev(smConfigFor(mode), mode);
+
+    const int n = 700;
+    support::Rng rng(3);
+    std::vector<float> x(n), y(n), expect(n);
+    const float alpha = 1.5f;
+    for (int i = 0; i < n; ++i) {
+        x[i] = rng.nextFloat();
+        y[i] = rng.nextFloat();
+        expect[i] = alpha * x[i] + y[i];
+    }
+    Buffer bx = dev.alloc(n * 4);
+    Buffer by = dev.alloc(n * 4);
+    dev.writeF32(bx, x);
+    dev.writeF32(by, y);
+
+    FloatKernel k;
+    LaunchConfig cfg;
+    cfg.blockDim = 128;
+    cfg.gridDim = 2;
+    const nocl::RunResult r = dev.launch(
+        k, cfg,
+        {Arg::integer(n), Arg::real(alpha), Arg::buffer(bx),
+         Arg::buffer(by)});
+    ASSERT_TRUE(r.completed);
+    EXPECT_FALSE(r.trapped) << r.trapKind;
+
+    const std::vector<float> out = dev.readF32(by);
+    for (int i = 0; i < n; ++i)
+        ASSERT_FLOAT_EQ(out[i], expect[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, KcModes,
+                         ::testing::Values(Mode::Baseline, Mode::Purecap,
+                                           Mode::SoftBounds),
+                         [](const auto &info) {
+                             switch (info.param) {
+                               case Mode::Baseline: return "Baseline";
+                               case Mode::Purecap: return "Purecap";
+                               default: return "SoftBounds";
+                             }
+                         });
+
+TEST(KcSafety, OverreadTrapsUnderCheri)
+{
+    Device dev(smConfigFor(Mode::Purecap), Mode::Purecap);
+    const int n = 256;
+    Buffer bi = dev.alloc(n * 4);
+    Buffer bo = dev.alloc(n * 4);
+
+    OverreadKernel k;
+    LaunchConfig cfg;
+    cfg.blockDim = 256;
+    const nocl::RunResult r = dev.launch(
+        k, cfg, {Arg::integer(n), Arg::buffer(bi), Arg::buffer(bo)});
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.trapped);
+    EXPECT_EQ(r.trapKind, "bounds violation");
+}
+
+TEST(KcSafety, OverreadTrapsUnderSoftBounds)
+{
+    Device dev(smConfigFor(Mode::SoftBounds), Mode::SoftBounds);
+    const int n = 256;
+    Buffer bi = dev.alloc(n * 4);
+    Buffer bo = dev.alloc(n * 4);
+
+    OverreadKernel k;
+    LaunchConfig cfg;
+    cfg.blockDim = 256;
+    const nocl::RunResult r = dev.launch(
+        k, cfg, {Arg::integer(n), Arg::buffer(bi), Arg::buffer(bo)});
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.trapped);
+    EXPECT_EQ(r.trapKind, "software bounds trap");
+    EXPECT_GT(r.stats.get("soft_bounds_traps"), 0u);
+}
+
+TEST(KcSafety, OverreadSilentlyReadsUnderBaseline)
+{
+    // The unsafe baseline executes the same kernel without any trap:
+    // exactly the Figure 1 behaviour the paper motivates against.
+    Device dev(smConfigFor(Mode::Baseline), Mode::Baseline);
+    const int n = 256;
+    Buffer bi = dev.alloc(n * 4);
+    Buffer bo = dev.alloc(n * 4);
+
+    OverreadKernel k;
+    LaunchConfig cfg;
+    cfg.blockDim = 256;
+    const nocl::RunResult r = dev.launch(
+        k, cfg, {Arg::integer(n), Arg::buffer(bi), Arg::buffer(bo)});
+    ASSERT_TRUE(r.completed);
+    EXPECT_FALSE(r.trapped);
+}
+
+TEST(KcCompile, PurecapUsesCheriInstructions)
+{
+    Device dev(smConfigFor(Mode::Purecap), Mode::Purecap);
+    VecAddKernel k;
+    LaunchConfig cfg;
+    cfg.blockDim = 64;
+    const kc::CompiledKernel c = dev.compileOnly(k, cfg);
+
+    // Capability pointers: CLC argument loads and CIncOffset arithmetic
+    // appear in the listing.
+    EXPECT_NE(c.listing.find("clc"), std::string::npos);
+    EXPECT_NE(c.listing.find("cincoffset"), std::string::npos);
+    EXPECT_GT(c.capRegCount, 3u); // sp, argc, and the three buffers
+    EXPECT_LE(c.capRegCount, 16u); // Figure 11: at most half the regs
+}
+
+TEST(KcCompile, BaselineHasNoCheriInstructions)
+{
+    Device dev(smConfigFor(Mode::Baseline), Mode::Baseline);
+    VecAddKernel k;
+    LaunchConfig cfg;
+    cfg.blockDim = 64;
+    const kc::CompiledKernel c = dev.compileOnly(k, cfg);
+    EXPECT_EQ(c.listing.find("cincoffset"), std::string::npos);
+    EXPECT_EQ(c.listing.find("clc"), std::string::npos);
+    EXPECT_EQ(c.capRegCount, 0u);
+}
+
+TEST(KcCompile, SoftBoundsEmitsChecks)
+{
+    Device dev(smConfigFor(Mode::SoftBounds), Mode::SoftBounds);
+    VecAddKernel k;
+    LaunchConfig cfg;
+    cfg.blockDim = 64;
+    const kc::CompiledKernel cs = dev.compileOnly(k, cfg);
+    // The canonical compare-then-branch check sequence plus the panic
+    // target must be present.
+    EXPECT_NE(cs.listing.find("sltu"), std::string::npos);
+    EXPECT_NE(cs.listing.find("simt.trap"), std::string::npos);
+    EXPECT_EQ(cs.uncheckedAccesses, 0u);
+
+    // The soft-bounds binary executes more instructions than baseline.
+    Device dev2(smConfigFor(Mode::Baseline), Mode::Baseline);
+    const kc::CompiledKernel cb = dev2.compileOnly(k, cfg);
+    EXPECT_GT(cs.code.size(), cb.code.size());
+}
+
+TEST(KcCompile, CheriInstructionCountsReported)
+{
+    Device dev(smConfigFor(Mode::Purecap), Mode::Purecap);
+    const int n = 1024;
+    Buffer ba = dev.alloc(n * 4);
+    Buffer bb = dev.alloc(n * 4);
+    Buffer bo = dev.alloc(n * 4);
+    VecAddKernel k;
+    LaunchConfig cfg;
+    cfg.blockDim = 64;
+    cfg.gridDim = 2;
+    const nocl::RunResult r = dev.launch(
+        k, cfg,
+        {Arg::integer(n), Arg::buffer(ba), Arg::buffer(bb),
+         Arg::buffer(bo)});
+    ASSERT_TRUE(r.completed);
+    // Figure 6 inputs: per-op dynamic counts.
+    EXPECT_GT(r.stats.get("op_cincoffset"), 0u);
+    EXPECT_GT(r.stats.get("op_clc"), 0u);
+    EXPECT_GT(r.stats.get("op_clw"), 0u);
+    EXPECT_GT(r.stats.get("op_csw"), 0u);
+    EXPECT_GT(r.stats.get("cheri_instrs"), 0u);
+
+    // Shared-array kernels derive per-slot scratchpad capabilities with
+    // CSetBounds (the Figure 6 CSetBoundsImm executions).
+    HistogramKernel hk;
+    Buffer bh = dev.alloc(4096);
+    Buffer bho = dev.alloc(256 * 4);
+    LaunchConfig hcfg;
+    hcfg.blockDim = 256;
+    const nocl::RunResult rh = dev.launch(
+        hk, hcfg,
+        {Arg::integer(4096), Arg::buffer(bh), Arg::buffer(bho)});
+    ASSERT_TRUE(rh.completed);
+    EXPECT_GT(rh.stats.get("op_csetboundsimm"), 0u);
+}
+
+} // namespace
+
+TEST(KcCapRegLimit, CompilerKeepsCapabilitiesBelowLimit)
+{
+    // Section 4.3: with compiler support, every capability lives in
+    // x0..x15, so a half-size metadata SRF suffices.
+    simt::SmConfig hw = smConfigFor(Mode::Purecap);
+    hw.metaRegsTracked = 16;
+    Device dev(hw, Mode::Purecap);
+    const int n = 512;
+    Buffer ba = dev.alloc(n * 4);
+    Buffer bb = dev.alloc(n * 4);
+    Buffer bo = dev.alloc(n * 4);
+    std::vector<uint32_t> va(n, 3), vb(n, 4);
+    dev.write32(ba, va);
+    dev.write32(bb, vb);
+
+    VecAddKernel k;
+    LaunchConfig cfg;
+    cfg.blockDim = 64;
+    cfg.gridDim = 2;
+    cfg.capRegLimit = 16;
+
+    const kc::CompiledKernel c = dev.compileOnly(k, cfg);
+    EXPECT_EQ(c.capRegMask & ~0xffffu, 0u)
+        << "capability above x15 despite the limit";
+
+    const nocl::RunResult r = dev.launch(
+        k, cfg,
+        {Arg::integer(n), Arg::buffer(ba), Arg::buffer(bb),
+         Arg::buffer(bo)});
+    ASSERT_TRUE(r.completed);
+    EXPECT_FALSE(r.trapped) << r.trapKind;
+    for (const uint32_t v : dev.read32(bo))
+        ASSERT_EQ(v, 7u);
+    // The runtime-observed capability registers honour the limit too.
+    EXPECT_EQ(r.rfCapRegMask & ~0xffffu, 0u);
+}
+
+TEST(KcCapRegLimit, SameCyclesAsUnlimited)
+{
+    // "...could be halved without impacting run-time performance."
+    VecAddKernel k;
+    const int n = 512;
+    LaunchConfig cfg;
+    cfg.blockDim = 64;
+    cfg.gridDim = 2;
+
+    uint64_t cycles[2];
+    for (int lim = 0; lim < 2; ++lim) {
+        simt::SmConfig hw = smConfigFor(Mode::Purecap);
+        if (lim)
+            hw.metaRegsTracked = 16;
+        Device dev(hw, Mode::Purecap);
+        Buffer ba = dev.alloc(n * 4);
+        Buffer bb = dev.alloc(n * 4);
+        Buffer bo = dev.alloc(n * 4);
+        LaunchConfig c2 = cfg;
+        c2.capRegLimit = lim ? 16 : 0;
+        const nocl::RunResult r = dev.launch(
+            k, c2,
+            {Arg::integer(n), Arg::buffer(ba), Arg::buffer(bb),
+             Arg::buffer(bo)});
+        ASSERT_TRUE(r.completed);
+        cycles[lim] = r.cycles;
+    }
+    const double ratio =
+        static_cast<double>(cycles[1]) / static_cast<double>(cycles[0]);
+    EXPECT_NEAR(ratio, 1.0, 0.01);
+}

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Full-suite integration tests: every benchmark of Table 1 runs on the
+ * simulated SM in each of the three modes (baseline, CHERI pure-capability
+ * optimised, software bounds checking) at the Small workload size, and its
+ * output is verified against the host reference. Additional checks cover
+ * the plain (unoptimised) CHERI configuration, trap-freedom and basic
+ * sanity of the collected statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "kernels/suite.hpp"
+#include "nocl/nocl.hpp"
+
+namespace
+{
+
+using kernels::Benchmark;
+using kernels::Prepared;
+using kernels::Size;
+using Mode = kc::CompileOptions::Mode;
+
+enum class Config
+{
+    Baseline,
+    Cheri,         ///< plain CHERI (no register-file optimisations)
+    CheriOptimised,
+    SoftBounds,
+};
+
+const char *
+configName(Config c)
+{
+    switch (c) {
+      case Config::Baseline: return "Baseline";
+      case Config::Cheri: return "Cheri";
+      case Config::CheriOptimised: return "CheriOpt";
+      default: return "SoftBounds";
+    }
+}
+
+simt::SmConfig
+smConfigOf(Config c)
+{
+    simt::SmConfig cfg;
+    switch (c) {
+      case Config::Baseline:
+      case Config::SoftBounds:
+        cfg = simt::SmConfig::baseline();
+        break;
+      case Config::Cheri:
+        cfg = simt::SmConfig::cheri();
+        break;
+      case Config::CheriOptimised:
+        cfg = simt::SmConfig::cheriOptimised();
+        break;
+    }
+    cfg.numWarps = 16; // 512 threads keeps the Small suite quick
+    cfg.vrfCapacity = 16 * 32 * 3 / 8;
+    return cfg;
+}
+
+Mode
+modeOf(Config c)
+{
+    switch (c) {
+      case Config::Cheri:
+      case Config::CheriOptimised:
+        return Mode::Purecap;
+      case Config::SoftBounds:
+        return Mode::SoftBounds;
+      default:
+        return Mode::Baseline;
+    }
+}
+
+class SuiteTest
+    : public ::testing::TestWithParam<std::tuple<std::string, Config>>
+{
+};
+
+TEST_P(SuiteTest, RunsAndVerifies)
+{
+    const auto &[bench_name, config] = GetParam();
+    auto bench = kernels::makeBenchmark(bench_name);
+    ASSERT_NE(bench, nullptr);
+
+    nocl::Device dev(smConfigOf(config), modeOf(config));
+    Prepared p = bench->prepare(dev, Size::Small);
+    const nocl::RunResult r = dev.launch(*p.kernel, p.cfg, p.args);
+
+    ASSERT_TRUE(r.completed) << bench_name;
+    EXPECT_FALSE(r.trapped) << bench_name << ": " << r.trapKind;
+    EXPECT_TRUE(p.verify(dev)) << bench_name << " output mismatch";
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.stats.get("instrs"), 0u);
+}
+
+std::vector<std::tuple<std::string, Config>>
+allCases()
+{
+    std::vector<std::tuple<std::string, Config>> cases;
+    for (const auto &b : kernels::makeSuite()) {
+        for (Config c : {Config::Baseline, Config::Cheri,
+                         Config::CheriOptimised, Config::SoftBounds}) {
+            cases.emplace_back(b->name(), c);
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SuiteTest, ::testing::ValuesIn(allCases()),
+    [](const auto &info) {
+        return std::get<0>(info.param) +
+               std::string("_") + configName(std::get<1>(info.param));
+    });
+
+TEST(SuiteProperties, CheriModesAgreeWithBaselineCycles)
+{
+    // The CHERI-optimised configuration should be within a few percent of
+    // baseline on a bandwidth-bound kernel (the paper's headline claim).
+    auto bench = kernels::makeBenchmark("VecAdd");
+    nocl::Device base(smConfigOf(Config::Baseline),
+                      modeOf(Config::Baseline));
+    Prepared pb = bench->prepare(base, Size::Small);
+    const auto rb = base.launch(*pb.kernel, pb.cfg, pb.args);
+
+    auto bench2 = kernels::makeBenchmark("VecAdd");
+    nocl::Device opt(smConfigOf(Config::CheriOptimised),
+                     modeOf(Config::CheriOptimised));
+    Prepared po = bench2->prepare(opt, Size::Small);
+    const auto ro = opt.launch(*po.kernel, po.cfg, po.args);
+
+    ASSERT_TRUE(rb.completed);
+    ASSERT_TRUE(ro.completed);
+    const double overhead =
+        static_cast<double>(ro.cycles) / static_cast<double>(rb.cycles);
+    EXPECT_LT(overhead, 1.25) << "CHERI-opt overhead too large";
+    EXPECT_GT(overhead, 0.8);
+}
+
+TEST(SuiteProperties, BlkStencilShowsMetaDivergence)
+{
+    // Figure 10: BlkStencil is the only benchmark whose capability
+    // metadata spills into the VRF even with NVO enabled.
+    auto blk = kernels::makeBenchmark("BlkStencil");
+    nocl::Device dev(smConfigOf(Config::CheriOptimised), Mode::Purecap);
+    Prepared p = blk->prepare(dev, Size::Small);
+    const auto r = dev.launch(*p.kernel, p.cfg, p.args);
+    ASSERT_TRUE(r.completed);
+    EXPECT_FALSE(r.trapped) << r.trapKind;
+    EXPECT_GT(r.avgMetaVrf, 0.0);
+    EXPECT_GT(r.stats.get("op_csc"), 0u);
+    EXPECT_GT(r.stats.get("op_clc"), 0u);
+
+    auto vec = kernels::makeBenchmark("VecAdd");
+    nocl::Device dev2(smConfigOf(Config::CheriOptimised), Mode::Purecap);
+    Prepared p2 = vec->prepare(dev2, Size::Small);
+    const auto r2 = dev2.launch(*p2.kernel, p2.cfg, p2.args);
+    ASSERT_TRUE(r2.completed);
+    // Uniform metadata everywhere: nothing in the VRF.
+    EXPECT_EQ(r2.avgMetaVrf, 0.0);
+}
+
+TEST(SuiteProperties, SoftBoundsSlowerThanBaseline)
+{
+    for (const char *name : {"VecAdd", "StrStencil"}) {
+        auto b1 = kernels::makeBenchmark(name);
+        nocl::Device base(smConfigOf(Config::Baseline), Mode::Baseline);
+        Prepared pb = b1->prepare(base, Size::Small);
+        const auto rb = base.launch(*pb.kernel, pb.cfg, pb.args);
+
+        auto b2 = kernels::makeBenchmark(name);
+        nocl::Device soft(smConfigOf(Config::SoftBounds),
+                          Mode::SoftBounds);
+        Prepared ps = b2->prepare(soft, Size::Small);
+        const auto rs = soft.launch(*ps.kernel, ps.cfg, ps.args);
+
+        ASSERT_TRUE(rb.completed && rs.completed) << name;
+        EXPECT_GT(rs.stats.get("instrs"), rb.stats.get("instrs")) << name;
+    }
+}
+
+} // namespace

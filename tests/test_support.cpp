@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the support library: bit utilities, RNG determinism, and
+ * the stat registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bits.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace
+{
+
+using namespace support;
+
+TEST(Bits, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(32), 0xffffffffu);
+    EXPECT_EQ(mask(64), ~uint64_t{0});
+}
+
+TEST(Bits, Extract)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 0), 0xbeefu);
+    EXPECT_EQ(bits(0xdeadbeef, 7, 4), 0xeu);
+    EXPECT_TRUE(bit(0x80000000u, 31));
+    EXPECT_FALSE(bit(0x80000000u, 30));
+}
+
+TEST(Bits, Insert)
+{
+    EXPECT_EQ(insertBits(0, 15, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(0xffffffff, 15, 8, 0), 0xffff00ffu);
+    // Field wider than the slot is truncated.
+    EXPECT_EQ(insertBits(0, 3, 0, 0x1f), 0xfu);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend32(0xfff, 12), -1);
+    EXPECT_EQ(signExtend32(0x7ff, 12), 0x7ff);
+    EXPECT_EQ(signExtend32(0x800, 12), -2048);
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+}
+
+TEST(Bits, CountLeadingZeros)
+{
+    EXPECT_EQ(countLeadingZeros(0, 26), 26u);
+    EXPECT_EQ(countLeadingZeros(1, 26), 25u);
+    EXPECT_EQ(countLeadingZeros(1u << 25, 26), 0u);
+    EXPECT_EQ(countLeadingZeros(0x3, 4), 2u);
+}
+
+TEST(Bits, PowersAndRounding)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(roundUp(13, 8), 16u);
+    EXPECT_EQ(roundUp(16, 8), 16u);
+    EXPECT_EQ(roundDown(13, 8), 8u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BoundedAndRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.nextBounded(17), 17u);
+        const int32_t v = r.nextRange(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+        const float f = r.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}
+
+TEST(Stats, AddGetMerge)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("missing"), 0u);
+    s.add("cycles", 10);
+    s.add("cycles", 5);
+    EXPECT_EQ(s.get("cycles"), 15u);
+    s.set("cycles", 3);
+    EXPECT_EQ(s.get("cycles"), 3u);
+
+    StatSet t;
+    t.add("cycles", 7);
+    t.add("instrs", 2);
+    s.merge(t);
+    EXPECT_EQ(s.get("cycles"), 10u);
+    EXPECT_EQ(s.get("instrs"), 2u);
+}
+
+TEST(Stats, TrackMax)
+{
+    StatSet s;
+    s.trackMax("vrf_peak", 5);
+    s.trackMax("vrf_peak", 3);
+    EXPECT_EQ(s.get("vrf_peak"), 5u);
+    s.trackMax("vrf_peak", 9);
+    EXPECT_EQ(s.get("vrf_peak"), 9u);
+}
+
+TEST(Stats, ToStringSorted)
+{
+    StatSet s;
+    s.add("b", 2);
+    s.add("a", 1);
+    EXPECT_EQ(s.toString(), "a = 1\nb = 2\n");
+}
+
+} // namespace
