@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_capreglimit.dir/bench_abl_capreglimit.cpp.o"
+  "CMakeFiles/bench_abl_capreglimit.dir/bench_abl_capreglimit.cpp.o.d"
+  "bench_abl_capreglimit"
+  "bench_abl_capreglimit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_capreglimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

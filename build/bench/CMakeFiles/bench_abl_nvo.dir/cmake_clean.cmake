@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_nvo.dir/bench_abl_nvo.cpp.o"
+  "CMakeFiles/bench_abl_nvo.dir/bench_abl_nvo.cpp.o.d"
+  "bench_abl_nvo"
+  "bench_abl_nvo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_nvo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_sfu.dir/bench_abl_sfu.cpp.o"
+  "CMakeFiles/bench_abl_sfu.dir/bench_abl_sfu.cpp.o.d"
+  "bench_abl_sfu"
+  "bench_abl_sfu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_sfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

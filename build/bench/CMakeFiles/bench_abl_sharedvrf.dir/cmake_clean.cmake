@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_sharedvrf.dir/bench_abl_sharedvrf.cpp.o"
+  "CMakeFiles/bench_abl_sharedvrf.dir/bench_abl_sharedvrf.cpp.o.d"
+  "bench_abl_sharedvrf"
+  "bench_abl_sharedvrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_sharedvrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

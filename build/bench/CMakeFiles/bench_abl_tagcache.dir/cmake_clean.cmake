@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_tagcache.dir/bench_abl_tagcache.cpp.o"
+  "CMakeFiles/bench_abl_tagcache.dir/bench_abl_tagcache.cpp.o.d"
+  "bench_abl_tagcache"
+  "bench_abl_tagcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_tagcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_cheri_histogram.dir/bench_fig06_cheri_histogram.cpp.o"
+  "CMakeFiles/bench_fig06_cheri_histogram.dir/bench_fig06_cheri_histogram.cpp.o.d"
+  "bench_fig06_cheri_histogram"
+  "bench_fig06_cheri_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_cheri_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

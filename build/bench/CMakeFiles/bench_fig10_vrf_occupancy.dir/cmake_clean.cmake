@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_vrf_occupancy.dir/bench_fig10_vrf_occupancy.cpp.o"
+  "CMakeFiles/bench_fig10_vrf_occupancy.dir/bench_fig10_vrf_occupancy.cpp.o.d"
+  "bench_fig10_vrf_occupancy"
+  "bench_fig10_vrf_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_vrf_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

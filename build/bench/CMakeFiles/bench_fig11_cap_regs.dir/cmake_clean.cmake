@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cap_regs.dir/bench_fig11_cap_regs.cpp.o"
+  "CMakeFiles/bench_fig11_cap_regs.dir/bench_fig11_cap_regs.cpp.o.d"
+  "bench_fig11_cap_regs"
+  "bench_fig11_cap_regs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cap_regs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11_cap_regs.
+# This may be replaced when dependencies are built.

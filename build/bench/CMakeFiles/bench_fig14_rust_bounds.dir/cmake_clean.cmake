@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_rust_bounds.dir/bench_fig14_rust_bounds.cpp.o"
+  "CMakeFiles/bench_fig14_rust_bounds.dir/bench_fig14_rust_bounds.cpp.o.d"
+  "bench_fig14_rust_bounds"
+  "bench_fig14_rust_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_rust_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

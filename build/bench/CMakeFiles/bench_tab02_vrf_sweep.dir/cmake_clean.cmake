@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_vrf_sweep.dir/bench_tab02_vrf_sweep.cpp.o"
+  "CMakeFiles/bench_tab02_vrf_sweep.dir/bench_tab02_vrf_sweep.cpp.o.d"
+  "bench_tab02_vrf_sweep"
+  "bench_tab02_vrf_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_vrf_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_synthesis.dir/bench_tab03_synthesis.cpp.o"
+  "CMakeFiles/bench_tab03_synthesis.dir/bench_tab03_synthesis.cpp.o.d"
+  "bench_tab03_synthesis"
+  "bench_tab03_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

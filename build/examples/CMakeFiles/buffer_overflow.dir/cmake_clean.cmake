@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_overflow.dir/buffer_overflow.cpp.o"
+  "CMakeFiles/buffer_overflow.dir/buffer_overflow.cpp.o.d"
+  "buffer_overflow"
+  "buffer_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

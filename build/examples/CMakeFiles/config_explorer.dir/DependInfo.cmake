@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/config_explorer.cpp" "examples/CMakeFiles/config_explorer.dir/config_explorer.cpp.o" "gcc" "examples/CMakeFiles/config_explorer.dir/config_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/repro_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/area/CMakeFiles/repro_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/nocl/CMakeFiles/repro_nocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/kc/CMakeFiles/repro_kc.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/repro_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/repro_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/repro_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_explorer.dir/config_explorer.cpp.o"
+  "CMakeFiles/config_explorer.dir/config_explorer.cpp.o.d"
+  "config_explorer"
+  "config_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_area.dir/area_model.cpp.o"
+  "CMakeFiles/repro_area.dir/area_model.cpp.o.d"
+  "librepro_area.a"
+  "librepro_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_cap.dir/cheri_concentrate.cpp.o"
+  "CMakeFiles/repro_cap.dir/cheri_concentrate.cpp.o.d"
+  "librepro_cap.a"
+  "librepro_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/encoding.cpp" "src/isa/CMakeFiles/repro_isa.dir/encoding.cpp.o" "gcc" "src/isa/CMakeFiles/repro_isa.dir/encoding.cpp.o.d"
+  "/root/repo/src/isa/instr.cpp" "src/isa/CMakeFiles/repro_isa.dir/instr.cpp.o" "gcc" "src/isa/CMakeFiles/repro_isa.dir/instr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

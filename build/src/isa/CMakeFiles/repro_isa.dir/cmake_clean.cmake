@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_isa.dir/encoding.cpp.o"
+  "CMakeFiles/repro_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/repro_isa.dir/instr.cpp.o"
+  "CMakeFiles/repro_isa.dir/instr.cpp.o.d"
+  "librepro_isa.a"
+  "librepro_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

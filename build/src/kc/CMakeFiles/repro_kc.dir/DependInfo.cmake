@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kc/asm.cpp" "src/kc/CMakeFiles/repro_kc.dir/asm.cpp.o" "gcc" "src/kc/CMakeFiles/repro_kc.dir/asm.cpp.o.d"
+  "/root/repo/src/kc/codegen.cpp" "src/kc/CMakeFiles/repro_kc.dir/codegen.cpp.o" "gcc" "src/kc/CMakeFiles/repro_kc.dir/codegen.cpp.o.d"
+  "/root/repo/src/kc/kernel.cpp" "src/kc/CMakeFiles/repro_kc.dir/kernel.cpp.o" "gcc" "src/kc/CMakeFiles/repro_kc.dir/kernel.cpp.o.d"
+  "/root/repo/src/kc/opt.cpp" "src/kc/CMakeFiles/repro_kc.dir/opt.cpp.o" "gcc" "src/kc/CMakeFiles/repro_kc.dir/opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/repro_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/repro_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/repro_cap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

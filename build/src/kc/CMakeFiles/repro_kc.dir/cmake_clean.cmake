@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_kc.dir/asm.cpp.o"
+  "CMakeFiles/repro_kc.dir/asm.cpp.o.d"
+  "CMakeFiles/repro_kc.dir/codegen.cpp.o"
+  "CMakeFiles/repro_kc.dir/codegen.cpp.o.d"
+  "CMakeFiles/repro_kc.dir/kernel.cpp.o"
+  "CMakeFiles/repro_kc.dir/kernel.cpp.o.d"
+  "CMakeFiles/repro_kc.dir/opt.cpp.o"
+  "CMakeFiles/repro_kc.dir/opt.cpp.o.d"
+  "librepro_kc.a"
+  "librepro_kc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_kc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

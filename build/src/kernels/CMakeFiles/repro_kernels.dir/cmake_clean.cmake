@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_kernels.dir/suite.cpp.o"
+  "CMakeFiles/repro_kernels.dir/suite.cpp.o.d"
+  "librepro_kernels.a"
+  "librepro_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_nocl.dir/nocl.cpp.o"
+  "CMakeFiles/repro_nocl.dir/nocl.cpp.o.d"
+  "librepro_nocl.a"
+  "librepro_nocl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_nocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/mem.cpp" "src/simt/CMakeFiles/repro_simt.dir/mem.cpp.o" "gcc" "src/simt/CMakeFiles/repro_simt.dir/mem.cpp.o.d"
+  "/root/repo/src/simt/regfile.cpp" "src/simt/CMakeFiles/repro_simt.dir/regfile.cpp.o" "gcc" "src/simt/CMakeFiles/repro_simt.dir/regfile.cpp.o.d"
+  "/root/repo/src/simt/scratchpad.cpp" "src/simt/CMakeFiles/repro_simt.dir/scratchpad.cpp.o" "gcc" "src/simt/CMakeFiles/repro_simt.dir/scratchpad.cpp.o.d"
+  "/root/repo/src/simt/sm.cpp" "src/simt/CMakeFiles/repro_simt.dir/sm.cpp.o" "gcc" "src/simt/CMakeFiles/repro_simt.dir/sm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/repro_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/repro_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_simt.dir/mem.cpp.o"
+  "CMakeFiles/repro_simt.dir/mem.cpp.o.d"
+  "CMakeFiles/repro_simt.dir/regfile.cpp.o"
+  "CMakeFiles/repro_simt.dir/regfile.cpp.o.d"
+  "CMakeFiles/repro_simt.dir/scratchpad.cpp.o"
+  "CMakeFiles/repro_simt.dir/scratchpad.cpp.o.d"
+  "CMakeFiles/repro_simt.dir/sm.cpp.o"
+  "CMakeFiles/repro_simt.dir/sm.cpp.o.d"
+  "librepro_simt.a"
+  "librepro_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_support.dir/logging.cpp.o"
+  "CMakeFiles/repro_support.dir/logging.cpp.o.d"
+  "CMakeFiles/repro_support.dir/stats.cpp.o"
+  "CMakeFiles/repro_support.dir/stats.cpp.o.d"
+  "librepro_support.a"
+  "librepro_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

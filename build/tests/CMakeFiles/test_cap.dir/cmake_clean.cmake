@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cap.dir/test_cap.cpp.o"
+  "CMakeFiles/test_cap.dir/test_cap.cpp.o.d"
+  "test_cap"
+  "test_cap.pdb"
+  "test_cap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

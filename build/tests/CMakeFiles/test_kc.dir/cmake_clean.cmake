@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kc.dir/test_kc.cpp.o"
+  "CMakeFiles/test_kc.dir/test_kc.cpp.o.d"
+  "test_kc"
+  "test_kc.pdb"
+  "test_kc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

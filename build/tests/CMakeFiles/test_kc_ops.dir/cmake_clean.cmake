@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kc_ops.dir/test_kc_ops.cpp.o"
+  "CMakeFiles/test_kc_ops.dir/test_kc_ops.cpp.o.d"
+  "test_kc_ops"
+  "test_kc_ops.pdb"
+  "test_kc_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kc_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

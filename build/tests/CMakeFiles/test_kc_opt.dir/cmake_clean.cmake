@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kc_opt.dir/test_kc_opt.cpp.o"
+  "CMakeFiles/test_kc_opt.dir/test_kc_opt.cpp.o.d"
+  "test_kc_opt"
+  "test_kc_opt.pdb"
+  "test_kc_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nocl.dir/test_nocl.cpp.o"
+  "CMakeFiles/test_nocl.dir/test_nocl.cpp.o.d"
+  "test_nocl"
+  "test_nocl.pdb"
+  "test_nocl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_safety.dir/test_safety.cpp.o"
+  "CMakeFiles/test_safety.dir/test_safety.cpp.o.d"
+  "test_safety"
+  "test_safety.pdb"
+  "test_safety[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

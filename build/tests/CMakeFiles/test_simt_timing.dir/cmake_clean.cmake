@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt_timing.dir/test_simt_timing.cpp.o"
+  "CMakeFiles/test_simt_timing.dir/test_simt_timing.cpp.o.d"
+  "test_simt_timing"
+  "test_simt_timing.pdb"
+  "test_simt_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_cap[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_simt[1]_include.cmake")
+include("/root/repo/build/tests/test_kc[1]_include.cmake")
+include("/root/repo/build/tests/test_suite[1]_include.cmake")
+include("/root/repo/build/tests/test_area[1]_include.cmake")
+include("/root/repo/build/tests/test_kc_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_nocl[1]_include.cmake")
+include("/root/repo/build/tests/test_simt_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_kc_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_safety[1]_include.cmake")
+include("/root/repo/build/tests/test_kc_opt[1]_include.cmake")
