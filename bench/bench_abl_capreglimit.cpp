@@ -21,41 +21,38 @@
 int
 main(int argc, char **argv)
 {
+    benchcommon::Harness h(argc, argv, "abl_capreglimit");
     benchcommon::printHeader(
         "Ablation", "capability-register limiting (Section 4.3 forecast)");
 
     using Mode = kc::CompileOptions::Mode;
-    const auto unlimited =
-        benchcommon::runSuite(simt::SmConfig::cheriOptimised(),
-                              Mode::Purecap);
 
     // Limited: hardware tracks 16 registers, compiler honours it.
     simt::SmConfig hw = simt::SmConfig::cheriOptimised();
     hw.metaRegsTracked = 16;
 
+    const auto rows = h.runMatrix(
+        {{"no_limit", simt::SmConfig::cheriOptimised(), Mode::Purecap},
+         {"limit16", hw, Mode::Purecap, 16}});
+    const auto &unlimited = rows[0];
+    const auto &limited = rows[1];
+
     std::printf("%-12s %14s %14s %10s %8s\n", "Benchmark",
                 "no limit(cyc)", "limit 16(cyc)", "delta", "capRegs");
     std::vector<double> ratios;
-    size_t i = 0;
-    for (auto &bench : kernels::makeSuite()) {
-        nocl::Device dev(hw, Mode::Purecap);
-        kernels::Prepared p = bench->prepare(dev, kernels::Size::Full);
-        p.cfg.capRegLimit = 16;
-        const nocl::RunResult r = dev.launch(*p.kernel, p.cfg, p.args);
-        const bool ok = r.completed && !r.trapped && p.verify(dev);
-
+    for (size_t i = 0; i < limited.size(); ++i) {
+        const nocl::RunResult &r = limited[i].run;
         const double ratio =
             static_cast<double>(r.cycles) /
             static_cast<double>(unlimited[i].run.cycles);
         ratios.push_back(ratio);
         std::printf("%-12s %14llu %14llu %+9.2f%% %8u%s\n",
-                    bench->name().c_str(),
+                    limited[i].name.c_str(),
                     static_cast<unsigned long long>(
                         unlimited[i].run.cycles),
                     static_cast<unsigned long long>(r.cycles),
-                    (ratio - 1.0) * 100.0, r.kernel.capRegCount,
-                    ok ? "" : "  [VERIFY FAILED]");
-        ++i;
+                    (ratio - 1.0) * 100.0, r.kernel->capRegCount,
+                    limited[i].ok ? "" : "  [VERIFY FAILED]");
     }
     const double gm = benchcommon::geomean(ratios);
     std::printf("%-12s %14s %14s %+9.2f%%   (paper: no impact)\n",
@@ -73,6 +70,11 @@ main(int argc, char **argv)
                     100.0,
                 static_cast<double>(half_rf.metaStorageBits()) / base_bits *
                     100.0);
+    h.metric("cycle_delta_pct", (gm - 1.0) * 100.0);
+    h.metric("meta_overhead_pct",
+             static_cast<double>(half_rf.metaStorageBits()) / base_bits *
+                 100.0);
+    h.finish();
 
     benchmark::RegisterBenchmark(
         "abl_capreglimit/summary", [&](benchmark::State &state) {

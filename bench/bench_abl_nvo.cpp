@@ -15,6 +15,7 @@
 int
 main(int argc, char **argv)
 {
+    benchcommon::Harness h(argc, argv, "abl_nvo");
     benchcommon::printHeader("Ablation", "null-value optimisation (NVO)");
 
     using Mode = kc::CompileOptions::Mode;
@@ -22,8 +23,10 @@ main(int argc, char **argv)
     simt::SmConfig off = on;
     off.nvo = false;
 
-    const auto r_on = benchcommon::runSuite(on, Mode::Purecap);
-    const auto r_off = benchcommon::runSuite(off, Mode::Purecap);
+    const auto rows = h.runMatrix({{"nvo_on", on, Mode::Purecap},
+                                   {"nvo_off", off, Mode::Purecap}});
+    const auto &r_on = rows[0];
+    const auto &r_off = rows[1];
 
     std::printf("%-12s | %12s %10s | %12s %10s\n", "", "NVO off", "", "NVO on",
                 "");
@@ -45,6 +48,8 @@ main(int argc, char **argv)
     std::printf("\nTotal partially-null vectors held in the SRF by NVO: "
                 "%llu\n",
                 static_cast<unsigned long long>(nvo_hits));
+    h.metric("nvo_srf_hits", static_cast<double>(nvo_hits));
+    h.finish();
 
     for (size_t i = 0; i < r_on.size(); ++i) {
         const double von = r_on[i].run.avgMetaVrf;

@@ -17,6 +17,7 @@
 int
 main(int argc, char **argv)
 {
+    benchcommon::Harness h(argc, argv, "abl_sfu");
     benchcommon::printHeader(
         "Ablation", "SFU offload of CHERI bounds instructions");
 
@@ -25,8 +26,10 @@ main(int argc, char **argv)
     simt::SmConfig off = on;
     off.sfuCheriOffload = false;
 
-    const auto r_on = benchcommon::runSuite(on, Mode::Purecap);
-    const auto r_off = benchcommon::runSuite(off, Mode::Purecap);
+    const auto rows = h.runMatrix({{"sfu_offload", on, Mode::Purecap},
+                                   {"lane_caplib", off, Mode::Purecap}});
+    const auto &r_on = rows[0];
+    const auto &r_off = rows[1];
 
     std::printf("%-12s %14s %14s %10s %10s\n", "Benchmark", "lane(cyc)",
                 "SFU(cyc)", "slowdown", "SFU ops");
@@ -55,6 +58,9 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(alms_on),
                 static_cast<unsigned long long>(alms_off),
                 static_cast<long long>(alms_off - alms_on));
+    h.metric("cycle_cost_pct", (benchcommon::geomean(ratios) - 1.0) * 100.0);
+    h.metric("alms_saved", static_cast<double>(alms_off - alms_on));
+    h.finish();
 
     benchmark::RegisterBenchmark(
         "abl_sfu/summary", [&](benchmark::State &state) {

@@ -16,6 +16,7 @@
 int
 main(int argc, char **argv)
 {
+    benchcommon::Harness h(argc, argv, "abl_sharedvrf");
     benchcommon::printHeader("Ablation", "shared vs split VRF");
 
     using Mode = kc::CompileOptions::Mode;
@@ -23,8 +24,10 @@ main(int argc, char **argv)
     simt::SmConfig split_cfg = shared_cfg;
     split_cfg.sharedVrf = false;
 
-    const auto r_shared = benchcommon::runSuite(shared_cfg, Mode::Purecap);
-    const auto r_split = benchcommon::runSuite(split_cfg, Mode::Purecap);
+    const auto rows = h.runMatrix({{"shared_vrf", shared_cfg, Mode::Purecap},
+                                   {"split_vrf", split_cfg, Mode::Purecap}});
+    const auto &r_shared = rows[0];
+    const auto &r_split = rows[1];
 
     std::printf("%-12s | %10s %8s %8s | %10s %8s %8s\n", "", "shared", "",
                 "", "split", "", "");
@@ -57,6 +60,9 @@ main(int argc, char **argv)
     std::printf("\nMetadata storage: shared VRF %.0f Kb, split VRFs "
                 "%.0f Kb\n",
                 shared_kb, split_kb);
+    h.metric("meta_storage_shared_kb", shared_kb);
+    h.metric("meta_storage_split_kb", split_kb);
+    h.finish();
 
     benchmark::RegisterBenchmark(
         "abl_sharedvrf/summary",

@@ -16,18 +16,34 @@
 int
 main(int argc, char **argv)
 {
+    benchcommon::Harness h(argc, argv, "abl_tagcache");
     benchcommon::printHeader("Ablation", "tag-cache size sweep");
 
     using Mode = kc::CompileOptions::Mode;
-    std::printf("%-10s %8s %16s %16s %12s\n", "Lines", "filter",
-                "tag traffic (B)", "data traffic (B)", "overhead");
 
+    // One config point per (filter, lines) pair; the whole sweep runs
+    // through the shared pool so independent points overlap.
+    std::vector<benchcommon::ConfigPoint> points;
     for (const bool filter : {false, true}) {
         for (unsigned lines : {1u, 4u, 16u, 64u, 256u}) {
             simt::SmConfig cfg = simt::SmConfig::cheriOptimised();
             cfg.tagCacheLines = lines;
             cfg.tagRootFilter = filter;
-            const auto res = benchcommon::runSuite(cfg, Mode::Purecap);
+            points.push_back({std::string("filter_") +
+                                  (filter ? "on" : "off") + "_lines" +
+                                  std::to_string(lines),
+                              cfg, Mode::Purecap});
+        }
+    }
+    const auto sweep = h.runMatrix(points);
+
+    std::printf("%-10s %8s %16s %16s %12s\n", "Lines", "filter",
+                "tag traffic (B)", "data traffic (B)", "overhead");
+
+    size_t point_idx = 0;
+    for (const bool filter : {false, true}) {
+        for (unsigned lines : {1u, 4u, 16u, 64u, 256u}) {
+            const auto &res = sweep[point_idx++];
 
             uint64_t tag = 0, data = 0;
             for (const auto &r : res) {
@@ -42,6 +58,7 @@ main(int argc, char **argv)
                         filter ? "on" : "off",
                         static_cast<unsigned long long>(tag),
                         static_cast<unsigned long long>(data), pct);
+            h.metric("tag_traffic_pct_" + points[point_idx - 1].label, pct);
 
             benchmark::RegisterBenchmark(
                 ("abl_tagcache/" + std::string(filter ? "on" : "off") +
@@ -55,6 +72,7 @@ main(int argc, char **argv)
                 ->Iterations(1);
         }
     }
+    h.finish();
 
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -1,49 +1,292 @@
 #include "bench/bench_common.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <thread>
 
 #include "support/logging.hpp"
 
 namespace benchcommon
 {
 
+namespace
+{
+
+/**
+ * Run one (configuration, benchmark) point. Fully self-contained: the
+ * point gets its own benchmark instance and its own device, so points
+ * are independent tasks for the worker pool.
+ */
+SuiteResult
+runPoint(size_t bench_idx, const ConfigPoint &point, kernels::Size size)
+{
+    auto suite = kernels::makeSuite();
+    kernels::Benchmark &bench = *suite.at(bench_idx);
+
+    nocl::Device dev(point.cfg, point.mode);
+    kernels::Prepared p = bench.prepare(dev, size);
+    if (point.capRegLimit != 0)
+        p.cfg.capRegLimit = point.capRegLimit;
+
+    SuiteResult r;
+    r.name = bench.name();
+    r.run = dev.launch(*p.kernel, p.cfg, p.args);
+    r.ok = r.run.completed && !r.run.trapped && p.verify(dev);
+    if (!r.ok) {
+        warn("benchmark %s [%s] failed verification (trap: %s)",
+             r.name.c_str(), point.label.c_str(),
+             r.run.trapKind.c_str());
+    }
+    return r;
+}
+
+/**
+ * Execute @p count independent tasks on a pool of @p threads workers
+ * (0 = hardware concurrency). Tasks are claimed from a shared counter;
+ * each task writes only its own result slot, so completion order does
+ * not affect the output.
+ */
+void
+runTasks(size_t count, unsigned threads,
+         const std::function<void(size_t)> &task)
+{
+    unsigned n = threads;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    if (count < n)
+        n = static_cast<unsigned>(count);
+
+    if (n <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            task(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t) {
+        pool.emplace_back([&] {
+            for (;;) {
+                const size_t i = next.fetch_add(1);
+                if (i >= count)
+                    return;
+                task(i);
+            }
+        });
+    }
+    for (auto &worker : pool)
+        worker.join();
+}
+
+size_t
+suiteSize()
+{
+    return kernels::makeSuite().size();
+}
+
+} // namespace
+
+BenchOptions
+parseArgs(int &argc, char **argv)
+{
+    BenchOptions opts;
+
+    auto parse_size = [&](const std::string &text) {
+        if (text == "small") {
+            opts.size = kernels::Size::Small;
+        } else if (text == "full") {
+            opts.size = kernels::Size::Full;
+        } else {
+            fatal("unknown --size '%s' (expected small or full)",
+                  text.c_str());
+        }
+    };
+
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto take_value = [&](const char *flag) -> std::string {
+            fatal_if(i + 1 >= argc, "%s requires a value", flag);
+            return argv[++i];
+        };
+        if (arg == "--json") {
+            opts.jsonPath = take_value("--json");
+        } else if (arg.rfind("--json=", 0) == 0) {
+            opts.jsonPath = arg.substr(7);
+        } else if (arg == "--threads") {
+            opts.threads = static_cast<unsigned>(
+                std::strtoul(take_value("--threads").c_str(), nullptr, 10));
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            opts.threads = static_cast<unsigned>(
+                std::strtoul(arg.substr(10).c_str(), nullptr, 10));
+        } else if (arg == "--size") {
+            parse_size(take_value("--size"));
+        } else if (arg.rfind("--size=", 0) == 0) {
+            parse_size(arg.substr(7));
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return opts;
+}
+
 std::vector<SuiteResult>
 runSuite(const simt::SmConfig &sm_cfg, kc::CompileOptions::Mode mode,
-         kernels::Size size)
+         kernels::Size size, unsigned cap_reg_limit)
 {
-    std::vector<SuiteResult> results;
-    for (auto &bench : kernels::makeSuite()) {
-        nocl::Device dev(sm_cfg, mode);
-        kernels::Prepared p = bench->prepare(dev, size);
-        SuiteResult r;
-        r.name = bench->name();
-        r.run = dev.launch(*p.kernel, p.cfg, p.args);
-        r.ok = r.run.completed && !r.run.trapped && p.verify(dev);
-        if (!r.ok) {
-            warn("benchmark %s failed verification (trap: %s)",
-                 r.name.c_str(), r.run.trapKind.c_str());
-        }
-        results.push_back(std::move(r));
-    }
+    ConfigPoint point{"", sm_cfg, mode, cap_reg_limit};
+    const size_t count = suiteSize();
+    std::vector<SuiteResult> results(count);
+    for (size_t i = 0; i < count; ++i)
+        results[i] = runPoint(i, point, size);
     return results;
+}
+
+std::vector<SuiteResult>
+runSuiteParallel(const simt::SmConfig &sm_cfg,
+                 kc::CompileOptions::Mode mode, kernels::Size size,
+                 unsigned threads, unsigned cap_reg_limit)
+{
+    ConfigPoint point{"", sm_cfg, mode, cap_reg_limit};
+    const size_t count = suiteSize();
+    std::vector<SuiteResult> results(count);
+    runTasks(count, threads,
+             [&](size_t i) { results[i] = runPoint(i, point, size); });
+    return results;
+}
+
+std::vector<std::vector<SuiteResult>>
+runMatrix(const std::vector<ConfigPoint> &points, kernels::Size size,
+          unsigned threads)
+{
+    const size_t count = suiteSize();
+    std::vector<std::vector<SuiteResult>> rows(points.size());
+    for (auto &row : rows)
+        row.resize(count);
+
+    runTasks(points.size() * count, threads, [&](size_t task) {
+        const size_t p = task / count;
+        const size_t b = task % count;
+        rows[p][b] = runPoint(b, points[p], size);
+    });
+    return rows;
 }
 
 double
 geomean(const std::vector<double> &values)
 {
-    if (values.empty())
-        return 0.0;
     double log_sum = 0.0;
-    for (double v : values)
+    size_t used = 0;
+    for (double v : values) {
+        if (!(v > 0.0) || !std::isfinite(v)) {
+            warn("geomean: skipping non-positive entry %g", v);
+            continue;
+        }
         log_sum += std::log(v);
-    return std::exp(log_sum / static_cast<double>(values.size()));
+        ++used;
+    }
+    if (used == 0) {
+        if (!values.empty())
+            warn("geomean: no positive entries among %zu values",
+                 values.size());
+        return 0.0;
+    }
+    return std::exp(log_sum / static_cast<double>(used));
 }
 
 void
 printHeader(const std::string &id, const std::string &caption)
 {
     std::printf("\n=== %s: %s ===\n", id.c_str(), caption.c_str());
+}
+
+Harness::Harness(int &argc, char **argv, std::string binary)
+    : opts_(parseArgs(argc, argv)), binary_(std::move(binary))
+{
+}
+
+std::vector<SuiteResult>
+Harness::run(const std::string &label, const simt::SmConfig &cfg,
+             kc::CompileOptions::Mode mode, unsigned cap_reg_limit)
+{
+    auto results = runSuiteParallel(cfg, mode, opts_.size, opts_.threads,
+                                    cap_reg_limit);
+    record(label, results);
+    return results;
+}
+
+std::vector<std::vector<SuiteResult>>
+Harness::runMatrix(const std::vector<ConfigPoint> &points)
+{
+    auto rows =
+        benchcommon::runMatrix(points, opts_.size, opts_.threads);
+    for (size_t p = 0; p < points.size(); ++p)
+        record(points[p].label, rows[p]);
+    return rows;
+}
+
+void
+Harness::record(const std::string &label,
+                const std::vector<SuiteResult> &results)
+{
+    using support::json::Value;
+    for (const SuiteResult &r : results) {
+        Value entry = Value::object();
+        entry.set("config", Value::str(label));
+        entry.set("bench", Value::str(r.name));
+        entry.set("ok", Value::boolean(r.ok));
+        entry.set("completed", Value::boolean(r.run.completed));
+        entry.set("trapped", Value::boolean(r.run.trapped));
+        entry.set("trap_kind", Value::str(r.run.trapKind));
+        entry.set("cycles", Value::integer(r.run.cycles));
+        Value stats = Value::object();
+        for (const auto &[name, value] : r.run.stats.all())
+            stats.set(name, Value::integer(value));
+        entry.set("stats", std::move(stats));
+        results_.push(std::move(entry));
+    }
+}
+
+void
+Harness::metric(const std::string &name, double value)
+{
+    metrics_.set(name, support::json::Value::number(value));
+}
+
+void
+Harness::finish() const
+{
+    if (opts_.jsonPath.empty())
+        return;
+
+    using support::json::Value;
+    Value doc = Value::object();
+    doc.set("schema", Value::str("cheri-simt-bench-v1"));
+    doc.set("binary", Value::str(binary_));
+    doc.set("size", Value::str(opts_.size == kernels::Size::Small
+                                   ? "small"
+                                   : "full"));
+    doc.set("results", results_);
+    doc.set("metrics", metrics_);
+
+    std::ofstream out(opts_.jsonPath);
+    fatal_if(!out.is_open(), "cannot open JSON output file %s",
+             opts_.jsonPath.c_str());
+    out << doc.dump(2) << "\n";
+    fatal_if(!out.good(), "failed writing JSON output file %s",
+             opts_.jsonPath.c_str());
+    std::printf("[json results written to %s]\n", opts_.jsonPath.c_str());
 }
 
 } // namespace benchcommon

@@ -1,8 +1,17 @@
 /**
  * @file
  * Shared infrastructure for the benchmark harnesses: run the Table 1
- * suite under a given SM configuration and compile mode, verify results,
- * and print paper-style tables.
+ * suite under a given SM configuration and compile mode -- serially or
+ * across a pool of worker threads -- verify results, print paper-style
+ * tables, and emit machine-readable JSON result files.
+ *
+ * Parallelism model: every (configuration, benchmark) point is fully
+ * self-contained -- it builds its own nocl::Device (one simulated SM plus
+ * host memory), so points run concurrently without sharing simulator
+ * state. Kernel compilation goes through the process-wide
+ * nocl::KernelCache, so a sweep compiles each kernel once instead of
+ * once per point. The simulator is deterministic, therefore serial and
+ * parallel runs report bit-identical cycle counts and statistics.
  */
 
 #ifndef CHERI_SIMT_BENCH_BENCH_COMMON_HPP_
@@ -15,6 +24,7 @@
 #include "kernels/suite.hpp"
 #include "nocl/nocl.hpp"
 #include "simt/config.hpp"
+#include "support/json.hpp"
 
 namespace benchcommon
 {
@@ -27,19 +37,134 @@ struct SuiteResult
     nocl::RunResult run;
 };
 
+/** One configuration point of a benchmark matrix. */
+struct ConfigPoint
+{
+    std::string label;
+    simt::SmConfig cfg;
+    kc::CompileOptions::Mode mode = kc::CompileOptions::Mode::Baseline;
+
+    /** Per-launch capability-register limit override (0 = leave as is). */
+    unsigned capRegLimit = 0;
+};
+
+/** Harness options shared by every bench binary (see parseArgs). */
+struct BenchOptions
+{
+    kernels::Size size = kernels::Size::Full;
+
+    /** Worker threads for suite runs; 0 = hardware concurrency. */
+    unsigned threads = 0;
+
+    /** Path of the JSON results file; empty = no JSON output. */
+    std::string jsonPath;
+};
+
 /**
- * Run every benchmark of the suite and verify its output.
+ * Strip the harness flags from argv (remaining flags are left for the
+ * Google Benchmark runner):
+ *
+ *   --json <path> | --json=<path>     write a JSON results file
+ *   --threads <n> | --threads=<n>     worker threads (0 = auto)
+ *   --size small|full | --size=...    workload size (default full)
+ */
+BenchOptions parseArgs(int &argc, char **argv);
+
+/**
+ * Run every benchmark of the suite serially and verify its output.
  * Workload size defaults to Full (the paper's evaluation sizes).
  */
 std::vector<SuiteResult> runSuite(const simt::SmConfig &sm_cfg,
                                   kc::CompileOptions::Mode mode,
-                                  kernels::Size size = kernels::Size::Full);
+                                  kernels::Size size = kernels::Size::Full,
+                                  unsigned cap_reg_limit = 0);
 
-/** Geometric mean of a vector of ratios. */
+/**
+ * Run every benchmark of the suite across @p threads worker threads
+ * (0 = hardware concurrency). Results are returned in suite order and
+ * are bit-identical to runSuite on the same inputs.
+ */
+std::vector<SuiteResult>
+runSuiteParallel(const simt::SmConfig &sm_cfg,
+                 kc::CompileOptions::Mode mode,
+                 kernels::Size size = kernels::Size::Full,
+                 unsigned threads = 0, unsigned cap_reg_limit = 0);
+
+/**
+ * Run the full benchmark x configuration matrix with one shared worker
+ * pool (every point is an independent task, so a sweep saturates the
+ * pool even when single configurations have stragglers). Row i of the
+ * result corresponds to points[i], in suite order.
+ */
+std::vector<std::vector<SuiteResult>>
+runMatrix(const std::vector<ConfigPoint> &points,
+          kernels::Size size = kernels::Size::Full, unsigned threads = 0);
+
+/**
+ * Geometric mean of a vector of ratios. Non-positive and non-finite
+ * entries (a failed benchmark, a zero-cycle baseline) are skipped with a
+ * warning instead of silently propagating NaN; returns 0.0 when no
+ * usable entry remains.
+ */
 double geomean(const std::vector<double> &values);
 
 /** Print a header naming the reproduced table/figure. */
 void printHeader(const std::string &id, const std::string &caption);
+
+/**
+ * Per-binary harness: parses the shared flags, runs suites in parallel,
+ * accumulates every result, and writes the JSON results file on
+ * finish() when --json was given.
+ *
+ * JSON schema ("cheri-simt-bench-v1"):
+ *
+ *   {
+ *     "schema": "cheri-simt-bench-v1",
+ *     "binary": "<id>",
+ *     "size": "small" | "full",
+ *     "results": [
+ *       { "config": "<label>", "bench": "<name>", "ok": bool,
+ *         "completed": bool, "trapped": bool, "trap_kind": "<str>",
+ *         "cycles": int, "stats": { "<counter>": int, ... } }, ...
+ *     ],
+ *     "metrics": { "<name>": number, ... }
+ *   }
+ */
+class Harness
+{
+  public:
+    /** @p binary names the emitting binary in the JSON file. */
+    Harness(int &argc, char **argv, std::string binary);
+
+    const BenchOptions &options() const { return opts_; }
+    kernels::Size size() const { return opts_.size; }
+
+    /** Run the suite under one configuration and record the results. */
+    std::vector<SuiteResult> run(const std::string &label,
+                                 const simt::SmConfig &cfg,
+                                 kc::CompileOptions::Mode mode,
+                                 unsigned cap_reg_limit = 0);
+
+    /** Run a configuration matrix and record every row. */
+    std::vector<std::vector<SuiteResult>>
+    runMatrix(const std::vector<ConfigPoint> &points);
+
+    /** Record results obtained outside run()/runMatrix(). */
+    void record(const std::string &label,
+                const std::vector<SuiteResult> &results);
+
+    /** Record a derived scalar (a geomean, an area number, ...). */
+    void metric(const std::string &name, double value);
+
+    /** Write the JSON results file if --json was given. */
+    void finish() const;
+
+  private:
+    BenchOptions opts_;
+    std::string binary_;
+    support::json::Value results_ = support::json::Value::array();
+    support::json::Value metrics_ = support::json::Value::object();
+};
 
 } // namespace benchcommon
 

@@ -19,11 +19,13 @@
 int
 main(int argc, char **argv)
 {
+    benchcommon::Harness h(argc, argv, "fig06_cheri_histogram");
     benchcommon::printHeader(
         "Figure 6", "CHERI instruction execution frequency (CHERI opt.)");
 
-    const auto results = benchcommon::runSuite(
-        simt::SmConfig::cheriOptimised(), kc::CompileOptions::Mode::Purecap);
+    const auto results =
+        h.run("cheri_opt", simt::SmConfig::cheriOptimised(),
+              kc::CompileOptions::Mode::Purecap);
 
     // Average the per-benchmark relative frequencies (as the paper does),
     // rather than pooling counts, so small benchmarks weigh equally.
@@ -57,6 +59,10 @@ main(int argc, char **argv)
     for (const auto &[name, freq] : rows)
         cheri_total += freq;
     std::printf("%-16s %9.2f%%\n", "all CHERI ops", cheri_total * 100.0);
+    for (const auto &[name, freq] : rows)
+        h.metric("freq_pct_" + name, freq * 100.0);
+    h.metric("freq_pct_all_cheri_ops", cheri_total * 100.0);
+    h.finish();
 
     for (const auto &[name, freq] : rows) {
         const double pct = freq * 100.0;

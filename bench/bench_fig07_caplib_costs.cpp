@@ -17,6 +17,7 @@
 int
 main(int argc, char **argv)
 {
+    benchcommon::Harness h(argc, argv, "fig07_caplib_costs");
     benchcommon::printHeader("Figure 7",
                              "CheriCapLib function logic-area costs");
 
@@ -54,6 +55,12 @@ main(int argc, char **argv)
                 cap::getBase(buf),
                 static_cast<unsigned long long>(cap::getLength(buf)),
                 cap::isAccessInBounds(buf, 2) ? 1 : 0);
+
+    for (const Row &row : rows)
+        h.metric(std::string("alms_") + row.name, row.alms);
+    h.metric("alms_fast_path", c.fastPath());
+    h.metric("alms_slow_path", c.slowPath());
+    h.finish();
 
     for (const Row &row : rows) {
         const double alms = row.alms;

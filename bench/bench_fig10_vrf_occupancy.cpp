@@ -27,6 +27,7 @@ using Mode = kc::CompileOptions::Mode;
 int
 main(int argc, char **argv)
 {
+    benchcommon::Harness h(argc, argv, "fig10_vrf_occupancy");
     benchcommon::printHeader(
         "Figure 10",
         "proportion of registers stored as vectors in the VRF");
@@ -35,8 +36,11 @@ main(int argc, char **argv)
     simt::SmConfig no_nvo = with_nvo;
     no_nvo.nvo = false;
 
-    const auto rn = benchcommon::runSuite(with_nvo, Mode::Purecap);
-    const auto rwo = benchcommon::runSuite(no_nvo, Mode::Purecap);
+    const auto rows_run =
+        h.runMatrix({{"cheri_opt_nvo", with_nvo, Mode::Purecap},
+                     {"cheri_opt_no_nvo", no_nvo, Mode::Purecap}});
+    const auto &rn = rows_run[0];
+    const auto &rwo = rows_run[1];
 
     const double total_regs = with_nvo.numVectorRegs();
     std::printf("%-12s %10s %14s %14s\n", "Benchmark", "GP data",
@@ -70,6 +74,14 @@ main(int argc, char **argv)
     std::printf("  with compiler reg limiting: %+.0f%%  (paper: +7%%)\n",
                 static_cast<double>(opt_rf.metaStorageBits()) / 2.0 /
                     base_bits * 100.0);
+    h.metric("meta_overhead_plain_pct",
+             static_cast<double>(plain_rf.metaStorageBits()) /
+                 static_cast<double>(plain_rf.flatDataStorageBits()) *
+                 100.0);
+    h.metric("meta_overhead_srf_pct",
+             static_cast<double>(opt_rf.metaStorageBits()) / base_bits *
+                 100.0);
+    h.finish();
 
     for (size_t i = 0; i < rn.size(); ++i) {
         const double gp = rn[i].run.avgDataVrf / total_regs * 100.0;

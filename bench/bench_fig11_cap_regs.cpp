@@ -18,17 +18,19 @@
 int
 main(int argc, char **argv)
 {
+    benchcommon::Harness h(argc, argv, "fig11_cap_regs");
     benchcommon::printHeader(
         "Figure 11", "registers per thread used to hold capabilities");
 
-    const auto results = benchcommon::runSuite(
-        simt::SmConfig::cheriOptimised(), kc::CompileOptions::Mode::Purecap);
+    const auto results =
+        h.run("cheri_opt", simt::SmConfig::cheriOptimised(),
+              kc::CompileOptions::Mode::Purecap);
 
     std::printf("%-12s %18s %18s\n", "Benchmark", "compiler (static)",
                 "regfile (runtime)");
     unsigned worst = 0;
     for (const auto &r : results) {
-        const unsigned static_count = r.run.kernel.capRegCount;
+        const unsigned static_count = r.run.kernel->capRegCount;
         const unsigned runtime_count =
             static_cast<unsigned>(std::popcount(r.run.rfCapRegMask));
         worst = std::max(worst, std::max(static_count, runtime_count));
@@ -38,9 +40,11 @@ main(int argc, char **argv)
     std::printf("\nMaximum: %u of 32 registers (paper: no benchmark "
                 "exceeds 16)\n",
                 worst);
+    h.metric("max_cap_regs", worst);
+    h.finish();
 
     for (const auto &r : results) {
-        const double static_count = r.run.kernel.capRegCount;
+        const double static_count = r.run.kernel->capRegCount;
         const double runtime_count = std::popcount(r.run.rfCapRegMask);
         benchmark::RegisterBenchmark(
             ("fig11/" + r.name).c_str(),

@@ -32,13 +32,15 @@ totalTraffic(const support::StatSet &s)
 int
 main(int argc, char **argv)
 {
+    benchcommon::Harness h(argc, argv, "fig12_dram_bw");
     benchcommon::printHeader("Figure 12",
                              "DRAM bandwidth usage with/without CHERI");
 
-    const auto base =
-        benchcommon::runSuite(simt::SmConfig::baseline(), Mode::Baseline);
-    const auto cheri = benchcommon::runSuite(
-        simt::SmConfig::cheriOptimised(), Mode::Purecap);
+    const auto rows = h.runMatrix(
+        {{"baseline", simt::SmConfig::baseline(), Mode::Baseline},
+         {"cheri_opt", simt::SmConfig::cheriOptimised(), Mode::Purecap}});
+    const auto &base = rows[0];
+    const auto &cheri = rows[1];
 
     std::printf("%-12s %12s %12s %12s %8s %10s\n", "Benchmark",
                 "Base(B)", "CHERI(B)", "TagTraffic", "Ratio", "GB/s@180M");
@@ -64,6 +66,8 @@ main(int argc, char **argv)
     }
     std::printf("%-12s %12s %12s %12s %7.3f   (paper: ~1.00)\n", "geomean",
                 "", "", "", benchcommon::geomean(ratios));
+    h.metric("geomean_traffic_ratio", benchcommon::geomean(ratios));
+    h.finish();
 
     for (size_t i = 0; i < base.size(); ++i) {
         const double ratio =

@@ -14,7 +14,6 @@
 namespace
 {
 
-using benchcommon::runSuite;
 using Mode = kc::CompileOptions::Mode;
 
 } // namespace
@@ -22,13 +21,16 @@ using Mode = kc::CompileOptions::Mode;
 int
 main(int argc, char **argv)
 {
+    benchcommon::Harness h(argc, argv, "fig13_exec_overhead");
     benchcommon::printHeader(
         "Figure 13", "execution-time overhead of CHERI (optimised) vs "
                      "baseline");
 
-    const auto base = runSuite(simt::SmConfig::baseline(), Mode::Baseline);
-    const auto cheri =
-        runSuite(simt::SmConfig::cheriOptimised(), Mode::Purecap);
+    const auto rows = h.runMatrix(
+        {{"baseline", simt::SmConfig::baseline(), Mode::Baseline},
+         {"cheri_opt", simt::SmConfig::cheriOptimised(), Mode::Purecap}});
+    const auto &base = rows[0];
+    const auto &cheri = rows[1];
 
     std::printf("%-12s %14s %14s %10s\n", "Benchmark", "Baseline(cyc)",
                 "CHERI(cyc)", "Overhead");
@@ -47,6 +49,8 @@ main(int argc, char **argv)
     const double gm = benchcommon::geomean(ratios);
     std::printf("%-12s %14s %14s %+9.1f%%   (paper: +1.6%%)\n", "geomean",
                 "", "", (gm - 1.0) * 100.0);
+    h.metric("geomean_overhead_pct", (gm - 1.0) * 100.0);
+    h.finish();
 
     for (size_t i = 0; i < base.size(); ++i) {
         const double overhead_pct =

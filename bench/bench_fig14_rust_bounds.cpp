@@ -18,15 +18,17 @@
 int
 main(int argc, char **argv)
 {
+    benchcommon::Harness h(argc, argv, "fig14_rust_bounds");
     benchcommon::printHeader(
         "Figure 14",
         "software bounds-checking (Rust-model) overhead vs baseline");
 
     using Mode = kc::CompileOptions::Mode;
-    const auto base =
-        benchcommon::runSuite(simt::SmConfig::baseline(), Mode::Baseline);
-    const auto soft =
-        benchcommon::runSuite(simt::SmConfig::baseline(), Mode::SoftBounds);
+    const auto rows = h.runMatrix(
+        {{"baseline", simt::SmConfig::baseline(), Mode::Baseline},
+         {"soft_bounds", simt::SmConfig::baseline(), Mode::SoftBounds}});
+    const auto &base = rows[0];
+    const auto &soft = rows[1];
 
     std::printf("%-12s %14s %14s %10s %10s\n", "Benchmark",
                 "Baseline(cyc)", "Checked(cyc)", "Overhead", "Unchecked");
@@ -40,12 +42,14 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(base[i].run.cycles),
                     static_cast<unsigned long long>(soft[i].run.cycles),
                     (ratio - 1.0) * 100.0,
-                    soft[i].run.kernel.uncheckedAccesses);
+                    soft[i].run.kernel->uncheckedAccesses);
     }
     const double gm = benchcommon::geomean(ratios);
     std::printf("%-12s %14s %14s %+9.1f%%   (paper: +34%% for bounds "
                 "checks alone)\n",
                 "geomean", "", "", (gm - 1.0) * 100.0);
+    h.metric("geomean_overhead_pct", (gm - 1.0) * 100.0);
+    h.finish();
 
     for (size_t i = 0; i < base.size(); ++i) {
         const double pct = (static_cast<double>(soft[i].run.cycles) /

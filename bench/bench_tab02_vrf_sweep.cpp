@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench/bench_common.hpp"
 #include "simt/regfile.hpp"
@@ -33,18 +34,9 @@ memTraffic(const support::StatSet &s)
 int
 main(int argc, char **argv)
 {
+    benchcommon::Harness h(argc, argv, "tab02_vrf_sweep");
     benchcommon::printHeader(
         "Table 2", "register-file compression in the baseline (VRF sweep)");
-
-    // Reference: a VRF big enough to never spill.
-    simt::SmConfig ref_cfg = simt::SmConfig::baseline();
-    ref_cfg.vrfCapacity = ref_cfg.numVectorRegs();
-    const auto ref = benchcommon::runSuite(ref_cfg, Mode::Baseline);
-
-    std::printf("%-14s %10s %9s %10s %12s\n", "VRF (regs)", "Storage",
-                "Compress", "Cycle", "Mem access");
-    std::printf("%-14s %10s %9s %10s %12s\n", "", "(Kb)", "ratio",
-                "overhead", "overhead");
 
     struct Row
     {
@@ -55,10 +47,30 @@ main(int argc, char **argv)
                         {768, "768 (3/8)"},
                         {512, "512 (1/4)"}};
 
+    // Reference: a VRF big enough to never spill.
+    simt::SmConfig ref_cfg = simt::SmConfig::baseline();
+    ref_cfg.vrfCapacity = ref_cfg.numVectorRegs();
+
+    std::vector<benchcommon::ConfigPoint> points;
+    points.push_back({"vrf_full", ref_cfg, Mode::Baseline});
     for (const Row &row : rows) {
         simt::SmConfig cfg = simt::SmConfig::baseline();
         cfg.vrfCapacity = row.capacity;
-        const auto res = benchcommon::runSuite(cfg, Mode::Baseline);
+        points.push_back(
+            {"vrf" + std::to_string(row.capacity), cfg, Mode::Baseline});
+    }
+    const auto sweep = h.runMatrix(points);
+    const auto &ref = sweep[0];
+
+    std::printf("%-14s %10s %9s %10s %12s\n", "VRF (regs)", "Storage",
+                "Compress", "Cycle", "Mem access");
+    std::printf("%-14s %10s %9s %10s %12s\n", "", "(Kb)", "ratio",
+                "overhead", "overhead");
+
+    for (size_t r = 0; r < std::size(rows); ++r) {
+        const Row &row = rows[r];
+        const simt::SmConfig &cfg = points[r + 1].cfg;
+        const auto &res = sweep[r + 1];
 
         support::StatSet scratch;
         simt::RegFileSystem rf(cfg, scratch);
@@ -81,6 +93,10 @@ main(int argc, char **argv)
         const double mem = (benchcommon::geomean(mem_ratios) - 1) * 100;
         std::printf("%-14s %10.0f %9.2f %+9.1f%% %+11.1f%%\n", row.label,
                     storage_kb, ratio, cyc, mem);
+        h.metric("cycle_overhead_pct_vrf" + std::to_string(row.capacity),
+                 cyc);
+        h.metric("mem_overhead_pct_vrf" + std::to_string(row.capacity),
+                 mem);
 
         benchmark::RegisterBenchmark(
             (std::string("tab02/vrf") + std::to_string(row.capacity))
@@ -97,6 +113,7 @@ main(int argc, char **argv)
     }
     std::printf("(paper: 1,202 Kb/1:0.57/0.8%%/0.1%% -- "
                 "937 Kb/1:0.45/0.9%%/2.2%% -- 672 Kb/1:0.32/4.3%%/39.9%%)\n");
+    h.finish();
 
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -15,6 +15,7 @@
 int
 main(int argc, char **argv)
 {
+    benchcommon::Harness h(argc, argv, "tab03_synthesis");
     benchcommon::printHeader("Table 3",
                              "synthesis results for a single SIMTight SM");
 
@@ -42,6 +43,9 @@ main(int argc, char **argv)
                     row.name, static_cast<unsigned long long>(e.alms),
                     e.bramKbits, e.fmaxMhz, row.paper_alms, row.paper_bram,
                     row.paper_fmax);
+        h.metric(std::string("alms_") + row.name,
+                 static_cast<double>(e.alms));
+        h.metric(std::string("bram_kbits_") + row.name, e.bramKbits);
 
         benchmark::RegisterBenchmark(
             (std::string("tab03/") + row.name).c_str(),
@@ -62,6 +66,7 @@ main(int argc, char **argv)
     for (const auto &item : opt.breakdown)
         std::printf("  %-40s %10llu\n", item.component.c_str(),
                     static_cast<unsigned long long>(item.alms));
+    h.finish();
 
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

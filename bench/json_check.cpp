@@ -1,0 +1,98 @@
+/**
+ * @file
+ * CI validator for the benchmark harness's JSON results files
+ * (schema "cheri-simt-bench-v1"). Parses the file with the repo's own
+ * JSON parser and checks the invariants the downstream tooling relies
+ * on: the schema tag, a non-empty results array whose entries carry the
+ * required fields, integer cycle counts, and integer stats counters.
+ * Exits non-zero with a diagnostic on the first violation.
+ *
+ * Usage: json_check <results.json>
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace
+{
+
+int
+fail(const std::string &msg)
+{
+    std::fprintf(stderr, "json_check: %s\n", msg.c_str());
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2)
+        return fail("usage: json_check <results.json>");
+
+    std::ifstream in(argv[1]);
+    if (!in.is_open())
+        return fail(std::string("cannot open ") + argv[1]);
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    using support::json::Value;
+    Value doc;
+    std::string err;
+    if (!Value::parse(text.str(), doc, &err))
+        return fail("parse error: " + err);
+    if (!doc.isObject())
+        return fail("top level is not an object");
+    if (doc.get("schema").asString() != "cheri-simt-bench-v1")
+        return fail("missing or unknown schema tag");
+    if (!doc.get("binary").isString() ||
+        doc.get("binary").asString().empty())
+        return fail("missing binary name");
+    const std::string size = doc.get("size").asString();
+    if (size != "small" && size != "full")
+        return fail("size must be 'small' or 'full', got '" + size + "'");
+
+    const Value &results = doc.get("results");
+    if (!results.isArray())
+        return fail("results is not an array");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const Value &r = results.at(i);
+        const std::string where = "results[" + std::to_string(i) + "]";
+        if (!r.isObject())
+            return fail(where + " is not an object");
+        if (!r.get("config").isString())
+            return fail(where + ".config missing");
+        if (!r.get("bench").isString() || r.get("bench").asString().empty())
+            return fail(where + ".bench missing");
+        for (const char *flag : {"ok", "completed", "trapped"})
+            if (!r.get(flag).isBool())
+                return fail(where + "." + flag + " is not a bool");
+        if (!r.get("cycles").isInt())
+            return fail(where + ".cycles is not an integer");
+        if (r.get("ok").asBool() && r.get("cycles").asUint() == 0)
+            return fail(where + ": ok result with zero cycles");
+        const Value &stats = r.get("stats");
+        if (!stats.isObject())
+            return fail(where + ".stats is not an object");
+        for (const auto &[name, value] : stats.members())
+            if (!value.isInt())
+                return fail(where + ".stats." + name +
+                            " is not an integer");
+    }
+
+    const Value &metrics = doc.get("metrics");
+    if (!metrics.isObject())
+        return fail("metrics is not an object");
+    for (const auto &[name, value] : metrics.members())
+        if (!value.isNumber() && !value.isNull())
+            return fail("metrics." + name + " is not a number");
+
+    std::printf("json_check: %s ok (%zu results, %zu metrics)\n", argv[1],
+                results.size(), metrics.size());
+    return 0;
+}

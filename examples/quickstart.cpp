@@ -104,6 +104,6 @@ main()
                 static_cast<unsigned long long>(
                     r.stats.get("dram_bytes_written")));
     std::printf("  registers holding capabilities: %u of 32\n",
-                r.kernel.capRegCount);
+                r.kernel->capRegCount);
     return errors == 0 ? 0 : 1;
 }

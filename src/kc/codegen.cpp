@@ -1147,6 +1147,7 @@ CodeGen::run()
     dispatchLoopAndBody();
 
     CompiledKernel out;
+    out.name = ir_.name;
     out.code = a_.finalize();
     out.sharedBytes = ir_.sharedBytes;
     out.localBytes = ir_.localBytes;
@@ -1218,6 +1219,122 @@ compile(const KernelIr &ir, const CompileOptions &opt)
     fatal("kernel %s: register allocation failed (%s%s pressure)",
           ir.name.c_str(), dedicated_pressure ? "dedicated " : "",
           temp_pressure ? "temporary" : "");
+}
+
+namespace
+{
+
+/** FNV-1a accumulator used by irFingerprint. */
+class Fnv
+{
+  public:
+    void
+    word(uint64_t w)
+    {
+        for (int i = 0; i < 8; ++i) {
+            hash_ ^= (w >> (i * 8)) & 0xff;
+            hash_ *= 0x100000001b3ULL;
+        }
+    }
+
+    void
+    text(const std::string &s)
+    {
+        word(s.size());
+        for (const char c : s) {
+            hash_ ^= static_cast<unsigned char>(c);
+            hash_ *= 0x100000001b3ULL;
+        }
+    }
+
+    uint64_t value() const { return hash_; }
+
+  private:
+    uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+void
+hashVType(Fnv &h, const VType &t)
+{
+    h.word(static_cast<uint64_t>(t.kind) |
+           (static_cast<uint64_t>(t.elem) << 8) |
+           (static_cast<uint64_t>(t.space) << 16));
+}
+
+void
+hashStmts(Fnv &h, const std::vector<Stmt> &stmts)
+{
+    h.word(stmts.size());
+    for (const Stmt &s : stmts) {
+        h.word(static_cast<uint64_t>(s.kind) |
+               (static_cast<uint64_t>(s.atomic) << 8));
+        h.word(static_cast<uint64_t>(static_cast<uint32_t>(s.var)) |
+               (static_cast<uint64_t>(static_cast<uint32_t>(s.expr))
+                << 32));
+        h.word(static_cast<uint32_t>(s.ptr));
+        h.word(s.bodyVars.size());
+        for (const int v : s.bodyVars)
+            h.word(static_cast<uint32_t>(v));
+        h.word(s.elseVars.size());
+        for (const int v : s.elseVars)
+            h.word(static_cast<uint32_t>(v));
+        hashStmts(h, s.body);
+        hashStmts(h, s.elseBody);
+    }
+}
+
+} // namespace
+
+uint64_t
+irFingerprint(const KernelIr &ir)
+{
+    Fnv h;
+    h.text(ir.name);
+    h.word(ir.exprs.size());
+    for (const ExprNode &e : ir.exprs) {
+        h.word(static_cast<uint64_t>(e.kind) |
+               (static_cast<uint64_t>(e.bop) << 8) |
+               (static_cast<uint64_t>(e.uop) << 16) |
+               (static_cast<uint64_t>(e.builtin) << 24));
+        hashVType(h, e.type);
+        h.word(static_cast<uint64_t>(static_cast<uint32_t>(e.a)) |
+               (static_cast<uint64_t>(static_cast<uint32_t>(e.b)) << 32));
+        h.word(static_cast<uint64_t>(static_cast<uint32_t>(e.c)) |
+               (static_cast<uint64_t>(static_cast<uint32_t>(e.index))
+                << 32));
+        h.word(static_cast<uint32_t>(e.iconst));
+        uint32_t fbits;
+        __builtin_memcpy(&fbits, &e.fconst, 4);
+        h.word(fbits);
+    }
+    h.word(ir.params.size());
+    for (const ParamInfo &p : ir.params) {
+        h.text(p.name);
+        hashVType(h, p.type);
+    }
+    h.word(ir.vars.size());
+    for (const VarInfo &v : ir.vars) {
+        hashVType(h, v.type);
+        h.word(static_cast<uint32_t>(v.init));
+    }
+    h.word(ir.shared.size());
+    for (const SharedInfo &s : ir.shared) {
+        h.text(s.name);
+        h.word(static_cast<uint64_t>(s.elem) |
+               (static_cast<uint64_t>(s.count) << 8));
+        h.word(s.byteOffset);
+    }
+    h.word(ir.locals.size());
+    for (const LocalInfo &l : ir.locals) {
+        h.word(static_cast<uint64_t>(l.elem) |
+               (static_cast<uint64_t>(l.isPtrArray ? 1 : 0) << 8) |
+               (static_cast<uint64_t>(l.count) << 16));
+        h.word(l.byteOffset);
+    }
+    h.word(static_cast<uint64_t>(ir.sharedBytes) |
+           (static_cast<uint64_t>(ir.localBytes) << 32));
+    hashStmts(h, ir.top);
+    return h.value();
 }
 
 /** Address of the kernel-argument block (shared with the runtime). */

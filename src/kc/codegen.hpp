@@ -76,6 +76,7 @@ struct ParamSlot
 
 struct CompiledKernel
 {
+    std::string name;    ///< kernel name (from the IR)
     std::vector<uint32_t> code;
     std::string listing; ///< disassembly for debugging
 
@@ -96,6 +97,15 @@ struct CompiledKernel
 
 /** Compile a kernel IR for the given options. */
 CompiledKernel compile(const KernelIr &ir, const CompileOptions &opt);
+
+/**
+ * Structural fingerprint of a kernel IR (FNV-1a over every node). Two
+ * kernels with the same fingerprint compile identically under the same
+ * options, so (fingerprint, options) keys a compilation cache; kernels
+ * that share a name but are parameterised differently (e.g. a workload
+ * size baked into loop bounds) hash differently.
+ */
+uint64_t irFingerprint(const KernelIr &ir);
 
 /** Address of the kernel-argument block in simulated DRAM. */
 uint32_t argBlockAddress();

@@ -17,7 +17,80 @@ constexpr uint8_t kDataPerms =
     cap::PERM_GLOBAL | cap::PERM_LOAD | cap::PERM_STORE |
     cap::PERM_LOAD_CAP | cap::PERM_STORE_CAP;
 
+/** Cache key: IR fingerprint plus every codegen-relevant option. */
+std::string
+cacheKey(const kc::KernelIr &ir, const kc::CompileOptions &opts)
+{
+    return support::strprintf(
+        "%s|%016llx|m%u|b%u|g%u|t%u|s%u|c%u", ir.name.c_str(),
+        static_cast<unsigned long long>(kc::irFingerprint(ir)),
+        static_cast<unsigned>(opts.mode), opts.blockDim, opts.gridDim,
+        opts.numThreads, opts.stackBytes, opts.capRegLimit);
+}
+
 } // namespace
+
+KernelCache &
+KernelCache::instance()
+{
+    static KernelCache cache;
+    return cache;
+}
+
+std::shared_ptr<const kc::CompiledKernel>
+KernelCache::getOrCompile(const kc::KernelIr &ir,
+                          const kc::CompileOptions &opts)
+{
+    const std::string key = cacheKey(ir, opts);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++hits_;
+            return it->second;
+        }
+        ++misses_;
+    }
+    // Compile outside the lock: compilation is deterministic, so two
+    // threads racing on the same key produce identical kernels and
+    // first-insert-wins is safe.
+    auto compiled =
+        std::make_shared<const kc::CompiledKernel>(kc::compile(ir, opts));
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = entries_.emplace(key, std::move(compiled));
+    (void)inserted;
+    return it->second;
+}
+
+uint64_t
+KernelCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+}
+
+uint64_t
+KernelCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+}
+
+size_t
+KernelCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+KernelCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
 
 Device::Device(const simt::SmConfig &sm_cfg, kc::CompileOptions::Mode mode)
     : smCfg_(sm_cfg), mode_(mode)
@@ -130,29 +203,44 @@ Device::compileOnly(kc::KernelDef &def, const LaunchConfig &cfg) const
     return kc::compile(ir, compileOptions(cfg));
 }
 
+std::shared_ptr<const kc::CompiledKernel>
+Device::compileCached(kc::KernelDef &def, const LaunchConfig &cfg) const
+{
+    const kc::KernelIr ir = kc::buildIr(def);
+    return KernelCache::instance().getOrCompile(ir, compileOptions(cfg));
+}
+
 RunResult
 Device::launch(kc::KernelDef &def, const LaunchConfig &cfg,
                const std::vector<Arg> &args)
 {
+    return launchCompiled(compileCached(def, cfg), cfg, args);
+}
+
+RunResult
+Device::launchCompiled(
+    const std::shared_ptr<const kc::CompiledKernel> &compiled_ptr,
+    const LaunchConfig &cfg, const std::vector<Arg> &args)
+{
+    fatal_if(compiled_ptr == nullptr, "launchCompiled without a kernel");
+    const kc::CompiledKernel &compiled = *compiled_ptr;
+    const kc::CompileOptions opts = compileOptions(cfg);
+
     fatal_if(cfg.blockDim < smCfg_.numLanes ||
                  cfg.blockDim % smCfg_.numLanes != 0,
              "blockDim must be a multiple of the warp size");
     fatal_if(cfg.blockDim > smCfg_.numThreads(),
              "blockDim exceeds the SM thread count");
 
-    const kc::KernelIr ir = kc::buildIr(def);
-    const kc::CompileOptions opts = compileOptions(cfg);
-    kc::CompiledKernel compiled = kc::compile(ir, opts);
-
     fatal_if(args.size() != compiled.params.size(),
              "kernel %s expects %zu arguments, got %zu",
-             ir.name.c_str(), compiled.params.size(), args.size());
+             compiled.name.c_str(), compiled.params.size(), args.size());
     const unsigned num_slots = smCfg_.numThreads() / cfg.blockDim;
     fatal_if(static_cast<uint64_t>(compiled.sharedBytes) * num_slots >
                  simt::kSharedSize,
              "kernel %s: shared arrays (%u B x %u block slots) exceed the "
              "scratchpad",
-             ir.name.c_str(), compiled.sharedBytes, num_slots);
+             compiled.name.c_str(), compiled.sharedBytes, num_slots);
 
     // ---- Write the argument block ----
     const uint32_t arg_base = kc::argBlockAddress();
@@ -166,7 +254,7 @@ Device::launch(kc::KernelDef &def, const LaunchConfig &cfg,
         if (slot.isPtr) {
             fatal_if(arg.kind != Arg::Kind::Buf,
                      "argument %zu of %s must be a buffer", p,
-                     ir.name.c_str());
+                     compiled.name.c_str());
             if (purecap) {
                 // The host narrows a root-derived capability to the
                 // buffer and stores it, tagged, into the block.
@@ -227,7 +315,7 @@ Device::launch(kc::KernelDef &def, const LaunchConfig &cfg,
     }
     res.cycles = sm_->cycles();
     res.stats = sm_->stats();
-    res.kernel = std::move(compiled);
+    res.kernel = compiled_ptr;
     res.avgDataVrf = sm_->avgDataVectorsInVrf();
     res.avgMetaVrf = sm_->avgMetaVectorsInVrf();
     res.rfCapRegMask = sm_->regfile().capRegMask();

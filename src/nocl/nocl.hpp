@@ -15,7 +15,9 @@
 #define CHERI_SIMT_NOCL_NOCL_HPP_
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -88,10 +90,47 @@ struct RunResult
     uint32_t trapAddr = 0;
     uint64_t cycles = 0;
     support::StatSet stats;
-    kc::CompiledKernel kernel;
+
+    /**
+     * The code that ran. Shared, not owned: cached compilations are
+     * reused across runs (and threads) without copying the image.
+     */
+    std::shared_ptr<const kc::CompiledKernel> kernel;
+
     double avgDataVrf = 0.0; ///< time-averaged data vectors in the VRF
     double avgMetaVrf = 0.0; ///< time-averaged metadata vectors in the VRF
     uint32_t rfCapRegMask = 0; ///< registers observed holding capabilities
+};
+
+/**
+ * Process-wide kernel-compilation cache, keyed by the kernel's structural
+ * IR fingerprint plus every compile option that affects code generation
+ * (mode, launch geometry, thread count, stack layout, capRegLimit).
+ * Thread-safe: benchmark sweeps recompile each kernel once rather than
+ * once per sweep point, from any number of runner threads.
+ */
+class KernelCache
+{
+  public:
+    static KernelCache &instance();
+
+    /** Return the cached compilation for (ir, opts), compiling on miss. */
+    std::shared_ptr<const kc::CompiledKernel>
+    getOrCompile(const kc::KernelIr &ir, const kc::CompileOptions &opts);
+
+    uint64_t hits() const;
+    uint64_t misses() const;
+    size_t size() const;
+    void clear();
+
+  private:
+    KernelCache() = default;
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_ptr<const kc::CompiledKernel>>
+        entries_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
 };
 
 /**
@@ -120,10 +159,27 @@ class Device
 
     /**
      * Compile and run a kernel. Arguments must match the kernel's
-     * declared parameters in order and kind.
+     * declared parameters in order and kind. Compilation goes through
+     * the process-wide KernelCache.
      */
     RunResult launch(kc::KernelDef &def, const LaunchConfig &cfg,
                      const std::vector<Arg> &args);
+
+    /**
+     * Compile @p def for this device via the KernelCache (reusing a
+     * previous identical compilation when present).
+     */
+    std::shared_ptr<const kc::CompiledKernel>
+    compileCached(kc::KernelDef &def, const LaunchConfig &cfg) const;
+
+    /**
+     * Run an already-compiled kernel. @p compiled must have been
+     * produced for this device's mode and for launch geometry matching
+     * @p cfg (compileCached guarantees both).
+     */
+    RunResult
+    launchCompiled(const std::shared_ptr<const kc::CompiledKernel> &compiled,
+                   const LaunchConfig &cfg, const std::vector<Arg> &args);
 
     /** Compile without running (for inspecting generated code). */
     kc::CompiledKernel compileOnly(kc::KernelDef &def,

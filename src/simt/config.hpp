@@ -114,10 +114,18 @@ struct SmConfig
 
     /**
      * Stack cache (SIMTight's proof-of-concept stack cache): absorbs the
-     * poorly-coalescing per-thread stack traffic. 0 lines disables it.
+     * poorly-coalescing per-thread stack traffic. 0 lines disables it
+     * entirely (all stack traffic goes through the coalescer and DRAM).
+     *
+     * A line holds one compressed (warp, slot-granule) entry covering
+     * stackCacheLineBytes of warp stack data -- numLanes threads each
+     * contributing stackCacheLineBytes / numLanes bytes -- and a miss
+     * transfers the full line to/from DRAM. Must be a multiple of
+     * 4 * numLanes. The default (512 = 32 lanes x 16 B) matches the
+     * compiler's 16-byte stack slot granule.
      */
     unsigned stackCacheLines = 256;
-    unsigned stackCacheLineBytes = 128;
+    unsigned stackCacheLineBytes = 512;
 
     /** Per-thread stack bytes (matches the compiler's stack layout). */
     unsigned stackBytesPerThread = 512;

@@ -159,6 +159,7 @@ StackCache::reset()
 uint64_t
 StackCache::access(uint64_t now, uint32_t key, bool is_write)
 {
+    panic_if(lines_.empty(), "access to a disabled stack cache");
     Line &line = lines_[key % lines_.size()];
 
     uint64_t done = now + 1;

@@ -160,8 +160,12 @@ class Coalescer
 class StackCache
 {
   public:
+    /** @p entries == 0 builds a disabled cache (access() is an error). */
     StackCache(unsigned entries, unsigned fill_bytes, DramTimer &dram,
                support::StatSet &stats);
+
+    /** Whether the cache exists at all (SmConfig::stackCacheLines > 0). */
+    bool enabled() const { return !lines_.empty(); }
 
     /**
      * Account one warp access to slot granule @p key (a compressed-entry

@@ -57,11 +57,18 @@ Sm::Sm(const SmConfig &cfg)
     : cfg_(cfg), dram_(), scratchpad_(cfg_),
       dramTimer_(cfg_.dramLatency, cfg_.dramBytesPerCycle),
       tagController_(cfg_, dramTimer_, stats_),
-      stackCache_(cfg_.stackCacheLines ? cfg_.stackCacheLines : 1,
-                  cfg_.numLanes * 16, dramTimer_, stats_),
+      stackCache_(cfg_.stackCacheLines, cfg_.stackCacheLineBytes,
+                  dramTimer_, stats_),
       coalescer_(cfg_.coalesceBytes), regfile_(cfg_, stats_),
       opCounts_(static_cast<size_t>(Op::NUM_OPS), 0)
 {
+    fatal_if(cfg_.stackCacheLines > 0 &&
+                 (cfg_.stackCacheLineBytes <
+                      4 * cfg_.numLanes ||
+                  cfg_.stackCacheLineBytes % cfg_.numLanes != 0),
+             "stackCacheLineBytes (%u) must be a multiple of the lane "
+             "count (%u) covering at least one word per lane",
+             cfg_.stackCacheLineBytes, cfg_.numLanes);
     for (auto &scr : scrs_)
         scr = cap::nullCapPipe();
 
@@ -89,6 +96,9 @@ Sm::loadProgram(const std::vector<uint32_t> &words)
 void
 Sm::setScr(isa::Scr scr, const CapPipe &value)
 {
+    fatal_if(scr >= isa::NUM_SCRS,
+             "special capability register %u out of range",
+             static_cast<unsigned>(scr));
     scrs_[scr] = value;
 }
 
@@ -568,7 +578,7 @@ Sm::executeWarp(unsigned wid)
             // (uniform slot offset, per-thread stride), so one compressed
             // entry covers the whole warp. The cache holds tag bits too.
             const uint32_t stack_base = cfg_.stackRegionBase();
-            bool all_stack = cfg_.stackCacheLines > 0;
+            bool all_stack = stackCache_.enabled();
             uint32_t min_addr = 0xffffffffu;
             for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
                 if (!dram_lanes[lane])
@@ -577,13 +587,16 @@ Sm::executeWarp(unsigned wid)
                 min_addr = std::min(min_addr, addrs_[lane]);
             }
             if (all_stack) {
-                // Compressed-entry key: slot granule (16 B) within the
-                // frame, qualified by the warp's block of stacks.
+                // Compressed-entry key: slot granule (one line's
+                // per-thread share) within the frame, qualified by the
+                // warp's block of stacks.
+                const uint32_t granule =
+                    cfg_.stackCacheLineBytes / cfg_.numLanes;
                 const uint32_t stride = cfg_.stackBytesPerThread;
                 const uint32_t warp_block =
                     (min_addr - stack_base) / (stride * cfg_.numLanes);
                 const uint32_t slot =
-                    ((min_addr - stack_base) % stride) / 16;
+                    ((min_addr - stack_base) % stride) / granule;
                 // Dense key layout: consecutive warps map to consecutive
                 // cache entries, so a direct-mapped cache holds one live
                 // slot per warp without conflict misses.
@@ -910,6 +923,11 @@ Sm::executeWarp(unsigned wid)
                 break;
               case Op::CSPECIALRW: {
                 const auto scr_idx = static_cast<isa::Scr>(imm & 0x1f);
+                if (scr_idx >= isa::NUM_SCRS) {
+                    trap(wid, lane, pc, op, scr_idx, "bad scr index");
+                    active_[lane] = false;
+                    break;
+                }
                 const CapPipe old = scr_idx == isa::SCR_PCC
                                         ? w.pcc[lane]
                                         : scrs_[scr_idx];

@@ -32,6 +32,7 @@
 #include "simt/mem.hpp"
 #include "simt/regfile.hpp"
 #include "simt/scratchpad.hpp"
+#include "support/logging.hpp"
 #include "support/stats.hpp"
 
 namespace simt
@@ -67,7 +68,15 @@ class Sm
 
     /** Set a special capability register (DDC/STC/ARG). */
     void setScr(isa::Scr scr, const cap::CapPipe &value);
-    const cap::CapPipe &scr(isa::Scr scr) const { return scrs_[scr]; }
+
+    const cap::CapPipe &
+    scr(isa::Scr scr) const
+    {
+        fatal_if(scr >= isa::NUM_SCRS,
+                 "special capability register %u out of range",
+                 static_cast<unsigned>(scr));
+        return scrs_[scr];
+    }
 
     /**
      * Start all threads at @p entry_pc. Warps are grouped into thread

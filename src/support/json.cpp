@@ -1,0 +1,481 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/logging.hpp"
+
+namespace support
+{
+namespace json
+{
+
+uint64_t
+Value::asUint() const
+{
+    if (kind_ == Kind::Int)
+        return int_;
+    panic_if(kind_ != Kind::Double, "asUint on a non-number JSON value");
+    return static_cast<uint64_t>(double_);
+}
+
+double
+Value::asDouble() const
+{
+    if (kind_ == Kind::Double)
+        return double_;
+    panic_if(kind_ != Kind::Int, "asDouble on a non-number JSON value");
+    return static_cast<double>(int_);
+}
+
+size_t
+Value::size() const
+{
+    return kind_ == Kind::Object ? members_.size() : elems_.size();
+}
+
+void
+Value::push(Value v)
+{
+    panic_if(kind_ != Kind::Array, "push on a non-array JSON value");
+    elems_.push_back(std::move(v));
+}
+
+void
+Value::set(const std::string &key, Value v)
+{
+    panic_if(kind_ != Kind::Object, "set on a non-object JSON value");
+    for (auto &[k, existing] : members_) {
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(key, std::move(v));
+}
+
+bool
+Value::has(const std::string &key) const
+{
+    for (const auto &[k, v] : members_) {
+        (void)v;
+        if (k == key)
+            return true;
+    }
+    return false;
+}
+
+const Value &
+Value::get(const std::string &key) const
+{
+    for (const auto &[k, v] : members_) {
+        if (k == key)
+            return v;
+    }
+    static const Value kNull;
+    return kNull;
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+Value::dumpTo(std::string &out, unsigned indent, unsigned depth) const
+{
+    const std::string pad(indent * (depth + 1), ' ');
+    const std::string close_pad(indent * depth, ' ');
+    const char *nl = indent ? "\n" : "";
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Int: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(int_));
+        out += buf;
+        break;
+      }
+      case Kind::Double: {
+        if (!std::isfinite(double_)) {
+            // JSON has no NaN/Inf; emit null (the reader treats it as
+            // missing data rather than silently corrupting a number).
+            out += "null";
+            break;
+        }
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", double_);
+        out += buf;
+        break;
+      }
+      case Kind::String:
+        out += '"';
+        out += escape(string_);
+        out += '"';
+        break;
+      case Kind::Array: {
+        if (elems_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        out += nl;
+        for (size_t i = 0; i < elems_.size(); ++i) {
+            out += pad;
+            elems_[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < elems_.size())
+                out += ',';
+            out += nl;
+        }
+        out += close_pad;
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += nl;
+        for (size_t i = 0; i < members_.size(); ++i) {
+            out += pad;
+            out += '"';
+            out += escape(members_[i].first);
+            out += indent ? "\": " : "\":";
+            members_[i].second.dumpTo(out, indent, depth + 1);
+            if (i + 1 < members_.size())
+                out += ',';
+            out += nl;
+        }
+        out += close_pad;
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Value::dump(unsigned indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a character range. */
+class Parser
+{
+  public:
+    Parser(const char *p, const char *end) : p_(p), end_(end) {}
+
+    bool
+    parse(Value &out, std::string &err)
+    {
+        if (!value(out, err))
+            return false;
+        skipWs();
+        if (p_ != end_) {
+            err = "trailing characters after JSON value";
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                              *p_ == '\r'))
+            ++p_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const char *q = p_;
+        for (; *word; ++word, ++q) {
+            if (q == end_ || *q != *word)
+                return false;
+        }
+        p_ = q;
+        return true;
+    }
+
+    bool
+    value(Value &out, std::string &err)
+    {
+        skipWs();
+        if (p_ == end_) {
+            err = "unexpected end of input";
+            return false;
+        }
+        switch (*p_) {
+          case '{': return object(out, err);
+          case '[': return array(out, err);
+          case '"': return string(out, err);
+          case 't':
+            if (literal("true")) {
+                out = Value::boolean(true);
+                return true;
+            }
+            break;
+          case 'f':
+            if (literal("false")) {
+                out = Value::boolean(false);
+                return true;
+            }
+            break;
+          case 'n':
+            if (literal("null")) {
+                out = Value::null();
+                return true;
+            }
+            break;
+          default:
+            return number(out, err);
+        }
+        err = "malformed JSON literal";
+        return false;
+    }
+
+    bool
+    number(Value &out, std::string &err)
+    {
+        const char *start = p_;
+        bool floating = false;
+        if (p_ != end_ && *p_ == '-')
+            ++p_;
+        while (p_ != end_ &&
+               (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                *p_ == '.' || *p_ == 'e' || *p_ == 'E' || *p_ == '+' ||
+                *p_ == '-')) {
+            floating = floating || *p_ == '.' || *p_ == 'e' || *p_ == 'E';
+            ++p_;
+        }
+        if (p_ == start) {
+            err = "malformed JSON number";
+            return false;
+        }
+        const std::string text(start, p_);
+        if (floating || text[0] == '-') {
+            char *tail = nullptr;
+            const double d = std::strtod(text.c_str(), &tail);
+            if (*tail != '\0') {
+                err = "malformed JSON number: " + text;
+                return false;
+            }
+            out = Value::number(d);
+        } else {
+            char *tail = nullptr;
+            const unsigned long long u =
+                std::strtoull(text.c_str(), &tail, 10);
+            if (*tail != '\0') {
+                err = "malformed JSON number: " + text;
+                return false;
+            }
+            out = Value::integer(u);
+        }
+        return true;
+    }
+
+    bool
+    string(Value &out, std::string &err)
+    {
+        std::string s;
+        if (!rawString(s, err))
+            return false;
+        out = Value::str(std::move(s));
+        return true;
+    }
+
+    bool
+    rawString(std::string &s, std::string &err)
+    {
+        ++p_; // opening quote
+        while (p_ != end_ && *p_ != '"') {
+            if (*p_ == '\\') {
+                ++p_;
+                if (p_ == end_)
+                    break;
+                switch (*p_) {
+                  case '"': s += '"'; break;
+                  case '\\': s += '\\'; break;
+                  case '/': s += '/'; break;
+                  case 'n': s += '\n'; break;
+                  case 't': s += '\t'; break;
+                  case 'r': s += '\r'; break;
+                  case 'b': s += '\b'; break;
+                  case 'f': s += '\f'; break;
+                  case 'u': {
+                    // \uXXXX: decoded as a raw byte for the ASCII range
+                    // (the emitter only escapes control characters).
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        ++p_;
+                        if (p_ == end_ ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(*p_))) {
+                            err = "malformed \\u escape";
+                            return false;
+                        }
+                        const char c = *p_;
+                        code = code * 16 +
+                               (std::isdigit(
+                                    static_cast<unsigned char>(c))
+                                    ? static_cast<unsigned>(c - '0')
+                                    : static_cast<unsigned>(
+                                          std::tolower(c) - 'a' + 10));
+                    }
+                    s += static_cast<char>(code & 0xff);
+                    break;
+                  }
+                  default:
+                    err = "unknown escape in JSON string";
+                    return false;
+                }
+                ++p_;
+            } else {
+                s += *p_++;
+            }
+        }
+        if (p_ == end_) {
+            err = "unterminated JSON string";
+            return false;
+        }
+        ++p_; // closing quote
+        return true;
+    }
+
+    bool
+    array(Value &out, std::string &err)
+    {
+        ++p_; // '['
+        out = Value::array();
+        skipWs();
+        if (p_ != end_ && *p_ == ']') {
+            ++p_;
+            return true;
+        }
+        for (;;) {
+            Value elem;
+            if (!value(elem, err))
+                return false;
+            out.push(std::move(elem));
+            skipWs();
+            if (p_ == end_) {
+                err = "unterminated JSON array";
+                return false;
+            }
+            if (*p_ == ',') {
+                ++p_;
+                continue;
+            }
+            if (*p_ == ']') {
+                ++p_;
+                return true;
+            }
+            err = "expected ',' or ']' in JSON array";
+            return false;
+        }
+    }
+
+    bool
+    object(Value &out, std::string &err)
+    {
+        ++p_; // '{'
+        out = Value::object();
+        skipWs();
+        if (p_ != end_ && *p_ == '}') {
+            ++p_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (p_ == end_ || *p_ != '"') {
+                err = "expected JSON object key";
+                return false;
+            }
+            std::string key;
+            if (!rawString(key, err))
+                return false;
+            skipWs();
+            if (p_ == end_ || *p_ != ':') {
+                err = "expected ':' after JSON object key";
+                return false;
+            }
+            ++p_;
+            Value member;
+            if (!value(member, err))
+                return false;
+            out.set(key, std::move(member));
+            skipWs();
+            if (p_ == end_) {
+                err = "unterminated JSON object";
+                return false;
+            }
+            if (*p_ == ',') {
+                ++p_;
+                continue;
+            }
+            if (*p_ == '}') {
+                ++p_;
+                return true;
+            }
+            err = "expected ',' or '}' in JSON object";
+            return false;
+        }
+    }
+
+    const char *p_;
+    const char *end_;
+};
+
+} // namespace
+
+bool
+Value::parse(const std::string &text, Value &out, std::string *err)
+{
+    std::string local_err;
+    Parser parser(text.data(), text.data() + text.size());
+    const bool ok = parser.parse(out, local_err);
+    if (!ok && err)
+        *err = local_err;
+    return ok;
+}
+
+} // namespace json
+} // namespace support

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Minimal JSON document model with a serialiser and a recursive-descent
+ * parser. Used by the benchmark harness to emit machine-readable result
+ * files (and by CI to validate them) without an external dependency.
+ *
+ * Objects preserve insertion order so emitted files are deterministic.
+ * Numbers distinguish integers (emitted exactly, covering the simulator's
+ * 64-bit counters) from doubles.
+ */
+
+#ifndef CHERI_SIMT_SUPPORT_JSON_HPP_
+#define CHERI_SIMT_SUPPORT_JSON_HPP_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace support
+{
+namespace json
+{
+
+class Value
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Value() = default;
+
+    static Value null() { return Value(); }
+
+    static Value
+    boolean(bool b)
+    {
+        Value v;
+        v.kind_ = Kind::Bool;
+        v.bool_ = b;
+        return v;
+    }
+
+    static Value
+    integer(uint64_t i)
+    {
+        Value v;
+        v.kind_ = Kind::Int;
+        v.int_ = i;
+        return v;
+    }
+
+    static Value
+    number(double d)
+    {
+        Value v;
+        v.kind_ = Kind::Double;
+        v.double_ = d;
+        return v;
+    }
+
+    static Value
+    str(std::string s)
+    {
+        Value v;
+        v.kind_ = Kind::String;
+        v.string_ = std::move(s);
+        return v;
+    }
+
+    static Value
+    array()
+    {
+        Value v;
+        v.kind_ = Kind::Array;
+        return v;
+    }
+
+    static Value
+    object()
+    {
+        Value v;
+        v.kind_ = Kind::Object;
+        return v;
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isInt() const { return kind_ == Kind::Int; }
+    bool
+    isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return bool_; }
+    uint64_t asUint() const;
+    double asDouble() const;
+    const std::string &asString() const { return string_; }
+
+    /** Array element count / object member count. */
+    size_t size() const;
+
+    /** Append to an array (value must be an array). */
+    void push(Value v);
+
+    /** Array element access. */
+    const Value &at(size_t i) const { return elems_[i]; }
+
+    /** Object member insert-or-replace; keeps first-insertion order. */
+    void set(const std::string &key, Value v);
+
+    bool has(const std::string &key) const;
+
+    /** Object member access; returns a shared null for absent keys. */
+    const Value &get(const std::string &key) const;
+
+    const std::vector<std::pair<std::string, Value>> &
+    members() const
+    {
+        return members_;
+    }
+
+    /** Serialise. @p indent > 0 pretty-prints with that many spaces. */
+    std::string dump(unsigned indent = 0) const;
+
+    /**
+     * Parse @p text into @p out. Returns false (and sets @p err when
+     * non-null) on malformed input or trailing garbage.
+     */
+    static bool parse(const std::string &text, Value &out,
+                      std::string *err = nullptr);
+
+  private:
+    void dumpTo(std::string &out, unsigned indent, unsigned depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    uint64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Value> elems_;
+    std::vector<std::pair<std::string, Value>> members_;
+};
+
+/** Escape a string for embedding in a JSON document (no quotes added). */
+std::string escape(const std::string &s);
+
+} // namespace json
+} // namespace support
+
+#endif // CHERI_SIMT_SUPPORT_JSON_HPP_

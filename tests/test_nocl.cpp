@@ -137,7 +137,7 @@ TEST(NoclLaunch, ArgumentBlockHoldsTaggedCapabilities)
 
     // Pointer slots in the argument block carry valid tags with the
     // buffer's exact bounds.
-    const kc::ParamSlot &slot = r.kernel.params[1];
+    const kc::ParamSlot &slot = r.kernel->params[1];
     ASSERT_TRUE(slot.isPtr);
     const cap::CapMem mem =
         dev.sm().dram().loadCap(kc::argBlockAddress() + slot.offset);
@@ -161,7 +161,7 @@ TEST(NoclLaunch, BaselineArgumentBlockIsUntagged)
     const auto r = dev.launch(
         k, cfg, {Arg::integer(n), Arg::buffer(bi), Arg::buffer(bo)});
     ASSERT_TRUE(r.completed);
-    const kc::ParamSlot &slot = r.kernel.params[1];
+    const kc::ParamSlot &slot = r.kernel->params[1];
     EXPECT_EQ(dev.sm().dram().load32(kc::argBlockAddress() + slot.offset),
               bi.addr);
     EXPECT_FALSE(

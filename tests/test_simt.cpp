@@ -821,4 +821,39 @@ TEST(SmExec, SfuOffloadServicesBoundsOps)
     EXPECT_GT(sm.stats().get("sfu_cheri_ops"), 0u);
 }
 
+// ------------------------------------------------------------- SCR bounds
+
+TEST(SmScrDeath, SetScrRejectsOutOfRangeIndex)
+{
+    Sm sm(SmConfig::cheriOptimised());
+    EXPECT_EXIT(sm.setScr(static_cast<isa::Scr>(isa::NUM_SCRS),
+                          cap::rootCap()),
+                testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(SmScrDeath, ScrAccessorRejectsOutOfRangeIndex)
+{
+    Sm sm(SmConfig::cheriOptimised());
+    EXPECT_EXIT((void)sm.scr(static_cast<isa::Scr>(31)),
+                testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(SmTrap, CspecialrwBadIndexTrapsInsteadOfCorrupting)
+{
+    // A guest CSPECIALRW naming a nonexistent special register (the
+    // 5-bit immediate space is larger than the implemented file) must
+    // trap the lane, not index past the register array.
+    Assembler a;
+    a.emitI(Op::CSPECIALRW, 5, 0, 17); // only 0..NUM_SCRS-1 exist
+    a.emit(Op::SIMT_HALT, 0, 0, 0);
+
+    Sm sm(SmConfig::cheriOptimised());
+    sm.loadProgram(a.finalize());
+    sm.setScr(isa::SCR_DDC, cap::rootCap());
+    sm.launch(0, 1);
+    ASSERT_TRUE(sm.run());
+    EXPECT_TRUE(sm.trapped());
+    EXPECT_EQ(sm.firstTrap().kind, "bad scr index");
+}
+
 } // namespace

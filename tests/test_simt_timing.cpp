@@ -262,4 +262,91 @@ TEST(SmTiming, DeterministicAcrossRuns)
     }
 }
 
+/**
+ * Per-thread stack-slot store program: each thread stores to its own
+ * stack at byte offsets 0 and 4, @p n times each (2n stores total).
+ * Assumes the default 512-byte per-thread stack.
+ */
+std::vector<uint32_t>
+stackSlotProgram(const SmConfig &cfg, unsigned n)
+{
+    Assembler a;
+    a.emitI(Op::CSPECIALRW, 5, 0, isa::SCR_DDC);
+    a.emitI(Op::CSRRS, 6, 0, isa::CSR_HARTID);
+    a.emitI(Op::SLLI, 6, 6, 9); // hartid * stackBytesPerThread(512)
+    const uint32_t stack_base = cfg.stackRegionBase();
+    a.emitI(Op::LUI, 7, 0,
+            static_cast<int32_t>(stack_base & 0xfffff000u));
+    a.emitI(Op::ADDI, 7, 7,
+            static_cast<int32_t>(stack_base & 0xfffu));
+    a.emitR(Op::ADD, 7, 7, 6);
+    a.emitR(Op::CSETADDR, 8, 5, 7);
+    for (unsigned i = 0; i < n; ++i) {
+        a.emit(Op::SW, 0, 8, 6, 0);
+        a.emit(Op::SW, 0, 8, 6, 4);
+    }
+    a.emit(Op::SIMT_HALT, 0, 0, 0);
+    return a.finalize();
+}
+
+TEST(SmTiming, ZeroStackCacheLinesDisablesTheCache)
+{
+    // stackCacheLines == 0 means no stack cache at all: stack traffic
+    // flows through the coalescer and the DRAM channel like any other
+    // access, and no stack-cache statistics appear.
+    SmConfig cfg = SmConfig::cheriOptimised();
+    cfg.numWarps = 2;
+    cfg.stackCacheLines = 0;
+    Sm sm(cfg);
+    runCycles(sm, stackSlotProgram(cfg, 10));
+    EXPECT_EQ(sm.stats().get("stack_cache_hits"), 0u);
+    EXPECT_EQ(sm.stats().get("stack_cache_misses"), 0u);
+    EXPECT_EQ(sm.stats().get("stack_warp_accesses"), 0u);
+    EXPECT_EQ(sm.stats().get("stack_dram_bytes_read"), 0u);
+    EXPECT_GT(sm.stats().get("dram_transactions"), 0u);
+    EXPECT_GT(sm.stats().get("dram_bytes_written"), 0u);
+}
+
+TEST(SmTiming, StackCacheLineBytesSetsSlotGranularity)
+{
+    const unsigned n = 20;
+
+    // Default 512-byte lines: each thread contributes a 16-byte
+    // granule, so offsets 0 and 4 share one slot -- a single cold miss
+    // per warp, every later store hits.
+    SmConfig wide = SmConfig::cheriOptimised();
+    wide.numWarps = 4;
+    ASSERT_EQ(wide.stackCacheLineBytes, 512u);
+    Sm sm_wide(wide);
+    runCycles(sm_wide, stackSlotProgram(wide, n));
+    EXPECT_EQ(sm_wide.stats().get("stack_cache_misses"), wide.numWarps);
+    EXPECT_EQ(sm_wide.stats().get("stack_cache_hits"),
+              (2 * n - 1) * wide.numWarps);
+    EXPECT_EQ(sm_wide.stats().get("stack_dram_bytes_read"),
+              wide.numWarps * wide.stackCacheLineBytes);
+
+    // 128-byte lines: a 4-byte granule, so offsets 0 and 4 are distinct
+    // slots -- two cold misses per warp and smaller line fills.
+    SmConfig narrow = wide;
+    narrow.stackCacheLineBytes = 128;
+    Sm sm_narrow(narrow);
+    runCycles(sm_narrow, stackSlotProgram(narrow, n));
+    EXPECT_EQ(sm_narrow.stats().get("stack_cache_misses"),
+              2 * narrow.numWarps);
+    EXPECT_EQ(sm_narrow.stats().get("stack_cache_hits"),
+              (2 * n - 2) * narrow.numWarps);
+    EXPECT_EQ(sm_narrow.stats().get("stack_dram_bytes_read"),
+              2 * narrow.numWarps * narrow.stackCacheLineBytes);
+}
+
+TEST(SmTimingDeath, UndersizedStackCacheLineIsFatal)
+{
+    // A line must cover at least one word per lane; 64 bytes across 32
+    // lanes does not.
+    SmConfig cfg = SmConfig::cheriOptimised();
+    cfg.stackCacheLineBytes = 64;
+    EXPECT_EXIT({ Sm sm(cfg); }, testing::ExitedWithCode(1),
+                "stackCacheLineBytes");
+}
+
 } // namespace

@@ -1,12 +1,13 @@
 /**
  * @file
- * Unit tests for the support library: bit utilities, RNG determinism, and
- * the stat registry.
+ * Unit tests for the support library: bit utilities, RNG determinism,
+ * the stat registry, and the JSON document model (serialiser + parser).
  */
 
 #include <gtest/gtest.h>
 
 #include "support/bits.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
@@ -139,6 +140,117 @@ TEST(Stats, ToStringSorted)
     s.add("b", 2);
     s.add("a", 1);
     EXPECT_EQ(s.toString(), "a = 1\nb = 2\n");
+}
+
+// ------------------------------------------------------------------- JSON
+
+TEST(Json, DumpCompact)
+{
+    using json::Value;
+    Value obj = Value::object();
+    obj.set("name", Value::str("VecAdd"));
+    obj.set("ok", Value::boolean(true));
+    obj.set("cycles", Value::integer(5683));
+    Value arr = Value::array();
+    arr.push(Value::integer(1));
+    arr.push(Value::null());
+    obj.set("list", std::move(arr));
+    EXPECT_EQ(obj.dump(),
+              "{\"name\":\"VecAdd\",\"ok\":true,\"cycles\":5683,"
+              "\"list\":[1,null]}");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder)
+{
+    using json::Value;
+    Value obj = Value::object();
+    obj.set("zebra", Value::integer(1));
+    obj.set("apple", Value::integer(2));
+    obj.set("zebra", Value::integer(3)); // replace keeps first position
+    EXPECT_EQ(obj.dump(), "{\"zebra\":3,\"apple\":2}");
+}
+
+TEST(Json, ExactSixtyFourBitIntegers)
+{
+    using json::Value;
+    const uint64_t big = 0xffffffffffffffffull;
+    Value v = Value::integer(big);
+    EXPECT_EQ(v.dump(), "18446744073709551615");
+    Value parsed;
+    ASSERT_TRUE(Value::parse(v.dump(), parsed));
+    EXPECT_TRUE(parsed.isInt());
+    EXPECT_EQ(parsed.asUint(), big);
+}
+
+TEST(Json, StringEscapes)
+{
+    using json::Value;
+    Value v = Value::str("a\"b\\c\n\t\x01");
+    Value parsed;
+    ASSERT_TRUE(Value::parse(v.dump(), parsed));
+    EXPECT_EQ(parsed.asString(), "a\"b\\c\n\t\x01");
+}
+
+TEST(Json, RoundTripThroughPrettyPrinter)
+{
+    using json::Value;
+    Value doc = Value::object();
+    doc.set("schema", Value::str("cheri-simt-bench-v1"));
+    Value results = Value::array();
+    Value entry = Value::object();
+    entry.set("bench", Value::str("Transpose"));
+    entry.set("ok", Value::boolean(false));
+    entry.set("ratio", Value::number(1.25));
+    results.push(std::move(entry));
+    doc.set("results", std::move(results));
+
+    Value parsed;
+    std::string err;
+    ASSERT_TRUE(Value::parse(doc.dump(2), parsed, &err)) << err;
+    EXPECT_EQ(parsed.get("schema").asString(), "cheri-simt-bench-v1");
+    const Value &r = parsed.get("results").at(0);
+    EXPECT_EQ(r.get("bench").asString(), "Transpose");
+    EXPECT_FALSE(r.get("ok").asBool());
+    EXPECT_DOUBLE_EQ(r.get("ratio").asDouble(), 1.25);
+    // Re-dumping the parsed document reproduces the text exactly.
+    EXPECT_EQ(parsed.dump(2), doc.dump(2));
+}
+
+TEST(Json, ParserRejectsMalformedInput)
+{
+    using json::Value;
+    Value out;
+    EXPECT_FALSE(Value::parse("", out));
+    EXPECT_FALSE(Value::parse("{", out));
+    EXPECT_FALSE(Value::parse("{\"a\":}", out));
+    EXPECT_FALSE(Value::parse("[1,]", out));
+    EXPECT_FALSE(Value::parse("tru", out));
+    EXPECT_FALSE(Value::parse("{} trailing", out));
+    std::string err;
+    EXPECT_FALSE(Value::parse("{\"a\":1,}", out, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, ParserAcceptsNumbersAndNesting)
+{
+    using json::Value;
+    Value out;
+    ASSERT_TRUE(Value::parse(
+        " { \"a\" : [ -1.5e2 , 0 , {\"b\": [true, false, null]} ] } ",
+        out));
+    const Value &arr = out.get("a");
+    ASSERT_EQ(arr.size(), 3u);
+    EXPECT_DOUBLE_EQ(arr.at(0).asDouble(), -150.0);
+    EXPECT_TRUE(arr.at(1).isInt());
+    EXPECT_TRUE(arr.at(2).get("b").at(2).isNull());
+}
+
+TEST(Json, AbsentObjectKeysReadAsNull)
+{
+    using json::Value;
+    Value obj = Value::object();
+    EXPECT_FALSE(obj.has("missing"));
+    EXPECT_TRUE(obj.get("missing").isNull());
 }
 
 } // namespace
