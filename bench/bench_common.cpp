@@ -7,6 +7,7 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <regex>
 #include <thread>
 
 #include "support/logging.hpp"
@@ -93,7 +94,58 @@ suiteSize()
     return kernels::makeSuite().size();
 }
 
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const auto &bench : kernels::makeSuite())
+        names.push_back(bench->name());
+    return names;
+}
+
+/**
+ * runMatrix with --filter applied: excluded points are returned with
+ * skipped = true (and their name filled in) instead of running.
+ */
+std::vector<std::vector<SuiteResult>>
+runMatrixFiltered(const std::vector<ConfigPoint> &points,
+                  kernels::Size size, unsigned threads,
+                  const std::string &filter)
+{
+    const auto names = suiteNames();
+    const size_t count = names.size();
+    std::vector<std::vector<SuiteResult>> rows(points.size());
+    for (auto &row : rows)
+        row.resize(count);
+
+    runTasks(points.size() * count, threads, [&](size_t task) {
+        const size_t p = task / count;
+        const size_t b = task % count;
+        if (!matchesFilter(filter, points[p].label, names[b])) {
+            rows[p][b].name = names[b];
+            rows[p][b].skipped = true;
+            return;
+        }
+        rows[p][b] = runPoint(b, points[p], size);
+    });
+    return rows;
+}
+
 } // namespace
+
+bool
+matchesFilter(const std::string &filter, const std::string &config_label,
+              const std::string &bench_name)
+{
+    if (filter.empty())
+        return true;
+    try {
+        const std::regex re(filter);
+        return std::regex_search(config_label + "/" + bench_name, re);
+    } catch (const std::regex_error &e) {
+        fatal("bad --filter regex '%s': %s", filter.c_str(), e.what());
+    }
+}
 
 BenchOptions
 parseArgs(int &argc, char **argv)
@@ -132,6 +184,12 @@ parseArgs(int &argc, char **argv)
             parse_size(take_value("--size"));
         } else if (arg.rfind("--size=", 0) == 0) {
             parse_size(arg.substr(7));
+        } else if (arg == "--filter") {
+            opts.filter = take_value("--filter");
+        } else if (arg.rfind("--filter=", 0) == 0) {
+            opts.filter = arg.substr(9);
+        } else if (arg == "--list") {
+            opts.list = true;
         } else {
             argv[out++] = argv[i];
         }
@@ -220,17 +278,32 @@ std::vector<SuiteResult>
 Harness::run(const std::string &label, const simt::SmConfig &cfg,
              kc::CompileOptions::Mode mode, unsigned cap_reg_limit)
 {
-    auto results = runSuiteParallel(cfg, mode, opts_.size, opts_.threads,
-                                    cap_reg_limit);
-    record(label, results);
-    return results;
+    ConfigPoint point{label, cfg, mode, cap_reg_limit};
+    return runMatrix({point}).at(0);
 }
 
 std::vector<std::vector<SuiteResult>>
 Harness::runMatrix(const std::vector<ConfigPoint> &points)
 {
-    auto rows =
-        benchcommon::runMatrix(points, opts_.size, opts_.threads);
+    if (opts_.list) {
+        // Enumerate the (filter-matching) points instead of running.
+        const auto names = suiteNames();
+        std::vector<std::vector<SuiteResult>> rows(points.size());
+        for (size_t p = 0; p < points.size(); ++p) {
+            rows[p].resize(names.size());
+            for (size_t b = 0; b < names.size(); ++b) {
+                rows[p][b].name = names[b];
+                rows[p][b].skipped = true;
+                if (matchesFilter(opts_.filter, points[p].label,
+                                  names[b]))
+                    std::printf("%s/%s\n", points[p].label.c_str(),
+                                names[b].c_str());
+            }
+        }
+        return rows;
+    }
+    auto rows = runMatrixFiltered(points, opts_.size, opts_.threads,
+                                  opts_.filter);
     for (size_t p = 0; p < points.size(); ++p)
         record(points[p].label, rows[p]);
     return rows;
@@ -242,6 +315,8 @@ Harness::record(const std::string &label,
 {
     using support::json::Value;
     for (const SuiteResult &r : results) {
+        if (r.skipped)
+            continue;
         Value entry = Value::object();
         entry.set("config", Value::str(label));
         entry.set("bench", Value::str(r.name));

@@ -34,6 +34,10 @@ struct SuiteResult
 {
     std::string name;
     bool ok = false;
+
+    /** Excluded by --filter / --list: never ran, not recorded in JSON. */
+    bool skipped = false;
+
     nocl::RunResult run;
 };
 
@@ -58,6 +62,13 @@ struct BenchOptions
 
     /** Path of the JSON results file; empty = no JSON output. */
     std::string jsonPath;
+
+    /** ECMAScript regex over "<config label>/<bench name>"; points that
+     *  do not match are skipped. Empty = run everything. */
+    std::string filter;
+
+    /** Print the matching "<config>/<bench>" points instead of running. */
+    bool list = false;
 };
 
 /**
@@ -67,8 +78,16 @@ struct BenchOptions
  *   --json <path> | --json=<path>     write a JSON results file
  *   --threads <n> | --threads=<n>     worker threads (0 = auto)
  *   --size small|full | --size=...    workload size (default full)
+ *   --filter <re> | --filter=<re>     run only points whose
+ *                                     "<config>/<bench>" matches <re>
+ *   --list                            print matching points, run nothing
  */
 BenchOptions parseArgs(int &argc, char **argv);
+
+/** Does "<config_label>/<bench_name>" match @p filter (empty = all)? */
+bool matchesFilter(const std::string &filter,
+                   const std::string &config_label,
+                   const std::string &bench_name);
 
 /**
  * Run every benchmark of the suite serially and verify its output.

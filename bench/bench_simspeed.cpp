@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Simulator host-throughput regression guard: runs the suite under the
+ * optimised CHERI configuration with the warp-regularity fast paths
+ * enabled and disabled, and reports host instructions/second, the
+ * fast-path speedup, and the scalarised-execution hit rate.
+ *
+ * The fast paths are bit-identical by construction (the parity test
+ * proves it); this harness guards the *reason they exist*: uniform-heavy
+ * kernels (VecAdd, Reduce, SPMV) should simulate several times faster,
+ * and the divergent adversarial case (BlkStencil) should not regress.
+ *
+ * Host wall-clock numbers are machine-dependent, so they live in the
+ * JSON "metrics" object, never in the modelled "stats" counters.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+namespace
+{
+
+using Mode = kc::CompileOptions::Mode;
+
+/** Uniform-heavy kernels that the fast paths must accelerate. */
+const std::vector<std::string> kFocus = {"VecAdd", "Reduce", "SPMV"};
+
+/** Divergent adversarial kernel that must not regress (tolerance
+ *  covers host timing noise on a loaded machine). */
+const char *kAdversarial = "BlkStencil";
+
+double
+instrsPerSec(const benchcommon::SuiteResult &r)
+{
+    const double instrs =
+        static_cast<double>(r.run.stats.get("simhost_instrs"));
+    const double ns = static_cast<double>(r.run.hostNs);
+    return ns > 0.0 ? instrs / (ns * 1e-9) : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchcommon::Harness h(argc, argv, "simspeed");
+    benchcommon::printHeader(
+        "SimSpeed", "host simulation throughput with and without the "
+                    "warp-regularity fast paths (CHERI optimised)");
+
+    simt::SmConfig fast_cfg = simt::SmConfig::cheriOptimised();
+    simt::SmConfig slow_cfg = fast_cfg;
+    slow_cfg.hostFastPath = false;
+
+    const auto rows =
+        h.runMatrix({{"cheri_opt_fast", fast_cfg, Mode::Purecap},
+                     {"cheri_opt_slow", slow_cfg, Mode::Purecap}});
+    const auto &fast = rows[0];
+    const auto &slow = rows[1];
+    if (h.options().list)
+        return 0;
+
+    std::printf("%-12s %12s %10s %10s %9s %8s\n", "Benchmark", "Instrs",
+                "Fast Mi/s", "Slow Mi/s", "Speedup", "HitRate");
+
+    std::vector<double> focus_speedups;
+    for (size_t i = 0; i < fast.size(); ++i) {
+        if (fast[i].skipped || slow[i].skipped)
+            continue;
+        const auto &name = fast[i].name;
+        const uint64_t instrs = fast[i].run.stats.get("simhost_instrs");
+        const uint64_t hits =
+            fast[i].run.stats.get("simhost_fastpath_instrs");
+        const double fast_ips = instrsPerSec(fast[i]);
+        const double slow_ips = instrsPerSec(slow[i]);
+        const double speedup =
+            slow_ips > 0.0 ? fast_ips / slow_ips : 0.0;
+        const double hit_rate =
+            instrs > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(instrs)
+                       : 0.0;
+
+        std::printf("%-12s %12llu %10.2f %10.2f %8.2fx %7.1f%%%s\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(instrs),
+                    fast_ips * 1e-6, slow_ips * 1e-6, speedup,
+                    hit_rate * 100.0,
+                    fast[i].ok && slow[i].ok ? "" : "  [VERIFY FAILED]");
+
+        h.metric("hit_rate_" + name, hit_rate);
+        h.metric("speedup_" + name, speedup);
+        h.metric("fast_instrs_per_sec_" + name, fast_ips);
+        h.metric("slow_instrs_per_sec_" + name, slow_ips);
+        for (const auto &f : kFocus)
+            if (name == f)
+                focus_speedups.push_back(speedup);
+        if (name == kAdversarial)
+            h.metric("adversarial_speedup", speedup);
+    }
+
+    const double gm = benchcommon::geomean(focus_speedups);
+    std::printf("%-12s %12s %10s %10s %8.2fx   (focus geomean, "
+                "target >= 3x)\n",
+                "geomean", "", "", "", gm);
+    h.metric("focus_geomean_speedup", gm);
+    h.finish();
+
+    for (size_t i = 0; i < fast.size(); ++i) {
+        if (fast[i].skipped || slow[i].skipped)
+            continue;
+        const double fast_ips = instrsPerSec(fast[i]);
+        const double slow_ips = instrsPerSec(slow[i]);
+        const double speedup =
+            slow_ips > 0.0 ? fast_ips / slow_ips : 0.0;
+        const uint64_t instrs = fast[i].run.stats.get("simhost_instrs");
+        const double hit_rate =
+            instrs > 0
+                ? static_cast<double>(
+                      fast[i].run.stats.get("simhost_fastpath_instrs")) /
+                      static_cast<double>(instrs)
+                : 0.0;
+        benchmark::RegisterBenchmark(
+            ("simspeed/" + fast[i].name).c_str(),
+            [speedup, hit_rate](benchmark::State &state) {
+                for (auto _ : state) {
+                }
+                state.counters["speedup"] = speedup;
+                state.counters["hit_rate"] = hit_rate;
+            })
+            ->Iterations(1);
+    }
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

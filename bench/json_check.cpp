@@ -83,6 +83,19 @@ main(int argc, char **argv)
             if (!value.isInt())
                 return fail(where + ".stats." + name +
                             " is not an integer");
+        // The host fast-path counters come as a pair, and scalarised
+        // instructions are a subset of all retired instructions.
+        const bool has_instrs = stats.get("simhost_instrs").isInt();
+        const bool has_fast =
+            stats.get("simhost_fastpath_instrs").isInt();
+        if (has_instrs != has_fast)
+            return fail(where + ".stats: simhost_instrs and "
+                                "simhost_fastpath_instrs must appear "
+                                "together");
+        if (has_instrs && stats.get("simhost_fastpath_instrs").asUint() >
+                              stats.get("simhost_instrs").asUint())
+            return fail(where + ".stats: simhost_fastpath_instrs exceeds "
+                                "simhost_instrs");
     }
 
     const Value &metrics = doc.get("metrics");

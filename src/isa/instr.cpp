@@ -122,6 +122,23 @@ isFpSlowPath(Op op)
 }
 
 bool
+isScalarisable(Op op)
+{
+    if (isAtomic(op) || isFpSlowPath(op))
+        return false;
+    switch (op) {
+      case Op::ILLEGAL:
+      case Op::CSPECIALRW:      // reads the SCR file per lane, in order
+      case Op::CSETBOUNDSEXACT: // traps per lane on inexact bounds
+      case Op::SIMT_TRAP:       // traps every active lane
+      case Op::CJALR_CAP:       // unimplemented (panics in the per-lane path)
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
 isBranch(Op op)
 {
     switch (op) {

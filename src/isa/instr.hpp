@@ -124,6 +124,18 @@ bool isFpSlowPath(Op op);
 bool isBranch(Op op);
 bool isJump(Op op);
 
+/**
+ * Ops eligible for the simulator's warp-regularity fast path: when every
+ * active lane sees uniform (or, for address generation, affine) operands
+ * the op can be executed once and its result broadcast. Excludes ops with
+ * per-lane side effects that are not a pure function of the operand values
+ * (CSPECIALRW reads the SCR file per lane after earlier lanes wrote it),
+ * ops that can trap per lane on non-operand state (CSETBOUNDSEXACT,
+ * SIMT_TRAP), atomics (serialised read-modify-write), and the SFU-class
+ * ops (FDIV/FSQRT) whose per-lane loop is the modelled behaviour.
+ */
+bool isScalarisable(Op op);
+
 /** log2 of access size in bytes for memory ops (CLC/CSC are 3). */
 unsigned accessLogWidth(Op op);
 

@@ -319,6 +319,7 @@ Device::launchCompiled(
     res.avgDataVrf = sm_->avgDataVectorsInVrf();
     res.avgMetaVrf = sm_->avgMetaVectorsInVrf();
     res.rfCapRegMask = sm_->regfile().capRegMask();
+    res.hostNs = sm_->hostNanos();
     return res;
 }
 

@@ -100,6 +100,10 @@ struct RunResult
     double avgDataVrf = 0.0; ///< time-averaged data vectors in the VRF
     double avgMetaVrf = 0.0; ///< time-averaged metadata vectors in the VRF
     uint32_t rfCapRegMask = 0; ///< registers observed holding capabilities
+
+    /** Host wall-clock nanoseconds spent simulating this launch. Kept out
+     *  of @ref stats so modelled counters stay machine-independent. */
+    uint64_t hostNs = 0;
 };
 
 /**

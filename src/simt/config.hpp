@@ -21,9 +21,17 @@
 #define CHERI_SIMT_SIMT_CONFIG_HPP_
 
 #include <cstdint>
+#include <vector>
 
 namespace simt
 {
+
+/**
+ * Per-lane boolean mask (active lanes, halted threads, store tags).
+ * One byte per lane: std::vector<bool>'s proxy bit addressing is a
+ * measurable cost in the simulator's per-lane loops.
+ */
+using LaneMask = std::vector<uint8_t>;
 
 /** Simulated physical memory map. */
 constexpr uint32_t kTcimBase = 0x00000000;   ///< instruction memory
@@ -83,6 +91,16 @@ struct SmConfig
 
     /** PC metadata is set once per kernel launch and never changed. */
     bool staticPcMeta = false;
+
+    /**
+     * Host-side warp-regularity fast path: scalarise the execution of
+     * instructions whose active-lane operands are uniform or affine.
+     * Purely a simulator-speed optimisation -- architectural state, perf
+     * counters and trap behaviour are bit-identical either way (see
+     * DESIGN.md section 7). Exposed so the parity tests can force both
+     * paths.
+     */
+    bool hostFastPath = true;
 
     /** Pipeline depth: a warp re-issues this many cycles after issue. */
     unsigned pipelineDepth = 6;

@@ -110,9 +110,30 @@ MainMemory::clearTagForStore(uint32_t addr, unsigned bytes)
         setWordTag(a, false);
 }
 
+uint64_t
+MainMemory::contentHash() const
+{
+    // FNV-1a over the data bytes (word-at-a-time for speed) and the
+    // indices of the set word tags.
+    constexpr uint64_t kPrime = 1099511628211ull;
+    uint64_t h = 1469598103934665603ull;
+    const size_t words = data_.size() / 8;
+    for (size_t i = 0; i < words; ++i) {
+        uint64_t chunk = 0;
+        for (unsigned b = 0; b < 8; ++b)
+            chunk |= static_cast<uint64_t>(data_[i * 8 + b]) << (8 * b);
+        h = (h ^ chunk) * kPrime;
+    }
+    for (size_t i = 0; i < tags_.size(); ++i) {
+        if (tags_[i])
+            h = (h ^ (i + 1)) * kPrime;
+    }
+    return h;
+}
+
 std::vector<MemTransaction>
 Coalescer::coalesce(const std::vector<uint32_t> &addrs,
-                    const std::vector<bool> &active,
+                    const LaneMask &active,
                     unsigned access_bytes) const
 {
     std::vector<MemTransaction> txns;
@@ -146,7 +167,12 @@ Coalescer::coalesce(const std::vector<uint32_t> &addrs,
 
 StackCache::StackCache(unsigned entries, unsigned fill_bytes,
                        DramTimer &dram, support::StatSet &stats)
-    : fillBytes_(fill_bytes), dram_(dram), stats_(stats), lines_(entries)
+    : fillBytes_(fill_bytes), dram_(dram), stats_(stats),
+      statHits_(stats.handle("stack_cache_hits")),
+      statMisses_(stats.handle("stack_cache_misses")),
+      statBytesWritten_(stats.handle("stack_dram_bytes_written")),
+      statBytesRead_(stats.handle("stack_dram_bytes_read")),
+      lines_(entries)
 {
 }
 
@@ -164,15 +190,15 @@ StackCache::access(uint64_t now, uint32_t key, bool is_write)
 
     uint64_t done = now + 1;
     if (line.valid && line.key == key) {
-        stats_.add("stack_cache_hits");
+        statHits_.add();
     } else {
-        stats_.add("stack_cache_misses");
+        statMisses_.add();
         if (line.valid && line.dirty) {
             done = dram_.access(done, fillBytes_);
-            stats_.add("stack_dram_bytes_written", fillBytes_);
+            statBytesWritten_.add(fillBytes_);
         }
         done = dram_.access(done, fillBytes_);
-        stats_.add("stack_dram_bytes_read", fillBytes_);
+        statBytesRead_.add(fillBytes_);
         line.valid = true;
         line.dirty = false;
         line.key = key;
@@ -185,6 +211,11 @@ StackCache::access(uint64_t now, uint32_t key, bool is_write)
 TagController::TagController(const SmConfig &cfg, DramTimer &dram,
                              support::StatSet &stats)
     : cfg_(cfg), dram_(dram), stats_(stats),
+      statRootFiltered_(stats.handle("tag_root_filtered")),
+      statHits_(stats.handle("tag_cache_hits")),
+      statMisses_(stats.handle("tag_cache_misses")),
+      statBytesWritten_(stats.handle("tag_dram_bytes_written")),
+      statBytesRead_(stats.handle("tag_dram_bytes_read")),
       lines_(cfg.tagCacheLines),
       regionHasCaps_(kDramSize / kRegionBytes, false)
 {
@@ -212,7 +243,7 @@ TagController::access(uint64_t now, uint32_t addr, bool is_write,
     // writes leave the (already zero) tags unchanged.
     if (cfg_.tagRootFilter && !regionHasCaps_[region]) {
         if (!writes_cap) {
-            stats_.add("tag_root_filtered");
+            statRootFiltered_.add();
             return now;
         }
         regionHasCaps_[region] = true;
@@ -224,16 +255,16 @@ TagController::access(uint64_t now, uint32_t addr, bool is_write,
 
     uint64_t done = now;
     if (line.valid && line.tagAddr == tag_line_addr) {
-        stats_.add("tag_cache_hits");
+        statHits_.add();
     } else {
-        stats_.add("tag_cache_misses");
+        statMisses_.add();
         if (line.valid && line.dirty) {
             // Write back the victim tag line.
             done = dram_.access(done, cfg_.tagCacheLineBytes);
-            stats_.add("tag_dram_bytes_written", cfg_.tagCacheLineBytes);
+            statBytesWritten_.add(cfg_.tagCacheLineBytes);
         }
         done = dram_.access(done, cfg_.tagCacheLineBytes);
-        stats_.add("tag_dram_bytes_read", cfg_.tagCacheLineBytes);
+        statBytesRead_.add(cfg_.tagCacheLineBytes);
         line.valid = true;
         line.dirty = false;
         line.tagAddr = tag_line_addr;

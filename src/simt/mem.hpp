@@ -61,6 +61,9 @@ class MainMemory
     /** Non-capability stores clear the covering word tag. */
     void clearTagForStore(uint32_t addr, unsigned bytes);
 
+    /** Order-dependent hash of all bytes and word tags (parity tests). */
+    uint64_t contentHash() const;
+
   private:
     size_t index(uint32_t addr) const;
 
@@ -141,7 +144,7 @@ class Coalescer
      */
     std::vector<MemTransaction>
     coalesce(const std::vector<uint32_t> &addrs,
-             const std::vector<bool> &active, unsigned access_bytes) const;
+             const LaneMask &active, unsigned access_bytes) const;
 
   private:
     unsigned segmentBytes_;
@@ -187,6 +190,10 @@ class StackCache
     unsigned fillBytes_;
     DramTimer &dram_;
     support::StatSet &stats_;
+    support::StatSet::Handle statHits_;
+    support::StatSet::Handle statMisses_;
+    support::StatSet::Handle statBytesWritten_;
+    support::StatSet::Handle statBytesRead_;
     std::vector<Line> lines_;
 };
 
@@ -235,6 +242,11 @@ class TagController
     const SmConfig &cfg_;
     DramTimer &dram_;
     support::StatSet &stats_;
+    support::StatSet::Handle statRootFiltered_;
+    support::StatSet::Handle statHits_;
+    support::StatSet::Handle statMisses_;
+    support::StatSet::Handle statBytesWritten_;
+    support::StatSet::Handle statBytesRead_;
     std::vector<Line> lines_;
     std::vector<bool> regionHasCaps_; // per 8 KiB DRAM region
 };

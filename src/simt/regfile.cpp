@@ -46,7 +46,13 @@ compressData(const std::vector<uint32_t> &vals, uint32_t &base,
 } // namespace
 
 RegFileSystem::RegFileSystem(const SmConfig &cfg, support::StatSet &stats)
-    : cfg_(cfg), stats_(stats)
+    : cfg_(cfg), stats_(stats),
+      statDataSpills_(stats.handle("vrf_data_spills")),
+      statMetaSpills_(stats.handle("vrf_meta_spills")),
+      statDataReloads_(stats.handle("vrf_data_reloads")),
+      statMetaReloads_(stats.handle("vrf_meta_reloads")),
+      statNvoHits_(stats.handle("meta_nvo_hits")),
+      statVrfPeak_(stats.handle("vrf_peak_used"))
 {
     const unsigned entries = cfg_.numVectorRegs();
     dataEntries_.resize(entries);
@@ -137,7 +143,7 @@ RegFileSystem::allocSlot(bool for_meta, RfAccess &acc)
         ++dataSlotsUsed_;
     slotInfo_[slot].isMeta = for_meta;
     slotInfo_[slot].lastUse = ++useClock_;
-    stats_.trackMax("vrf_peak_used", usedSlots_);
+    statVrfPeak_.trackMax(usedSlots_);
     return slot;
 }
 
@@ -200,7 +206,7 @@ RegFileSystem::spillVictim(bool for_meta, RfAccess &acc)
 
     ++acc.spills;
     acc.dramBytes += cfg_.numLanes * (info.isMeta ? 8 : 4);
-    stats_.add(info.isMeta ? "vrf_meta_spills" : "vrf_data_spills");
+    (info.isMeta ? statMetaSpills_ : statDataSpills_).add();
 }
 
 void
@@ -269,7 +275,7 @@ RegFileSystem::unspillData(Entry &e, unsigned warp, unsigned reg,
     ++dataVecCount_;
     ++acc.reloads;
     acc.dramBytes += cfg_.numLanes * 4;
-    stats_.add("vrf_data_reloads");
+    statDataReloads_.add();
 }
 
 void
@@ -288,7 +294,7 @@ RegFileSystem::unspillMeta(Entry &e, unsigned warp, unsigned reg,
     ++metaVecCount_;
     ++acc.reloads;
     acc.dramBytes += cfg_.numLanes * 8;
-    stats_.add("vrf_meta_reloads");
+    statMetaReloads_.add();
 }
 
 void
@@ -308,7 +314,7 @@ RegFileSystem::readData(unsigned warp, unsigned reg,
 void
 RegFileSystem::writeData(unsigned warp, unsigned reg,
                          const std::vector<uint32_t> &vals,
-                         const std::vector<bool> &mask, RfAccess &acc)
+                         const LaneMask &mask, RfAccess &acc)
 {
     if (reg == 0)
         return; // x0 is hardwired to zero
@@ -385,7 +391,7 @@ RegFileSystem::readMeta(unsigned warp, unsigned reg,
 void
 RegFileSystem::writeMeta(unsigned warp, unsigned reg,
                          const std::vector<CapMeta> &vals,
-                         const std::vector<bool> &mask, RfAccess &acc)
+                         const LaneMask &mask, RfAccess &acc)
 {
     panic_if(!cfg_.purecap, "metadata access without purecap");
     if (reg == 0)
@@ -476,7 +482,7 @@ RegFileSystem::writeMeta(unsigned warp, unsigned reg,
             e.tag = value.tag;
             e.nullMask = null_mask;
             e.slot = -1;
-            stats_.add("meta_nvo_hits");
+            statNvoHits_.add();
             return;
         }
     }
@@ -493,6 +499,158 @@ RegFileSystem::writeMeta(unsigned warp, unsigned reg,
     acc.metaFromVrf = true;
     for (unsigned i = 0; i < cfg_.numLanes; ++i)
         slots_[e.slot][i] = packMeta(merged[i]);
+}
+
+void
+RegFileSystem::readDataDesc(unsigned warp, unsigned reg,
+                            std::vector<uint32_t> &scratch, DataDesc &desc,
+                            RfAccess &acc)
+{
+    Entry &e = dataEntries_[entryIndex(warp, reg)];
+    if (e.kind == Kind::Spilled)
+        unspillData(e, warp, reg, acc);
+    if (e.kind == Kind::Vector) {
+        acc.dataFromVrf = true;
+        slotInfo_[e.slot].lastUse = ++useClock_;
+        scratch.resize(cfg_.numLanes);
+        for (unsigned i = 0; i < cfg_.numLanes; ++i)
+            scratch[i] = static_cast<uint32_t>(slots_[e.slot][i]);
+        desc.kind = DataDesc::Kind::Lanes;
+        desc.lanes = scratch.data();
+        return;
+    }
+    desc.kind = DataDesc::Kind::Affine;
+    desc.base = e.base;
+    desc.stride = e.stride;
+    desc.lanes = nullptr;
+}
+
+void
+RegFileSystem::readMetaDesc(unsigned warp, unsigned reg,
+                            std::vector<CapMeta> &scratch, MetaDesc &desc,
+                            RfAccess &acc)
+{
+    panic_if(!cfg_.purecap, "metadata access without purecap");
+    if (!cfg_.metaCompressed) {
+        // Uncompressed file: detect uniformity on the fly so the plain
+        // CHERI configuration also benefits from the fast path.
+        const size_t base =
+            static_cast<size_t>(entryIndex(warp, reg)) * cfg_.numLanes;
+        bool uniform = true;
+        for (unsigned i = 1; i < cfg_.numLanes && uniform; ++i)
+            uniform = flatMeta_[base + i] == flatMeta_[base];
+        if (uniform) {
+            desc.kind = MetaDesc::Kind::Uniform;
+            desc.value = flatMeta_[base];
+            desc.lanes = nullptr;
+            desc.external = false;
+        } else {
+            desc.kind = MetaDesc::Kind::Lanes;
+            desc.lanes = &flatMeta_[base];
+            desc.external = true;
+        }
+        return;
+    }
+    Entry &e = metaEntries_[entryIndex(warp, reg)];
+    if (e.kind == Kind::Spilled)
+        unspillMeta(e, warp, reg, acc);
+    if (e.kind == Kind::Vector) {
+        acc.metaFromVrf = true;
+        slotInfo_[e.slot].lastUse = ++useClock_;
+        scratch.resize(cfg_.numLanes);
+        for (unsigned i = 0; i < cfg_.numLanes; ++i)
+            scratch[i] = unpackMeta(slots_[e.slot][i]);
+        desc.kind = MetaDesc::Kind::Lanes;
+        desc.lanes = scratch.data();
+        desc.external = false;
+        return;
+    }
+    if (e.kind == Kind::PartialNull) {
+        desc.kind = MetaDesc::Kind::PartialNull;
+        desc.value = CapMeta{e.base, e.tag};
+        desc.nullMask = e.nullMask;
+        desc.lanes = nullptr;
+        desc.external = false;
+        return;
+    }
+    desc.kind = MetaDesc::Kind::Uniform;
+    desc.value = CapMeta{e.base, e.tag};
+    desc.lanes = nullptr;
+    desc.external = false;
+}
+
+void
+RegFileSystem::writeDataAffine(unsigned warp, unsigned reg, uint32_t base,
+                               int32_t stride, RfAccess &acc)
+{
+    if (reg == 0)
+        return; // x0 is hardwired to zero
+    Entry &e = dataEntries_[entryIndex(warp, reg)];
+
+    // compressData of the expanded sequence: single-lane vectors always
+    // compress with stride 0; otherwise the affine stride must fit 8 bits.
+    const int32_t eff_stride = cfg_.numLanes > 1 ? stride : 0;
+    if (eff_stride >= -128 && eff_stride <= 127) {
+        if (e.kind == Kind::Vector) {
+            freeSlot(e.slot, false);
+            --dataVecCount_;
+        }
+        e.kind = Kind::Scalar;
+        e.base = base;
+        e.stride = eff_stride;
+        e.slot = -1;
+        return;
+    }
+
+    if (e.kind != Kind::Vector) {
+        const int slot = allocSlot(false, acc);
+        e.kind = Kind::Vector;
+        e.slot = slot;
+        slotInfo_[slot].warp = warp;
+        slotInfo_[slot].reg = reg;
+        ++dataVecCount_;
+    }
+    slotInfo_[e.slot].lastUse = ++useClock_;
+    acc.dataFromVrf = true;
+    for (unsigned i = 0; i < cfg_.numLanes; ++i)
+        slots_[e.slot][i] = base + static_cast<uint32_t>(stride) * i;
+}
+
+void
+RegFileSystem::writeMetaUniform(unsigned warp, unsigned reg,
+                                const CapMeta &value, RfAccess &acc)
+{
+    (void)acc; // a uniform write never allocates in the VRF
+    panic_if(!cfg_.purecap, "metadata access without purecap");
+    if (reg == 0)
+        return;
+
+    if (!value.isNull()) {
+        panic_if(reg >= cfg_.metaRegsTracked,
+                 "capability written to x%u, beyond the metadata "
+                 "SRF's %u tracked registers",
+                 reg, cfg_.metaRegsTracked);
+        capRegMask_ |= uint32_t{1} << reg;
+    }
+
+    if (!cfg_.metaCompressed) {
+        const size_t base =
+            static_cast<size_t>(entryIndex(warp, reg)) * cfg_.numLanes;
+        for (unsigned i = 0; i < cfg_.numLanes; ++i)
+            flatMeta_[base + i] = value;
+        return;
+    }
+
+    Entry &e = metaEntries_[entryIndex(warp, reg)];
+    if (e.kind == Kind::Vector) {
+        freeSlot(e.slot, true);
+        --metaVecCount_;
+    }
+    e.kind = Kind::Scalar;
+    e.base = value.meta;
+    e.tag = value.tag;
+    e.nullMask = 0;
+    e.slot = -1;
 }
 
 uint64_t

@@ -46,6 +46,72 @@ struct CapMeta
     bool operator==(const CapMeta &) const = default;
 };
 
+/**
+ * Lazy operand descriptor for a data register read: either a closed-form
+ * affine sequence (base + stride * lane; uniform when stride == 0) or a
+ * pointer to fully-expanded per-lane values. Descriptor reads have
+ * side effects identical to readData/readMeta -- only the expansion of
+ * compressed (scalar) registers into per-lane arrays is elided.
+ */
+struct DataDesc
+{
+    enum class Kind : uint8_t
+    {
+        Affine, ///< lane value = base + stride * lane
+        Lanes,  ///< per-lane values in @ref lanes
+    };
+
+    Kind kind = Kind::Affine;
+    uint32_t base = 0;
+    int32_t stride = 0;
+    const uint32_t *lanes = nullptr;
+
+    bool isUniform() const { return kind == Kind::Affine && stride == 0; }
+    bool isRegular() const { return kind == Kind::Affine; }
+
+    uint32_t
+    at(unsigned lane) const
+    {
+        return kind == Kind::Affine
+                   ? base + static_cast<uint32_t>(stride) * lane
+                   : lanes[lane];
+    }
+};
+
+/** Lazy operand descriptor for a capability-metadata register read. */
+struct MetaDesc
+{
+    enum class Kind : uint8_t
+    {
+        Uniform,     ///< every lane holds @ref value
+        PartialNull, ///< @ref value except the nullMask lanes (NVO)
+        Lanes,       ///< per-lane values in @ref lanes
+    };
+
+    Kind kind = Kind::Uniform;
+    CapMeta value{};
+    uint32_t nullMask = 0;
+    const CapMeta *lanes = nullptr;
+
+    /** Lanes storage owned by the register file, not the caller's buffer. */
+    bool external = false;
+
+    bool isUniform() const { return kind == Kind::Uniform; }
+
+    CapMeta
+    at(unsigned lane) const
+    {
+        switch (kind) {
+          case Kind::Uniform:
+            return value;
+          case Kind::PartialNull:
+            return (nullMask >> lane) & 1 ? CapMeta{} : value;
+          default:
+            return lanes[lane];
+        }
+    }
+};
+
 /** Cost/event report for one architectural register-file access. */
 struct RfAccess
 {
@@ -77,13 +143,37 @@ class RegFileSystem
                   RfAccess &acc);
     void writeData(unsigned warp, unsigned reg,
                    const std::vector<uint32_t> &vals,
-                   const std::vector<bool> &mask, RfAccess &acc);
+                   const LaneMask &mask, RfAccess &acc);
 
     void readMeta(unsigned warp, unsigned reg, std::vector<CapMeta> &out,
                   RfAccess &acc);
     void writeMeta(unsigned warp, unsigned reg,
                    const std::vector<CapMeta> &vals,
-                   const std::vector<bool> &mask, RfAccess &acc);
+                   const LaneMask &mask, RfAccess &acc);
+
+    // ---- Descriptor access (warp-regularity fast path) ----
+    //
+    // Side-effect-identical to readData/readMeta and to the full-mask
+    // forms of writeData/writeMeta: the same unspills, spills, LRU
+    // touches and stat events occur in the same order; only the per-lane
+    // expansion of compressed registers is elided. Expanded (vector)
+    // registers are copied into @p scratch immediately so the returned
+    // view stays valid across later reads that may spill the slot.
+
+    void readDataDesc(unsigned warp, unsigned reg,
+                      std::vector<uint32_t> &scratch, DataDesc &desc,
+                      RfAccess &acc);
+    void readMetaDesc(unsigned warp, unsigned reg,
+                      std::vector<CapMeta> &scratch, MetaDesc &desc,
+                      RfAccess &acc);
+
+    /** Full-mask affine write: equals writeData of the expanded sequence. */
+    void writeDataAffine(unsigned warp, unsigned reg, uint32_t base,
+                         int32_t stride, RfAccess &acc);
+
+    /** Full-mask uniform write: equals writeMeta of the broadcast value. */
+    void writeMetaUniform(unsigned warp, unsigned reg, const CapMeta &value,
+                          RfAccess &acc);
 
     /** Reset all architectural registers to zero (kernel launch). */
     void reset();
@@ -152,6 +242,15 @@ class RegFileSystem
 
     const SmConfig cfg_;
     support::StatSet &stats_;
+
+    // Hot-loop counter handles (never consult the name-keyed registry
+    // from per-instruction code).
+    support::StatSet::Handle statDataSpills_;
+    support::StatSet::Handle statMetaSpills_;
+    support::StatSet::Handle statDataReloads_;
+    support::StatSet::Handle statMetaReloads_;
+    support::StatSet::Handle statNvoHits_;
+    support::StatSet::Handle statVrfPeak_;
 
     std::vector<Entry> dataEntries_;
     std::vector<Entry> metaEntries_;

@@ -113,7 +113,7 @@ Scratchpad::clearTagForStore(uint32_t addr, unsigned bytes)
 
 unsigned
 Scratchpad::conflictCycles(const std::vector<uint32_t> &addrs,
-                           const std::vector<bool> &active) const
+                           const LaneMask &active) const
 {
     // For each bank, count distinct word addresses accessed.
     std::vector<std::vector<uint32_t>> per_bank(cfg_.scratchpadBanks);

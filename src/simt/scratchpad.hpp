@@ -53,7 +53,21 @@ class Scratchpad
      */
     unsigned
     conflictCycles(const std::vector<uint32_t> &addrs,
-                   const std::vector<bool> &active) const;
+                   const LaneMask &active) const;
+
+    /** Order-dependent hash of all words and tags (parity tests). */
+    uint64_t
+    contentHash() const
+    {
+        constexpr uint64_t kPrime = 1099511628211ull;
+        uint64_t h = 1469598103934665603ull;
+        for (size_t i = 0; i < words_.size(); ++i) {
+            const uint64_t v =
+                (static_cast<uint64_t>(tags_[i]) << 32) | words_[i];
+            h = (h ^ v) * kPrime;
+        }
+        return h;
+    }
 
     void reset();
 

@@ -1,9 +1,13 @@
 #include "simt/sm.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <mutex>
 
 #include "isa/encoding.hpp"
 #include "support/bits.hpp"
@@ -51,6 +55,96 @@ asBits(float f)
     return std::bit_cast<uint32_t>(f);
 }
 
+/**
+ * Expand an operand descriptor into the per-lane buffer the reference
+ * (per-lane) paths read. A Lanes descriptor already points at the caller's
+ * scratch buffer, so only closed forms need expanding.
+ */
+void
+materialiseData(const DataDesc &d, std::vector<uint32_t> &buf)
+{
+    if (d.kind == DataDesc::Kind::Lanes)
+        return;
+    for (unsigned lane = 0; lane < buf.size(); ++lane)
+        buf[lane] = d.base + static_cast<uint32_t>(d.stride) * lane;
+}
+
+void
+materialiseMeta(const MetaDesc &d, std::vector<CapMeta> &buf)
+{
+    switch (d.kind) {
+      case MetaDesc::Kind::Lanes:
+        if (d.lanes != buf.data())
+            std::copy(d.lanes, d.lanes + buf.size(), buf.begin());
+        return;
+      case MetaDesc::Kind::Uniform:
+        std::fill(buf.begin(), buf.end(), d.value);
+        return;
+      case MetaDesc::Kind::PartialNull:
+        for (unsigned lane = 0; lane < buf.size(); ++lane)
+            buf[lane] = (d.nullMask >> lane) & 1 ? CapMeta{} : d.value;
+        return;
+    }
+}
+
+// Decoded-program cache, shared across Sm instances: benchmark harnesses
+// construct one Sm per configuration point but run the same few kernel
+// images, so each image is decoded once per process.
+std::mutex g_decode_cache_mutex;
+std::map<std::vector<uint32_t>, std::shared_ptr<const std::vector<Instr>>>
+    g_decode_cache;
+
+/**
+ * Per-opcode classification, tabulated once from the isa:: predicates so
+ * the per-instruction loop does one indexed load instead of several
+ * out-of-line switch calls. Bit-identical by construction: the table IS
+ * the predicates, evaluated at first use.
+ */
+struct OpTraits
+{
+    bool cheri;
+    bool cheriSlowPath;
+    bool memAccess;
+    bool load;
+    bool store;
+    bool atomic;
+    bool fpSlowPath;
+    bool branch;
+    bool scalarisable;
+    bool usesRd;
+    bool usesRs1;
+    bool usesRs2;
+    uint8_t accessLogWidth;
+};
+
+const OpTraits &
+opTraits(Op op)
+{
+    static const auto table = [] {
+        std::array<OpTraits, static_cast<size_t>(Op::NUM_OPS)> t{};
+        for (size_t i = 0; i < t.size(); ++i) {
+            const Op o = static_cast<Op>(i);
+            t[i].cheri = isa::isCheri(o);
+            t[i].cheriSlowPath = isa::isCheriSlowPath(o);
+            t[i].memAccess = isa::isMemAccess(o);
+            t[i].load = isa::isLoad(o);
+            t[i].store = isa::isStore(o);
+            t[i].atomic = isa::isAtomic(o);
+            t[i].fpSlowPath = isa::isFpSlowPath(o);
+            t[i].branch = isa::isBranch(o);
+            t[i].scalarisable = isa::isScalarisable(o);
+            t[i].usesRd = isa::usesRd(o);
+            t[i].usesRs1 = isa::usesRs1(o);
+            t[i].usesRs2 = isa::usesRs2(o);
+            t[i].accessLogWidth = t[i].memAccess
+                ? static_cast<uint8_t>(isa::accessLogWidth(o))
+                : 0;
+        }
+        return t;
+    }();
+    return table[static_cast<size_t>(op)];
+}
+
 } // namespace
 
 Sm::Sm(const SmConfig &cfg)
@@ -60,7 +154,26 @@ Sm::Sm(const SmConfig &cfg)
       stackCache_(cfg_.stackCacheLines, cfg_.stackCacheLineBytes,
                   dramTimer_, stats_),
       coalescer_(cfg_.coalesceBytes), regfile_(cfg_, stats_),
-      opCounts_(static_cast<size_t>(Op::NUM_OPS), 0)
+      opCounts_(static_cast<size_t>(Op::NUM_OPS), 0),
+      statInstrs_(stats_.handle("instrs")),
+      statCheriInstrs_(stats_.handle("cheri_instrs")),
+      statCheriTraps_(stats_.handle("cheri_traps")),
+      statIdleCycles_(stats_.handle("idle_cycles")),
+      statIssueSlots_(stats_.handle("issue_slots")),
+      statCscPortStalls_(stats_.handle("csc_port_stalls")),
+      statSharedVrfStalls_(stats_.handle("shared_vrf_stalls")),
+      statScratchpadAccesses_(stats_.handle("scratchpad_accesses")),
+      statStackWarpAccesses_(stats_.handle("stack_warp_accesses")),
+      statDramTransactions_(stats_.handle("dram_transactions")),
+      statDramBytesRead_(stats_.handle("dram_bytes_read")),
+      statDramBytesWritten_(stats_.handle("dram_bytes_written")),
+      statRfSpillDramBytes_(stats_.handle("rf_spill_dram_bytes")),
+      statSfuCheriOps_(stats_.handle("sfu_cheri_ops")),
+      statSfuFpOps_(stats_.handle("sfu_fp_ops")),
+      statSoftBoundsTraps_(stats_.handle("soft_bounds_traps")),
+      statBarriersReleased_(stats_.handle("barriers_released")),
+      statSimhostInstrs_(stats_.handle("simhost_instrs")),
+      statSimhostFastpath_(stats_.handle("simhost_fastpath_instrs"))
 {
     fatal_if(cfg_.stackCacheLines > 0 &&
                  (cfg_.stackCacheLineBytes <
@@ -71,6 +184,8 @@ Sm::Sm(const SmConfig &cfg)
              cfg_.stackCacheLineBytes, cfg_.numLanes);
     for (auto &scr : scrs_)
         scr = cap::nullCapPipe();
+
+    decoded_ = std::make_shared<const std::vector<Instr>>();
 
     active_.resize(cfg_.numLanes);
     rs1Data_.resize(cfg_.numLanes);
@@ -88,9 +203,16 @@ Sm::loadProgram(const std::vector<uint32_t> &words)
 {
     fatal_if(words.size() * 4 > kTcimSize, "program exceeds TCIM size");
     code_ = words;
-    decoded_.resize(words.size());
-    for (size_t i = 0; i < words.size(); ++i)
-        decoded_[i] = isa::decode(words[i]);
+
+    std::lock_guard<std::mutex> lock(g_decode_cache_mutex);
+    auto &slot = g_decode_cache[words];
+    if (!slot) {
+        auto dec = std::make_shared<std::vector<Instr>>(words.size());
+        for (size_t i = 0; i < words.size(); ++i)
+            (*dec)[i] = isa::decode(words[i]);
+        slot = std::move(dec);
+    }
+    decoded_ = slot;
 }
 
 void
@@ -127,12 +249,15 @@ Sm::launch(uint32_t entry_pc, unsigned warps_per_block)
         w.readyAt = 0;
         w.atBarrier = false;
         w.liveThreads = cfg_.numLanes;
+        w.regular = true;
+        w.pccUniform = true;
     }
     liveWarps_ = cfg_.numWarps;
     rrPtr_ = 0;
     now_ = 0;
     sfuBusyUntil_ = 0;
     firstTrap_ = TrapInfo{};
+    hostNanos_ = 0;
     dataOccAccum_ = 0;
     metaOccAccum_ = 0;
 
@@ -144,10 +269,16 @@ Sm::launch(uint32_t entry_pc, unsigned warps_per_block)
     dramTimer_.reset();
     stats_.clear();
     std::fill(opCounts_.begin(), opCounts_.end(), 0);
+
+    // The host-throughput pair is emitted together even when a counter
+    // stays zero (fast paths disabled, or nothing scalarised), so results
+    // files always carry both (json_check relies on the pairing).
+    stats_.add("simhost_instrs", 0);
+    stats_.add("simhost_fastpath_instrs", 0);
 }
 
 int
-Sm::selectActive(const Warp &warp, std::vector<bool> &active) const
+Sm::selectActive(const Warp &warp, LaneMask &active) const
 {
     // Deepest nesting level first, then lowest PC (Section 2.3).
     int leader = -1;
@@ -198,7 +329,7 @@ void
 Sm::trap(unsigned warp, unsigned lane, uint32_t pc, Op op, uint32_t addr,
          const char *kind)
 {
-    stats_.add("cheri_traps");
+    statCheriTraps_.add();
     if (!firstTrap_.trapped) {
         firstTrap_.trapped = true;
         firstTrap_.pc = pc;
@@ -306,11 +437,23 @@ Sm::releaseBarrierIfReady(unsigned block)
             warps_[w].readyAt = now_ + 1;
         }
     }
-    stats_.add("barriers_released");
+    statBarriersReleased_.add();
 }
 
 bool
 Sm::run(uint64_t max_cycles)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool ok = runLoop(max_cycles);
+    hostNanos_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    return ok;
+}
+
+bool
+Sm::runLoop(uint64_t max_cycles)
 {
     while (now_ < max_cycles) {
         if (liveWarps_ == 0) {
@@ -349,7 +492,7 @@ Sm::run(uint64_t max_cycles)
                 return false;
             }
             const uint64_t dt = next - now_;
-            stats_.add("idle_cycles", dt);
+            statIdleCycles_.add(dt);
             dataOccAccum_ += regfile_.dataVectorsInVrf() * dt;
             metaOccAccum_ += regfile_.metaVectorsInVrf() * dt;
             now_ = next;
@@ -379,18 +522,459 @@ Sm::avgMetaVectorsInVrf() const
     return now_ ? static_cast<double>(metaOccAccum_) / now_ : 0.0;
 }
 
+void
+Sm::executeAluLane(Warp &w, unsigned wid, unsigned lane, const Instr &in,
+                   uint32_t pc, uint32_t a, uint32_t b, const CapMeta &m1)
+{
+    const Op op = in.op;
+    const int32_t imm = in.imm;
+    const int32_t sa = static_cast<int32_t>(a);
+    const int32_t sb = static_cast<int32_t>(b);
+
+    const auto cap1 = [&]() { return capFromParts(a, m1); };
+    const auto set_cap_result = [&](const CapPipe &c) {
+        capToParts(c, result_[lane], resultMeta_[lane]);
+    };
+
+    uint32_t r = 0;
+    switch (op) {
+      case Op::LUI: r = static_cast<uint32_t>(imm); break;
+      case Op::AUIPC:
+        if (cfg_.purecap) {
+            const CapPipe c = cap::setAddr(
+                w.pcc[lane], pc + static_cast<uint32_t>(imm));
+            set_cap_result(c);
+            r = result_[lane];
+        } else {
+            r = pc + static_cast<uint32_t>(imm);
+        }
+        break;
+      case Op::ADDI: r = a + static_cast<uint32_t>(imm); break;
+      case Op::SLTI: r = sa < imm ? 1 : 0; break;
+      case Op::SLTIU:
+        r = a < static_cast<uint32_t>(imm) ? 1 : 0;
+        break;
+      case Op::XORI: r = a ^ static_cast<uint32_t>(imm); break;
+      case Op::ORI: r = a | static_cast<uint32_t>(imm); break;
+      case Op::ANDI: r = a & static_cast<uint32_t>(imm); break;
+      case Op::SLLI: r = a << (imm & 31); break;
+      case Op::SRLI: r = a >> (imm & 31); break;
+      case Op::SRAI: r = static_cast<uint32_t>(sa >> (imm & 31));
+        break;
+      case Op::ADD: r = a + b; break;
+      case Op::SUB: r = a - b; break;
+      case Op::SLL: r = a << (b & 31); break;
+      case Op::SLT: r = sa < sb ? 1 : 0; break;
+      case Op::SLTU: r = a < b ? 1 : 0; break;
+      case Op::XOR: r = a ^ b; break;
+      case Op::SRL: r = a >> (b & 31); break;
+      case Op::SRA: r = static_cast<uint32_t>(sa >> (b & 31));
+        break;
+      case Op::OR: r = a | b; break;
+      case Op::AND: r = a & b; break;
+      case Op::MUL: r = a * b; break;
+      case Op::MULH:
+        r = static_cast<uint32_t>(
+            (static_cast<int64_t>(sa) * sb) >> 32);
+        break;
+      case Op::MULHSU:
+        r = static_cast<uint32_t>(
+            (static_cast<int64_t>(sa) *
+             static_cast<uint64_t>(b)) >> 32);
+        break;
+      case Op::MULHU:
+        r = static_cast<uint32_t>(
+            (static_cast<uint64_t>(a) * b) >> 32);
+        break;
+      case Op::DIV:
+        r = b == 0 ? 0xffffffffu
+                   : (sa == INT32_MIN && sb == -1
+                          ? static_cast<uint32_t>(INT32_MIN)
+                          : static_cast<uint32_t>(sa / sb));
+        break;
+      case Op::DIVU: r = b == 0 ? 0xffffffffu : a / b; break;
+      case Op::REM:
+        r = b == 0 ? a
+                   : (sa == INT32_MIN && sb == -1
+                          ? 0
+                          : static_cast<uint32_t>(sa % sb));
+        break;
+      case Op::REMU: r = b == 0 ? a : a % b; break;
+      case Op::FADD_S:
+        r = asBits(asFloat(a) + asFloat(b));
+        break;
+      case Op::FSUB_S:
+        r = asBits(asFloat(a) - asFloat(b));
+        break;
+      case Op::FMUL_S:
+        r = asBits(asFloat(a) * asFloat(b));
+        break;
+      case Op::FMIN_S:
+        r = asBits(std::fmin(asFloat(a), asFloat(b)));
+        break;
+      case Op::FMAX_S:
+        r = asBits(std::fmax(asFloat(a), asFloat(b)));
+        break;
+      case Op::FCVT_W_S:
+        r = static_cast<uint32_t>(
+            static_cast<int32_t>(asFloat(a)));
+        break;
+      case Op::FCVT_WU_S:
+        r = static_cast<uint32_t>(asFloat(a));
+        break;
+      case Op::FCVT_S_W:
+        r = asBits(static_cast<float>(sa));
+        break;
+      case Op::FCVT_S_WU:
+        r = asBits(static_cast<float>(a));
+        break;
+      case Op::FEQ_S: r = asFloat(a) == asFloat(b) ? 1 : 0; break;
+      case Op::FLT_S: r = asFloat(a) < asFloat(b) ? 1 : 0; break;
+      case Op::FLE_S: r = asFloat(a) <= asFloat(b) ? 1 : 0; break;
+      case Op::CSRRW:
+      case Op::CSRRS:
+        switch (static_cast<uint16_t>(imm)) {
+          case isa::CSR_HARTID:
+            r = wid * cfg_.numLanes + lane;
+            break;
+          case isa::CSR_NUMTHREADS:
+            r = cfg_.numThreads();
+            break;
+          case isa::CSR_WARPID: r = wid; break;
+          case isa::CSR_LANEID: r = lane; break;
+          default: r = 0; break;
+        }
+        break;
+
+      // Control flow and SIMT ops handled in the PC-update section; no
+      // data-path result.
+      case Op::JAL:
+      case Op::JALR:
+      case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+      case Op::BLTU: case Op::BGEU:
+      case Op::SIMT_PUSH: case Op::SIMT_POP:
+      case Op::SIMT_BARRIER: case Op::SIMT_HALT:
+      case Op::SIMT_TRAP:
+        break;
+
+      // CHERI per-lane fast path.
+      case Op::CGETTAG:
+        r = m1.tag ? 1 : 0;
+        break;
+      case Op::CGETPERM: r = cap1().perms; break;
+      case Op::CGETTYPE: r = cap1().otype; break;
+      case Op::CGETSEALED:
+        r = cap1().isSealed() ? 1 : 0;
+        break;
+      case Op::CGETFLAGS: r = cap1().flag ? 1 : 0; break;
+      case Op::CGETADDR: r = a; break;
+      case Op::CMOVE:
+        result_[lane] = a;
+        resultMeta_[lane] = m1;
+        break;
+      case Op::CCLEARTAG:
+        result_[lane] = a;
+        resultMeta_[lane] = m1;
+        resultMeta_[lane].tag = false;
+        break;
+      case Op::CANDPERM:
+        set_cap_result(cap::andPerms(
+            cap1(), static_cast<uint8_t>(b)));
+        break;
+      case Op::CSETFLAGS: {
+        CapPipe c = cap1();
+        if (c.isSealed())
+            c.tag = false;
+        c.flag = (b & 1) != 0;
+        set_cap_result(c);
+        break;
+      }
+      case Op::CSEALENTRY:
+        set_cap_result(cap::sealEntry(cap1()));
+        break;
+      case Op::CSETADDR:
+        set_cap_result(cap::setAddr(cap1(), b));
+        break;
+      case Op::CINCOFFSET:
+        set_cap_result(cap::incAddr(cap1(), b));
+        break;
+      case Op::CINCOFFSETIMM:
+        set_cap_result(cap::incAddr(
+            cap1(), static_cast<uint32_t>(imm)));
+        break;
+      case Op::CSPECIALRW: {
+        const auto scr_idx = static_cast<isa::Scr>(imm & 0x1f);
+        if (scr_idx >= isa::NUM_SCRS) {
+            trap(wid, lane, pc, op, scr_idx, "bad scr index");
+            active_[lane] = false;
+            break;
+        }
+        const CapPipe old = scr_idx == isa::SCR_PCC
+                                ? w.pcc[lane]
+                                : scrs_[scr_idx];
+        if (in.rs1 != 0 && scr_idx != isa::SCR_PCC)
+            scrs_[scr_idx] = cap1();
+        set_cap_result(old);
+        break;
+      }
+      // SFU ops reach here when offload is disabled: executed
+      // in the per-lane data path at normal latency.
+      case Op::CGETBASE:
+        r = cap::getBase(cap1());
+        break;
+      case Op::CGETLEN: {
+        const uint64_t len = cap::getLength(cap1());
+        r = static_cast<uint32_t>(
+            std::min<uint64_t>(len, 0xffffffffull));
+        break;
+      }
+      case Op::CSETBOUNDS:
+      case Op::CSETBOUNDSEXACT:
+      case Op::CSETBOUNDSIMM: {
+        const uint32_t len = op == Op::CSETBOUNDSIMM
+                                 ? static_cast<uint32_t>(imm)
+                                 : b;
+        const cap::SetBoundsResult res =
+            cap::setBounds(cap1(), len);
+        if (op == Op::CSETBOUNDSEXACT && !res.exact) {
+            trap(wid, lane, pc, op, a, "inexact bounds");
+            active_[lane] = false;
+            break;
+        }
+        set_cap_result(res.cap);
+        break;
+      }
+      case Op::CRRL:
+        r = cap::representableLength(a);
+        break;
+      case Op::CRAM:
+        r = cap::representableAlignmentMask(a);
+        break;
+      default:
+        panic("unimplemented op %s", isa::opName(op).c_str());
+    }
+
+    switch (op) {
+      case Op::CMOVE: case Op::CCLEARTAG: case Op::CANDPERM:
+      case Op::CSETFLAGS: case Op::CSEALENTRY: case Op::CSETADDR:
+      case Op::CINCOFFSET: case Op::CINCOFFSETIMM:
+      case Op::CSPECIALRW: case Op::CSETBOUNDS:
+      case Op::CSETBOUNDSEXACT: case Op::CSETBOUNDSIMM:
+        break; // result_ already set via set_cap_result
+      case Op::AUIPC:
+        if (cfg_.purecap)
+            break;
+        [[fallthrough]];
+      default:
+        result_[lane] = r;
+        break;
+    }
+}
+
+bool
+Sm::vectorAluLoop(const Instr &in, const DataDesc &rs1d,
+                  const DataDesc &rs2d)
+{
+    const int32_t imm = in.imm;
+    const uint32_t uimm = static_cast<uint32_t>(imm);
+    // One tight loop per op; the per-lane expressions match
+    // executeAluLane's exactly (resultMeta_ keeps its per-instruction
+    // null fill, as executeAluLane leaves it for these ops).
+    const auto loop = [&](auto f) {
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+            if (active_[lane])
+                result_[lane] = f(rs1d.at(lane), rs2d.at(lane));
+        }
+        return true;
+    };
+    const auto s = [](uint32_t v) { return static_cast<int32_t>(v); };
+    switch (in.op) {
+      case Op::ADDI:
+        return loop([&](uint32_t a, uint32_t) { return a + uimm; });
+      case Op::SLTI:
+        return loop(
+            [&](uint32_t a, uint32_t) { return s(a) < imm ? 1u : 0u; });
+      case Op::SLTIU:
+        return loop(
+            [&](uint32_t a, uint32_t) { return a < uimm ? 1u : 0u; });
+      case Op::XORI:
+        return loop([&](uint32_t a, uint32_t) { return a ^ uimm; });
+      case Op::ORI:
+        return loop([&](uint32_t a, uint32_t) { return a | uimm; });
+      case Op::ANDI:
+        return loop([&](uint32_t a, uint32_t) { return a & uimm; });
+      case Op::SLLI:
+        return loop(
+            [&](uint32_t a, uint32_t) { return a << (imm & 31); });
+      case Op::SRLI:
+        return loop(
+            [&](uint32_t a, uint32_t) { return a >> (imm & 31); });
+      case Op::SRAI:
+        return loop([&](uint32_t a, uint32_t) {
+            return static_cast<uint32_t>(s(a) >> (imm & 31));
+        });
+      case Op::ADD:
+        return loop([](uint32_t a, uint32_t b) { return a + b; });
+      case Op::SUB:
+        return loop([](uint32_t a, uint32_t b) { return a - b; });
+      case Op::SLL:
+        return loop([](uint32_t a, uint32_t b) { return a << (b & 31); });
+      case Op::SLT:
+        return loop(
+            [&](uint32_t a, uint32_t b) { return s(a) < s(b) ? 1u : 0u; });
+      case Op::SLTU:
+        return loop([](uint32_t a, uint32_t b) { return a < b ? 1u : 0u; });
+      case Op::XOR:
+        return loop([](uint32_t a, uint32_t b) { return a ^ b; });
+      case Op::SRL:
+        return loop([](uint32_t a, uint32_t b) { return a >> (b & 31); });
+      case Op::SRA:
+        return loop([&](uint32_t a, uint32_t b) {
+            return static_cast<uint32_t>(s(a) >> (b & 31));
+        });
+      case Op::OR:
+        return loop([](uint32_t a, uint32_t b) { return a | b; });
+      case Op::AND:
+        return loop([](uint32_t a, uint32_t b) { return a & b; });
+      case Op::MUL:
+        return loop([](uint32_t a, uint32_t b) { return a * b; });
+      case Op::MULH:
+        return loop([&](uint32_t a, uint32_t b) {
+            return static_cast<uint32_t>(
+                (static_cast<int64_t>(s(a)) * s(b)) >> 32);
+        });
+      case Op::MULHSU:
+        return loop([&](uint32_t a, uint32_t b) {
+            return static_cast<uint32_t>(
+                (static_cast<int64_t>(s(a)) * static_cast<uint64_t>(b)) >>
+                32);
+        });
+      case Op::MULHU:
+        return loop([](uint32_t a, uint32_t b) {
+            return static_cast<uint32_t>(
+                (static_cast<uint64_t>(a) * b) >> 32);
+        });
+      case Op::DIV:
+        return loop([&](uint32_t a, uint32_t b) {
+            return b == 0 ? 0xffffffffu
+                          : (s(a) == INT32_MIN && s(b) == -1
+                                 ? static_cast<uint32_t>(INT32_MIN)
+                                 : static_cast<uint32_t>(s(a) / s(b)));
+        });
+      case Op::DIVU:
+        return loop([](uint32_t a, uint32_t b) {
+            return b == 0 ? 0xffffffffu : a / b;
+        });
+      case Op::REM:
+        return loop([&](uint32_t a, uint32_t b) {
+            return b == 0 ? a
+                          : (s(a) == INT32_MIN && s(b) == -1
+                                 ? 0u
+                                 : static_cast<uint32_t>(s(a) % s(b)));
+        });
+      case Op::REMU:
+        return loop(
+            [](uint32_t a, uint32_t b) { return b == 0 ? a : a % b; });
+      case Op::FADD_S:
+        return loop([](uint32_t a, uint32_t b) {
+            return asBits(asFloat(a) + asFloat(b));
+        });
+      case Op::FSUB_S:
+        return loop([](uint32_t a, uint32_t b) {
+            return asBits(asFloat(a) - asFloat(b));
+        });
+      case Op::FMUL_S:
+        return loop([](uint32_t a, uint32_t b) {
+            return asBits(asFloat(a) * asFloat(b));
+        });
+      case Op::FMIN_S:
+        return loop([](uint32_t a, uint32_t b) {
+            return asBits(std::fmin(asFloat(a), asFloat(b)));
+        });
+      case Op::FMAX_S:
+        return loop([](uint32_t a, uint32_t b) {
+            return asBits(std::fmax(asFloat(a), asFloat(b)));
+        });
+      case Op::FCVT_W_S:
+        return loop([](uint32_t a, uint32_t) {
+            return static_cast<uint32_t>(
+                static_cast<int32_t>(asFloat(a)));
+        });
+      case Op::FCVT_WU_S:
+        return loop([](uint32_t a, uint32_t) {
+            return static_cast<uint32_t>(asFloat(a));
+        });
+      case Op::FCVT_S_W:
+        return loop([&](uint32_t a, uint32_t) {
+            return asBits(static_cast<float>(s(a)));
+        });
+      case Op::FCVT_S_WU:
+        return loop([](uint32_t a, uint32_t) {
+            return asBits(static_cast<float>(a));
+        });
+      case Op::FEQ_S:
+        return loop([](uint32_t a, uint32_t b) {
+            return asFloat(a) == asFloat(b) ? 1u : 0u;
+        });
+      case Op::FLT_S:
+        return loop([](uint32_t a, uint32_t b) {
+            return asFloat(a) < asFloat(b) ? 1u : 0u;
+        });
+      case Op::FLE_S:
+        return loop([](uint32_t a, uint32_t b) {
+            return asFloat(a) <= asFloat(b) ? 1u : 0u;
+        });
+      default:
+        return false;
+    }
+}
+
 unsigned
 Sm::executeWarp(unsigned wid)
 {
     Warp &w = warps_[wid];
-    const int leader = selectActive(w, active_);
+    const bool check_pcc = cfg_.purecap && !cfg_.staticPcMeta;
+    const bool fast_enabled = cfg_.hostFastPath;
+
+    // ---- Active-thread selection ----
+    // A regular warp has every live lane at the same (nest, pc) [and the
+    // same PCC when selection compares it], so the selection scan reduces
+    // to "active = not halted" with the first live lane as leader --
+    // exactly what selectActive computes in that situation.
+    int leader = -1;
+    unsigned num_active = 0;
+    bool fully_active = false;
+    if (fast_enabled && w.regular && (!check_pcc || w.pccUniform)) {
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+            const bool a = !w.halted[lane];
+            active_[lane] = a;
+            if (a && leader < 0)
+                leader = static_cast<int>(lane);
+        }
+        num_active = w.liveThreads;
+        fully_active = true;
+    } else {
+        leader = selectActive(w, active_);
+        if (leader >= 0) {
+            for (unsigned lane = 0; lane < cfg_.numLanes; ++lane)
+                num_active += active_[lane] ? 1 : 0;
+            fully_active = num_active == w.liveThreads;
+            if (fully_active) {
+                // The issue covers every live lane: the warp has
+                // (re)converged.
+                w.regular = true;
+                if (check_pcc)
+                    w.pccUniform = true;
+            }
+        }
+    }
     panic_if(leader < 0, "executeWarp on a finished warp");
     const uint32_t pc = w.pc[leader];
 
     // Fetch: one instruction fetched and decoded per warp (control-flow
     // regularity). In purecap mode the PCC is checked once per warp.
     const size_t idx = (pc - kTcimBase) / 4;
-    if (pc % 4 != 0 || idx >= decoded_.size()) {
+    if (pc % 4 != 0 || idx >= decoded_->size()) {
         for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
             if (active_[lane])
                 trap(wid, lane, pc, Op::ILLEGAL, pc, "bad fetch pc");
@@ -409,7 +993,7 @@ Sm::executeWarp(unsigned wid)
         }
     }
 
-    const Instr &in = decoded_[idx];
+    const Instr &in = (*decoded_)[idx];
     const Op op = in.op;
     if (op == Op::ILLEGAL) {
         for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
@@ -419,72 +1003,449 @@ Sm::executeWarp(unsigned wid)
         return 1;
     }
 
-    stats_.add("instrs");
+    statInstrs_.add();
+    statSimhostInstrs_.add();
     opCounts_[static_cast<size_t>(op)]++;
-    if (isa::isCheri(op))
-        stats_.add("cheri_instrs");
+    const OpTraits &tr = opTraits(op);
+    if (tr.cheri)
+        statCheriInstrs_.add();
 
-    // ---- Operand fetch ----
+    // ---- Operand fetch (lazy descriptors) ----
+    // Descriptor reads are side-effect-identical to the eager readData /
+    // readMeta calls; compressed registers stay in closed form until a
+    // per-lane path actually needs the expansion.
     RfAccess fetch_acc;
-    if (isa::usesRs1(op))
-        regfile_.readData(wid, in.rs1, rs1Data_, fetch_acc);
-    if (isa::usesRs2(op))
-        regfile_.readData(wid, in.rs2, rs2Data_, fetch_acc);
+    DataDesc rs1d, rs2d;
+    MetaDesc rs1m, rs2m;
+    if (tr.usesRs1)
+        regfile_.readDataDesc(wid, in.rs1, rs1Data_, rs1d, fetch_acc);
+    if (tr.usesRs2)
+        regfile_.readDataDesc(wid, in.rs2, rs2Data_, rs2d, fetch_acc);
 
     const bool rs1_is_cap =
         cfg_.purecap &&
-        (isa::isMemAccess(op) || op == Op::JALR ||
-         (isa::isCheri(op) && op != Op::CRRL && op != Op::CRAM));
+        (tr.memAccess || op == Op::JALR ||
+         (tr.cheri && op != Op::CRRL && op != Op::CRAM));
     const bool rs2_is_cap = cfg_.purecap &&
                             (op == Op::CSC || op == Op::CSPECIALRW);
     if (rs1_is_cap)
-        regfile_.readMeta(wid, in.rs1, rs1Meta_, fetch_acc);
-    else
-        std::fill(rs1Meta_.begin(), rs1Meta_.end(), CapMeta{});
+        regfile_.readMetaDesc(wid, in.rs1, rs1Meta_, rs1m, fetch_acc);
     if (rs2_is_cap)
-        regfile_.readMeta(wid, in.rs2, rs2Meta_, fetch_acc);
-    else
-        std::fill(rs2Meta_.begin(), rs2Meta_.end(), CapMeta{});
+        regfile_.readMetaDesc(wid, in.rs2, rs2Meta_, rs2m, fetch_acc);
 
     unsigned extra_cycles = 0;
     if (cfg_.metaSrfSinglePort && op == Op::CSC) {
         // Two capability source operands through a single-read-port
         // metadata SRF (Section 3.2).
         ++extra_cycles;
-        stats_.add("csc_port_stalls");
+        statCscPortStalls_.add();
     }
     if (cfg_.sharedVrf && fetch_acc.dataFromVrf && fetch_acc.metaFromVrf) {
         // Serialised data/metadata access to the shared VRF (Section 3.2).
         ++extra_cycles;
-        stats_.add("shared_vrf_stalls");
+        statSharedVrfStalls_.add();
     }
 
     // ---- Execute ----
     uint64_t finish = now_ + cfg_.pipelineDepth;
-    bool writes_rd = isa::usesRd(op);
-    bool result_is_cap = false; // resultMeta_ holds capability metadata
+    bool writes_rd = tr.usesRd;
     const int32_t imm = in.imm;
 
     std::fill(resultMeta_.begin(), resultMeta_.end(), CapMeta{});
 
-    const auto cap1 = [&](unsigned lane) {
-        return capFromParts(rs1Data_[lane], rs1Meta_[lane]);
-    };
-    const auto set_cap_result = [&](unsigned lane, const CapPipe &c) {
-        capToParts(c, result_[lane], resultMeta_[lane]);
-    };
+    // Result descriptor for writeback: with res_affine set, every active
+    // lane's result is res_base + res_stride * lane with metadata
+    // res_meta; otherwise result_/resultMeta_ hold per-lane values.
+    bool res_affine = false;
+    uint32_t res_base = 0;
+    int32_t res_stride = 0;
+    CapMeta res_meta{};
+    bool fast_hit = false;
+    bool pc_diverged = false;
 
-    const bool is_sfu_fp = isa::isFpSlowPath(op);
-    const bool is_sfu_cheri =
-        cfg_.sfuCheriOffload && isa::isCheriSlowPath(op);
+    const bool u1 = rs1d.isUniform();
+    const bool r1 = rs1d.isRegular();
+    const bool u2 = rs2d.isUniform();
+    const bool r2 = rs2d.isRegular();
+    const bool m1u = rs1m.isUniform();
+    // Whether all active lanes provably share the whole PCC: selection
+    // compares it when check_pcc, and pccUniform covers all live lanes.
+    const bool pcc_uniform = check_pcc || w.pccUniform;
 
-    if (isa::isMemAccess(op)) {
+    const bool is_sfu_fp = tr.fpSlowPath;
+    const bool is_sfu_cheri = cfg_.sfuCheriOffload && tr.cheriSlowPath;
+    const bool is_control =
+        tr.branch || op == Op::JAL || op == Op::JALR ||
+        op == Op::SIMT_PUSH || op == Op::SIMT_POP ||
+        op == Op::SIMT_BARRIER || op == Op::SIMT_HALT ||
+        op == Op::SIMT_TRAP;
+
+    if (tr.memAccess) {
         // ---- Memory pipeline ----
-        const unsigned log_width = isa::accessLogWidth(op);
+        const unsigned log_width = tr.accessLogWidth;
         const unsigned bytes = 1u << log_width;
-        const bool is_store = isa::isStore(op);
-        const bool is_atomic = isa::isAtomic(op);
+        const bool is_store = tr.store;
+        const bool is_atomic = tr.atomic;
         const bool is_cap_access = op == Op::CLC || op == Op::CSC;
+
+        // Scalarised fast path: affine lane addresses through a uniform
+        // capability. All gates below are side-effect free -- any
+        // uncertainty (wraparound, mixed regions, divergent alignment or
+        // bounds outcomes) falls back to the reference per-lane path,
+        // which is bit-identical by construction.
+        bool fast_done = false;
+        if (fast_enabled && tr.scalarisable && r1 &&
+            (!cfg_.purecap || m1u)) {
+            fast_done = [&]() -> bool {
+                const uint32_t a0 =
+                    rs1d.base + static_cast<uint32_t>(imm);
+                const int64_t s = rs1d.stride;
+                int min_l = -1, max_l = -1;
+                for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                    if (!active_[lane])
+                        continue;
+                    if (min_l < 0)
+                        min_l = static_cast<int>(lane);
+                    max_l = static_cast<int>(lane);
+                }
+                // The affine span must avoid 32-bit wraparound so the
+                // extreme lanes bound every lane's address.
+                const int64_t v_lo = static_cast<int64_t>(a0) + s * min_l;
+                const int64_t v_hi = static_cast<int64_t>(a0) + s * max_l;
+                if (v_lo < 0 || v_lo > 0xffffffffll || v_hi < 0 ||
+                    v_hi > 0xffffffffll)
+                    return false;
+                const uint32_t n_min =
+                    static_cast<uint32_t>(std::min(v_lo, v_hi));
+                const uint32_t n_max =
+                    static_cast<uint32_t>(std::max(v_lo, v_hi));
+
+                // Both regions are contiguous, so containing the span's
+                // endpoints contains every lane address.
+                const bool all_shared = Scratchpad::contains(n_min) &&
+                                        Scratchpad::contains(n_max);
+                const bool all_dram = MainMemory::contains(n_min) &&
+                                      MainMemory::contains(n_max);
+                if (!all_shared && !all_dram)
+                    return false; // TCIM / unmapped / mixed regions
+
+                CapPipe c0{};
+                const char *fault = nullptr;
+                if (cfg_.purecap) {
+                    const CapMeta m1 = rs1m.value;
+                    c0 = capFromParts(rs1d.base, m1);
+                    // Same priority order as the per-lane chain; every
+                    // condition here is address-independent, so one
+                    // verdict covers the warp.
+                    if (!m1.tag)
+                        fault = "tag violation";
+                    else if (c0.isSealed())
+                        fault = "seal violation";
+                    else if ((is_store || is_atomic) &&
+                             !(c0.perms & cap::PERM_STORE))
+                        fault = "store permission violation";
+                    else if (!is_store && !(c0.perms & cap::PERM_LOAD))
+                        fault = "load permission violation";
+                    else if (op == Op::CSC &&
+                             !(c0.perms & cap::PERM_STORE_CAP)) {
+                        // Faults only on lanes storing a tagged source:
+                        // need a uniform source tag for a warp verdict.
+                        bool first = true, tag0 = false, uniform = true;
+                        for (unsigned lane = 0; lane < cfg_.numLanes;
+                             ++lane) {
+                            if (!active_[lane])
+                                continue;
+                            const bool t = rs2m.at(lane).tag;
+                            if (first) {
+                                tag0 = t;
+                                first = false;
+                            } else {
+                                uniform = uniform && t == tag0;
+                            }
+                        }
+                        if (!uniform)
+                            return false;
+                        if (tag0)
+                            fault = "store-cap permission violation";
+                    }
+                }
+                if (!fault) {
+                    // Stride a multiple of the access width makes the
+                    // alignment residue uniform across lanes.
+                    if (static_cast<uint32_t>(rs1d.stride) % bytes != 0)
+                        return false;
+                    if (a0 % bytes != 0) {
+                        if (!cfg_.purecap)
+                            panic("misaligned %s at 0x%08x (baseline)",
+                                  isa::opName(op).c_str(),
+                                  static_cast<uint32_t>(v_lo));
+                        fault = "misaligned access";
+                    }
+                }
+                if (cfg_.purecap && !fault) {
+                    // getBounds depends on the address only through
+                    // addr >> (exponent + MW - 3); if that is constant
+                    // over [n_min, n_max], one decode gives the bounds
+                    // every lane checks against.
+                    const unsigned e = c0.exponent > cap::kMaxExponent
+                                           ? cap::kMaxExponent
+                                           : c0.exponent;
+                    const unsigned shift = e + cap::kMantissaWidth - 3;
+                    if ((static_cast<uint64_t>(n_min) >> shift) !=
+                        (static_cast<uint64_t>(n_max) >> shift))
+                        return false;
+                    CapPipe c_rep = c0;
+                    c_rep.addr = n_min;
+                    const cap::Bounds bnd = cap::getBounds(c_rep);
+                    const bool all_pass =
+                        n_min >= bnd.base &&
+                        static_cast<uint64_t>(n_max) + bytes <= bnd.top;
+                    if (!all_pass) {
+                        // Endpoints failing does not imply every lane
+                        // fails; only provable all-fail scalarises.
+                        const bool all_fail =
+                            static_cast<uint64_t>(n_min) + bytes >
+                                bnd.top ||
+                            n_max < bnd.base;
+                        if (!all_fail)
+                            return false;
+                        fault = "bounds violation";
+                    }
+                }
+
+                if (fault) {
+                    // Every active lane takes the same trap, in lane
+                    // order, with its own (closed-form) address.
+                    for (unsigned lane = 0; lane < cfg_.numLanes;
+                         ++lane) {
+                        if (!active_[lane])
+                            continue;
+                        const uint32_t addr =
+                            a0 +
+                            static_cast<uint32_t>(rs1d.stride) * lane;
+                        trap(wid, lane, pc, op, addr, fault);
+                        active_[lane] = false;
+                    }
+                    writes_rd = (tr.load || is_atomic) &&
+                                in.rd != 0;
+                    if (is_cap_access)
+                        ++extra_cycles;
+                    fast_hit = true;
+                    return true;
+                }
+
+                // ---- Timing (same event sequence as the slow path) ----
+                uint64_t mem_done = now_;
+                unsigned shared_cycles = 0;
+                if (all_shared) {
+                    for (unsigned lane = 0; lane < cfg_.numLanes;
+                         ++lane) {
+                        if (active_[lane])
+                            addrs_[lane] =
+                                a0 + static_cast<uint32_t>(rs1d.stride) *
+                                         lane;
+                    }
+                    shared_cycles =
+                        scratchpad_.conflictCycles(addrs_, active_) *
+                        (is_cap_access ? 2 : 1);
+                    statScratchpadAccesses_.add();
+                } else {
+                    bool writes_tagged_cap = false;
+                    if (op == Op::CSC) {
+                        for (unsigned lane = 0; lane < cfg_.numLanes;
+                             ++lane)
+                            writes_tagged_cap =
+                                writes_tagged_cap ||
+                                (active_[lane] && rs2m.at(lane).tag);
+                    }
+                    const uint32_t stack_base = cfg_.stackRegionBase();
+                    if (stackCache_.enabled() && n_min >= stack_base) {
+                        const uint32_t granule =
+                            cfg_.stackCacheLineBytes / cfg_.numLanes;
+                        const uint32_t stride = cfg_.stackBytesPerThread;
+                        const uint32_t warp_block =
+                            (n_min - stack_base) /
+                            (stride * cfg_.numLanes);
+                        const uint32_t slot =
+                            ((n_min - stack_base) % stride) / granule;
+                        const uint32_t key =
+                            slot * cfg_.numWarps + warp_block;
+                        const uint64_t done = stackCache_.access(
+                            now_, key, is_store || is_atomic);
+                        mem_done = std::max(mem_done, done);
+                        statStackWarpAccesses_.add();
+                    } else {
+                        // Closed-form coalescing: affine addresses visit
+                        // segments monotonically (in lane order for
+                        // non-negative strides, reversed otherwise), so
+                        // an ordered walk with a tail check reproduces
+                        // the coalescer's sorted, deduplicated list.
+                        fastTxns_.clear();
+                        const uint32_t seg_bytes = cfg_.coalesceBytes;
+                        const bool ascending = rs1d.stride >= 0;
+                        const int begin = ascending ? min_l : max_l;
+                        const int end = ascending ? max_l + 1 : min_l - 1;
+                        const int step = ascending ? 1 : -1;
+                        for (int lane = begin; lane != end;
+                             lane += step) {
+                            if (!active_[lane])
+                                continue;
+                            const uint32_t addr =
+                                a0 +
+                                static_cast<uint32_t>(rs1d.stride) *
+                                    static_cast<unsigned>(lane);
+                            const uint32_t first = addr & ~(seg_bytes - 1);
+                            const uint32_t last =
+                                (addr + bytes - 1) & ~(seg_bytes - 1);
+                            for (uint32_t seg = first;;
+                                 seg += seg_bytes) {
+                                if (fastTxns_.empty() ||
+                                    seg > fastTxns_.back().segment)
+                                    fastTxns_.push_back(
+                                        MemTransaction{seg, seg_bytes});
+                                if (seg == last)
+                                    break;
+                            }
+                        }
+                        statDramTransactions_.add(fastTxns_.size());
+                        for (const auto &t : fastTxns_) {
+                            const uint64_t tag_done =
+                                tagController_.access(
+                                    now_, t.segment,
+                                    is_store || is_atomic,
+                                    writes_tagged_cap);
+                            const uint64_t done =
+                                dramTimer_.access(tag_done, t.bytes);
+                            mem_done = std::max(mem_done, done);
+                            if (is_store)
+                                statDramBytesWritten_.add(t.bytes);
+                            else
+                                statDramBytesRead_.add(t.bytes);
+                        }
+                    }
+                }
+
+                // ---- Functional access ----
+                if (is_store) {
+                    if (rs1d.stride == 0) {
+                        // One shared address: the last active lane's
+                        // value is the final memory state, and the
+                        // per-lane tag clearing is idempotent.
+                        const unsigned lane =
+                            static_cast<unsigned>(max_l);
+                        if (op == Op::CSC) {
+                            cap::CapMem m;
+                            const CapMeta sm = rs2m.at(lane);
+                            m.bits =
+                                (static_cast<uint64_t>(sm.meta) << 32) |
+                                rs2d.at(lane);
+                            m.tag = sm.tag;
+                            if (all_shared)
+                                scratchpad_.storeCap(n_min, m);
+                            else
+                                dram_.storeCap(n_min, m);
+                        } else {
+                            storeValue(n_min, log_width, rs2d.at(lane));
+                        }
+                    } else {
+                        for (unsigned lane = 0; lane < cfg_.numLanes;
+                             ++lane) {
+                            if (!active_[lane])
+                                continue;
+                            const uint32_t addr =
+                                a0 +
+                                static_cast<uint32_t>(rs1d.stride) *
+                                    lane;
+                            if (op == Op::CSC) {
+                                cap::CapMem m;
+                                const CapMeta sm = rs2m.at(lane);
+                                m.bits = (static_cast<uint64_t>(sm.meta)
+                                          << 32) |
+                                         rs2d.at(lane);
+                                m.tag = sm.tag;
+                                if (all_shared)
+                                    scratchpad_.storeCap(addr, m);
+                                else
+                                    dram_.storeCap(addr, m);
+                            } else {
+                                storeValue(addr, log_width,
+                                           rs2d.at(lane));
+                            }
+                        }
+                    }
+                } else if (rs1d.stride == 0) {
+                    // Uniform load: access memory once and broadcast.
+                    if (op == Op::CLC) {
+                        const cap::CapMem m =
+                            all_shared ? scratchpad_.loadCap(n_min)
+                                       : dram_.loadCap(n_min);
+                        CapPipe loaded = cap::fromMem(m);
+                        if (cfg_.purecap &&
+                            !(c0.perms & cap::PERM_LOAD_CAP))
+                            loaded.tag = false;
+                        uint32_t d;
+                        CapMeta dm;
+                        capToParts(loaded, d, dm);
+                        res_affine = true;
+                        res_base = d;
+                        res_stride = 0;
+                        res_meta = dm;
+                    } else {
+                        const bool sign = op == Op::LB || op == Op::LH;
+                        res_affine = true;
+                        res_base = loadValue(n_min, log_width, sign);
+                        res_stride = 0;
+                    }
+                } else {
+                    for (unsigned lane = 0; lane < cfg_.numLanes;
+                         ++lane) {
+                        if (!active_[lane])
+                            continue;
+                        const uint32_t addr =
+                            a0 +
+                            static_cast<uint32_t>(rs1d.stride) * lane;
+                        if (op == Op::CLC) {
+                            const cap::CapMem m =
+                                all_shared ? scratchpad_.loadCap(addr)
+                                           : dram_.loadCap(addr);
+                            CapPipe loaded = cap::fromMem(m);
+                            if (cfg_.purecap &&
+                                !(c0.perms & cap::PERM_LOAD_CAP))
+                                loaded.tag = false;
+                            capToParts(loaded, result_[lane],
+                                       resultMeta_[lane]);
+                        } else {
+                            const bool sign =
+                                op == Op::LB || op == Op::LH;
+                            result_[lane] =
+                                loadValue(addr, log_width, sign);
+                        }
+                    }
+                }
+
+                writes_rd = tr.load && in.rd != 0;
+                if (is_cap_access)
+                    ++extra_cycles;
+                finish = std::max(mem_done, now_ + shared_cycles) +
+                         cfg_.pipelineDepth;
+                fast_hit = true;
+                return true;
+            }();
+        }
+
+        if (!fast_done) {
+        materialiseData(rs1d, rs1Data_);
+        if (tr.usesRs2)
+            materialiseData(rs2d, rs2Data_);
+        materialiseMeta(rs1m, rs1Meta_);
+        materialiseMeta(rs2m, rs2Meta_);
+
+        const auto cap1 = [&](unsigned lane) {
+            return capFromParts(rs1Data_[lane], rs1Meta_[lane]);
+        };
+        const auto set_cap_result = [&](unsigned lane, const CapPipe &c) {
+            capToParts(c, result_[lane], resultMeta_[lane]);
+        };
 
         for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
             if (!active_[lane])
@@ -534,7 +1495,7 @@ Sm::executeWarp(unsigned wid)
         }
 
         // Split shared-memory and DRAM lanes.
-        static thread_local std::vector<bool> dram_lanes, shared_lanes;
+        static thread_local LaneMask dram_lanes, shared_lanes;
         dram_lanes.assign(cfg_.numLanes, false);
         shared_lanes.assign(cfg_.numLanes, false);
         for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
@@ -556,7 +1517,7 @@ Sm::executeWarp(unsigned wid)
             shared_cycles =
                 scratchpad_.conflictCycles(addrs_, shared_lanes) *
                 (is_cap_access ? 2 : 1);
-            stats_.add("scratchpad_accesses");
+            statScratchpadAccesses_.add();
         }
 
         // DRAM: coalesce into segments, account tag traffic, queue on the
@@ -604,11 +1565,11 @@ Sm::executeWarp(unsigned wid)
                 const uint64_t done = stackCache_.access(
                     now_, key, is_store || is_atomic);
                 mem_done = std::max(mem_done, done);
-                stats_.add("stack_warp_accesses");
+                statStackWarpAccesses_.add();
             } else {
             const auto txns =
                 coalescer_.coalesce(addrs_, dram_lanes, bytes);
-            stats_.add("dram_transactions", txns.size());
+            statDramTransactions_.add(txns.size());
             for (const auto &t : txns) {
                 const uint64_t tag_done = tagController_.access(
                     now_, t.segment, is_store || is_atomic,
@@ -616,12 +1577,12 @@ Sm::executeWarp(unsigned wid)
                 const uint64_t done = dramTimer_.access(tag_done, t.bytes);
                 mem_done = std::max(mem_done, done);
                 if (is_store)
-                    stats_.add("dram_bytes_written", t.bytes);
+                    statDramBytesWritten_.add(t.bytes);
                 else if (is_atomic) {
-                    stats_.add("dram_bytes_read", t.bytes);
-                    stats_.add("dram_bytes_written", t.bytes);
+                    statDramBytesRead_.add(t.bytes);
+                    statDramBytesWritten_.add(t.bytes);
                 } else {
-                    stats_.add("dram_bytes_read", t.bytes);
+                    statDramBytesRead_.add(t.bytes);
                 }
             }
             }
@@ -663,8 +1624,7 @@ Sm::executeWarp(unsigned wid)
             }
         }
 
-        result_is_cap = op == Op::CLC;
-        writes_rd = (isa::isLoad(op) || is_atomic) && in.rd != 0;
+        writes_rd = (tr.load || is_atomic) && in.rd != 0;
 
         if (is_cap_access) {
             // Two-flit (64-bit) transactions occupy the request
@@ -674,15 +1634,28 @@ Sm::executeWarp(unsigned wid)
         const uint64_t base_done =
             std::max(mem_done, now_ + shared_cycles);
         finish = base_done + cfg_.pipelineDepth;
+        }
     } else if (is_sfu_fp || is_sfu_cheri) {
         // ---- Shared function unit: serialised over active lanes ----
+        materialiseData(rs1d, rs1Data_);
+        if (tr.usesRs2)
+            materialiseData(rs2d, rs2Data_);
+        materialiseMeta(rs1m, rs1Meta_);
+
+        const auto cap1 = [&](unsigned lane) {
+            return capFromParts(rs1Data_[lane], rs1Meta_[lane]);
+        };
+        const auto set_cap_result = [&](unsigned lane, const CapPipe &c) {
+            capToParts(c, result_[lane], resultMeta_[lane]);
+        };
+
         unsigned count = 0;
         for (unsigned lane = 0; lane < cfg_.numLanes; ++lane)
             count += active_[lane] ? 1 : 0;
         const uint64_t start = std::max(now_, sfuBusyUntil_);
         sfuBusyUntil_ = start + count * cfg_.sfuCyclesPerElem;
         finish = sfuBusyUntil_ + cfg_.pipelineDepth;
-        stats_.add(is_sfu_cheri ? "sfu_cheri_ops" : "sfu_fp_ops", count);
+        (is_sfu_cheri ? statSfuCheriOps_ : statSfuFpOps_).add(count);
 
         for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
             if (!active_[lane])
@@ -733,10 +1706,8 @@ Sm::executeWarp(unsigned wid)
                 panic("unexpected SFU op %s", isa::opName(op).c_str());
             }
         }
-        result_is_cap = op == Op::CSETBOUNDS || op == Op::CSETBOUNDSEXACT ||
-                        op == Op::CSETBOUNDSIMM;
-    } else {
-        // ---- Per-lane fast path ----
+    } else if (!is_control) {
+        // ---- Per-lane data path (ALU) ----
         switch (op) {
           case Op::DIV:
           case Op::DIVU:
@@ -748,288 +1719,407 @@ Sm::executeWarp(unsigned wid)
             break;
         }
 
-        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
-            if (!active_[lane])
-                continue;
-            const uint32_t a = rs1Data_[lane];
-            const uint32_t b = rs2Data_[lane];
-            const int32_t sa = static_cast<int32_t>(a);
-            const int32_t sb = static_cast<int32_t>(b);
-            uint32_t r = 0;
-            switch (op) {
-              case Op::LUI: r = static_cast<uint32_t>(imm); break;
-              case Op::AUIPC:
-                if (cfg_.purecap) {
-                    const CapPipe c = cap::setAddr(
-                        w.pcc[lane],
-                        pc + static_cast<uint32_t>(imm));
-                    set_cap_result(lane, c);
-                    r = result_[lane];
-                } else {
-                    r = pc + static_cast<uint32_t>(imm);
+        // Scalarised fast path: closed-form affine results, pointer-op
+        // shortcuts through a uniform capability, or a single leader-lane
+        // execution when every consumed operand is uniform.
+        bool fast_done = false;
+        if (fast_enabled && tr.scalarisable) {
+            fast_done = [&]() -> bool {
+                const auto commit = [&](uint32_t base, int32_t stride) {
+                    res_affine = true;
+                    res_base = base;
+                    res_stride = stride;
+                    fast_hit = true;
+                };
+                const auto leader_exec = [&]() {
+                    const unsigned l = static_cast<unsigned>(leader);
+                    executeAluLane(w, wid, l, in, pc, rs1d.at(l),
+                                   rs2d.at(l), rs1m.at(l));
+                    res_affine = true;
+                    res_base = result_[l];
+                    res_stride = 0;
+                    res_meta = resultMeta_[l];
+                    fast_hit = true;
+                };
+                switch (op) {
+                  case Op::LUI:
+                    commit(static_cast<uint32_t>(imm), 0);
+                    return true;
+                  case Op::AUIPC:
+                    if (!cfg_.purecap) {
+                        commit(pc + static_cast<uint32_t>(imm), 0);
+                        return true;
+                    }
+                    if (!pcc_uniform)
+                        return false; // lanes derive from distinct PCCs
+                    leader_exec();
+                    return true;
+                  case Op::ADDI:
+                    if (!r1)
+                        break;
+                    commit(rs1d.base + static_cast<uint32_t>(imm),
+                           rs1d.stride);
+                    return true;
+                  case Op::ADD:
+                    if (!(r1 && r2))
+                        break;
+                    commit(rs1d.base + rs2d.base,
+                           static_cast<int32_t>(
+                               static_cast<uint32_t>(rs1d.stride) +
+                               static_cast<uint32_t>(rs2d.stride)));
+                    return true;
+                  case Op::SUB:
+                    if (!(r1 && r2))
+                        break;
+                    commit(rs1d.base - rs2d.base,
+                           static_cast<int32_t>(
+                               static_cast<uint32_t>(rs1d.stride) -
+                               static_cast<uint32_t>(rs2d.stride)));
+                    return true;
+                  case Op::SLLI: {
+                    if (!r1)
+                        break;
+                    const unsigned sh = imm & 31;
+                    commit(rs1d.base << sh,
+                           static_cast<int32_t>(
+                               static_cast<uint32_t>(rs1d.stride)
+                               << sh));
+                    return true;
+                  }
+                  case Op::MUL:
+                    if (r1 && u2) {
+                        commit(rs1d.base * rs2d.base,
+                               static_cast<int32_t>(
+                                   static_cast<uint32_t>(rs1d.stride) *
+                                   rs2d.base));
+                        return true;
+                    }
+                    if (u1 && r2) {
+                        commit(rs1d.base * rs2d.base,
+                               static_cast<int32_t>(
+                                   rs1d.base *
+                                   static_cast<uint32_t>(rs2d.stride)));
+                        return true;
+                    }
+                    break;
+                  case Op::CSRRW:
+                  case Op::CSRRS:
+                    switch (static_cast<uint16_t>(imm)) {
+                      case isa::CSR_HARTID:
+                        commit(wid * cfg_.numLanes, 1);
+                        break;
+                      case isa::CSR_NUMTHREADS:
+                        commit(cfg_.numThreads(), 0);
+                        break;
+                      case isa::CSR_WARPID:
+                        commit(wid, 0);
+                        break;
+                      case isa::CSR_LANEID:
+                        commit(0, 1);
+                        break;
+                      default:
+                        commit(0, 0);
+                        break;
+                    }
+                    return true;
+                  case Op::CGETTAG:
+                  case Op::CGETPERM:
+                  case Op::CGETTYPE:
+                  case Op::CGETSEALED:
+                  case Op::CGETFLAGS:
+                    // Results depend only on the (uniform) metadata,
+                    // never on the per-lane address.
+                    if (!m1u)
+                        break;
+                    leader_exec();
+                    return true;
+                  case Op::CGETADDR:
+                    if (!r1)
+                        break;
+                    commit(rs1d.base, rs1d.stride);
+                    return true;
+                  case Op::CMOVE:
+                    if (!(r1 && m1u))
+                        break;
+                    commit(rs1d.base, rs1d.stride);
+                    res_meta = rs1m.value;
+                    return true;
+                  case Op::CCLEARTAG:
+                    if (!(r1 && m1u))
+                        break;
+                    commit(rs1d.base, rs1d.stride);
+                    res_meta = rs1m.value;
+                    res_meta.tag = false;
+                    return true;
+                  case Op::CANDPERM: {
+                    if (!(r1 && u2 && m1u))
+                        break;
+                    // The address passes through untouched, so affine
+                    // data with one recomputed metadata word covers the
+                    // warp (the encoded metadata is address-free).
+                    const CapPipe c = cap::andPerms(
+                        capFromParts(rs1d.base, rs1m.value),
+                        static_cast<uint8_t>(rs2d.base));
+                    uint32_t d;
+                    CapMeta m;
+                    capToParts(c, d, m);
+                    commit(rs1d.base, rs1d.stride);
+                    res_meta = m;
+                    return true;
+                  }
+                  case Op::CSETFLAGS: {
+                    if (!(r1 && u2 && m1u))
+                        break;
+                    CapPipe c = capFromParts(rs1d.base, rs1m.value);
+                    if (c.isSealed())
+                        c.tag = false;
+                    c.flag = (rs2d.base & 1) != 0;
+                    uint32_t d;
+                    CapMeta m;
+                    capToParts(c, d, m);
+                    commit(rs1d.base, rs1d.stride);
+                    res_meta = m;
+                    return true;
+                  }
+                  case Op::CSEALENTRY: {
+                    if (!(r1 && m1u))
+                        break;
+                    const CapPipe c = cap::sealEntry(
+                        capFromParts(rs1d.base, rs1m.value));
+                    uint32_t d;
+                    CapMeta m;
+                    capToParts(c, d, m);
+                    commit(rs1d.base, rs1d.stride);
+                    res_meta = m;
+                    return true;
+                  }
+                  case Op::CSETADDR:
+                  case Op::CINCOFFSET:
+                  case Op::CINCOFFSETIMM: {
+                    // Pointer arithmetic through a uniform capability:
+                    // the result metadata word is the source's (setAddr
+                    // never alters encoded fields), and only the tag can
+                    // vary per lane, via the representability check.
+                    if (!m1u)
+                        break;
+                    uint32_t n_base;
+                    int32_t n_stride;
+                    if (op == Op::CSETADDR) {
+                        if (!r2)
+                            break;
+                        n_base = rs2d.base;
+                        n_stride = rs2d.stride;
+                    } else if (op == Op::CINCOFFSET) {
+                        if (!(r1 && r2))
+                            break;
+                        n_base = rs1d.base + rs2d.base;
+                        n_stride = static_cast<int32_t>(
+                            static_cast<uint32_t>(rs1d.stride) +
+                            static_cast<uint32_t>(rs2d.stride));
+                    } else {
+                        if (!r1)
+                            break;
+                        n_base = rs1d.base + static_cast<uint32_t>(imm);
+                        n_stride = rs1d.stride;
+                    }
+                    const CapMeta m1 = rs1m.value;
+                    const CapPipe c0 = capFromParts(rs1d.base, m1);
+                    if (!m1.tag || c0.isSealed()) {
+                        // Result tag is uniformly false regardless of
+                        // representability.
+                        commit(n_base, n_stride);
+                        res_meta = CapMeta{m1.meta, false};
+                        return true;
+                    }
+                    const unsigned e = c0.exponent > cap::kMaxExponent
+                                           ? cap::kMaxExponent
+                                           : c0.exponent;
+                    if (e >= cap::kMaxExponent - 2) {
+                        // Every increment is representable.
+                        commit(n_base, n_stride);
+                        res_meta = CapMeta{m1.meta, true};
+                        return true;
+                    }
+                    if (!r1)
+                        break; // per-lane check needs lane addresses
+                    CapPipe ct = c0;
+                    bool tags_uniform = true;
+                    bool tag0 = false;
+                    bool first = true;
+                    for (unsigned lane = 0; lane < cfg_.numLanes;
+                         ++lane) {
+                        if (!active_[lane])
+                            continue;
+                        const uint32_t ai = rs1d.at(lane);
+                        const uint32_t ni =
+                            n_base +
+                            static_cast<uint32_t>(n_stride) * lane;
+                        ct.addr = ai;
+                        const bool t =
+                            cap::inRepresentableRange(ct, ni - ai);
+                        result_[lane] = ni;
+                        resultMeta_[lane] = CapMeta{m1.meta, t};
+                        if (first) {
+                            tag0 = t;
+                            first = false;
+                        } else {
+                            tags_uniform = tags_uniform && t == tag0;
+                        }
+                    }
+                    if (tags_uniform) {
+                        commit(n_base, n_stride);
+                        res_meta = CapMeta{m1.meta, tag0};
+                    } else {
+                        fast_hit = true; // per-lane tags, no re-decode
+                    }
+                    return true;
+                  }
+                  default:
+                    break;
                 }
-                break;
-              case Op::ADDI: r = a + static_cast<uint32_t>(imm); break;
-              case Op::SLTI: r = sa < imm ? 1 : 0; break;
-              case Op::SLTIU:
-                r = a < static_cast<uint32_t>(imm) ? 1 : 0;
-                break;
-              case Op::XORI: r = a ^ static_cast<uint32_t>(imm); break;
-              case Op::ORI: r = a | static_cast<uint32_t>(imm); break;
-              case Op::ANDI: r = a & static_cast<uint32_t>(imm); break;
-              case Op::SLLI: r = a << (imm & 31); break;
-              case Op::SRLI: r = a >> (imm & 31); break;
-              case Op::SRAI: r = static_cast<uint32_t>(sa >> (imm & 31));
-                break;
-              case Op::ADD: r = a + b; break;
-              case Op::SUB: r = a - b; break;
-              case Op::SLL: r = a << (b & 31); break;
-              case Op::SLT: r = sa < sb ? 1 : 0; break;
-              case Op::SLTU: r = a < b ? 1 : 0; break;
-              case Op::XOR: r = a ^ b; break;
-              case Op::SRL: r = a >> (b & 31); break;
-              case Op::SRA: r = static_cast<uint32_t>(sa >> (b & 31));
-                break;
-              case Op::OR: r = a | b; break;
-              case Op::AND: r = a & b; break;
-              case Op::MUL: r = a * b; break;
-              case Op::MULH:
-                r = static_cast<uint32_t>(
-                    (static_cast<int64_t>(sa) * sb) >> 32);
-                break;
-              case Op::MULHSU:
-                r = static_cast<uint32_t>(
-                    (static_cast<int64_t>(sa) *
-                     static_cast<uint64_t>(b)) >> 32);
-                break;
-              case Op::MULHU:
-                r = static_cast<uint32_t>(
-                    (static_cast<uint64_t>(a) * b) >> 32);
-                break;
-              case Op::DIV:
-                r = b == 0 ? 0xffffffffu
-                           : (sa == INT32_MIN && sb == -1
-                                  ? static_cast<uint32_t>(INT32_MIN)
-                                  : static_cast<uint32_t>(sa / sb));
-                break;
-              case Op::DIVU: r = b == 0 ? 0xffffffffu : a / b; break;
-              case Op::REM:
-                r = b == 0 ? a
-                           : (sa == INT32_MIN && sb == -1
-                                  ? 0
-                                  : static_cast<uint32_t>(sa % sb));
-                break;
-              case Op::REMU: r = b == 0 ? a : a % b; break;
-              case Op::FADD_S:
-                r = asBits(asFloat(a) + asFloat(b));
-                break;
-              case Op::FSUB_S:
-                r = asBits(asFloat(a) - asFloat(b));
-                break;
-              case Op::FMUL_S:
-                r = asBits(asFloat(a) * asFloat(b));
-                break;
-              case Op::FMIN_S:
-                r = asBits(std::fmin(asFloat(a), asFloat(b)));
-                break;
-              case Op::FMAX_S:
-                r = asBits(std::fmax(asFloat(a), asFloat(b)));
-                break;
-              case Op::FCVT_W_S:
-                r = static_cast<uint32_t>(
-                    static_cast<int32_t>(asFloat(a)));
-                break;
-              case Op::FCVT_WU_S:
-                r = static_cast<uint32_t>(asFloat(a));
-                break;
-              case Op::FCVT_S_W:
-                r = asBits(static_cast<float>(sa));
-                break;
-              case Op::FCVT_S_WU:
-                r = asBits(static_cast<float>(a));
-                break;
-              case Op::FEQ_S: r = asFloat(a) == asFloat(b) ? 1 : 0; break;
-              case Op::FLT_S: r = asFloat(a) < asFloat(b) ? 1 : 0; break;
-              case Op::FLE_S: r = asFloat(a) <= asFloat(b) ? 1 : 0; break;
-              case Op::CSRRW:
-              case Op::CSRRS:
-                switch (static_cast<uint16_t>(imm)) {
-                  case isa::CSR_HARTID:
-                    r = wid * cfg_.numLanes + lane;
-                    break;
-                  case isa::CSR_NUMTHREADS:
-                    r = cfg_.numThreads();
-                    break;
-                  case isa::CSR_WARPID: r = wid; break;
-                  case isa::CSR_LANEID: r = lane; break;
-                  default: r = 0; break;
+                // Generic scalarisation: every operand the op consumes
+                // is uniform, so the leader's result is every lane's.
+                if ((!tr.usesRs1 || u1) &&
+                    (!tr.usesRs2 || u2) &&
+                    (!rs1_is_cap || m1u)) {
+                    leader_exec();
+                    return true;
                 }
-                break;
-
-              // Control flow and SIMT ops handled below; no result.
-              case Op::JAL:
-              case Op::JALR:
-              case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
-              case Op::BLTU: case Op::BGEU:
-              case Op::SIMT_PUSH: case Op::SIMT_POP:
-              case Op::SIMT_BARRIER: case Op::SIMT_HALT:
-              case Op::SIMT_TRAP:
-                break;
-
-              // CHERI per-lane fast path.
-              case Op::CGETTAG:
-                r = rs1Meta_[lane].tag ? 1 : 0;
-                break;
-              case Op::CGETPERM: r = cap1(lane).perms; break;
-              case Op::CGETTYPE: r = cap1(lane).otype; break;
-              case Op::CGETSEALED:
-                r = cap1(lane).isSealed() ? 1 : 0;
-                break;
-              case Op::CGETFLAGS: r = cap1(lane).flag ? 1 : 0; break;
-              case Op::CGETADDR: r = a; break;
-              case Op::CMOVE:
-                result_[lane] = a;
-                resultMeta_[lane] = rs1Meta_[lane];
-                break;
-              case Op::CCLEARTAG:
-                result_[lane] = a;
-                resultMeta_[lane] = rs1Meta_[lane];
-                resultMeta_[lane].tag = false;
-                break;
-              case Op::CANDPERM:
-                set_cap_result(lane, cap::andPerms(
-                    cap1(lane), static_cast<uint8_t>(b)));
-                break;
-              case Op::CSETFLAGS: {
-                CapPipe c = cap1(lane);
-                if (c.isSealed())
-                    c.tag = false;
-                c.flag = (b & 1) != 0;
-                set_cap_result(lane, c);
-                break;
-              }
-              case Op::CSEALENTRY:
-                set_cap_result(lane, cap::sealEntry(cap1(lane)));
-                break;
-              case Op::CSETADDR:
-                set_cap_result(lane, cap::setAddr(cap1(lane), b));
-                break;
-              case Op::CINCOFFSET:
-                set_cap_result(lane, cap::incAddr(cap1(lane), b));
-                break;
-              case Op::CINCOFFSETIMM:
-                set_cap_result(lane, cap::incAddr(
-                    cap1(lane), static_cast<uint32_t>(imm)));
-                break;
-              case Op::CSPECIALRW: {
-                const auto scr_idx = static_cast<isa::Scr>(imm & 0x1f);
-                if (scr_idx >= isa::NUM_SCRS) {
-                    trap(wid, lane, pc, op, scr_idx, "bad scr index");
-                    active_[lane] = false;
-                    break;
-                }
-                const CapPipe old = scr_idx == isa::SCR_PCC
-                                        ? w.pcc[lane]
-                                        : scrs_[scr_idx];
-                if (in.rs1 != 0 && scr_idx != isa::SCR_PCC)
-                    scrs_[scr_idx] = cap1(lane);
-                set_cap_result(lane, old);
-                break;
-              }
-              // SFU ops reach here when offload is disabled: executed
-              // in the per-lane data path at normal latency.
-              case Op::CGETBASE:
-                r = cap::getBase(cap1(lane));
-                break;
-              case Op::CGETLEN: {
-                const uint64_t len = cap::getLength(cap1(lane));
-                r = static_cast<uint32_t>(
-                    std::min<uint64_t>(len, 0xffffffffull));
-                break;
-              }
-              case Op::CSETBOUNDS:
-              case Op::CSETBOUNDSEXACT:
-              case Op::CSETBOUNDSIMM: {
-                const uint32_t len = op == Op::CSETBOUNDSIMM
-                                         ? static_cast<uint32_t>(imm)
-                                         : b;
-                const cap::SetBoundsResult res =
-                    cap::setBounds(cap1(lane), len);
-                if (op == Op::CSETBOUNDSEXACT && !res.exact) {
-                    trap(wid, lane, pc, op, a, "inexact bounds");
-                    active_[lane] = false;
-                    break;
-                }
-                set_cap_result(lane, res.cap);
-                break;
-              }
-              case Op::CRRL:
-                r = cap::representableLength(a);
-                break;
-              case Op::CRAM:
-                r = cap::representableAlignmentMask(a);
-                break;
-              default:
-                panic("unimplemented op %s", isa::opName(op).c_str());
-            }
-
-            switch (op) {
-              case Op::CMOVE: case Op::CCLEARTAG: case Op::CANDPERM:
-              case Op::CSETFLAGS: case Op::CSEALENTRY: case Op::CSETADDR:
-              case Op::CINCOFFSET: case Op::CINCOFFSETIMM:
-              case Op::CSPECIALRW: case Op::CSETBOUNDS:
-              case Op::CSETBOUNDSEXACT: case Op::CSETBOUNDSIMM:
-                break; // result_ already set via set_cap_result
-              case Op::AUIPC:
-                if (cfg_.purecap)
-                    break;
-                [[fallthrough]];
-              default:
-                result_[lane] = r;
-                break;
+                return false;
+            }();
+        }
+        if (!fast_done && fast_enabled)
+            fast_done = vectorAluLoop(in, rs1d, rs2d);
+        if (!fast_done) {
+            for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                if (!active_[lane])
+                    continue;
+                executeAluLane(w, wid, lane, in, pc, rs1d.at(lane),
+                               rs2d.at(lane), rs1m.at(lane));
             }
         }
-        result_is_cap =
-            cfg_.purecap &&
-            (op == Op::CMOVE || op == Op::CCLEARTAG || op == Op::CANDPERM ||
-             op == Op::CSETFLAGS || op == Op::CSEALENTRY ||
-             op == Op::CSETADDR || op == Op::CINCOFFSET ||
-             op == Op::CINCOFFSETIMM || op == Op::CSPECIALRW ||
-             op == Op::CSETBOUNDS || op == Op::CSETBOUNDSEXACT ||
-             op == Op::CSETBOUNDSIMM || op == Op::AUIPC);
     }
 
     // ---- Control flow / PC update ----
-    for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
-        if (!active_[lane])
-            continue;
-        const uint32_t a = rs1Data_[lane];
-        const uint32_t b = rs2Data_[lane];
-        const int32_t sa = static_cast<int32_t>(a);
-        const int32_t sb = static_cast<int32_t>(b);
-        switch (op) {
-          case Op::BEQ: w.pc[lane] = a == b ? pc + imm : pc + 4; break;
-          case Op::BNE: w.pc[lane] = a != b ? pc + imm : pc + 4; break;
-          case Op::BLT: w.pc[lane] = sa < sb ? pc + imm : pc + 4; break;
-          case Op::BGE: w.pc[lane] = sa >= sb ? pc + imm : pc + 4; break;
-          case Op::BLTU: w.pc[lane] = a < b ? pc + imm : pc + 4; break;
-          case Op::BGEU: w.pc[lane] = a >= b ? pc + imm : pc + 4; break;
-          case Op::JAL:
-            if (cfg_.purecap) {
-                const CapPipe ret =
-                    cap::sealEntry(cap::setAddr(w.pcc[lane], pc + 4));
-                set_cap_result(lane, ret);
-                result_is_cap = true;
-            } else {
-                result_[lane] = pc + 4;
+    if (tr.branch) {
+        bool branch_fast = false;
+        if (fast_enabled && rs1d.isRegular() && rs2d.isRegular()) {
+            // Affine operands expand in closed form, so evaluating the
+            // predicate per lane here reads the exact values the
+            // per-lane loop would; a coherent outcome commits uniformly
+            // (a loop branch on an affine induction variable is the
+            // common case).
+            bool taken = false, coherent = true, first = true;
+            for (unsigned lane = 0; lane < cfg_.numLanes && coherent;
+                 ++lane) {
+                if (!active_[lane])
+                    continue;
+                const uint32_t a = rs1d.at(lane);
+                const uint32_t b = rs2d.at(lane);
+                const int32_t sa = static_cast<int32_t>(a);
+                const int32_t sb = static_cast<int32_t>(b);
+                bool t = false;
+                switch (op) {
+                  case Op::BEQ: t = a == b; break;
+                  case Op::BNE: t = a != b; break;
+                  case Op::BLT: t = sa < sb; break;
+                  case Op::BGE: t = sa >= sb; break;
+                  case Op::BLTU: t = a < b; break;
+                  default: t = a >= b; break; // BGEU
+                }
+                coherent = first || t == taken;
+                taken = t;
+                first = false;
             }
-            w.pc[lane] = pc + static_cast<uint32_t>(imm);
-            break;
-          case Op::JALR: {
+            if (coherent) {
+                const uint32_t tgt =
+                    taken ? pc + static_cast<uint32_t>(imm) : pc + 4;
+                for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                    if (active_[lane])
+                        w.pc[lane] = tgt;
+                }
+                fast_hit = true;
+                branch_fast = true;
+            }
+        }
+        if (!branch_fast) {
+            bool any_taken = false, any_not = false;
+            for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                if (!active_[lane])
+                    continue;
+                const uint32_t a = rs1d.at(lane);
+                const uint32_t b = rs2d.at(lane);
+                const int32_t sa = static_cast<int32_t>(a);
+                const int32_t sb = static_cast<int32_t>(b);
+                bool taken = false;
+                switch (op) {
+                  case Op::BEQ: taken = a == b; break;
+                  case Op::BNE: taken = a != b; break;
+                  case Op::BLT: taken = sa < sb; break;
+                  case Op::BGE: taken = sa >= sb; break;
+                  case Op::BLTU: taken = a < b; break;
+                  default: taken = a >= b; break; // BGEU
+                }
+                w.pc[lane] =
+                    taken ? pc + static_cast<uint32_t>(imm) : pc + 4;
+                (taken ? any_taken : any_not) = true;
+            }
+            pc_diverged = any_taken && any_not;
+        }
+    } else if (op == Op::JAL) {
+        const uint32_t tgt = pc + static_cast<uint32_t>(imm);
+        if (cfg_.purecap) {
+            if (fast_enabled && pcc_uniform) {
+                const CapPipe ret = cap::sealEntry(
+                    cap::setAddr(w.pcc[leader], pc + 4));
+                uint32_t d;
+                CapMeta m;
+                capToParts(ret, d, m);
+                res_affine = true;
+                res_base = d;
+                res_stride = 0;
+                res_meta = m;
+                for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                    if (active_[lane])
+                        w.pc[lane] = tgt;
+                }
+                fast_hit = true;
+            } else {
+                for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                    if (!active_[lane])
+                        continue;
+                    const CapPipe ret = cap::sealEntry(
+                        cap::setAddr(w.pcc[lane], pc + 4));
+                    capToParts(ret, result_[lane], resultMeta_[lane]);
+                    w.pc[lane] = tgt;
+                }
+            }
+        } else if (fast_enabled) {
+            res_affine = true;
+            res_base = pc + 4;
+            res_stride = 0;
+            for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                if (active_[lane])
+                    w.pc[lane] = tgt;
+            }
+            fast_hit = true;
+        } else {
+            for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                if (!active_[lane])
+                    continue;
+                result_[lane] = pc + 4;
+                w.pc[lane] = tgt;
+            }
+        }
+    } else if (op == Op::JALR) {
+        const bool jalr_fast =
+            fast_enabled && u1 &&
+            (!cfg_.purecap || (m1u && pcc_uniform));
+        if (jalr_fast) {
             const uint32_t target =
-                (a + static_cast<uint32_t>(imm)) & ~1u;
+                (rs1d.base + static_cast<uint32_t>(imm)) & ~1u;
             if (cfg_.purecap) {
-                CapPipe c = cap1(lane);
+                CapPipe c = capFromParts(rs1d.base, rs1m.value);
                 const char *fault = nullptr;
                 if (!c.tag)
                     fault = "jump tag violation";
@@ -1040,64 +2130,174 @@ Sm::executeWarp(unsigned wid)
                 else if (!cap::isRangeInBounds(c, target, 4))
                     fault = "jump bounds violation";
                 if (fault) {
-                    trap(wid, lane, pc, op, target, fault);
-                    active_[lane] = false;
-                    break;
+                    for (unsigned lane = 0; lane < cfg_.numLanes;
+                         ++lane) {
+                        if (!active_[lane])
+                            continue;
+                        trap(wid, lane, pc, op, target, fault);
+                        active_[lane] = false;
+                    }
+                    fast_hit = true;
+                } else {
+                    c.otype = cap::OTYPE_UNSEALED;
+                    const CapPipe ret = cap::sealEntry(
+                        cap::setAddr(w.pcc[leader], pc + 4));
+                    uint32_t d;
+                    CapMeta m;
+                    capToParts(ret, d, m);
+                    res_affine = true;
+                    res_base = d;
+                    res_stride = 0;
+                    res_meta = m;
+                    for (unsigned lane = 0; lane < cfg_.numLanes;
+                         ++lane) {
+                        if (!active_[lane])
+                            continue;
+                        w.pcc[lane] = c;
+                        w.pc[lane] = target;
+                    }
+                    // Only a jump covering every live lane keeps the
+                    // warp's PCCs provably uniform.
+                    w.pccUniform = fully_active;
+                    fast_hit = true;
                 }
-                c.otype = cap::OTYPE_UNSEALED;
-                const CapPipe ret =
-                    cap::sealEntry(cap::setAddr(w.pcc[lane], pc + 4));
-                set_cap_result(lane, ret);
-                result_is_cap = true;
-                w.pcc[lane] = c;
             } else {
-                result_[lane] = pc + 4;
+                res_affine = true;
+                res_base = pc + 4;
+                res_stride = 0;
+                for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                    if (active_[lane])
+                        w.pc[lane] = target;
+                }
+                fast_hit = true;
             }
-            w.pc[lane] = target;
-            break;
-          }
-          case Op::SIMT_PUSH:
+        } else {
+            uint32_t tgt0 = 0;
+            bool first = true, tgt_uniform = true;
+            for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                if (!active_[lane])
+                    continue;
+                const uint32_t a = rs1d.at(lane);
+                const uint32_t target =
+                    (a + static_cast<uint32_t>(imm)) & ~1u;
+                if (cfg_.purecap) {
+                    CapPipe c = capFromParts(a, rs1m.at(lane));
+                    const char *fault = nullptr;
+                    if (!c.tag)
+                        fault = "jump tag violation";
+                    else if (c.isSealed() && (!c.isSentry() || imm != 0))
+                        fault = "jump seal violation";
+                    else if (!(c.perms & cap::PERM_EXECUTE))
+                        fault = "jump permission violation";
+                    else if (!cap::isRangeInBounds(c, target, 4))
+                        fault = "jump bounds violation";
+                    if (fault) {
+                        trap(wid, lane, pc, op, target, fault);
+                        active_[lane] = false;
+                        continue;
+                    }
+                    c.otype = cap::OTYPE_UNSEALED;
+                    const CapPipe ret = cap::sealEntry(
+                        cap::setAddr(w.pcc[lane], pc + 4));
+                    capToParts(ret, result_[lane], resultMeta_[lane]);
+                    w.pcc[lane] = c;
+                } else {
+                    result_[lane] = pc + 4;
+                }
+                w.pc[lane] = target;
+                if (first) {
+                    tgt0 = target;
+                    first = false;
+                } else {
+                    tgt_uniform = tgt_uniform && target == tgt0;
+                }
+            }
+            pc_diverged = !tgt_uniform;
+            if (cfg_.purecap)
+                w.pccUniform = false;
+        }
+    } else if (op == Op::SIMT_PUSH) {
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+            if (!active_[lane])
+                continue;
             ++w.nest[lane];
             w.pc[lane] = pc + 4;
-            break;
-          case Op::SIMT_POP:
+        }
+    } else if (op == Op::SIMT_POP) {
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+            if (!active_[lane])
+                continue;
             panic_if(w.nest[lane] == 0, "SIMT_POP at nesting level 0");
             --w.nest[lane];
             w.pc[lane] = pc + 4;
-            break;
-          case Op::SIMT_HALT:
-            haltThread(wid, lane);
-            break;
-          case Op::SIMT_TRAP:
-            stats_.add("soft_bounds_traps");
+        }
+    } else if (op == Op::SIMT_HALT) {
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+            if (active_[lane])
+                haltThread(wid, lane);
+        }
+    } else if (op == Op::SIMT_TRAP) {
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+            if (!active_[lane])
+                continue;
+            statSoftBoundsTraps_.add();
             trap(wid, lane, pc, op, 0, "software bounds trap");
-            break;
-          case Op::SIMT_BARRIER:
-            w.pc[lane] = pc + 4;
-            break;
-          default:
-            w.pc[lane] = pc + 4;
-            break;
+        }
+    } else {
+        // Everything else (including SIMT_BARRIER) falls through to the
+        // next instruction.
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+            if (active_[lane])
+                w.pc[lane] = pc + 4;
         }
     }
+
+    // ---- Warp-regularity maintenance (host-only state) ----
+    // Regular iff the issue covered every live lane and no divergence was
+    // introduced; traps only shrink the live set, preserving uniformity.
+    w.regular = fully_active && !pc_diverged;
 
     // ---- Writeback ----
     RfAccess wb_acc;
     if (writes_rd && in.rd != 0) {
-        regfile_.writeData(wid, in.rd, result_, active_, wb_acc);
-        if (cfg_.purecap) {
-            // Writing a plain integer result sets the metadata to the
-            // null value with the tag cleared (Figure 4 caption).
-            regfile_.writeMeta(wid, in.rd, resultMeta_, active_, wb_acc);
+        bool full_mask = true;
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane)
+            full_mask = full_mask && active_[lane];
+        if (res_affine && full_mask) {
+            regfile_.writeDataAffine(wid, in.rd, res_base, res_stride,
+                                     wb_acc);
+            if (cfg_.purecap)
+                regfile_.writeMetaUniform(wid, in.rd, res_meta, wb_acc);
+        } else {
+            if (res_affine) {
+                // Partial mask: expand the closed form for the merge.
+                for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                    if (!active_[lane])
+                        continue;
+                    result_[lane] =
+                        res_base +
+                        static_cast<uint32_t>(res_stride) * lane;
+                    resultMeta_[lane] = res_meta;
+                }
+            }
+            regfile_.writeData(wid, in.rd, result_, active_, wb_acc);
+            if (cfg_.purecap) {
+                // Writing a plain integer result sets the metadata to
+                // the null value with the tag cleared (Figure 4 caption).
+                regfile_.writeMeta(wid, in.rd, resultMeta_, active_,
+                                   wb_acc);
+            }
         }
-        (void)result_is_cap;
     }
+
+    if (fast_hit)
+        statSimhostFastpath_.add();
 
     // Register-file spill/reload traffic goes through DRAM.
     const unsigned rf_bytes = fetch_acc.dramBytes + wb_acc.dramBytes;
     if (rf_bytes > 0) {
         const uint64_t done = dramTimer_.access(now_, rf_bytes);
-        stats_.add("rf_spill_dram_bytes", rf_bytes);
+        statRfSpillDramBytes_.add(rf_bytes);
         if (fetch_acc.reloads + wb_acc.reloads > 0)
             finish = std::max(finish, done + cfg_.pipelineDepth);
     }
@@ -1109,7 +2309,7 @@ Sm::executeWarp(unsigned wid)
     }
 
     w.readyAt = std::max(finish, now_ + extra_cycles + 1);
-    stats_.add("issue_slots", 1 + extra_cycles);
+    statIssueSlots_.add(1 + extra_cycles);
     return 1 + extra_cycles;
 }
 

@@ -23,6 +23,7 @@
 #define CHERI_SIMT_SIMT_SM_HPP_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -94,6 +95,11 @@ class Sm
     const TrapInfo &firstTrap() const { return firstTrap_; }
     bool trapped() const { return firstTrap_.trapped; }
 
+    /** Host wall-clock time spent inside run() since the last launch().
+     *  Host-side measurement only -- deliberately kept out of the StatSet
+     *  so modelled counters stay machine-independent. */
+    uint64_t hostNanos() const { return hostNanos_; }
+
     /** Time-averaged VRF occupancy in vector registers (Figure 10). */
     double avgDataVectorsInVrf() const;
     double avgMetaVectorsInVrf() const;
@@ -103,11 +109,18 @@ class Sm
     {
         std::vector<uint32_t> pc;
         std::vector<uint32_t> nest;
-        std::vector<bool> halted;
+        LaneMask halted;
         std::vector<cap::CapPipe> pcc;
         uint64_t readyAt = 0;
         bool atBarrier = false;
         unsigned liveThreads = 0;
+
+        // Host-side warp-regularity tracking (never affects modelled
+        // state): `regular` means every live lane shares (nest, pc), so
+        // active-thread selection reduces to "not halted"; `pccUniform`
+        // means every live lane shares the whole PCC.
+        bool regular = true;
+        bool pccUniform = true;
 
         bool done() const { return liveThreads == 0; }
     };
@@ -116,10 +129,34 @@ class Sm
     void haltThread(unsigned warp, unsigned lane);
 
     /** Select the active threads of a warp; returns the leader lane. */
-    int selectActive(const Warp &warp, std::vector<bool> &active) const;
+    int selectActive(const Warp &warp, LaneMask &active) const;
 
     /** Execute one instruction for a warp. Returns issue-slot cycles. */
     unsigned executeWarp(unsigned warp_id);
+
+    /**
+     * One lane of the per-lane ALU data path (the non-memory, non-SFU,
+     * non-control ops), operating on explicit operand values so the
+     * scalarised fast path can run it once for a whole warp. Writes
+     * result_[lane] / resultMeta_[lane] and may trap.
+     */
+    void executeAluLane(Warp &w, unsigned wid, unsigned lane,
+                        const isa::Instr &in, uint32_t pc, uint32_t a,
+                        uint32_t b, const CapMeta &m1);
+
+    /**
+     * Whole-warp loop for the trap-free pure-data ALU ops (integer and
+     * FP arithmetic whose only effect is result_[lane]): the op
+     * dispatch is hoisted out of the lane loop. Per-lane expressions
+     * are identical to executeAluLane's; returns false for any op it
+     * does not cover (the caller falls back to executeAluLane per
+     * lane).
+     */
+    bool vectorAluLoop(const isa::Instr &in, const DataDesc &rs1d,
+                       const DataDesc &rs2d);
+
+    /** The scheduling loop of run(), separated for host-time accounting. */
+    bool runLoop(uint64_t max_cycles);
 
     void trap(unsigned warp, unsigned lane, uint32_t pc, isa::Op op,
               uint32_t addr, const char *kind);
@@ -142,7 +179,10 @@ class Sm
     RegFileSystem regfile_;
 
     std::vector<uint32_t> code_;
-    std::vector<isa::Instr> decoded_;
+
+    // Decoded program, shared across Sm instances running the same image
+    // (see the process-wide decode cache in sm.cpp).
+    std::shared_ptr<const std::vector<isa::Instr>> decoded_;
 
     cap::CapPipe scrs_[isa::NUM_SCRS];
 
@@ -155,6 +195,9 @@ class Sm
 
     TrapInfo firstTrap_;
 
+    // Host wall-clock nanoseconds spent in run() since launch().
+    uint64_t hostNanos_ = 0;
+
     // Occupancy accumulators (cycle-weighted) for Figure 10.
     uint64_t dataOccAccum_ = 0;
     uint64_t metaOccAccum_ = 0;
@@ -164,10 +207,33 @@ class Sm
     std::vector<uint64_t> opCounts_;
 
     // Reusable per-instruction buffers (avoid per-cycle allocation).
-    std::vector<bool> active_;
+    LaneMask active_;
     std::vector<uint32_t> rs1Data_, rs2Data_, result_, addrs_;
     std::vector<CapMeta> rs1Meta_, rs2Meta_, resultMeta_;
-    std::vector<bool> storeCapTags_;
+    LaneMask storeCapTags_;
+    std::vector<MemTransaction> fastTxns_;
+
+    // Hot-loop counter handles (the string-keyed registry is never
+    // consulted from per-instruction code).
+    support::StatSet::Handle statInstrs_;
+    support::StatSet::Handle statCheriInstrs_;
+    support::StatSet::Handle statCheriTraps_;
+    support::StatSet::Handle statIdleCycles_;
+    support::StatSet::Handle statIssueSlots_;
+    support::StatSet::Handle statCscPortStalls_;
+    support::StatSet::Handle statSharedVrfStalls_;
+    support::StatSet::Handle statScratchpadAccesses_;
+    support::StatSet::Handle statStackWarpAccesses_;
+    support::StatSet::Handle statDramTransactions_;
+    support::StatSet::Handle statDramBytesRead_;
+    support::StatSet::Handle statDramBytesWritten_;
+    support::StatSet::Handle statRfSpillDramBytes_;
+    support::StatSet::Handle statSfuCheriOps_;
+    support::StatSet::Handle statSfuFpOps_;
+    support::StatSet::Handle statSoftBoundsTraps_;
+    support::StatSet::Handle statBarriersReleased_;
+    support::StatSet::Handle statSimhostInstrs_;
+    support::StatSet::Handle statSimhostFastpath_;
 };
 
 } // namespace simt

@@ -20,6 +20,53 @@ namespace support
 class StatSet
 {
   public:
+    /**
+     * A cached reference to one counter, for per-instruction code that
+     * must not pay a string-keyed map lookup on every event. The handle
+     * resolves its counter slot lazily (so the counter is still created
+     * on first use, keeping the set of emitted counters unchanged) and
+     * re-resolves after clear() via a generation check, since clear()
+     * destroys every map node.
+     */
+    class Handle
+    {
+      public:
+        Handle() = default;
+        Handle(StatSet *owner, std::string name)
+            : owner_(owner), name_(std::move(name))
+        {
+        }
+
+        void add(uint64_t delta = 1) { resolve() += delta; }
+
+        void
+        trackMax(uint64_t value)
+        {
+            uint64_t &c = resolve();
+            if (c < value)
+                c = value;
+        }
+
+      private:
+        uint64_t &
+        resolve()
+        {
+            if (slot_ == nullptr || generation_ != owner_->generation_) {
+                slot_ = &owner_->counters_[name_];
+                generation_ = owner_->generation_;
+            }
+            return *slot_;
+        }
+
+        StatSet *owner_ = nullptr;
+        std::string name_;
+        uint64_t *slot_ = nullptr;
+        uint64_t generation_ = 0;
+    };
+
+    /** A hot-loop handle for counter @p name (see Handle). */
+    Handle handle(const std::string &name) { return Handle(this, name); }
+
     /** Add @p delta to counter @p name, creating it at zero if absent. */
     void
     add(const std::string &name, uint64_t delta = 1)
@@ -57,7 +104,12 @@ class StatSet
         return counters_.count(name) != 0;
     }
 
-    void clear() { counters_.clear(); }
+    void
+    clear()
+    {
+        counters_.clear();
+        ++generation_; // invalidates outstanding Handle slot pointers
+    }
 
     /** All counters in name order (std::map keeps them sorted). */
     const std::map<std::string, uint64_t> &all() const { return counters_; }
@@ -75,6 +127,7 @@ class StatSet
 
   private:
     std::map<std::string, uint64_t> counters_;
+    uint64_t generation_ = 1;
 };
 
 } // namespace support

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Bit-identity proof for the host-side warp-regularity fast paths: every
+ * benchmark of the suite, under every configuration, is simulated twice
+ * -- once with SmConfig::hostFastPath enabled (scalarised execute, lazy
+ * operand expansion, coalescer shortcut) and once with it disabled (the
+ * original per-lane loop) -- and every architecturally visible outcome
+ * must match exactly: cycle count, every modelled perf counter, result
+ * buffers (verified output plus whole-memory content hashes), and the
+ * first-trap record. Only the "simhost_*" throughput counters, which
+ * describe the host simulation itself, are allowed to differ.
+ *
+ * BlkStencil is the adversarial case (divergent control flow and
+ * per-lane capability metadata); dedicated trap tests cover partial-warp
+ * faults where only some lanes of a warp go out of bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "kc/asm.hpp"
+#include "kernels/suite.hpp"
+#include "nocl/nocl.hpp"
+#include "simt/sm.hpp"
+
+namespace
+{
+
+using isa::Op;
+using kc::Assembler;
+using kernels::Prepared;
+using kernels::Size;
+using Mode = kc::CompileOptions::Mode;
+
+enum class Config
+{
+    Baseline,
+    Cheri,
+    CheriOptimised,
+    SoftBounds,
+};
+
+const char *
+configName(Config c)
+{
+    switch (c) {
+      case Config::Baseline: return "Baseline";
+      case Config::Cheri: return "Cheri";
+      case Config::CheriOptimised: return "CheriOpt";
+      default: return "SoftBounds";
+    }
+}
+
+simt::SmConfig
+smConfigOf(Config c)
+{
+    simt::SmConfig cfg;
+    switch (c) {
+      case Config::Baseline:
+      case Config::SoftBounds:
+        cfg = simt::SmConfig::baseline();
+        break;
+      case Config::Cheri:
+        cfg = simt::SmConfig::cheri();
+        break;
+      case Config::CheriOptimised:
+        cfg = simt::SmConfig::cheriOptimised();
+        break;
+    }
+    cfg.numWarps = 16; // 512 threads keeps the Small suite quick
+    cfg.vrfCapacity = 16 * 32 * 3 / 8;
+    return cfg;
+}
+
+Mode
+modeOf(Config c)
+{
+    switch (c) {
+      case Config::Cheri:
+      case Config::CheriOptimised:
+        return Mode::Purecap;
+      case Config::SoftBounds:
+        return Mode::SoftBounds;
+      default:
+        return Mode::Baseline;
+    }
+}
+
+/** Modelled counters only: the simhost_* pair reports host-simulation
+ *  throughput and is the one legitimate fast/slow difference. */
+std::map<std::string, uint64_t>
+modelledStats(const support::StatSet &stats)
+{
+    std::map<std::string, uint64_t> out;
+    for (const auto &[name, value] : stats.all())
+        if (name.rfind("simhost_", 0) != 0)
+            out.emplace(name, value);
+    return out;
+}
+
+void
+expectSameStats(const support::StatSet &fast, const support::StatSet &slow)
+{
+    const auto f = modelledStats(fast);
+    const auto s = modelledStats(slow);
+    for (const auto &[name, value] : f)
+        EXPECT_EQ(value, s.count(name) ? s.at(name) : 0)
+            << "counter " << name;
+    for (const auto &[name, value] : s)
+        EXPECT_TRUE(f.count(name)) << "counter " << name
+                                   << " only exists without fast paths";
+}
+
+void
+expectSameTrap(const simt::TrapInfo &fast, const simt::TrapInfo &slow)
+{
+    EXPECT_EQ(fast.trapped, slow.trapped);
+    EXPECT_EQ(fast.pc, slow.pc);
+    EXPECT_EQ(fast.addr, slow.addr);
+    EXPECT_EQ(fast.warp, slow.warp);
+    EXPECT_EQ(fast.lane, slow.lane);
+    EXPECT_EQ(fast.op, slow.op);
+    EXPECT_EQ(fast.kind, slow.kind);
+}
+
+/** Everything architecturally observable about one benchmark run. */
+struct Outcome
+{
+    nocl::RunResult run;
+    bool verified = false;
+    simt::TrapInfo trap;
+    uint64_t dramHash = 0;
+    uint64_t scratchpadHash = 0;
+};
+
+Outcome
+runOnce(const std::string &bench_name, Config c, bool fast_path)
+{
+    auto bench = kernels::makeBenchmark(bench_name);
+    EXPECT_NE(bench, nullptr);
+    simt::SmConfig cfg = smConfigOf(c);
+    cfg.hostFastPath = fast_path;
+    nocl::Device dev(cfg, modeOf(c));
+    Prepared p = bench->prepare(dev, Size::Small);
+
+    Outcome o;
+    o.run = dev.launch(*p.kernel, p.cfg, p.args);
+    o.verified = p.verify(dev);
+    o.trap = dev.sm().firstTrap();
+    o.dramHash = dev.sm().dram().contentHash();
+    o.scratchpadHash = dev.sm().scratchpad().contentHash();
+    return o;
+}
+
+class FastPathParity
+    : public ::testing::TestWithParam<std::tuple<std::string, Config>>
+{
+};
+
+TEST_P(FastPathParity, BitIdentical)
+{
+    const auto &[bench_name, config] = GetParam();
+    const Outcome fast = runOnce(bench_name, config, true);
+    const Outcome slow = runOnce(bench_name, config, false);
+
+    EXPECT_EQ(fast.run.completed, slow.run.completed);
+    EXPECT_EQ(fast.run.trapped, slow.run.trapped);
+    EXPECT_EQ(fast.run.cycles, slow.run.cycles);
+    EXPECT_EQ(fast.verified, slow.verified);
+    EXPECT_EQ(fast.run.avgDataVrf, slow.run.avgDataVrf);
+    EXPECT_EQ(fast.run.avgMetaVrf, slow.run.avgMetaVrf);
+    EXPECT_EQ(fast.run.rfCapRegMask, slow.run.rfCapRegMask);
+    EXPECT_EQ(fast.dramHash, slow.dramHash);
+    EXPECT_EQ(fast.scratchpadHash, slow.scratchpadHash);
+    expectSameTrap(fast.trap, slow.trap);
+    expectSameStats(fast.run.stats, slow.run.stats);
+
+    // The fast path must actually engage somewhere (any kernel retires at
+    // least some fully converged instructions), otherwise this test only
+    // proves "off == off".
+    EXPECT_GT(fast.run.stats.get("simhost_instrs"), 0u);
+    EXPECT_GT(fast.run.stats.get("simhost_fastpath_instrs"), 0u);
+    EXPECT_EQ(slow.run.stats.get("simhost_fastpath_instrs"), 0u);
+}
+
+std::vector<std::tuple<std::string, Config>>
+allCases()
+{
+    std::vector<std::tuple<std::string, Config>> cases;
+    for (const auto &b : kernels::makeSuite()) {
+        for (Config c : {Config::Baseline, Config::Cheri,
+                         Config::CheriOptimised, Config::SoftBounds}) {
+            cases.emplace_back(b->name(), c);
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, FastPathParity, ::testing::ValuesIn(allCases()),
+    [](const auto &info) {
+        return std::get<0>(info.param) + std::string("_") +
+               configName(std::get<1>(info.param));
+    });
+
+// ---- Partial-warp trap parity ----
+//
+// A hand-assembled purecap program where per-lane addresses walk out of a
+// 64-byte window mid-warp, so only the upper lanes fault. The fast memory
+// path must commit exactly the same first trap (warp, lane, pc, address,
+// kind) and the same counters as the per-lane loop.
+
+simt::SmConfig
+trapConfig(bool fast_path)
+{
+    simt::SmConfig cfg = simt::SmConfig::cheriOptimised();
+    cfg.numWarps = 2;
+    cfg.numLanes = 8;
+    cfg.hostFastPath = fast_path;
+    return cfg;
+}
+
+void
+runTrapProgram(simt::Sm &sm, Op access)
+{
+    Assembler a;
+    a.emitI(Op::CSPECIALRW, 5, 0, isa::SCR_DDC);
+    a.emitI(Op::LUI, 6, 0, static_cast<int32_t>(simt::kDramBase));
+    a.emitR(Op::CSETADDR, 7, 5, 6);
+    a.emitI(Op::ADDI, 8, 0, 64);
+    a.emitR(Op::CSETBOUNDS, 7, 7, 8); // 64-byte window
+    a.emitI(Op::CSRRS, 9, 0, isa::CSR_HARTID);
+    a.emitI(Op::SLLI, 9, 9, 4);       // thread id * 16: lanes 4+ go OOB
+    a.emitR(Op::CINCOFFSET, 7, 7, 9);
+    if (access == Op::LW)
+        a.emitI(Op::LW, 10, 7, 0);
+    else
+        a.emit(Op::SW, 0, 7, 8, 0);
+    a.emit(Op::SIMT_HALT, 0, 0, 0);
+
+    sm.loadProgram(a.finalize());
+    sm.setScr(isa::SCR_DDC, cap::rootCap());
+    sm.launch(0, 2);
+    EXPECT_TRUE(sm.run());
+}
+
+void
+expectTrapParity(Op access)
+{
+    simt::Sm fast(trapConfig(true));
+    simt::Sm slow(trapConfig(false));
+    runTrapProgram(fast, access);
+    runTrapProgram(slow, access);
+
+    ASSERT_TRUE(fast.trapped());
+    ASSERT_TRUE(slow.trapped());
+    expectSameTrap(fast.firstTrap(), slow.firstTrap());
+    EXPECT_EQ(fast.firstTrap().kind, "bounds violation");
+    EXPECT_EQ(fast.firstTrap().warp, 0u);
+    EXPECT_EQ(fast.firstTrap().lane, 4u); // first out-of-bounds lane
+    EXPECT_EQ(fast.cycles(), slow.cycles());
+    EXPECT_EQ(fast.dram().contentHash(), slow.dram().contentHash());
+    expectSameStats(fast.stats(), slow.stats());
+}
+
+TEST(FastPathTrapParity, PartialWarpLoadFault)
+{
+    expectTrapParity(Op::LW);
+}
+
+TEST(FastPathTrapParity, PartialWarpStoreFault)
+{
+    expectTrapParity(Op::SW);
+}
+
+} // namespace
