@@ -190,12 +190,19 @@ parseArgs(int &argc, char **argv)
             opts.filter = arg.substr(9);
         } else if (arg == "--list") {
             opts.list = true;
+        } else if (arg == "--sms") {
+            opts.sms = static_cast<unsigned>(
+                std::strtoul(take_value("--sms").c_str(), nullptr, 10));
+        } else if (arg.rfind("--sms=", 0) == 0) {
+            opts.sms = static_cast<unsigned>(
+                std::strtoul(arg.substr(6).c_str(), nullptr, 10));
         } else {
             argv[out++] = argv[i];
         }
     }
     argc = out;
     argv[argc] = nullptr;
+    fatal_if(opts.sms == 0, "--sms requires at least one SM");
     return opts;
 }
 
@@ -283,8 +290,14 @@ Harness::run(const std::string &label, const simt::SmConfig &cfg,
 }
 
 std::vector<std::vector<SuiteResult>>
-Harness::runMatrix(const std::vector<ConfigPoint> &points)
+Harness::runMatrix(const std::vector<ConfigPoint> &points_in)
 {
+    // --sms applies uniformly: every point of every matrix in the binary
+    // runs with the requested number of simulated SMs.
+    std::vector<ConfigPoint> points = points_in;
+    for (ConfigPoint &point : points)
+        point.cfg.numSms = opts_.sms;
+
     if (opts_.list) {
         // Enumerate the (filter-matching) points instead of running.
         const auto names = suiteNames();
@@ -352,8 +365,16 @@ Harness::finish() const
     doc.set("size", Value::str(opts_.size == kernels::Size::Small
                                    ? "small"
                                    : "full"));
+    doc.set("sms", Value::integer(opts_.sms));
     doc.set("results", results_);
     doc.set("metrics", metrics_);
+
+    const nocl::KernelCache &cache = nocl::KernelCache::instance();
+    Value kernel_cache = Value::object();
+    kernel_cache.set("hits", Value::integer(cache.hits()));
+    kernel_cache.set("misses", Value::integer(cache.misses()));
+    kernel_cache.set("size", Value::integer(cache.size()));
+    doc.set("kernel_cache", std::move(kernel_cache));
 
     std::ofstream out(opts_.jsonPath);
     fatal_if(!out.is_open(), "cannot open JSON output file %s",

@@ -69,6 +69,9 @@ struct BenchOptions
 
     /** Print the matching "<config>/<bench>" points instead of running. */
     bool list = false;
+
+    /** Simulated SMs per device (SmConfig::numSms) for every point. */
+    unsigned sms = 1;
 };
 
 /**
@@ -81,6 +84,7 @@ struct BenchOptions
  *   --filter <re> | --filter=<re>     run only points whose
  *                                     "<config>/<bench>" matches <re>
  *   --list                            print matching points, run nothing
+ *   --sms <n> | --sms=<n>             simulated SMs per device (default 1)
  */
 BenchOptions parseArgs(int &argc, char **argv);
 
@@ -141,12 +145,14 @@ void printHeader(const std::string &id, const std::string &caption);
  *     "schema": "cheri-simt-bench-v1",
  *     "binary": "<id>",
  *     "size": "small" | "full",
+ *     "sms": int,                    // simulated SMs per device
  *     "results": [
  *       { "config": "<label>", "bench": "<name>", "ok": bool,
  *         "completed": bool, "trapped": bool, "trap_kind": "<str>",
  *         "cycles": int, "stats": { "<counter>": int, ... } }, ...
  *     ],
- *     "metrics": { "<name>": number, ... }
+ *     "metrics": { "<name>": number, ... },
+ *     "kernel_cache": { "hits": int, "misses": int, "size": int }
  *   }
  */
 class Harness

@@ -56,6 +56,8 @@ main(int argc, char **argv)
     const std::string size = doc.get("size").asString();
     if (size != "small" && size != "full")
         return fail("size must be 'small' or 'full', got '" + size + "'");
+    if (!doc.get("sms").isInt() || doc.get("sms").asUint() == 0)
+        return fail("sms is not a positive integer");
 
     const Value &results = doc.get("results");
     if (!results.isArray())
@@ -104,6 +106,19 @@ main(int argc, char **argv)
     for (const auto &[name, value] : metrics.members())
         if (!value.isNumber() && !value.isNull())
             return fail("metrics." + name + " is not a number");
+
+    // Compilation-cache counters: every entry in the cache was compiled
+    // exactly once, so the cache can never hold more than miss-many
+    // kernels.
+    const Value &cache = doc.get("kernel_cache");
+    if (!cache.isObject())
+        return fail("kernel_cache is not an object");
+    for (const char *field : {"hits", "misses", "size"})
+        if (!cache.get(field).isInt())
+            return fail(std::string("kernel_cache.") + field +
+                        " is not an integer");
+    if (cache.get("size").asUint() > cache.get("misses").asUint())
+        return fail("kernel_cache.size exceeds kernel_cache.misses");
 
     std::printf("json_check: %s ok (%zu results, %zu metrics)\n", argv[1],
                 results.size(), metrics.size());

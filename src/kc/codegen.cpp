@@ -1054,8 +1054,31 @@ CodeGen::prologue()
         const unsigned bytes =
             ir_.shared[s].count * scalarBytes(ir_.shared[s].elem);
 
-        // Slot offset: blockSlot * sharedBytes.
-        if (support::isPowerOfTwo(ir_.sharedBytes)) {
+        // Slot offset: blockSlot * sharedBytes. With several SMs the
+        // block slot is global but each SM has a private scratchpad, so
+        // reduce it to the slot *within this SM* first (per-SM slots are
+        // a power of two, so a mask suffices).
+        if (opt_.numSms > 1) {
+            const uint32_t per_sm_slots =
+                opt_.numThreads / opt_.numSms / opt_.blockDim;
+            if (fitsImm12(per_sm_slots - 1)) {
+                a_.emitI(Op::ANDI, REG_SCRATCH2, blockIdxReg_,
+                         static_cast<int32_t>(per_sm_slots - 1));
+            } else {
+                loadConst(REG_SCRATCH2, per_sm_slots - 1);
+                a_.emitR(Op::AND, REG_SCRATCH2, blockIdxReg_,
+                         REG_SCRATCH2);
+            }
+            if (support::isPowerOfTwo(ir_.sharedBytes)) {
+                a_.emitI(Op::SLLI, REG_SCRATCH2, REG_SCRATCH2,
+                         static_cast<int32_t>(
+                             support::ceilLog2(ir_.sharedBytes)));
+            } else {
+                loadConst(REG_SCRATCH, ir_.sharedBytes);
+                a_.emitR(Op::MUL, REG_SCRATCH2, REG_SCRATCH2,
+                         REG_SCRATCH);
+            }
+        } else if (support::isPowerOfTwo(ir_.sharedBytes)) {
             a_.emitI(Op::SLLI, REG_SCRATCH2, blockIdxReg_,
                      static_cast<int32_t>(
                          support::ceilLog2(ir_.sharedBytes)));

@@ -50,8 +50,15 @@ struct CompileOptions
     unsigned blockDim = 256; ///< threads per block (power of two >= warp)
     unsigned gridDim = 1;    ///< blocks in the grid
 
-    /** Hardware threads in the SM (warps x lanes). */
+    /** Hardware threads across the whole device (all SMs). */
     unsigned numThreads = 2048;
+
+    /**
+     * SMs sharing the grid (numThreads covers all of them). With more
+     * than one SM the prologue reduces the global block slot to a
+     * per-SM scratchpad slot; 1 emits exactly the single-SM code.
+     */
+    unsigned numSms = 1;
 
     /** Per-thread stack bytes (power of two). */
     unsigned stackBytes = 512;

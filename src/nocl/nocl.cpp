@@ -1,5 +1,8 @@
 #include "nocl/nocl.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "support/bits.hpp"
 #include "support/logging.hpp"
 
@@ -22,10 +25,10 @@ std::string
 cacheKey(const kc::KernelIr &ir, const kc::CompileOptions &opts)
 {
     return support::strprintf(
-        "%s|%016llx|m%u|b%u|g%u|t%u|s%u|c%u", ir.name.c_str(),
+        "%s|%016llx|m%u|b%u|g%u|t%u|s%u|c%u|n%u", ir.name.c_str(),
         static_cast<unsigned long long>(kc::irFingerprint(ir)),
         static_cast<unsigned>(opts.mode), opts.blockDim, opts.gridDim,
-        opts.numThreads, opts.stackBytes, opts.capRegLimit);
+        opts.numThreads, opts.stackBytes, opts.capRegLimit, opts.numSms);
 }
 
 } // namespace
@@ -99,7 +102,16 @@ Device::Device(const simt::SmConfig &sm_cfg, kc::CompileOptions::Mode mode)
              "pure-capability code requires a CHERI-enabled SM");
     fatal_if(mode != kc::CompileOptions::Mode::Purecap && sm_cfg.purecap,
              "a CHERI SM runs pure-capability code");
-    sm_ = std::make_unique<simt::Sm>(smCfg_);
+    fatal_if(sm_cfg.numSms == 0, "a device needs at least one SM");
+    fatal_if(sm_cfg.smId != 0, "Device assigns SM ids itself");
+    for (unsigned k = 0; k < sm_cfg.numSms; ++k) {
+        simt::SmConfig cfg = smCfg_;
+        cfg.smId = k;
+        sms_.push_back(std::make_unique<simt::Sm>(cfg));
+    }
+    // SM 0's memory is the device's authoritative DRAM; the other SMs'
+    // own memories sit unused behind their epoch shards.
+    memsys_ = std::make_unique<simt::MemorySystem>(sms_[0]->dram());
 
     kc::CompileOptions opts = compileOptions(LaunchConfig{});
     heapNext_ = kHeapBase;
@@ -113,7 +125,8 @@ Device::compileOptions(const LaunchConfig &cfg) const
     opts.mode = mode_;
     opts.blockDim = cfg.blockDim;
     opts.gridDim = cfg.gridDim;
-    opts.numThreads = smCfg_.numThreads();
+    opts.numThreads = smCfg_.globalNumThreads();
+    opts.numSms = smCfg_.numSms;
     opts.capRegLimit = cfg.capRegLimit;
     return opts;
 }
@@ -135,7 +148,7 @@ Device::alloc(uint32_t bytes)
     b.addr = base;
     b.bytes = bytes;
     for (uint32_t a = base; a < base + len; a += 4)
-        sm_->dram().store32(a, 0);
+        dram().store32(a, 0);
     return b;
 }
 
@@ -144,7 +157,7 @@ Device::write8(const Buffer &b, const std::vector<uint8_t> &data)
 {
     panic_if(data.size() > b.bytes, "write exceeds buffer");
     for (size_t i = 0; i < data.size(); ++i)
-        sm_->dram().store8(b.addr + static_cast<uint32_t>(i), data[i]);
+        dram().store8(b.addr + static_cast<uint32_t>(i), data[i]);
 }
 
 void
@@ -152,7 +165,7 @@ Device::write32(const Buffer &b, const std::vector<uint32_t> &data)
 {
     panic_if(data.size() * 4 > b.bytes, "write exceeds buffer");
     for (size_t i = 0; i < data.size(); ++i)
-        sm_->dram().store32(b.addr + static_cast<uint32_t>(i) * 4, data[i]);
+        dram().store32(b.addr + static_cast<uint32_t>(i) * 4, data[i]);
 }
 
 void
@@ -173,7 +186,7 @@ Device::read8(const Buffer &b) const
 {
     std::vector<uint8_t> out(b.bytes);
     for (uint32_t i = 0; i < b.bytes; ++i)
-        out[i] = sm_->dram().load8(b.addr + i);
+        out[i] = dram().load8(b.addr + i);
     return out;
 }
 
@@ -182,7 +195,7 @@ Device::read32(const Buffer &b) const
 {
     std::vector<uint32_t> out(b.bytes / 4);
     for (uint32_t i = 0; i < out.size(); ++i)
-        out[i] = sm_->dram().load32(b.addr + i * 4);
+        out[i] = dram().load32(b.addr + i * 4);
     return out;
 }
 
@@ -261,15 +274,15 @@ Device::launchCompiled(
                 cap::CapPipe c = cap::setAddr(cap::rootCap(), arg.buf.addr);
                 c = cap::setBounds(c, arg.buf.bytes).cap;
                 c = cap::andPerms(c, kDataPerms);
-                sm_->dram().storeCap(at, cap::toMem(c));
+                dram().storeCap(at, cap::toMem(c));
             } else if (soft) {
-                sm_->dram().store32(at, arg.buf.addr);
-                sm_->dram().store32(at + 4,
+                dram().store32(at, arg.buf.addr);
+                dram().store32(at + 4,
                                     arg.buf.bytes / slot.elemBytes);
-                sm_->dram().clearTagForStore(at, 8);
+                dram().clearTagForStore(at, 8);
             } else {
-                sm_->dram().store32(at, arg.buf.addr);
-                sm_->dram().clearTagForStore(at, 4);
+                dram().store32(at, arg.buf.addr);
+                dram().clearTagForStore(at, 4);
             }
         } else {
             uint32_t word;
@@ -278,48 +291,150 @@ Device::launchCompiled(
             } else {
                 word = static_cast<uint32_t>(arg.i);
             }
-            sm_->dram().store32(at, word);
-            sm_->dram().clearTagForStore(at, 4);
+            dram().store32(at, word);
+            dram().clearTagForStore(at, 4);
         }
     }
 
-    // ---- Special capability registers ----
+    // ---- Special capability registers (all SMs share them) ----
     if (purecap) {
-        sm_->setScr(isa::SCR_DDC, cap::rootCap());
-
         cap::CapPipe stc =
             cap::setAddr(cap::rootCap(), kc::stackRegionBase(opts));
         stc = cap::setBounds(stc, opts.numThreads * opts.stackBytes).cap;
         stc = cap::andPerms(stc, kDataPerms);
-        sm_->setScr(isa::SCR_STC, stc);
 
         cap::CapPipe argc = cap::setAddr(cap::rootCap(), arg_base);
         argc = cap::setBounds(argc, compiled.paramBlockBytes).cap;
         argc = cap::andPerms(argc,
                              cap::PERM_GLOBAL | cap::PERM_LOAD |
                                  cap::PERM_LOAD_CAP);
-        sm_->setScr(isa::SCR_ARG, argc);
+
+        for (auto &sm : sms_) {
+            sm->setScr(isa::SCR_DDC, cap::rootCap());
+            sm->setScr(isa::SCR_STC, stc);
+            sm->setScr(isa::SCR_ARG, argc);
+        }
     }
+
+    const unsigned warps_per_block = cfg.blockDim / smCfg_.numLanes;
 
     // ---- Run ----
-    sm_->loadProgram(compiled.code);
-    sm_->launch(0, cfg.blockDim / smCfg_.numLanes);
-    const bool completed = sm_->run();
+    if (smCfg_.numSms == 1) {
+        // Single SM: the exact pre-sharding code path.
+        simt::Sm &sm = *sms_[0];
+        sm.loadProgram(compiled.code);
+        sm.launch(0, warps_per_block);
+        const bool completed = sm.run();
+
+        RunResult res;
+        res.completed = completed;
+        res.trapped = sm.trapped();
+        if (res.trapped) {
+            res.trapKind = sm.firstTrap().kind;
+            res.trapAddr = sm.firstTrap().addr;
+        }
+        res.cycles = sm.cycles();
+        res.stats = sm.stats();
+        res.kernel = compiled_ptr;
+        res.avgDataVrf = sm.avgDataVectorsInVrf();
+        res.avgMetaVrf = sm.avgMetaVectorsInVrf();
+        res.rfCapRegMask = sm.regfile().capRegMask();
+        res.hostNs = sm.hostNanos();
+        res.smCycles = {res.cycles};
+        return res;
+    }
+
+    // Multi-SM: run every SM on its own host worker thread against a
+    // private shard of the shared DRAM, then merge deterministically.
+    // A cross-SM conflict aborts the merge (committing nothing) and the
+    // launch is rerun serially, SM by SM, for exact sequential
+    // semantics -- the same conservative gating as the hostFastPath.
+    const unsigned ns = smCfg_.numSms;
+    const auto t0 = std::chrono::steady_clock::now();
+
+    for (auto &sm : sms_)
+        sm->loadProgram(compiled.code);
+
+    std::vector<uint8_t> completed(ns, 0);
+    memsys_->beginEpoch(ns);
+    {
+        std::vector<std::thread> workers;
+        workers.reserve(ns);
+        for (unsigned k = 0; k < ns; ++k) {
+            workers.emplace_back([&, k] {
+                sms_[k]->attachShard(&memsys_->shard(k));
+                sms_[k]->launch(0, warps_per_block);
+                completed[k] = sms_[k]->run() ? 1 : 0;
+                sms_[k]->attachShard(nullptr);
+            });
+        }
+        for (auto &w : workers)
+            w.join();
+    }
+    const simt::MemorySystem::MergeReport merge = memsys_->commitEpoch();
+    memsys_->endEpoch();
 
     RunResult res;
-    res.completed = completed;
-    res.trapped = sm_->trapped();
-    if (res.trapped) {
-        res.trapKind = sm_->firstTrap().kind;
-        res.trapAddr = sm_->firstTrap().addr;
-    }
-    res.cycles = sm_->cycles();
-    res.stats = sm_->stats();
+    res.numSms = ns;
     res.kernel = compiled_ptr;
-    res.avgDataVrf = sm_->avgDataVectorsInVrf();
-    res.avgMetaVrf = sm_->avgMetaVectorsInVrf();
-    res.rfCapRegMask = sm_->regfile().capRegMask();
-    res.hostNs = sm_->hostNanos();
+
+    if (merge.conflict) {
+        res.mergeFallback = true;
+        res.mergeFallbackReason = support::strprintf(
+            "%s at 0x%08x", merge.reason, merge.conflictAddr);
+        // Serial rerun: one SM at a time, each in its own
+        // single-shard epoch (a single shard can never conflict, so
+        // its commit applies everything), giving exact sequential
+        // semantics on the shared DRAM.
+        for (unsigned k = 0; k < ns; ++k) {
+            memsys_->beginEpoch(1);
+            sms_[k]->attachShard(&memsys_->shard(0));
+            sms_[k]->launch(0, warps_per_block);
+            completed[k] = sms_[k]->run() ? 1 : 0;
+            sms_[k]->attachShard(nullptr);
+            const auto rep = memsys_->commitEpoch();
+            panic_if(rep.conflict, "single-shard epoch conflicted");
+            memsys_->endEpoch();
+        }
+    }
+
+    // ---- Aggregate per-SM results ----
+    res.completed = true;
+    uint64_t cycles_sum = 0;
+    double data_vrf_weighted = 0.0, meta_vrf_weighted = 0.0;
+    for (unsigned k = 0; k < ns; ++k) {
+        simt::Sm &sm = *sms_[k];
+        res.completed = res.completed && completed[k];
+        if (sm.trapped() && !res.trapped) {
+            // Deterministic choice: the lowest-numbered trapped SM.
+            res.trapped = true;
+            res.trapKind = sm.firstTrap().kind;
+            res.trapAddr = sm.firstTrap().addr;
+        }
+        res.smCycles.push_back(sm.cycles());
+        res.cycles = std::max(res.cycles, sm.cycles());
+        cycles_sum += sm.cycles();
+        res.stats.merge(sm.stats());
+        data_vrf_weighted +=
+            sm.avgDataVectorsInVrf() * static_cast<double>(sm.cycles());
+        meta_vrf_weighted +=
+            sm.avgMetaVectorsInVrf() * static_cast<double>(sm.cycles());
+        res.rfCapRegMask |= sm.regfile().capRegMask();
+    }
+    if (res.stats.has("cycles"))
+        res.stats.set("cycles", res.cycles);
+    res.stats.set("cycles_sum", cycles_sum);
+    res.stats.set("merge_fallbacks", res.mergeFallback ? 1 : 0);
+    if (cycles_sum > 0) {
+        res.avgDataVrf =
+            data_vrf_weighted / static_cast<double>(cycles_sum);
+        res.avgMetaVrf =
+            meta_vrf_weighted / static_cast<double>(cycles_sum);
+    }
+    res.hostNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
     return res;
 }
 

@@ -88,8 +88,25 @@ struct RunResult
     bool trapped = false;
     std::string trapKind;
     uint32_t trapAddr = 0;
+
+    /** Modelled cycles: the slowest SM of the launch (max over SMs). */
     uint64_t cycles = 0;
+
+    /** Merged stats; for numSms > 1 counters are summed over the SMs,
+     *  "cycles" is the max and "cycles_sum" the sum. */
     support::StatSet stats;
+
+    /** SMs the launch ran on, and each SM's own cycle count. */
+    unsigned numSms = 1;
+    std::vector<uint64_t> smCycles;
+
+    /**
+     * A parallel launch hit a cross-SM conflict (or another condition
+     * the deterministic merge cannot handle) and was rerun serially.
+     * Architectural results are still exact; only host time suffers.
+     */
+    bool mergeFallback = false;
+    std::string mergeFallbackReason;
 
     /**
      * The code that ran. Shared, not owned: cached compilations are
@@ -138,14 +155,28 @@ class KernelCache
 };
 
 /**
- * A simulated device: one SM plus host-side memory management.
+ * A simulated device: SmConfig::numSms streaming multiprocessors sharing
+ * one DRAM (plus host-side memory management). Thread blocks of a launch
+ * are sharded round-robin across the SMs by the persistent-threads
+ * dispatch loop; with more than one SM each runs on its own host worker
+ * thread against a private simt::MemShard, and the shards are merged
+ * deterministically when all SMs finish (see simt/memsys.hpp).
  */
 class Device
 {
   public:
     Device(const simt::SmConfig &sm_cfg, kc::CompileOptions::Mode mode);
 
-    simt::Sm &sm() { return *sm_; }
+    /** SM 0 (the only SM when numSms == 1). */
+    simt::Sm &sm() { return *sms_[0]; }
+
+    simt::Sm &smAt(unsigned i) { return *sms_.at(i); }
+    unsigned numSms() const { return static_cast<unsigned>(sms_.size()); }
+
+    /** The device's shared main memory (owned by SM 0). */
+    simt::MainMemory &dram() { return memsys_->base(); }
+    const simt::MainMemory &dram() const { return memsys_->base(); }
+
     kc::CompileOptions::Mode mode() const { return mode_; }
 
     /** Allocate a device buffer (zero-initialised). */
@@ -194,7 +225,8 @@ class Device
 
     simt::SmConfig smCfg_;
     kc::CompileOptions::Mode mode_;
-    std::unique_ptr<simt::Sm> sm_;
+    std::vector<std::unique_ptr<simt::Sm>> sms_;
+    std::unique_ptr<simt::MemorySystem> memsys_;
     uint32_t heapNext_ = 0;
     uint32_t heapLimit_ = 0;
 };

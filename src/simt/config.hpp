@@ -148,16 +148,47 @@ struct SmConfig
     /** Per-thread stack bytes (matches the compiler's stack layout). */
     unsigned stackBytesPerThread = 512;
 
+    // ---- Multi-SM grid sharding ----
+
+    /**
+     * Number of SMs sharing the device's DRAM. The grid's thread blocks
+     * are sharded round-robin across the SMs and each SM runs on its own
+     * host worker thread (see nocl::Device and simt::MemorySystem). The
+     * default of 1 is bit-identical to the single-SM model.
+     */
+    unsigned numSms = 1;
+
+    /** This SM's index in [0, numSms); selects its global-thread base. */
+    unsigned smId = 0;
+
     // ---- Derived quantities ----
 
     unsigned numThreads() const { return numWarps * numLanes; }
     unsigned numVectorRegs() const { return numWarps * numRegs; }
 
-    /** Base of the per-thread stack region at the top of DRAM. */
+    /** Hardware threads across all SMs of the device. */
+    unsigned globalNumThreads() const { return numThreads() * numSms; }
+
+    /** First global hartid of this SM (smId * threads-per-SM). */
+    unsigned globalThreadBase() const { return smId * numThreads(); }
+
+    /**
+     * Base of the per-thread stack region at the top of DRAM. The region
+     * covers the stacks of every SM's threads (globalNumThreads), so all
+     * SMs agree on the device memory layout.
+     */
     uint32_t
     stackRegionBase() const
     {
-        return kDramBase + kDramSize - numThreads() * stackBytesPerThread;
+        return kDramBase + kDramSize -
+               globalNumThreads() * stackBytesPerThread;
+    }
+
+    /** Base of this SM's slice of the stack region. */
+    uint32_t
+    smStackBase() const
+    {
+        return stackRegionBase() + globalThreadBase() * stackBytesPerThread;
     }
 
     /** Paper presets. */

@@ -1,6 +1,7 @@
 #include "simt/mem.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "support/logging.hpp"
 
@@ -108,6 +109,16 @@ MainMemory::clearTagForStore(uint32_t addr, unsigned bytes)
     const uint32_t last = (addr + bytes - 1) & ~3u;
     for (uint32_t a = first; a <= last; a += 4)
         setWordTag(a, false);
+}
+
+void
+MainMemory::copyOut(uint32_t addr, uint8_t *out, uint32_t bytes) const
+{
+    panic_if(bytes == 0, "zero-length copy");
+    const size_t i = index(addr);
+    panic_if(i + bytes > data_.size(), "copy past the end of DRAM");
+    std::copy(data_.begin() + static_cast<ptrdiff_t>(i),
+              data_.begin() + static_cast<ptrdiff_t>(i + bytes), out);
 }
 
 uint64_t

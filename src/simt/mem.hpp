@@ -64,6 +64,10 @@ class MainMemory
     /** Order-dependent hash of all bytes and word tags (parity tests). */
     uint64_t contentHash() const;
 
+    /** Host-side bulk copy of @p bytes at @p addr into @p out
+     *  (seeds MemShard overlay pages; see simt/memsys.hpp). */
+    void copyOut(uint32_t addr, uint8_t *out, uint32_t bytes) const;
+
   private:
     size_t index(uint32_t addr) const;
 

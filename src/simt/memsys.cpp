@@ -1,0 +1,480 @@
+#include "simt/memsys.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace simt
+{
+
+uint32_t
+amoApply(isa::Op op, uint32_t old, uint32_t operand)
+{
+    using isa::Op;
+    switch (op) {
+      case Op::AMOADD_W: return old + operand;
+      case Op::AMOSWAP_W: return operand;
+      case Op::AMOAND_W: return old & operand;
+      case Op::AMOOR_W: return old | operand;
+      case Op::AMOXOR_W: return old ^ operand;
+      case Op::AMOMIN_W:
+        return static_cast<int32_t>(old) < static_cast<int32_t>(operand)
+                   ? old
+                   : operand;
+      case Op::AMOMAX_W:
+        return static_cast<int32_t>(old) > static_cast<int32_t>(operand)
+                   ? old
+                   : operand;
+      case Op::AMOMINU_W: return old < operand ? old : operand;
+      case Op::AMOMAXU_W: return old > operand ? old : operand;
+      default: panic("not an atomic op");
+    }
+}
+
+namespace
+{
+
+/**
+ * Atomic kinds whose final value is independent of operation order when
+ * no operation consumes its result: the commit-time mediator may replay
+ * them in any fixed order. AMOSWAP is excluded (last writer wins -- order
+ * matters).
+ */
+bool
+isOrderInsensitive(isa::Op op)
+{
+    using isa::Op;
+    switch (op) {
+      case Op::AMOADD_W:
+      case Op::AMOAND_W:
+      case Op::AMOOR_W:
+      case Op::AMOXOR_W:
+      case Op::AMOMIN_W:
+      case Op::AMOMAX_W:
+      case Op::AMOMINU_W:
+      case Op::AMOMAXU_W: return true;
+      default: return false;
+    }
+}
+
+} // namespace
+
+MemShard::MemShard(const MainMemory &base)
+    : base_(base), map_(kNumPages, -1)
+{
+}
+
+MemShard::Page &
+MemShard::page(uint32_t addr)
+{
+    panic_if(!MainMemory::contains(addr),
+             "shard address 0x%08x out of DRAM range", addr);
+    const uint32_t pi = (addr - kDramBase) >> kPageShift;
+    int32_t slot = map_[pi];
+    if (slot < 0) {
+        slot = static_cast<int32_t>(pages_.size());
+        map_[pi] = slot;
+        touched_.push_back(pi);
+        auto p = std::make_unique<Page>();
+        const uint32_t page_base = kDramBase + pi * kPageBytes;
+        base_.copyOut(page_base, p->data.data(), kPageBytes);
+        for (uint32_t w = 0; w < kPageWords; ++w) {
+            if (base_.wordTag(page_base + w * 4))
+                p->tag[w >> 6] |= uint64_t{1} << (w & 63);
+        }
+        pages_.push_back(std::move(p));
+    }
+    return *pages_[slot];
+}
+
+uint8_t
+MemShard::load8(uint32_t addr)
+{
+    Page &p = page(addr);
+    const uint32_t off = (addr - kDramBase) & (kPageBytes - 1);
+    mark(p.read, off);
+    return p.data[off];
+}
+
+uint16_t
+MemShard::load16(uint32_t addr)
+{
+    // A 16-bit access may straddle a page boundary; fall back to bytes.
+    if (((addr - kDramBase) & (kPageBytes - 1)) > kPageBytes - 2)
+        return static_cast<uint16_t>(load8(addr) | (load8(addr + 1) << 8));
+    Page &p = page(addr);
+    const uint32_t off = (addr - kDramBase) & (kPageBytes - 1);
+    mark(p.read, off);
+    mark(p.read, off + 1);
+    return static_cast<uint16_t>(p.data[off] | (p.data[off + 1] << 8));
+}
+
+uint32_t
+MemShard::load32(uint32_t addr)
+{
+    if (((addr - kDramBase) & (kPageBytes - 1)) > kPageBytes - 4) {
+        return static_cast<uint32_t>(load8(addr)) |
+               (static_cast<uint32_t>(load8(addr + 1)) << 8) |
+               (static_cast<uint32_t>(load8(addr + 2)) << 16) |
+               (static_cast<uint32_t>(load8(addr + 3)) << 24);
+    }
+    Page &p = page(addr);
+    const uint32_t off = (addr - kDramBase) & (kPageBytes - 1);
+    mark(p.read, off);
+    mark(p.read, off + 3);
+    return static_cast<uint32_t>(p.data[off]) |
+           (static_cast<uint32_t>(p.data[off + 1]) << 8) |
+           (static_cast<uint32_t>(p.data[off + 2]) << 16) |
+           (static_cast<uint32_t>(p.data[off + 3]) << 24);
+}
+
+void
+MemShard::store8(uint32_t addr, uint8_t value)
+{
+    Page &p = page(addr);
+    const uint32_t off = (addr - kDramBase) & (kPageBytes - 1);
+    mark(p.dirty, off);
+    p.data[off] = value;
+}
+
+void
+MemShard::store16(uint32_t addr, uint16_t value)
+{
+    if (((addr - kDramBase) & (kPageBytes - 1)) > kPageBytes - 2) {
+        store8(addr, static_cast<uint8_t>(value));
+        store8(addr + 1, static_cast<uint8_t>(value >> 8));
+        return;
+    }
+    Page &p = page(addr);
+    const uint32_t off = (addr - kDramBase) & (kPageBytes - 1);
+    mark(p.dirty, off);
+    mark(p.dirty, off + 1);
+    p.data[off] = static_cast<uint8_t>(value);
+    p.data[off + 1] = static_cast<uint8_t>(value >> 8);
+}
+
+void
+MemShard::store32(uint32_t addr, uint32_t value)
+{
+    if (((addr - kDramBase) & (kPageBytes - 1)) > kPageBytes - 4) {
+        store8(addr, static_cast<uint8_t>(value));
+        store8(addr + 1, static_cast<uint8_t>(value >> 8));
+        store8(addr + 2, static_cast<uint8_t>(value >> 16));
+        store8(addr + 3, static_cast<uint8_t>(value >> 24));
+        return;
+    }
+    Page &p = page(addr);
+    const uint32_t off = (addr - kDramBase) & (kPageBytes - 1);
+    mark(p.dirty, off);
+    mark(p.dirty, off + 3);
+    p.data[off] = static_cast<uint8_t>(value);
+    p.data[off + 1] = static_cast<uint8_t>(value >> 8);
+    p.data[off + 2] = static_cast<uint8_t>(value >> 16);
+    p.data[off + 3] = static_cast<uint8_t>(value >> 24);
+}
+
+bool
+MemShard::wordTag(uint32_t addr)
+{
+    Page &p = page(addr);
+    const uint32_t off = (addr - kDramBase) & (kPageBytes - 1);
+    mark(p.read, off);
+    return marked(p.tag, off);
+}
+
+void
+MemShard::setWordTag(uint32_t addr, bool tag)
+{
+    Page &p = page(addr);
+    const uint32_t off = (addr - kDramBase) & (kPageBytes - 1);
+    mark(p.dirty, off);
+    const uint32_t wi = off >> 2;
+    if (tag)
+        p.tag[wi >> 6] |= uint64_t{1} << (wi & 63);
+    else
+        p.tag[wi >> 6] &= ~(uint64_t{1} << (wi & 63));
+}
+
+cap::CapMem
+MemShard::loadCap(uint32_t addr)
+{
+    panic_if(addr % 8 != 0, "misaligned capability load at 0x%08x", addr);
+    cap::CapMem c;
+    c.bits = static_cast<uint64_t>(load32(addr)) |
+             (static_cast<uint64_t>(load32(addr + 4)) << 32);
+    c.tag = wordTag(addr) && wordTag(addr + 4);
+    return c;
+}
+
+void
+MemShard::storeCap(uint32_t addr, const cap::CapMem &value)
+{
+    panic_if(addr % 8 != 0, "misaligned capability store at 0x%08x", addr);
+    store32(addr, static_cast<uint32_t>(value.bits));
+    store32(addr + 4, static_cast<uint32_t>(value.bits >> 32));
+    setWordTag(addr, value.tag);
+    setWordTag(addr + 4, value.tag);
+}
+
+void
+MemShard::clearTagForStore(uint32_t addr, unsigned bytes)
+{
+    const uint32_t first = addr & ~3u;
+    const uint32_t last = (addr + bytes - 1) & ~3u;
+    for (uint32_t a = first; a <= last; a += 4)
+        setWordTag(a, false);
+}
+
+uint32_t
+MemShard::amo32(isa::Op op, uint32_t addr, uint32_t operand,
+                bool result_used)
+{
+    panic_if(addr % 4 != 0, "misaligned atomic at 0x%08x", addr);
+    Page &p = page(addr);
+    const uint32_t off = (addr - kDramBase) & (kPageBytes - 1);
+    // Tracked only in the atomic word set: a word that is exclusively
+    // atomic across all shards stays eligible for commit-time mediation.
+    mark(p.atomic, off);
+    const uint32_t old = static_cast<uint32_t>(p.data[off]) |
+                         (static_cast<uint32_t>(p.data[off + 1]) << 8) |
+                         (static_cast<uint32_t>(p.data[off + 2]) << 16) |
+                         (static_cast<uint32_t>(p.data[off + 3]) << 24);
+    const uint32_t next = amoApply(op, old, operand);
+    p.data[off] = static_cast<uint8_t>(next);
+    p.data[off + 1] = static_cast<uint8_t>(next >> 8);
+    p.data[off + 2] = static_cast<uint8_t>(next >> 16);
+    p.data[off + 3] = static_cast<uint8_t>(next >> 24);
+    const uint32_t wi = off >> 2;
+    p.tag[wi >> 6] &= ~(uint64_t{1} << (wi & 63));
+    amoLog_.push_back(AmoRec{addr, operand, op, result_used});
+    return old;
+}
+
+void
+MemorySystem::beginEpoch(unsigned num_shards)
+{
+    panic_if(!shards_.empty(), "epoch already in progress");
+    shards_.reserve(num_shards);
+    for (unsigned i = 0; i < num_shards; ++i)
+        shards_.push_back(std::make_unique<MemShard>(base_));
+}
+
+MemorySystem::MergeReport
+MemorySystem::commitEpoch()
+{
+    MergeReport report;
+    const unsigned ns = numShards();
+
+    // Pass 1: scan for cross-SM conflicts. Nothing is committed unless
+    // the whole epoch is conflict-free, so a conflicting parallel run
+    // leaves the base memory exactly as it was before the launch.
+    //
+    // Per word, with R = plainly read, W = plainly written, A = updated
+    // atomically (in some shard):
+    //   - W in one shard plus any touch (R, W or A) in another: conflict;
+    //   - A in one shard plus R in another: conflict (the reader's value
+    //     depends on the cross-SM interleaving);
+    //   - A in several shards, nowhere W or R: mediated iff every logged
+    //     operation on the word is the same order-insensitive kind and
+    //     none consumes its result; otherwise conflict.
+    std::vector<const MemShard::Page *> touchers(ns, nullptr);
+    for (uint32_t pi = 0; pi < MemShard::kNumPages && !report.conflict;
+         ++pi) {
+        unsigned num_touchers = 0;
+        for (unsigned s = 0; s < ns; ++s) {
+            const int32_t slot = shards_[s]->map_[pi];
+            touchers[s] = slot < 0 ? nullptr : shards_[s]->pages_[slot].get();
+            if (touchers[s])
+                ++num_touchers;
+        }
+        if (num_touchers < 2)
+            continue;
+        for (uint32_t mw = 0; mw < MemShard::kMaskWords && !report.conflict;
+             ++mw) {
+            // Fast skip: flag only words where one shard writes or
+            // atomically updates while another touches -- read-read
+            // sharing (every SM reading the same input buffer) is
+            // harmless and must not trigger the per-word scan.
+            uint64_t any_touch = 0, any_wa = 0, overlap = 0;
+            for (unsigned s = 0; s < ns; ++s) {
+                const MemShard::Page *p = touchers[s];
+                if (!p)
+                    continue;
+                const uint64_t touch =
+                    p->read[mw] | p->dirty[mw] | p->atomic[mw];
+                const uint64_t wa = p->dirty[mw] | p->atomic[mw];
+                overlap |= touch & any_wa;
+                overlap |= wa & any_touch;
+                any_touch |= touch;
+                any_wa |= wa;
+            }
+            if (!overlap)
+                continue;
+            for (uint32_t b = 0; b < 64; ++b) {
+                if (!((overlap >> b) & 1))
+                    continue;
+                const uint32_t wi = mw * 64 + b;
+                const uint32_t addr = kDramBase + pi * MemShard::kPageBytes +
+                                      wi * 4;
+                unsigned writers = 0, readers = 0, atomics = 0;
+                for (unsigned s = 0; s < ns; ++s) {
+                    const MemShard::Page *p = touchers[s];
+                    if (!p)
+                        continue;
+                    if ((p->dirty[mw] >> b) & 1)
+                        ++writers;
+                    if ((p->read[mw] >> b) & 1)
+                        ++readers;
+                    if ((p->atomic[mw] >> b) & 1)
+                        ++atomics;
+                }
+                const unsigned touches = writers + readers + atomics;
+                if (touches < 2)
+                    continue;
+                if (writers > 0) {
+                    report.conflict = true;
+                    report.conflictAddr = addr;
+                    report.reason = "cross-SM write to a shared word";
+                    break;
+                }
+                if (atomics > 0 && readers > 0) {
+                    report.conflict = true;
+                    report.conflictAddr = addr;
+                    report.reason =
+                        "cross-SM plain read of an atomically updated word";
+                    break;
+                }
+                // Atomics only: check the logs for mediability.
+                isa::Op kind = isa::Op::ILLEGAL;
+                for (unsigned s = 0; s < ns && !report.conflict; ++s) {
+                    for (const auto &rec : shards_[s]->amoLog_) {
+                        if (rec.addr != addr)
+                            continue;
+                        if (rec.resultUsed) {
+                            report.conflict = true;
+                            report.conflictAddr = addr;
+                            report.reason =
+                                "cross-SM atomic consumes its result";
+                            break;
+                        }
+                        if (!isOrderInsensitive(rec.op)) {
+                            report.conflict = true;
+                            report.conflictAddr = addr;
+                            report.reason =
+                                "cross-SM order-sensitive atomic";
+                            break;
+                        }
+                        if (kind == isa::Op::ILLEGAL) {
+                            kind = rec.op;
+                        } else if (kind != rec.op) {
+                            report.conflict = true;
+                            report.conflictAddr = addr;
+                            report.reason = "cross-SM mixed atomic kinds";
+                            break;
+                        }
+                    }
+                }
+                if (report.conflict)
+                    break;
+            }
+        }
+    }
+    if (report.conflict)
+        return report;
+
+    // Pass 2: commit, in SM index order within each page, pages in
+    // address order -- a fixed order independent of host scheduling.
+    for (uint32_t pi = 0; pi < MemShard::kNumPages; ++pi) {
+        unsigned num_touchers = 0;
+        for (unsigned s = 0; s < ns; ++s) {
+            const int32_t slot = shards_[s]->map_[pi];
+            touchers[s] = slot < 0 ? nullptr : shards_[s]->pages_[slot].get();
+            if (touchers[s])
+                ++num_touchers;
+        }
+        if (num_touchers == 0)
+            continue;
+        ++report.pagesTouched;
+        const uint32_t page_base = kDramBase + pi * MemShard::kPageBytes;
+        // Plain writes first (pass 1 guarantees each written word has a
+        // single writer, so the order across shards is immaterial; SM
+        // index order keeps it fixed anyway).
+        for (unsigned s = 0; s < ns; ++s) {
+            const MemShard::Page *p = touchers[s];
+            if (!p)
+                continue;
+            for (uint32_t mw = 0; mw < MemShard::kMaskWords; ++mw) {
+                uint64_t bits = p->dirty[mw];
+                while (bits) {
+                    const uint32_t b =
+                        static_cast<uint32_t>(__builtin_ctzll(bits));
+                    bits &= bits - 1;
+                    const uint32_t wi = mw * 64 + b;
+                    const uint32_t addr = page_base + wi * 4;
+                    const uint32_t off = wi * 4;
+                    const uint32_t v =
+                        static_cast<uint32_t>(p->data[off]) |
+                        (static_cast<uint32_t>(p->data[off + 1]) << 8) |
+                        (static_cast<uint32_t>(p->data[off + 2]) << 16) |
+                        (static_cast<uint32_t>(p->data[off + 3]) << 24);
+                    base_.store32(addr, v);
+                    base_.setWordTag(addr, (p->tag[mw] >> b) & 1);
+                    ++report.wordsCommitted;
+                }
+            }
+        }
+        // Atomic words: a single-shard atomic word commits that shard's
+        // local value; a multi-shard one is mediated by replaying every
+        // log entry against the base value in (smId, program) order.
+        for (uint32_t mw = 0; mw < MemShard::kMaskWords; ++mw) {
+            uint64_t atomic_any = 0;
+            for (unsigned s = 0; s < ns; ++s) {
+                if (touchers[s])
+                    atomic_any |= touchers[s]->atomic[mw];
+            }
+            while (atomic_any) {
+                const uint32_t b =
+                    static_cast<uint32_t>(__builtin_ctzll(atomic_any));
+                atomic_any &= atomic_any - 1;
+                const uint32_t wi = mw * 64 + b;
+                const uint32_t addr = page_base + wi * 4;
+                unsigned num_atomic = 0;
+                const MemShard::Page *only = nullptr;
+                for (unsigned s = 0; s < ns; ++s) {
+                    const MemShard::Page *p = touchers[s];
+                    if (p && ((p->atomic[mw] >> b) & 1)) {
+                        ++num_atomic;
+                        only = p;
+                    }
+                }
+                if (num_atomic == 1) {
+                    const uint32_t off = wi * 4;
+                    const uint32_t v =
+                        static_cast<uint32_t>(only->data[off]) |
+                        (static_cast<uint32_t>(only->data[off + 1]) << 8) |
+                        (static_cast<uint32_t>(only->data[off + 2]) << 16) |
+                        (static_cast<uint32_t>(only->data[off + 3]) << 24);
+                    base_.store32(addr, v);
+                    base_.setWordTag(addr, (only->tag[mw] >> b) & 1);
+                    ++report.wordsCommitted;
+                    continue;
+                }
+                uint32_t v = base_.load32(addr);
+                for (unsigned s = 0; s < ns; ++s) {
+                    for (const auto &rec : shards_[s]->amoLog_) {
+                        if (rec.addr == addr) {
+                            v = amoApply(rec.op, v, rec.operand);
+                            ++report.amosMediated;
+                        }
+                    }
+                }
+                base_.store32(addr, v);
+                base_.setWordTag(addr, false);
+                ++report.wordsCommitted;
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace simt

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Shared device-memory facade for multi-SM grid sharding.
+ *
+ * In the single-SM model one simt::Sm owns the device's MainMemory. With
+ * SmConfig::numSms > 1, the SMs run concurrently on host worker threads
+ * and must share DRAM and its tag bits without data races and without
+ * giving up determinism. MemorySystem provides that: during a parallel
+ * launch epoch every SM is attached to a private MemShard -- a page-based
+ * copy-on-write overlay of the (frozen) base memory that records, per
+ * naturally aligned 32-bit word, whether the SM read it, wrote it with a
+ * plain store, or updated it with an atomic read-modify-write.
+ *
+ * When every SM has finished, commitEpoch() merges the shards into the
+ * base memory in SM index order -- a fixed, scheduler-independent order,
+ * so a parallel launch is deterministic across runs and host machines.
+ * The merge is equivalent to the single-SM execution whenever the shards
+ * are free of cross-SM races:
+ *
+ *  - a word touched by one SM only commits that SM's local value;
+ *  - a word updated *only atomically* by several SMs is routed through a
+ *    deterministic mediator: the per-SM operation logs are replayed
+ *    against the base value in (smId, program order). Replay is exact
+ *    when all operations on the word are the same commutative-
+ *    associative (or idempotent-commutative) RV32A kind -- AMOADD / AND /
+ *    OR / XOR / MIN / MAX / MINU / MAXU -- and none of them uses its
+ *    result, because then every interleaving (including the single-SM
+ *    one) yields the same final value;
+ *  - anything else -- a word plainly written by two SMs, written by one
+ *    and read or atomically updated by another, mixed atomic kinds, an
+ *    atomic whose old value is consumed, an AMOSWAP -- is a *conflict*:
+ *    commitEpoch() commits nothing and reports it, and the device falls
+ *    back to serial execution for the launch (the same conservative
+ *    gating pattern as the SmConfig::hostFastPath scalariser).
+ */
+
+#ifndef CHERI_SIMT_SIMT_MEMSYS_HPP_
+#define CHERI_SIMT_SIMT_MEMSYS_HPP_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cap/cheri_concentrate.hpp"
+#include "isa/instr.hpp"
+#include "simt/mem.hpp"
+
+namespace simt
+{
+
+/** Functional result of one RV32A read-modify-write. */
+uint32_t amoApply(isa::Op op, uint32_t old, uint32_t operand);
+
+/**
+ * One SM's private copy-on-write view of the shared base memory during a
+ * parallel launch epoch. Mirrors the MainMemory accessors the SM uses;
+ * every access lands in a private overlay page (seeded from the base on
+ * first touch), so concurrent SMs never race on shared state.
+ */
+class MemShard
+{
+  public:
+    static constexpr uint32_t kPageShift = 12;
+    static constexpr uint32_t kPageBytes = 1u << kPageShift; // 4 KiB
+    static constexpr uint32_t kPageWords = kPageBytes / 4;
+    static constexpr uint32_t kMaskWords = kPageWords / 64;
+    static constexpr uint32_t kNumPages = kDramSize / kPageBytes;
+
+    explicit MemShard(const MainMemory &base);
+
+    uint8_t load8(uint32_t addr);
+    uint16_t load16(uint32_t addr);
+    uint32_t load32(uint32_t addr);
+    void store8(uint32_t addr, uint8_t value);
+    void store16(uint32_t addr, uint16_t value);
+    void store32(uint32_t addr, uint32_t value);
+
+    bool wordTag(uint32_t addr);
+    void setWordTag(uint32_t addr, bool tag);
+    cap::CapMem loadCap(uint32_t addr);
+    void storeCap(uint32_t addr, const cap::CapMem &value);
+    void clearTagForStore(uint32_t addr, unsigned bytes);
+
+    /**
+     * Atomic read-modify-write of the aligned word at @p addr. Tracked
+     * in the atomic word set and the operation log (for the commit-time
+     * mediator) instead of the plain read/write sets.
+     * @p result_used records whether the instruction consumes the old
+     * value (rd != x0); such operations are never mediated.
+     */
+    uint32_t amo32(isa::Op op, uint32_t addr, uint32_t operand,
+                   bool result_used);
+
+  private:
+    friend class MemorySystem;
+
+    struct Page
+    {
+        std::array<uint8_t, kPageBytes> data;
+        std::array<uint64_t, kMaskWords> tag{};
+        std::array<uint64_t, kMaskWords> read{};
+        std::array<uint64_t, kMaskWords> dirty{};
+        std::array<uint64_t, kMaskWords> atomic{};
+    };
+
+    /** One logged atomic operation, in program order. */
+    struct AmoRec
+    {
+        uint32_t addr = 0;
+        uint32_t operand = 0;
+        isa::Op op = isa::Op::ILLEGAL;
+        bool resultUsed = false;
+    };
+
+    Page &page(uint32_t addr);
+
+    static void
+    mark(std::array<uint64_t, kMaskWords> &m, uint32_t offset_in_page)
+    {
+        const uint32_t wi = offset_in_page >> 2;
+        m[wi >> 6] |= uint64_t{1} << (wi & 63);
+    }
+
+    static bool
+    marked(const std::array<uint64_t, kMaskWords> &m,
+           uint32_t offset_in_page)
+    {
+        const uint32_t wi = offset_in_page >> 2;
+        return (m[wi >> 6] >> (wi & 63)) & 1;
+    }
+
+    const MainMemory &base_;
+    std::vector<int32_t> map_; // page index -> pages_ slot, or -1
+    std::vector<std::unique_ptr<Page>> pages_;
+    std::vector<uint32_t> touched_; // page indices, creation order
+    std::vector<AmoRec> amoLog_;
+};
+
+/**
+ * The device's memory system: the authoritative base memory plus the
+ * per-SM shard views of a parallel launch epoch and their deterministic
+ * merge.
+ */
+class MemorySystem
+{
+  public:
+    /** Outcome of commitEpoch(). */
+    struct MergeReport
+    {
+        bool conflict = false;
+        uint32_t conflictAddr = 0;
+        const char *reason = "";
+        uint64_t wordsCommitted = 0;
+        uint64_t amosMediated = 0;
+        uint64_t pagesTouched = 0;
+    };
+
+    explicit MemorySystem(MainMemory &base) : base_(base) {}
+
+    MainMemory &base() { return base_; }
+    const MainMemory &base() const { return base_; }
+
+    /** Build @p num_shards fresh shard views over the base memory. */
+    void beginEpoch(unsigned num_shards);
+
+    MemShard &shard(unsigned i) { return *shards_.at(i); }
+    unsigned numShards() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+    /**
+     * Merge every shard into the base memory in SM index order. On a
+     * cross-SM conflict nothing at all is committed and the report
+     * carries the lowest conflicting word address; the caller is
+     * expected to rerun the launch serially against the base.
+     */
+    MergeReport commitEpoch();
+
+    /** Drop the epoch's shards (after commit, or to abandon them). */
+    void endEpoch() { shards_.clear(); }
+
+  private:
+    MainMemory &base_;
+    std::vector<std::unique_ptr<MemShard>> shards_;
+};
+
+} // namespace simt
+
+#endif // CHERI_SIMT_SIMT_MEMSYS_HPP_

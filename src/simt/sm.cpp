@@ -352,9 +352,9 @@ Sm::loadValue(uint32_t addr, unsigned log_width, bool sign)
                   : (log_width == 1 ? scratchpad_.load16(addr)
                                     : scratchpad_.load32(addr));
     } else if (MainMemory::contains(addr)) {
-        raw = log_width == 0 ? dram_.load8(addr)
-                             : (log_width == 1 ? dram_.load16(addr)
-                                               : dram_.load32(addr));
+        raw = log_width == 0 ? memLoad8(addr)
+                             : (log_width == 1 ? memLoad16(addr)
+                                               : memLoad32(addr));
     } else if (addr >= kTcimBase && addr < kTcimBase + kTcimSize) {
         const size_t idx = (addr & ~3u) / 4;
         raw = idx < code_.size() ? code_[idx] : 0;
@@ -383,43 +383,27 @@ Sm::storeValue(uint32_t addr, unsigned log_width, uint32_t value)
         scratchpad_.clearTagForStore(addr, bytes);
     } else if (MainMemory::contains(addr)) {
         if (log_width == 0)
-            dram_.store8(addr, static_cast<uint8_t>(value));
+            memStore8(addr, static_cast<uint8_t>(value));
         else if (log_width == 1)
-            dram_.store16(addr, static_cast<uint16_t>(value));
+            memStore16(addr, static_cast<uint16_t>(value));
         else
-            dram_.store32(addr, value);
-        dram_.clearTagForStore(addr, bytes);
+            memStore32(addr, value);
+        memClearTagForStore(addr, bytes);
     } else {
         panic("store to unmapped address 0x%08x", addr);
     }
 }
 
 uint32_t
-Sm::atomicRmw(Op op, uint32_t addr, uint32_t operand)
+Sm::atomicRmw(Op op, uint32_t addr, uint32_t operand, bool result_used)
 {
+    // DRAM atomics in a parallel epoch go through the shard's logged
+    // entry point so the epoch merge can mediate them deterministically.
+    // Scratchpad atomics stay local: the scratchpad is private per SM.
+    if (shard_ && MainMemory::contains(addr))
+        return shard_->amo32(op, addr, operand, result_used);
     const uint32_t old = loadValue(addr, 2, false);
-    uint32_t next = old;
-    switch (op) {
-      case Op::AMOADD_W: next = old + operand; break;
-      case Op::AMOSWAP_W: next = operand; break;
-      case Op::AMOAND_W: next = old & operand; break;
-      case Op::AMOOR_W: next = old | operand; break;
-      case Op::AMOXOR_W: next = old ^ operand; break;
-      case Op::AMOMIN_W:
-        next = static_cast<int32_t>(old) < static_cast<int32_t>(operand)
-                   ? old
-                   : operand;
-        break;
-      case Op::AMOMAX_W:
-        next = static_cast<int32_t>(old) > static_cast<int32_t>(operand)
-                   ? old
-                   : operand;
-        break;
-      case Op::AMOMINU_W: next = old < operand ? old : operand; break;
-      case Op::AMOMAXU_W: next = old > operand ? old : operand; break;
-      default: panic("not an atomic op");
-    }
-    storeValue(addr, 2, next);
+    storeValue(addr, 2, amoApply(op, old, operand));
     return old;
 }
 
@@ -489,6 +473,31 @@ Sm::runLoop(uint64_t max_cycles)
             }
             if (next == std::numeric_limits<uint64_t>::max()) {
                 warn("deadlock: all live warps waiting at a barrier");
+                // Surface the deadlock as a structured trap so harnesses
+                // (and the multi-SM merge) can detect it without
+                // scraping stderr. Recorded directly rather than via
+                // trap(): this is a scheduling failure, not a CHERI
+                // violation, so the cheri-trap counter must not move.
+                if (!firstTrap_.trapped) {
+                    for (unsigned wid = 0; wid < cfg_.numWarps; ++wid) {
+                        const Warp &w = warps_[wid];
+                        if (w.done() || !w.atBarrier)
+                            continue;
+                        firstTrap_.trapped = true;
+                        firstTrap_.warp = wid;
+                        firstTrap_.kind = "barrier-deadlock";
+                        firstTrap_.addr = 0;
+                        for (unsigned lane = 0; lane < cfg_.numLanes;
+                             ++lane) {
+                            if (!w.halted[lane]) {
+                                firstTrap_.lane = lane;
+                                firstTrap_.pc = w.pc[lane];
+                                break;
+                            }
+                        }
+                        break;
+                    }
+                }
                 return false;
             }
             const uint64_t dt = next - now_;
@@ -635,10 +644,10 @@ Sm::executeAluLane(Warp &w, unsigned wid, unsigned lane, const Instr &in,
       case Op::CSRRS:
         switch (static_cast<uint16_t>(imm)) {
           case isa::CSR_HARTID:
-            r = wid * cfg_.numLanes + lane;
+            r = cfg_.globalThreadBase() + wid * cfg_.numLanes + lane;
             break;
           case isa::CSR_NUMTHREADS:
-            r = cfg_.numThreads();
+            r = cfg_.globalNumThreads();
             break;
           case isa::CSR_WARPID: r = wid; break;
           case isa::CSR_LANEID: r = lane; break;
@@ -1258,7 +1267,7 @@ Sm::executeWarp(unsigned wid)
                                 writes_tagged_cap ||
                                 (active_[lane] && rs2m.at(lane).tag);
                     }
-                    const uint32_t stack_base = cfg_.stackRegionBase();
+                    const uint32_t stack_base = cfg_.smStackBase();
                     if (stackCache_.enabled() && n_min >= stack_base) {
                         const uint32_t granule =
                             cfg_.stackCacheLineBytes / cfg_.numLanes;
@@ -1343,7 +1352,7 @@ Sm::executeWarp(unsigned wid)
                             if (all_shared)
                                 scratchpad_.storeCap(n_min, m);
                             else
-                                dram_.storeCap(n_min, m);
+                                memStoreCap(n_min, m);
                         } else {
                             storeValue(n_min, log_width, rs2d.at(lane));
                         }
@@ -1366,7 +1375,7 @@ Sm::executeWarp(unsigned wid)
                                 if (all_shared)
                                     scratchpad_.storeCap(addr, m);
                                 else
-                                    dram_.storeCap(addr, m);
+                                    memStoreCap(addr, m);
                             } else {
                                 storeValue(addr, log_width,
                                            rs2d.at(lane));
@@ -1378,7 +1387,7 @@ Sm::executeWarp(unsigned wid)
                     if (op == Op::CLC) {
                         const cap::CapMem m =
                             all_shared ? scratchpad_.loadCap(n_min)
-                                       : dram_.loadCap(n_min);
+                                       : memLoadCap(n_min);
                         CapPipe loaded = cap::fromMem(m);
                         if (cfg_.purecap &&
                             !(c0.perms & cap::PERM_LOAD_CAP))
@@ -1407,7 +1416,7 @@ Sm::executeWarp(unsigned wid)
                         if (op == Op::CLC) {
                             const cap::CapMem m =
                                 all_shared ? scratchpad_.loadCap(addr)
-                                           : dram_.loadCap(addr);
+                                           : memLoadCap(addr);
                             CapPipe loaded = cap::fromMem(m);
                             if (cfg_.purecap &&
                                 !(c0.perms & cap::PERM_LOAD_CAP))
@@ -1538,7 +1547,9 @@ Sm::executeWarp(unsigned wid)
             // by the compressed stack cache: the addresses are affine
             // (uniform slot offset, per-thread stride), so one compressed
             // entry covers the whole warp. The cache holds tag bits too.
-            const uint32_t stack_base = cfg_.stackRegionBase();
+            // Keyed relative to this SM's own slice of the global stack
+            // region so warp_block stays within [0, numWarps).
+            const uint32_t stack_base = cfg_.smStackBase();
             bool all_stack = stackCache_.enabled();
             uint32_t min_addr = 0xffffffffu;
             for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
@@ -1595,11 +1606,12 @@ Sm::executeWarp(unsigned wid)
             const uint32_t addr = addrs_[lane];
             const bool in_shared = shared_lanes[lane];
             if (is_atomic) {
-                result_[lane] = atomicRmw(op, addr, rs2Data_[lane]);
+                result_[lane] =
+                    atomicRmw(op, addr, rs2Data_[lane], in.rd != 0);
             } else if (op == Op::CLC) {
                 const cap::CapMem m = in_shared
                                           ? scratchpad_.loadCap(addr)
-                                          : dram_.loadCap(addr);
+                                          : memLoadCap(addr);
                 CapPipe loaded = cap::fromMem(m);
                 // Loading via a capability without LOAD_CAP strips tags.
                 if (cfg_.purecap &&
@@ -1615,7 +1627,7 @@ Sm::executeWarp(unsigned wid)
                 if (in_shared)
                     scratchpad_.storeCap(addr, m);
                 else
-                    dram_.storeCap(addr, m);
+                    memStoreCap(addr, m);
             } else if (is_store) {
                 storeValue(addr, log_width, rs2Data_[lane]);
             } else {
@@ -1806,10 +1818,12 @@ Sm::executeWarp(unsigned wid)
                   case Op::CSRRS:
                     switch (static_cast<uint16_t>(imm)) {
                       case isa::CSR_HARTID:
-                        commit(wid * cfg_.numLanes, 1);
+                        commit(cfg_.globalThreadBase() +
+                                   wid * cfg_.numLanes,
+                               1);
                         break;
                       case isa::CSR_NUMTHREADS:
-                        commit(cfg_.numThreads(), 0);
+                        commit(cfg_.globalNumThreads(), 0);
                         break;
                       case isa::CSR_WARPID:
                         commit(wid, 0);

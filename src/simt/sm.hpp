@@ -31,6 +31,7 @@
 #include "isa/instr.hpp"
 #include "simt/config.hpp"
 #include "simt/mem.hpp"
+#include "simt/memsys.hpp"
 #include "simt/regfile.hpp"
 #include "simt/scratchpad.hpp"
 #include "support/logging.hpp"
@@ -59,6 +60,15 @@ class Sm
     const SmConfig &config() const { return cfg_; }
 
     MainMemory &dram() { return dram_; }
+
+    /**
+     * Attach (or detach, with nullptr) a MemShard: while attached, all
+     * functional DRAM traffic goes through the shard instead of this
+     * SM's own MainMemory. Used by nocl::Device for parallel multi-SM
+     * launch epochs; timing models (DRAM timer, caches) are unaffected.
+     */
+    void attachShard(MemShard *shard) { shard_ = shard; }
+
     Scratchpad &scratchpad() { return scratchpad_; }
     RegFileSystem &regfile() { return regfile_; }
     support::StatSet &stats() { return stats_; }
@@ -164,13 +174,70 @@ class Sm
     /** Per-lane memory access helpers (functional + routing). */
     uint32_t loadValue(uint32_t addr, unsigned log_width, bool sign);
     void storeValue(uint32_t addr, unsigned log_width, uint32_t value);
-    uint32_t atomicRmw(isa::Op op, uint32_t addr, uint32_t operand);
+    uint32_t atomicRmw(isa::Op op, uint32_t addr, uint32_t operand,
+                       bool result_used);
 
     void releaseBarrierIfReady(unsigned block);
+
+    // Functional DRAM accessors: route through the attached MemShard
+    // during a parallel multi-SM epoch, else straight to dram_. The
+    // shard_ test is a single well-predicted branch so the numSms == 1
+    // hot path is unchanged.
+    uint8_t
+    memLoad8(uint32_t addr)
+    {
+        return shard_ ? shard_->load8(addr) : dram_.load8(addr);
+    }
+    uint16_t
+    memLoad16(uint32_t addr)
+    {
+        return shard_ ? shard_->load16(addr) : dram_.load16(addr);
+    }
+    uint32_t
+    memLoad32(uint32_t addr)
+    {
+        return shard_ ? shard_->load32(addr) : dram_.load32(addr);
+    }
+    void
+    memStore8(uint32_t addr, uint8_t v)
+    {
+        shard_ ? shard_->store8(addr, v) : dram_.store8(addr, v);
+    }
+    void
+    memStore16(uint32_t addr, uint16_t v)
+    {
+        shard_ ? shard_->store16(addr, v) : dram_.store16(addr, v);
+    }
+    void
+    memStore32(uint32_t addr, uint32_t v)
+    {
+        shard_ ? shard_->store32(addr, v) : dram_.store32(addr, v);
+    }
+    cap::CapMem
+    memLoadCap(uint32_t addr)
+    {
+        return shard_ ? shard_->loadCap(addr) : dram_.loadCap(addr);
+    }
+    void
+    memStoreCap(uint32_t addr, const cap::CapMem &v)
+    {
+        shard_ ? shard_->storeCap(addr, v) : dram_.storeCap(addr, v);
+    }
+    void
+    memClearTagForStore(uint32_t addr, unsigned bytes)
+    {
+        shard_ ? shard_->clearTagForStore(addr, bytes)
+               : dram_.clearTagForStore(addr, bytes);
+    }
+
+    // Test seam for states unreachable through the public API (e.g. the
+    // barrier-deadlock detector); defined by test translation units only.
+    friend struct SmTestAccess;
 
     const SmConfig cfg_;
     support::StatSet stats_;
     MainMemory dram_;
+    MemShard *shard_ = nullptr;
     Scratchpad scratchpad_;
     DramTimer dramTimer_;
     TagController tagController_;

@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Multi-SM grid sharding tests.
+ *
+ *  - MemShard / MemorySystem unit tests: overlay isolation, commit,
+ *    conflict detection, and atomic mediation.
+ *  - Architectural parity: every benchmark of the suite must produce
+ *    identical verification results, trap outcomes and output buffers at
+ *    1, 2 and 4 SMs, and be deterministic across repeated multi-SM runs
+ *    (the whole point of the epoch-ordered merge).
+ *  - Cross-SM atomics: the atomic benchmarks (Histogram, Reduce,
+ *    MotionEst) exercise the commit-time mediator; their results must be
+ *    exact at every SM count.
+ *  - Conflict fallback: a kernel whose blocks race on one word must be
+ *    detected and rerun serially, still deterministically.
+ *  - Barrier deadlock: surfaced as a structured "barrier-deadlock" trap
+ *    (forced through a test seam -- the state is unreachable via the
+ *    public API because barriers release on both arrival and warp exit).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "kc/asm.hpp"
+#include "kernels/suite.hpp"
+#include "nocl/nocl.hpp"
+#include "simt/memsys.hpp"
+#include "simt/sm.hpp"
+
+namespace simt
+{
+
+/** Test seam declared as a friend of Sm (see sm.hpp). */
+struct SmTestAccess
+{
+    static void
+    parkAllWarpsAtBarrier(Sm &sm)
+    {
+        for (auto &w : sm.warps_)
+            w.atBarrier = true;
+    }
+};
+
+} // namespace simt
+
+namespace
+{
+
+using isa::Op;
+using kernels::Prepared;
+using kernels::Size;
+using Mode = kc::CompileOptions::Mode;
+
+// ============================================ MemShard / merge units
+
+constexpr uint32_t kA = simt::kDramBase + 0x1000;
+constexpr uint32_t kB = simt::kDramBase + 0x2000;
+
+TEST(MemShard, OverlayIsolatesBase)
+{
+    simt::MainMemory base;
+    base.store32(kA, 0x11223344);
+    simt::MemShard shard(base);
+
+    EXPECT_EQ(shard.load32(kA), 0x11223344u);
+    shard.store32(kA, 0xdeadbeef);
+    EXPECT_EQ(shard.load32(kA), 0xdeadbeefu);
+    EXPECT_EQ(base.load32(kA), 0x11223344u) << "base must stay frozen";
+
+    EXPECT_EQ(shard.load8(kA + 1), 0xbeu);
+    EXPECT_EQ(shard.load16(kA + 2), 0xdeadu);
+}
+
+TEST(MemShard, TagsFollowOverlay)
+{
+    simt::MainMemory base;
+    base.setWordTag(kA, true);
+    simt::MemShard shard(base);
+
+    EXPECT_TRUE(shard.wordTag(kA));
+    shard.clearTagForStore(kA, 4);
+    EXPECT_FALSE(shard.wordTag(kA));
+    EXPECT_TRUE(base.wordTag(kA));
+}
+
+TEST(MemorySystem, SingleShardCommitApplies)
+{
+    simt::MainMemory base;
+    simt::MemorySystem ms(base);
+    ms.beginEpoch(1);
+    ms.shard(0).store32(kA, 42);
+    ms.shard(0).setWordTag(kB, true);
+    const auto rep = ms.commitEpoch();
+    ms.endEpoch();
+
+    EXPECT_FALSE(rep.conflict);
+    EXPECT_EQ(base.load32(kA), 42u);
+    EXPECT_TRUE(base.wordTag(kB));
+}
+
+TEST(MemorySystem, DisjointWritesCommitBoth)
+{
+    simt::MainMemory base;
+    simt::MemorySystem ms(base);
+    ms.beginEpoch(2);
+    ms.shard(0).store32(kA, 1);
+    ms.shard(1).store32(kA + 4, 2); // same page, different word
+    ms.shard(1).store32(kB, 3);
+    const auto rep = ms.commitEpoch();
+    ms.endEpoch();
+
+    EXPECT_FALSE(rep.conflict);
+    EXPECT_EQ(base.load32(kA), 1u);
+    EXPECT_EQ(base.load32(kA + 4), 2u);
+    EXPECT_EQ(base.load32(kB), 3u);
+}
+
+TEST(MemorySystem, ConflictingWritesCommitNothing)
+{
+    simt::MainMemory base;
+    base.store32(kA, 7);
+    simt::MemorySystem ms(base);
+    ms.beginEpoch(2);
+    ms.shard(0).store32(kA, 1);
+    ms.shard(0).store32(kB, 9);
+    ms.shard(1).store32(kA, 2);
+    const auto rep = ms.commitEpoch();
+    ms.endEpoch();
+
+    EXPECT_TRUE(rep.conflict);
+    EXPECT_EQ(rep.conflictAddr, kA);
+    EXPECT_EQ(base.load32(kA), 7u) << "conflicting merge must be atomic";
+    EXPECT_EQ(base.load32(kB), 0u) << "conflicting merge must be atomic";
+}
+
+TEST(MemorySystem, ReadOfWrittenWordConflicts)
+{
+    simt::MainMemory base;
+    simt::MemorySystem ms(base);
+    ms.beginEpoch(2);
+    ms.shard(0).store32(kA, 1);
+    (void)ms.shard(1).load32(kA);
+    const auto rep = ms.commitEpoch();
+    ms.endEpoch();
+    EXPECT_TRUE(rep.conflict);
+}
+
+TEST(MemorySystem, SharedReadsAreFine)
+{
+    simt::MainMemory base;
+    base.store32(kA, 5);
+    simt::MemorySystem ms(base);
+    ms.beginEpoch(2);
+    EXPECT_EQ(ms.shard(0).load32(kA), 5u);
+    EXPECT_EQ(ms.shard(1).load32(kA), 5u);
+    ms.shard(0).store32(kB, 1);
+    const auto rep = ms.commitEpoch();
+    ms.endEpoch();
+    EXPECT_FALSE(rep.conflict);
+}
+
+TEST(MemorySystem, CommutativeAtomicsAreMediated)
+{
+    simt::MainMemory base;
+    base.store32(kA, 100);
+    simt::MemorySystem ms(base);
+    ms.beginEpoch(2);
+    ms.shard(0).amo32(Op::AMOADD_W, kA, 10, false);
+    ms.shard(0).amo32(Op::AMOADD_W, kA, 1, false);
+    ms.shard(1).amo32(Op::AMOADD_W, kA, 200, false);
+    const auto rep = ms.commitEpoch();
+    ms.endEpoch();
+
+    EXPECT_FALSE(rep.conflict);
+    EXPECT_EQ(rep.amosMediated, 3u);
+    EXPECT_EQ(base.load32(kA), 311u);
+}
+
+TEST(MemorySystem, ResultUsedAtomicConflicts)
+{
+    simt::MainMemory base;
+    simt::MemorySystem ms(base);
+    ms.beginEpoch(2);
+    ms.shard(0).amo32(Op::AMOADD_W, kA, 1, true);
+    ms.shard(1).amo32(Op::AMOADD_W, kA, 2, false);
+    const auto rep = ms.commitEpoch();
+    ms.endEpoch();
+    EXPECT_TRUE(rep.conflict);
+}
+
+TEST(MemorySystem, MixedAtomicKindsConflict)
+{
+    simt::MainMemory base;
+    simt::MemorySystem ms(base);
+    ms.beginEpoch(2);
+    ms.shard(0).amo32(Op::AMOADD_W, kA, 1, false);
+    ms.shard(1).amo32(Op::AMOXOR_W, kA, 2, false);
+    const auto rep = ms.commitEpoch();
+    ms.endEpoch();
+    EXPECT_TRUE(rep.conflict);
+}
+
+TEST(MemorySystem, SwapConflicts)
+{
+    simt::MainMemory base;
+    simt::MemorySystem ms(base);
+    ms.beginEpoch(2);
+    ms.shard(0).amo32(Op::AMOSWAP_W, kA, 1, false);
+    ms.shard(1).amo32(Op::AMOSWAP_W, kA, 2, false);
+    const auto rep = ms.commitEpoch();
+    ms.endEpoch();
+    EXPECT_TRUE(rep.conflict);
+}
+
+TEST(MemorySystem, SingleSmAtomicCommitsLocalValue)
+{
+    simt::MainMemory base;
+    base.store32(kA, 10);
+    simt::MemorySystem ms(base);
+    ms.beginEpoch(2);
+    // Only shard 0 touches the word; even an order-sensitive swap with a
+    // consumed result is fine (no cross-SM race to mediate).
+    EXPECT_EQ(ms.shard(0).amo32(Op::AMOSWAP_W, kA, 77, true), 10u);
+    ms.shard(1).store32(kB, 1);
+    const auto rep = ms.commitEpoch();
+    ms.endEpoch();
+    EXPECT_FALSE(rep.conflict);
+    EXPECT_EQ(base.load32(kA), 77u);
+}
+
+// =========================================== benchmark-suite parity
+
+enum class Config
+{
+    Baseline,
+    CheriOptimised,
+};
+
+const char *
+configName(Config c)
+{
+    return c == Config::Baseline ? "Baseline" : "CheriOpt";
+}
+
+simt::SmConfig
+smConfigOf(Config c, unsigned num_sms)
+{
+    simt::SmConfig cfg = c == Config::Baseline
+                             ? simt::SmConfig::baseline()
+                             : simt::SmConfig::cheriOptimised();
+    cfg.numWarps = 16; // 512 threads per SM keeps the Small suite quick
+    cfg.vrfCapacity = 16 * 32 * 3 / 8;
+    cfg.numSms = num_sms;
+    return cfg;
+}
+
+Mode
+modeOf(Config c)
+{
+    return c == Config::Baseline ? Mode::Baseline : Mode::Purecap;
+}
+
+/** Architecturally visible outcome of one benchmark run. */
+struct Outcome
+{
+    bool completed = false;
+    bool verified = false;
+    bool trapped = false;
+    std::string trapKind;
+    bool mergeFallback = false;
+    uint64_t cycles = 0;
+    std::vector<uint64_t> smCycles;
+    std::vector<std::vector<uint8_t>> buffers;
+};
+
+Outcome
+runOnce(const std::string &bench_name, Config c, unsigned num_sms)
+{
+    auto bench = kernels::makeBenchmark(bench_name);
+    EXPECT_NE(bench, nullptr);
+    nocl::Device dev(smConfigOf(c, num_sms), modeOf(c));
+    Prepared p = bench->prepare(dev, Size::Small);
+
+    Outcome o;
+    const nocl::RunResult res = dev.launch(*p.kernel, p.cfg, p.args);
+    o.completed = res.completed;
+    o.verified = p.verify(dev);
+    o.trapped = res.trapped;
+    o.trapKind = res.trapKind;
+    o.mergeFallback = res.mergeFallback;
+    o.cycles = res.cycles;
+    o.smCycles = res.smCycles;
+    // Buffer addresses are allocation-order deterministic, so the
+    // contents of every buffer argument are directly comparable across
+    // SM counts (whole-DRAM hashes are not: the stack region's size
+    // depends on the global thread count).
+    for (const auto &arg : p.args) {
+        if (arg.kind == nocl::Arg::Kind::Buf)
+            o.buffers.push_back(dev.read8(arg.buf));
+    }
+    return o;
+}
+
+class MultiSmParity
+    : public ::testing::TestWithParam<std::tuple<std::string, Config>>
+{
+};
+
+TEST_P(MultiSmParity, ArchitecturalOutputsMatchSingleSm)
+{
+    const auto &[bench_name, config] = GetParam();
+    const Outcome one = runOnce(bench_name, config, 1);
+    ASSERT_TRUE(one.verified);
+
+    for (unsigned sms : {2u, 4u}) {
+        const Outcome multi = runOnce(bench_name, config, sms);
+        SCOPED_TRACE(std::to_string(sms) + " SMs");
+        EXPECT_EQ(multi.completed, one.completed);
+        EXPECT_EQ(multi.verified, one.verified);
+        EXPECT_EQ(multi.trapped, one.trapped);
+        EXPECT_EQ(multi.trapKind, one.trapKind);
+        ASSERT_EQ(multi.buffers.size(), one.buffers.size());
+        for (size_t i = 0; i < one.buffers.size(); ++i)
+            EXPECT_EQ(multi.buffers[i], one.buffers[i])
+                << "buffer " << i << " diverged";
+        EXPECT_EQ(multi.smCycles.size(), sms);
+    }
+}
+
+TEST_P(MultiSmParity, DeterministicAcrossRepeats)
+{
+    const auto &[bench_name, config] = GetParam();
+    const Outcome a = runOnce(bench_name, config, 4);
+    const Outcome b = runOnce(bench_name, config, 4);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.verified, b.verified);
+    EXPECT_EQ(a.trapped, b.trapped);
+    EXPECT_EQ(a.mergeFallback, b.mergeFallback);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.smCycles, b.smCycles);
+    EXPECT_EQ(a.buffers, b.buffers);
+}
+
+std::vector<std::tuple<std::string, Config>>
+allCases()
+{
+    std::vector<std::tuple<std::string, Config>> cases;
+    for (const auto &b : kernels::makeSuite())
+        for (Config c : {Config::Baseline, Config::CheriOptimised})
+            cases.emplace_back(b->name(), c);
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, MultiSmParity, ::testing::ValuesIn(allCases()),
+    [](const auto &info) {
+        return std::get<0>(info.param) + std::string("_") +
+               configName(std::get<1>(info.param));
+    });
+
+// ================================== cross-SM atomics determinism
+
+TEST(MultiSmAtomics, MediatedBenchmarksExactAtEverySmCount)
+{
+    // Histogram (AMOADD), Reduce (AMOADD) and MotionEst (atomic min)
+    // drive cross-SM atomics through the commit-time mediator; all are
+    // order-insensitive with unused results, so every SM count must give
+    // the exact single-SM answer -- no fallback, no tolerance.
+    for (const char *name : {"Histogram", "Reduce", "MotionEst"}) {
+        SCOPED_TRACE(name);
+        const Outcome one = runOnce(name, Config::Baseline, 1);
+        ASSERT_TRUE(one.verified);
+        for (unsigned sms : {2u, 4u}) {
+            const Outcome multi = runOnce(name, Config::Baseline, sms);
+            SCOPED_TRACE(std::to_string(sms) + " SMs");
+            EXPECT_TRUE(multi.verified);
+            EXPECT_EQ(multi.buffers, one.buffers);
+        }
+        const Outcome r1 = runOnce(name, Config::Baseline, 4);
+        const Outcome r2 = runOnce(name, Config::Baseline, 4);
+        EXPECT_EQ(r1.buffers, r2.buffers);
+        EXPECT_EQ(r1.cycles, r2.cycles);
+    }
+}
+
+// ===================================== conflicting-write fallback
+
+/** Every thread of every block stores its global id to out[0]: blocks on
+ *  different SMs race on one word, which the merge must refuse. */
+struct ConflictingStoreKernel : kc::KernelDef
+{
+    std::string name() const override { return "ConflictingStore"; }
+
+    void
+    build(kc::Kb &b) override
+    {
+        auto out = b.paramPtr("out", kc::Scalar::U32);
+        out[0] = b.blockIdx() * b.blockDim() + b.threadIdx();
+    }
+};
+
+TEST(MultiSmConflict, ConflictingWriteFallsBackDeterministically)
+{
+    auto run = [](unsigned sms) {
+        nocl::Device dev(smConfigOf(Config::Baseline, sms),
+                         Mode::Baseline);
+        nocl::Buffer out = dev.alloc(4);
+        ConflictingStoreKernel k;
+        nocl::LaunchConfig cfg;
+        cfg.blockDim = 256;
+        cfg.gridDim = 8;
+        const nocl::RunResult res =
+            dev.launch(k, cfg, {nocl::Arg::buffer(out)});
+        return std::make_tuple(res.completed, res.mergeFallback,
+                               dev.read32(out).at(0));
+    };
+
+    const auto [c1, fb1, v1] = run(1);
+    EXPECT_TRUE(c1);
+    EXPECT_FALSE(fb1) << "single SM never needs the merge";
+
+    const auto [c2, fb2, v2] = run(2);
+    EXPECT_TRUE(c2);
+    EXPECT_TRUE(fb2) << "cross-SM racing stores must be detected";
+    EXPECT_EQ(v2, v1) << "serial fallback must match the single-SM run";
+
+    const auto [c2b, fb2b, v2b] = run(2);
+    EXPECT_EQ(fb2b, fb2);
+    EXPECT_EQ(v2b, v2);
+
+    const auto [c4, fb4, v4] = run(4);
+    EXPECT_TRUE(c4);
+    EXPECT_TRUE(fb4);
+    EXPECT_EQ(v4, v1);
+}
+
+// ============================================== barrier deadlock
+
+TEST(BarrierDeadlock, SurfacedAsStructuredTrap)
+{
+    // A barrier deadlock cannot be provoked through the public API (the
+    // release check runs on both barrier arrival and warp exit), so park
+    // every warp at a barrier through the test seam and run.
+    simt::SmConfig cfg;
+    cfg.numWarps = 2;
+    cfg.numLanes = 8;
+    simt::Sm sm(cfg);
+
+    kc::Assembler a;
+    a.emit(Op::SIMT_HALT, 0, 0, 0);
+    sm.loadProgram(a.finalize());
+    sm.launch(0, 1);
+    simt::SmTestAccess::parkAllWarpsAtBarrier(sm);
+
+    EXPECT_FALSE(sm.run());
+    ASSERT_TRUE(sm.trapped());
+    EXPECT_EQ(sm.firstTrap().kind, "barrier-deadlock");
+    EXPECT_EQ(sm.firstTrap().warp, 0u);
+    EXPECT_EQ(sm.firstTrap().addr, 0u);
+
+    // And the structured record must flow through the launch result, as
+    // harnesses consume it there.
+    const uint64_t cheri_traps = sm.stats().get("cheri_traps");
+    EXPECT_EQ(cheri_traps, 0u)
+        << "a deadlock is not a CHERI trap and must not count as one";
+}
+
+} // namespace
