@@ -41,7 +41,7 @@ runPoint(size_t bench_idx, const ConfigPoint &point, kernels::Size size)
     if (!r.ok) {
         warn("benchmark %s [%s] failed verification (trap: %s)",
              r.name.c_str(), point.label.c_str(),
-             r.run.trapKind.c_str());
+             simt::trapKindName(r.run.trapKind));
     }
     return r;
 }
@@ -196,6 +196,11 @@ parseArgs(int &argc, char **argv)
         } else if (arg.rfind("--sms=", 0) == 0) {
             opts.sms = static_cast<unsigned>(
                 std::strtoul(arg.substr(6).c_str(), nullptr, 10));
+        } else if (arg == "--seed") {
+            opts.seed =
+                std::strtoull(take_value("--seed").c_str(), nullptr, 10);
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            opts.seed = std::strtoull(arg.substr(7).c_str(), nullptr, 10);
         } else {
             argv[out++] = argv[i];
         }
@@ -279,6 +284,7 @@ printHeader(const std::string &id, const std::string &caption)
 Harness::Harness(int &argc, char **argv, std::string binary)
     : opts_(parseArgs(argc, argv)), binary_(std::move(binary))
 {
+    kernels::setWorkloadSeed(opts_.seed);
 }
 
 std::vector<SuiteResult>
@@ -336,14 +342,26 @@ Harness::record(const std::string &label,
         entry.set("ok", Value::boolean(r.ok));
         entry.set("completed", Value::boolean(r.run.completed));
         entry.set("trapped", Value::boolean(r.run.trapped));
-        entry.set("trap_kind", Value::str(r.run.trapKind));
+        entry.set("trap_kind",
+                  Value::str(simt::trapKindName(r.run.trapKind)));
         entry.set("cycles", Value::integer(r.run.cycles));
+        entry.set("retries", Value::integer(r.run.retries));
+        entry.set("watchdog", Value::integer(r.run.watchdogFires));
+        entry.set("fault_injections",
+                  Value::integer(r.run.faultInjections));
+        entry.set("degraded", Value::boolean(r.run.degraded));
         Value stats = Value::object();
         for (const auto &[name, value] : r.run.stats.all())
             stats.set(name, Value::integer(value));
         entry.set("stats", std::move(stats));
         results_.push(std::move(entry));
     }
+}
+
+void
+Harness::recordEntry(support::json::Value entry)
+{
+    results_.push(std::move(entry));
 }
 
 void
@@ -366,6 +384,7 @@ Harness::finish() const
                                    ? "small"
                                    : "full"));
     doc.set("sms", Value::integer(opts_.sms));
+    doc.set("seed", Value::integer(opts_.seed));
     doc.set("results", results_);
     doc.set("metrics", metrics_);
 

@@ -72,6 +72,10 @@ struct BenchOptions
 
     /** Simulated SMs per device (SmConfig::numSms) for every point. */
     unsigned sms = 1;
+
+    /** Workload seed mixed into every benchmark's input generator
+     *  (kernels::setWorkloadSeed); 0 = the historical fixed inputs. */
+    uint64_t seed = 0;
 };
 
 /**
@@ -85,6 +89,8 @@ struct BenchOptions
  *                                     "<config>/<bench>" matches <re>
  *   --list                            print matching points, run nothing
  *   --sms <n> | --sms=<n>             simulated SMs per device (default 1)
+ *   --seed <n> | --seed=<n>           workload seed (default 0 = fixed
+ *                                     historical inputs)
  */
 BenchOptions parseArgs(int &argc, char **argv);
 
@@ -146,14 +152,21 @@ void printHeader(const std::string &id, const std::string &caption);
  *     "binary": "<id>",
  *     "size": "small" | "full",
  *     "sms": int,                    // simulated SMs per device
+ *     "seed": int,                   // workload seed (0 = fixed inputs)
  *     "results": [
  *       { "config": "<label>", "bench": "<name>", "ok": bool,
  *         "completed": bool, "trapped": bool, "trap_kind": "<str>",
- *         "cycles": int, "stats": { "<counter>": int, ... } }, ...
+ *         "cycles": int, "retries": int, "watchdog": int,
+ *         "fault_injections": int, "degraded": bool,
+ *         "stats": { "<counter>": int, ... } }, ...
  *     ],
  *     "metrics": { "<name>": number, ... },
  *     "kernel_cache": { "hits": int, "misses": int, "size": int }
  *   }
+ *
+ * Fault-campaign entries (bench_fault_campaign) additionally carry
+ * "fault_class", "fault_site", "fault_outcome" ("detected" | "masked" |
+ * "corrupt"), "fault_bit" and "fault_addr".
  */
 class Harness
 {
@@ -177,6 +190,9 @@ class Harness
     /** Record results obtained outside run()/runMatrix(). */
     void record(const std::string &label,
                 const std::vector<SuiteResult> &results);
+
+    /** Record a pre-built results entry (fault-campaign drivers). */
+    void recordEntry(support::json::Value entry);
 
     /** Record a derived scalar (a geomean, an area number, ...). */
     void metric(const std::string &name, double value);

@@ -1,0 +1,324 @@
+#include "bench/faultcampaign.hpp"
+
+#include <atomic>
+#include <regex>
+#include <thread>
+
+#include "bench/bench_common.hpp"
+#include "kc/codegen.hpp"
+#include "nocl/nocl.hpp"
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace benchcommon
+{
+
+namespace
+{
+
+using simt::FaultPlan;
+using simt::FaultSite;
+
+/** Fault-injection targets derived from a benchmark's golden run. */
+struct Targets
+{
+    uint32_t slotAddr = 0; ///< first pointer slot in the argument block
+    uint32_t dataAddr = 0; ///< a word of the first input buffer
+    uint32_t dataBit = 0;
+    uint32_t capmetaBit = 0;
+    uint32_t ptrTagBit = 0;  ///< high pointer bit (CHERI-off "tag")
+    uint32_t ptrMetaBit = 0; ///< low pointer bit (CHERI-off "capmeta")
+    bool haveSlot = false;
+    bool haveData = false;
+};
+
+/**
+ * Derive the targets for one benchmark, drawing every random choice in
+ * a fixed order from a (seed, bench index) RNG so campaigns replay
+ * bit-identically. The CHERI-off pointer-flip bits stay within [2, 19]:
+ * the flipped address remains 4-byte aligned and inside DRAM. Wild
+ * addresses outside DRAM take a structured `unmapped access` trap (so
+ * they classify as detected), but this campaign's protection classes
+ * measure silent corruption, not crash containment -- a baseline flip
+ * that leaves the address space would overstate the baseline machine.
+ */
+Targets
+deriveTargets(const kernels::Prepared &p, const nocl::RunResult &golden,
+              uint64_t seed, size_t bench_idx)
+{
+    Targets t;
+    support::Rng rng(0x9e3779b97f4a7c15ull * (seed + 1) +
+                     static_cast<uint64_t>(bench_idx));
+
+    if (golden.kernel) {
+        for (const kc::ParamSlot &slot : golden.kernel->params) {
+            if (slot.isPtr) {
+                t.slotAddr = kc::argBlockAddress() + slot.offset;
+                t.haveSlot = true;
+                break;
+            }
+        }
+    }
+    const nocl::Buffer *buf = nullptr;
+    for (const nocl::Arg &arg : p.args) {
+        if (arg.kind == nocl::Arg::Kind::Buf) {
+            buf = &arg.buf;
+            break;
+        }
+    }
+
+    // Fixed draw order regardless of which targets exist.
+    const uint32_t buf_words = buf ? std::max(1u, buf->bytes / 4) : 1;
+    const uint32_t word_idx = rng.nextBounded(buf_words);
+    t.dataBit = rng.nextBounded(32);
+    t.capmetaBit = rng.nextBounded(32);
+    t.ptrTagBit = 12 + rng.nextBounded(8);
+    t.ptrMetaBit = 2 + rng.nextBounded(10);
+    if (buf) {
+        t.dataAddr = buf->addr + 4 * word_idx;
+        t.haveData = true;
+    }
+    return t;
+}
+
+/** The three per-benchmark fault plans for one protection mode. */
+std::vector<std::pair<std::string, FaultPlan>>
+plansFor(const Targets &t, bool cheri)
+{
+    std::vector<std::pair<std::string, FaultPlan>> plans;
+    if (t.haveSlot) {
+        FaultPlan tag;
+        FaultPlan capmeta;
+        if (cheri) {
+            tag.site = FaultSite::TagClear;
+            tag.addr = t.slotAddr;
+            capmeta.site = FaultSite::DramWordFlip;
+            capmeta.addr = t.slotAddr + 4;
+            capmeta.bit = t.capmetaBit;
+        } else {
+            // Without tags or metadata the nearest physical analogue is
+            // a bit error in the stored pointer word itself.
+            tag.site = FaultSite::DramWordFlip;
+            tag.addr = t.slotAddr;
+            tag.bit = t.ptrTagBit;
+            capmeta.site = FaultSite::DramWordFlip;
+            capmeta.addr = t.slotAddr;
+            capmeta.bit = t.ptrMetaBit;
+        }
+        plans.emplace_back("tag", tag);
+        plans.emplace_back("capmeta", capmeta);
+    }
+    if (t.haveData) {
+        FaultPlan data;
+        data.site = FaultSite::DramWordFlip;
+        data.addr = t.dataAddr;
+        data.bit = t.dataBit;
+        plans.emplace_back("data", data);
+    }
+    return plans;
+}
+
+/** Run the campaign cases of one benchmark (one worker-pool task). */
+std::vector<FaultCase>
+runBenchCases(size_t bench_idx, const CampaignOptions &opts)
+{
+    const simt::SmConfig base_cfg = [&] {
+        simt::SmConfig cfg = opts.cheri ? simt::SmConfig::cheriOptimised()
+                                        : simt::SmConfig::baseline();
+        cfg.numSms = opts.sms;
+        return cfg;
+    }();
+    const kc::CompileOptions::Mode mode =
+        opts.cheri ? kc::CompileOptions::Mode::Purecap
+                   : kc::CompileOptions::Mode::Baseline;
+
+    // ---- Golden (fault-free) reference run ----
+    std::string name;
+    bool golden_ok = false;
+    uint64_t golden_cycles = 0;
+    Targets targets;
+    uint32_t heap_lo = 0, heap_hi = 0;
+    std::vector<std::pair<std::string, FaultPlan>> plans;
+    std::vector<uint64_t> golden_hashes;
+    {
+        auto suite = kernels::makeSuite();
+        kernels::Benchmark &bench = *suite.at(bench_idx);
+        name = bench.name();
+
+        nocl::Device dev(base_cfg, mode);
+        kernels::Prepared p = bench.prepare(dev, opts.size);
+        const nocl::RunResult golden =
+            dev.launch(*p.kernel, p.cfg, p.args);
+        golden_ok =
+            golden.completed && !golden.trapped && p.verify(dev);
+        golden_cycles = golden.cycles;
+        heap_lo = dev.heapStart();
+        heap_hi = dev.heapEnd();
+
+        targets = deriveTargets(p, golden, opts.seed, bench_idx);
+        plans = plansFor(targets, opts.cheri);
+
+        // One golden hash per case, each excluding that case's injected
+        // word (faults in the argument block sit below the heap and
+        // need no exclusion; the window is simply empty there).
+        for (const auto &[cls, plan] : plans) {
+            const uint32_t excl = plan.addr & ~3u;
+            golden_hashes.push_back(dev.dram().dataHash(
+                heap_lo, heap_hi - heap_lo, excl, 4));
+        }
+    }
+
+    // ---- One faulty re-run per class ----
+    std::vector<FaultCase> cases;
+    for (size_t c = 0; c < plans.size(); ++c) {
+        FaultCase fc;
+        fc.bench = name;
+        fc.cls = plans[c].first;
+        fc.plan = plans[c].second;
+        fc.goldenOk = golden_ok;
+
+        simt::SmConfig cfg = base_cfg;
+        cfg.faultPlan = fc.plan;
+        auto suite = kernels::makeSuite();
+        kernels::Benchmark &bench = *suite.at(bench_idx);
+        nocl::Device dev(cfg, mode);
+        kernels::Prepared p = bench.prepare(dev, opts.size);
+
+        nocl::LaunchPolicy policy;
+        policy.maxCycles = std::max<uint64_t>(golden_cycles * 4, 100'000);
+        policy.maxRetries = 0;
+        const nocl::RunResult run =
+            dev.launchWithPolicy(*p.kernel, p.cfg, p.args, policy);
+
+        fc.trapKind = run.trapKind;
+        fc.trapAddr = run.trapAddr;
+        fc.faultInjections = run.faultInjections;
+        fc.cycles = run.cycles;
+        fc.retries = run.retries;
+        fc.watchdog = run.watchdogFires;
+        fc.degraded = run.degraded;
+
+        if (run.trapped) {
+            fc.outcome = FaultOutcome::Detected;
+        } else {
+            const uint32_t excl = fc.plan.addr & ~3u;
+            const uint64_t hash = dev.dram().dataHash(
+                heap_lo, heap_hi - heap_lo, excl, 4);
+            const bool clean = run.completed && p.verify(dev) &&
+                               hash == golden_hashes[c];
+            fc.outcome =
+                clean ? FaultOutcome::Masked : FaultOutcome::Corrupt;
+        }
+        cases.push_back(std::move(fc));
+    }
+    return cases;
+}
+
+} // namespace
+
+const char *
+faultOutcomeName(FaultOutcome outcome)
+{
+    switch (outcome) {
+      case FaultOutcome::Detected:
+        return "detected";
+      case FaultOutcome::Masked:
+        return "masked";
+      case FaultOutcome::Corrupt:
+        return "corrupt";
+    }
+    return "corrupt";
+}
+
+uint64_t
+CampaignResult::classificationHash() const
+{
+    constexpr uint64_t kPrime = 1099511628211ull;
+    uint64_t h = 1469598103934665603ull;
+    const auto mix = [&](uint64_t v) { h = (h ^ v) * kPrime; };
+    for (const FaultCase &fc : cases) {
+        for (char ch : fc.bench)
+            mix(static_cast<uint64_t>(ch));
+        for (char ch : fc.cls)
+            mix(static_cast<uint64_t>(ch));
+        mix(static_cast<uint64_t>(fc.outcome));
+        mix(static_cast<uint64_t>(fc.trapKind));
+        mix(fc.trapAddr);
+    }
+    return h;
+}
+
+CampaignResult
+runFaultCampaign(const CampaignOptions &opts)
+{
+    const auto suite = kernels::makeSuite();
+    std::vector<size_t> selected;
+    for (size_t i = 0; i < suite.size(); ++i) {
+        bool keep = opts.filter.empty();
+        if (!keep) {
+            try {
+                const std::regex re(opts.filter);
+                keep = std::regex_search(suite[i]->name(), re);
+            } catch (const std::regex_error &e) {
+                fatal("bad campaign filter regex '%s': %s",
+                      opts.filter.c_str(), e.what());
+            }
+        }
+        if (keep)
+            selected.push_back(i);
+    }
+
+    // Benchmarks are independent tasks; each slot is written by exactly
+    // one worker, so completion order cannot affect the result.
+    std::vector<std::vector<FaultCase>> rows(selected.size());
+    unsigned n = opts.threads;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    n = std::min<unsigned>(n, static_cast<unsigned>(selected.size()));
+    if (n <= 1) {
+        for (size_t i = 0; i < selected.size(); ++i)
+            rows[i] = runBenchCases(selected[i], opts);
+    } else {
+        std::atomic<size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(n);
+        for (unsigned t = 0; t < n; ++t) {
+            pool.emplace_back([&] {
+                for (;;) {
+                    const size_t i = next.fetch_add(1);
+                    if (i >= rows.size())
+                        return;
+                    rows[i] = runBenchCases(selected[i], opts);
+                }
+            });
+        }
+        for (auto &worker : pool)
+            worker.join();
+    }
+
+    CampaignResult res;
+    for (auto &row : rows) {
+        for (FaultCase &fc : row) {
+            switch (fc.outcome) {
+              case FaultOutcome::Detected:
+                ++res.detected;
+                break;
+              case FaultOutcome::Masked:
+                ++res.masked;
+                break;
+              case FaultOutcome::Corrupt:
+                ++res.corrupt;
+                if (fc.cls != "data")
+                    ++res.protCorrupt;
+                break;
+            }
+            res.cases.push_back(std::move(fc));
+        }
+    }
+    return res;
+}
+
+} // namespace benchcommon

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Differential fault-injection campaign over the Table 1 benchmark
+ * suite (the robustness evaluation of the reproduction).
+ *
+ * Each benchmark is first run fault-free to obtain a golden
+ * architectural memory image; it is then re-run under one injected
+ * fault per class and the outcome is classified:
+ *
+ *  - Detected: the run raised a structured trap (including the
+ *    watchdog) -- the fault could not corrupt results silently;
+ *  - Masked: the run completed, its verifier passed, and the data-only
+ *    heap hash (excluding the injected word itself) is bit-identical
+ *    to the golden image -- the fault had no architectural effect;
+ *  - Corrupt: anything else -- silent corruption.
+ *
+ * Classes:
+ *  - "tag": the tag bit of the first pointer argument is cleared
+ *    (CHERI on) or a high pointer bit is flipped (CHERI off);
+ *  - "capmeta": a bit of the first pointer argument's capability
+ *    metadata word is flipped (CHERI on; the address lives in the data
+ *    word, so a metadata flip can perturb only bounds/perms/otype and
+ *    is detected-or-masked by construction) or a low pointer bit is
+ *    flipped (CHERI off);
+ *  - "data": a bit of the first input buffer is flipped -- plain data
+ *    corruption, outside any protection model's reach.
+ *
+ * With CHERI on the campaign must report zero silent corruptions for
+ * the "tag" and "capmeta" classes; with CHERI off the same pointer
+ * faults corrupt silently. All faults are applied once to the shared
+ * base DRAM at launch, so classification is bit-identical across
+ * repeats, seeds and --sms counts.
+ */
+
+#ifndef CHERI_SIMT_BENCH_FAULTCAMPAIGN_HPP_
+#define CHERI_SIMT_BENCH_FAULTCAMPAIGN_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/suite.hpp"
+#include "simt/config.hpp"
+#include "simt/trap.hpp"
+
+namespace benchcommon
+{
+
+enum class FaultOutcome : uint8_t
+{
+    Detected,
+    Masked,
+    Corrupt,
+};
+
+const char *faultOutcomeName(FaultOutcome outcome);
+
+/** One (benchmark, fault class) cell of the campaign. */
+struct FaultCase
+{
+    std::string bench;
+    std::string cls; ///< "tag" | "capmeta" | "data"
+    simt::FaultPlan plan;
+
+    FaultOutcome outcome = FaultOutcome::Corrupt;
+    simt::TrapKind trapKind = simt::TrapKind::None;
+    uint32_t trapAddr = 0;
+    uint64_t faultInjections = 0;
+    uint64_t cycles = 0;
+    unsigned retries = 0;
+    unsigned watchdog = 0;
+    bool degraded = false;
+
+    /** The fault-free reference run completed and verified. */
+    bool goldenOk = false;
+};
+
+struct CampaignOptions
+{
+    kernels::Size size = kernels::Size::Small;
+
+    /** Seeds the per-benchmark bit/word draws (support::Rng). */
+    uint64_t seed = 1;
+
+    /** true: cheriOptimised + pure-capability code; false: baseline. */
+    bool cheri = true;
+
+    unsigned sms = 1;
+    unsigned threads = 0; ///< worker threads over benchmarks (0 = auto)
+
+    /** ECMAScript regex over benchmark names; empty = all fourteen. */
+    std::string filter;
+};
+
+struct CampaignResult
+{
+    std::vector<FaultCase> cases; ///< suite order, three cases per bench
+
+    unsigned detected = 0;
+    unsigned masked = 0;
+    unsigned corrupt = 0;
+
+    /** Silent corruptions among the protection-relevant classes ("tag"
+     *  and "capmeta"). Must be zero with CHERI on. */
+    unsigned protCorrupt = 0;
+
+    /**
+     * Order-dependent fingerprint over every case's (bench, class,
+     * outcome, trap kind, trap address): equal hashes mean the two
+     * campaigns classified identically.
+     */
+    uint64_t classificationHash() const;
+};
+
+CampaignResult runFaultCampaign(const CampaignOptions &opts);
+
+} // namespace benchcommon
+
+#endif // CHERI_SIMT_BENCH_FAULTCAMPAIGN_HPP_

@@ -58,6 +58,8 @@ main(int argc, char **argv)
         return fail("size must be 'small' or 'full', got '" + size + "'");
     if (!doc.get("sms").isInt() || doc.get("sms").asUint() == 0)
         return fail("sms is not a positive integer");
+    if (!doc.get("seed").isInt())
+        return fail("seed is not an integer");
 
     const Value &results = doc.get("results");
     if (!results.isArray())
@@ -78,6 +80,25 @@ main(int argc, char **argv)
             return fail(where + ".cycles is not an integer");
         if (r.get("ok").asBool() && r.get("cycles").asUint() == 0)
             return fail(where + ": ok result with zero cycles");
+        for (const char *field : {"retries", "watchdog",
+                                  "fault_injections"})
+            if (!r.get(field).isInt())
+                return fail(where + "." + field + " is not an integer");
+        if (!r.get("degraded").isBool())
+            return fail(where + ".degraded is not a bool");
+        // Fault-campaign entries additionally classify the outcome.
+        if (!r.get("fault_outcome").isNull()) {
+            const std::string outcome = r.get("fault_outcome").asString();
+            if (outcome != "detected" && outcome != "masked" &&
+                outcome != "corrupt")
+                return fail(where + ".fault_outcome must be detected, "
+                                    "masked or corrupt, got '" +
+                            outcome + "'");
+            if (!r.get("fault_class").isString() ||
+                !r.get("fault_site").isString())
+                return fail(where + ": fault_outcome without "
+                                    "fault_class/fault_site");
+        }
         const Value &stats = r.get("stats");
         if (!stats.isObject())
             return fail(where + ".stats is not an object");

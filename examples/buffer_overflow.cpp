@@ -64,7 +64,7 @@ runOnce(bool cheri)
                                       : "baseline (no memory safety)");
     if (r.trapped) {
         std::printf("  kernel trapped: %s at address 0x%08x\n",
-                    r.trapKind.c_str(), r.trapAddr);
+                    simt::trapKindName(r.trapKind), r.trapAddr);
         std::printf("  the overread was stopped; nothing leaked\n");
     } else {
         const std::vector<uint32_t> leaked = dev.read32(out);

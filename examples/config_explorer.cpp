@@ -64,7 +64,7 @@ main(int argc, char **argv)
         const nocl::RunResult r = dev.launch(*p.kernel, p.cfg, p.args);
         if (!r.completed || r.trapped || !p.verify(dev)) {
             std::printf("%-18s FAILED (%s)\n", row.name,
-                        r.trapKind.c_str());
+                        simt::trapKindName(r.trapKind));
             continue;
         }
         if (base_cycles == 0)

@@ -171,8 +171,10 @@ main()
 
     if (!r1.completed || r1.trapped || !r2.completed || r2.trapped ||
         !r3.completed || r3.trapped) {
-        std::printf("pipeline failed: %s%s%s\n", r1.trapKind.c_str(),
-                    r2.trapKind.c_str(), r3.trapKind.c_str());
+        std::printf("pipeline failed: %s%s%s\n",
+                    simt::trapKindName(r1.trapKind),
+                    simt::trapKindName(r2.trapKind),
+                    simt::trapKindName(r3.trapKind));
         return 1;
     }
 

@@ -78,7 +78,7 @@ main()
          nocl::Arg::buffer(bo)});
 
     if (!r.completed || r.trapped) {
-        std::printf("kernel failed: %s\n", r.trapKind.c_str());
+        std::printf("kernel failed: %s\n", simt::trapKindName(r.trapKind));
         return 1;
     }
 

@@ -72,6 +72,15 @@ std::vector<std::unique_ptr<Benchmark>> makeSuite();
 /** A single benchmark by name (nullptr if unknown). */
 std::unique_ptr<Benchmark> makeBenchmark(const std::string &name);
 
+/**
+ * Process-wide workload seed mixed into every benchmark's input
+ * generator. The default, 0, reproduces the historical fixed inputs
+ * bit-identically; any other value deterministically perturbs all
+ * fourteen generators (the bench harnesses' --seed flag).
+ */
+void setWorkloadSeed(uint64_t seed);
+uint64_t workloadSeed();
+
 } // namespace kernels
 
 #endif // CHERI_SIMT_KERNELS_SUITE_HPP_

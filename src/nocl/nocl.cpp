@@ -230,10 +230,84 @@ Device::launch(kc::KernelDef &def, const LaunchConfig &cfg,
     return launchCompiled(compileCached(def, cfg), cfg, args);
 }
 
+uint32_t
+Device::heapStart() const
+{
+    return kHeapBase;
+}
+
 RunResult
 Device::launchCompiled(
-    const std::shared_ptr<const kc::CompiledKernel> &compiled_ptr,
+    const std::shared_ptr<const kc::CompiledKernel> &compiled,
     const LaunchConfig &cfg, const std::vector<Arg> &args)
+{
+    return launchAttempt(compiled, cfg, args, 2'000'000'000ull,
+                         /*defer_serial_fallback=*/false,
+                         /*force_serial=*/false);
+}
+
+RunResult
+Device::launchWithPolicy(kc::KernelDef &def, const LaunchConfig &cfg,
+                         const std::vector<Arg> &args,
+                         const LaunchPolicy &policy)
+{
+    return launchWithPolicy(compileCached(def, cfg), cfg, args, policy);
+}
+
+RunResult
+Device::launchWithPolicy(
+    const std::shared_ptr<const kc::CompiledKernel> &compiled,
+    const LaunchConfig &cfg, const std::vector<Arg> &args,
+    const LaunchPolicy &policy)
+{
+    // Snapshot the launch-visible DRAM (buffers + argument block) so a
+    // failed attempt can be replayed from identical state. MainMemory is
+    // a plain value type, so this is a straight copy.
+    const simt::MainMemory snapshot = dram();
+
+    const auto attempt = [&](bool force_serial) {
+        return launchAttempt(compiled, cfg, args, policy.maxCycles,
+                             /*defer_serial_fallback=*/!force_serial,
+                             force_serial);
+    };
+    const auto needs_retry = [](const RunResult &r) {
+        return (r.mergeFallback && !r.completed) ||
+               (r.trapped &&
+                r.trapKind == simt::TrapKind::WatchdogTimeout);
+    };
+
+    RunResult res = attempt(false);
+    unsigned retries = 0;
+    unsigned watchdog_total = res.watchdogFires;
+    while (needs_retry(res) && retries < policy.maxRetries) {
+        ++retries;
+        dram() = snapshot;
+        res = attempt(false);
+        watchdog_total += res.watchdogFires;
+    }
+    if (policy.degradeToSerial && numSms() > 1 && res.mergeFallback &&
+        !res.completed &&
+        !(res.trapped &&
+          res.trapKind == simt::TrapKind::WatchdogTimeout)) {
+        // Degradation is for merge conflicts only: a watchdog-stopped
+        // launch would simply time out again in serial form.
+        // Parallel execution keeps conflicting: give up on it and run
+        // the SMs one at a time for exact sequential semantics.
+        dram() = snapshot;
+        res = attempt(true);
+        watchdog_total += res.watchdogFires;
+        res.degraded = true;
+    }
+    res.retries = retries;
+    res.watchdogFires = watchdog_total;
+    return res;
+}
+
+RunResult
+Device::launchAttempt(
+    const std::shared_ptr<const kc::CompiledKernel> &compiled_ptr,
+    const LaunchConfig &cfg, const std::vector<Arg> &args,
+    uint64_t max_cycles, bool defer_serial_fallback, bool force_serial)
 {
     fatal_if(compiled_ptr == nullptr, "launchCompiled without a kernel");
     const kc::CompiledKernel &compiled = *compiled_ptr;
@@ -296,6 +370,18 @@ Device::launchCompiled(
         }
     }
 
+    // ---- Memory-site fault injection ----
+    //
+    // Tag / DRAM-word faults are applied once, here, to the shared base
+    // DRAM after the argument block is written: every SM (and every
+    // `--sms` count) then observes the identical corrupted image, which
+    // is what makes campaign classification SM-count-invariant. Runtime
+    // sites are handled inside each Sm instead.
+    unsigned memory_faults = 0;
+    if (smCfg_.faultPlan.memorySite() &&
+        simt::applyMemoryFault(smCfg_.faultPlan, dram()))
+        ++memory_faults;
+
     // ---- Special capability registers (all SMs share them) ----
     if (purecap) {
         cap::CapPipe stc =
@@ -324,7 +410,7 @@ Device::launchCompiled(
         simt::Sm &sm = *sms_[0];
         sm.loadProgram(compiled.code);
         sm.launch(0, warps_per_block);
-        const bool completed = sm.run();
+        const bool completed = sm.run(max_cycles);
 
         RunResult res;
         res.completed = completed;
@@ -332,6 +418,8 @@ Device::launchCompiled(
         if (res.trapped) {
             res.trapKind = sm.firstTrap().kind;
             res.trapAddr = sm.firstTrap().addr;
+            if (res.trapKind == simt::TrapKind::WatchdogTimeout)
+                res.watchdogFires = 1;
         }
         res.cycles = sm.cycles();
         res.stats = sm.stats();
@@ -341,6 +429,7 @@ Device::launchCompiled(
         res.rfCapRegMask = sm.regfile().capRegMask();
         res.hostNs = sm.hostNanos();
         res.smCycles = {res.cycles};
+        res.faultInjections = memory_faults + sm.faultFires();
         return res;
     }
 
@@ -356,33 +445,49 @@ Device::launchCompiled(
         sm->loadProgram(compiled.code);
 
     std::vector<uint8_t> completed(ns, 0);
-    memsys_->beginEpoch(ns);
-    {
-        std::vector<std::thread> workers;
-        workers.reserve(ns);
-        for (unsigned k = 0; k < ns; ++k) {
-            workers.emplace_back([&, k] {
-                sms_[k]->attachShard(&memsys_->shard(k));
-                sms_[k]->launch(0, warps_per_block);
-                completed[k] = sms_[k]->run() ? 1 : 0;
-                sms_[k]->attachShard(nullptr);
-            });
-        }
-        for (auto &w : workers)
-            w.join();
-    }
-    const simt::MemorySystem::MergeReport merge = memsys_->commitEpoch();
-    memsys_->endEpoch();
-
     RunResult res;
     res.numSms = ns;
     res.kernel = compiled_ptr;
 
-    if (merge.conflict) {
-        res.mergeFallback = true;
-        res.mergeFallbackReason = support::strprintf(
-            "%s at 0x%08x", merge.reason, merge.conflictAddr);
-        // Serial rerun: one SM at a time, each in its own
+    bool run_serially = force_serial;
+    bool aborted = false;
+    if (!force_serial) {
+        memsys_->beginEpoch(ns);
+        {
+            std::vector<std::thread> workers;
+            workers.reserve(ns);
+            for (unsigned k = 0; k < ns; ++k) {
+                workers.emplace_back([&, k] {
+                    sms_[k]->attachShard(&memsys_->shard(k));
+                    sms_[k]->launch(0, warps_per_block);
+                    completed[k] = sms_[k]->run(max_cycles) ? 1 : 0;
+                    sms_[k]->attachShard(nullptr);
+                });
+            }
+            for (auto &w : workers)
+                w.join();
+        }
+        const simt::MemorySystem::MergeReport merge =
+            memsys_->commitEpoch();
+        memsys_->endEpoch();
+
+        if (merge.conflict) {
+            res.mergeFallback = true;
+            res.mergeFallbackReason = support::strprintf(
+                "%s at 0x%08x", merge.reason, merge.conflictAddr);
+            if (defer_serial_fallback) {
+                // The conflicting epoch committed nothing; leave the
+                // launch incomplete and let the caller's policy decide
+                // between retry and serial degradation.
+                aborted = true;
+            } else {
+                run_serially = true;
+            }
+        }
+    }
+
+    if (run_serially) {
+        // Serial execution: one SM at a time, each in its own
         // single-shard epoch (a single shard can never conflict, so
         // its commit applies everything), giving exact sequential
         // semantics on the shared DRAM.
@@ -390,7 +495,7 @@ Device::launchCompiled(
             memsys_->beginEpoch(1);
             sms_[k]->attachShard(&memsys_->shard(0));
             sms_[k]->launch(0, warps_per_block);
-            completed[k] = sms_[k]->run() ? 1 : 0;
+            completed[k] = sms_[k]->run(max_cycles) ? 1 : 0;
             sms_[k]->attachShard(nullptr);
             const auto rep = memsys_->commitEpoch();
             panic_if(rep.conflict, "single-shard epoch conflicted");
@@ -411,6 +516,10 @@ Device::launchCompiled(
             res.trapKind = sm.firstTrap().kind;
             res.trapAddr = sm.firstTrap().addr;
         }
+        if (sm.trapped() &&
+            sm.firstTrap().kind == simt::TrapKind::WatchdogTimeout)
+            ++res.watchdogFires;
+        res.faultInjections += sm.faultFires();
         res.smCycles.push_back(sm.cycles());
         res.cycles = std::max(res.cycles, sm.cycles());
         cycles_sum += sm.cycles();
@@ -435,6 +544,9 @@ Device::launchCompiled(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)
             .count());
+    res.faultInjections += memory_faults;
+    if (aborted)
+        res.completed = false;
     return res;
 }
 

@@ -81,12 +81,29 @@ struct LaunchConfig
     unsigned capRegLimit = 0;
 };
 
+/**
+ * Containment policy for launchWithPolicy: a cycle watchdog plus a
+ * bounded retry/degradation ladder. A kernel that exceeds maxCycles is
+ * stopped and surfaces a watchdog-timeout structured trap instead of
+ * hanging the host. A launch that cannot be contained in parallel form
+ * (a watchdog fire, or a cross-SM merge conflict) is retried from a
+ * DRAM snapshot up to maxRetries times; a still-conflicting multi-SM
+ * launch then degrades to exact serial execution when degradeToSerial
+ * is set.
+ */
+struct LaunchPolicy
+{
+    uint64_t maxCycles = 2'000'000'000ull;
+    unsigned maxRetries = 1;
+    bool degradeToSerial = true;
+};
+
 /** Result of one kernel launch. */
 struct RunResult
 {
     bool completed = false;
     bool trapped = false;
-    std::string trapKind;
+    simt::TrapKind trapKind = simt::TrapKind::None;
     uint32_t trapAddr = 0;
 
     /** Modelled cycles: the slowest SM of the launch (max over SMs). */
@@ -107,6 +124,21 @@ struct RunResult
      */
     bool mergeFallback = false;
     std::string mergeFallbackReason;
+
+    // ---- Containment / fault-injection accounting ----
+
+    /** Retries launchWithPolicy spent before this (final) attempt. */
+    unsigned retries = 0;
+
+    /** Watchdog-timeout traps observed across all attempts. */
+    unsigned watchdogFires = 0;
+
+    /** launchWithPolicy gave up on parallel execution and ran serially. */
+    bool degraded = false;
+
+    /** Injected faults that actually fired (memory sites applied at
+     *  launch plus runtime sites that triggered during execution). */
+    uint64_t faultInjections = 0;
 
     /**
      * The code that ran. Shared, not owned: cached compilations are
@@ -216,12 +248,44 @@ class Device
     launchCompiled(const std::shared_ptr<const kc::CompiledKernel> &compiled,
                    const LaunchConfig &cfg, const std::vector<Arg> &args);
 
+    /**
+     * Launch under a containment policy: a watchdog bounds the cycle
+     * count, failed attempts (watchdog fire, or a multi-SM merge
+     * conflict) are retried from a DRAM snapshot, and a repeatedly
+     * conflicting parallel launch degrades to serial execution. The
+     * result carries retries / watchdogFires / degraded for reporting.
+     */
+    RunResult launchWithPolicy(
+        const std::shared_ptr<const kc::CompiledKernel> &compiled,
+        const LaunchConfig &cfg, const std::vector<Arg> &args,
+        const LaunchPolicy &policy = LaunchPolicy{});
+
+    RunResult launchWithPolicy(kc::KernelDef &def, const LaunchConfig &cfg,
+                               const std::vector<Arg> &args,
+                               const LaunchPolicy &policy = LaunchPolicy{});
+
     /** Compile without running (for inspecting generated code). */
     kc::CompiledKernel compileOnly(kc::KernelDef &def,
                                    const LaunchConfig &cfg) const;
 
+    /** Bounds of the device heap: [heapStart, heapEnd) covers every
+     *  buffer handed out by alloc() so far (campaign output hashing). */
+    uint32_t heapStart() const;
+    uint32_t heapEnd() const { return heapNext_; }
+
   private:
     kc::CompileOptions compileOptions(const LaunchConfig &cfg) const;
+
+    /**
+     * One launch attempt. @p defer_serial_fallback leaves a conflicting
+     * multi-SM epoch uncommitted (completed = false) instead of
+     * rerunning serially; @p force_serial skips the parallel epoch and
+     * runs the SMs one at a time for exact sequential semantics.
+     */
+    RunResult launchAttempt(
+        const std::shared_ptr<const kc::CompiledKernel> &compiled,
+        const LaunchConfig &cfg, const std::vector<Arg> &args,
+        uint64_t max_cycles, bool defer_serial_fallback, bool force_serial);
 
     simt::SmConfig smCfg_;
     kc::CompileOptions::Mode mode_;

@@ -23,6 +23,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "simt/faultinject.hpp"
+
 namespace simt
 {
 
@@ -160,6 +162,16 @@ struct SmConfig
 
     /** This SM's index in [0, numSms); selects its global-thread base. */
     unsigned smId = 0;
+
+    // ---- Fault injection ----
+
+    /**
+     * At most one injected fault for this launch (see simt/faultinject.hpp).
+     * Memory-site faults are applied once by the device to the shared
+     * DRAM; runtime sites arm a per-SM FaultInjector on the SMs selected
+     * by the plan's smMask. Default: disarmed, zero overhead.
+     */
+    FaultPlan faultPlan;
 
     // ---- Derived quantities ----
 

@@ -1,0 +1,97 @@
+#include "simt/faultinject.hpp"
+
+#include "simt/mem.hpp"
+#include "simt/regfile.hpp"
+
+namespace simt
+{
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+    case FaultSite::None:
+        return "none";
+    case FaultSite::TagClear:
+        return "tag-clear";
+    case FaultSite::TagSet:
+        return "tag-set";
+    case FaultSite::DramWordFlip:
+        return "dram-word-flip";
+    case FaultSite::MetaRfFlip:
+        return "meta-rf-flip";
+    case FaultSite::ScratchpadDropWrite:
+        return "scratchpad-drop-write";
+    case FaultSite::StuckLane:
+        return "stuck-lane";
+    }
+    return "unknown";
+}
+
+bool
+applyMemoryFault(const FaultPlan &plan, MainMemory &mem)
+{
+    if (!plan.memorySite())
+        return false;
+    const uint32_t addr = plan.addr & ~3u;
+    if (!MainMemory::contains(addr))
+        return false;
+    switch (plan.site) {
+    case FaultSite::TagClear:
+        mem.setWordTag(addr, false);
+        break;
+    case FaultSite::TagSet:
+        mem.setWordTag(addr, true);
+        break;
+    case FaultSite::DramWordFlip:
+        // store32 leaves the word's tag bit untouched, so a flip in the
+        // metadata half of a tagged capability keeps the tag: exactly a
+        // capability-metadata bit error.
+        mem.store32(addr, mem.load32(addr) ^ (1u << (plan.bit & 31u)));
+        break;
+    default:
+        return false;
+    }
+    return true;
+}
+
+bool
+FaultInjector::fireOneShot()
+{
+    if (done_ || !inWindow())
+        return false;
+    const uint64_t event = events_++;
+    if (event != plan_.nthEvent)
+        return false;
+    done_ = true;
+    ++fires_;
+    return true;
+}
+
+bool
+FaultInjector::shouldCorruptMetaWrite(unsigned warp, unsigned reg)
+{
+    if (plan_.site != FaultSite::MetaRfFlip)
+        return false;
+    if (plan_.warp != FaultPlan::kAnyIndex && plan_.warp != warp)
+        return false;
+    if (plan_.reg != FaultPlan::kAnyIndex && plan_.reg != reg)
+        return false;
+    return fireOneShot();
+}
+
+void
+FaultInjector::corruptMeta(CapMeta &m)
+{
+    m.meta ^= 1u << (plan_.bit & 31u);
+}
+
+bool
+FaultInjector::shouldDropStore()
+{
+    if (plan_.site != FaultSite::ScratchpadDropWrite)
+        return false;
+    return fireOneShot();
+}
+
+} // namespace simt

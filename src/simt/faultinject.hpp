@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated SM.
+ *
+ * A FaultPlan on SmConfig describes at most one hardware fault to inject
+ * into a launch. Two families exist:
+ *
+ *  - Launch-time *memory-site* faults (TagClear, TagSet, DramWordFlip)
+ *    corrupt one word of the shared DRAM image before execution starts.
+ *    The device applies them exactly once to the base memory, so a
+ *    multi-SM launch sees the identical corrupted image through every
+ *    shard and the architectural outcome is independent of the SM count.
+ *
+ *  - Runtime *structure-site* faults (MetaRfFlip, ScratchpadDropWrite,
+ *    StuckLane) hook the register-file and scratchpad write paths of the
+ *    SMs selected by smMask. They trigger on the Nth eligible event
+ *    inside a cycle window, so a repeated launch replays the fault
+ *    bit-identically.
+ *
+ * The plan carries no randomness itself: campaign drivers draw target
+ * addresses and bit indices from support::Rng with a fixed seed, which
+ * is what makes whole campaigns replayable.
+ *
+ * This header is included by simt/config.hpp and must stay free of
+ * other simt dependencies.
+ */
+
+#ifndef CHERI_SIMT_SIMT_FAULTINJECT_HPP_
+#define CHERI_SIMT_SIMT_FAULTINJECT_HPP_
+
+#include <cstdint>
+
+namespace simt
+{
+
+class MainMemory;
+struct CapMeta;
+
+/** Where a fault strikes (None = fault injection disabled). */
+enum class FaultSite : uint8_t
+{
+    None = 0,
+    TagClear,            ///< clear the tag bit of one memory word
+    TagSet,              ///< forge the tag bit of one memory word
+    DramWordFlip,        ///< flip one bit of one DRAM word
+    MetaRfFlip,          ///< flip one bit of a meta-RF write
+    ScratchpadDropWrite, ///< silently drop one scratchpad store
+    StuckLane,           ///< stuck-at bit on one vector lane's RF writes
+};
+
+/** Canonical string of a fault site (JSON / diagnostics). */
+const char *faultSiteName(FaultSite site);
+
+/** One injected fault: site, target, and trigger. */
+struct FaultPlan
+{
+    /** Wildcard for warp/reg selectors: match any index. */
+    static constexpr uint32_t kAnyIndex = 0xffffffffu;
+
+    FaultSite site = FaultSite::None;
+
+    /** Runtime-site trigger: the nthEvent'th eligible event (0 = the
+     *  first) whose cycle lies in [cycleMin, cycleMax]. StuckLane is a
+     *  persistent fault: it corrupts every write in the window.
+     *  Launch-time memory sites ignore the trigger. */
+    uint64_t cycleMin = 0;
+    uint64_t cycleMax = UINT64_MAX;
+    uint64_t nthEvent = 0;
+
+    uint32_t addr = 0;       ///< memory sites: target word address
+    uint32_t bit = 0;        ///< bit index within the 32-bit word
+    uint32_t stuckValue = 0; ///< StuckLane: value the bit is stuck at
+
+    uint32_t warp = kAnyIndex; ///< MetaRfFlip: target warp (or any)
+    uint32_t reg = kAnyIndex;  ///< MetaRfFlip: target register (or any)
+    uint32_t lane = 0;         ///< MetaRfFlip/StuckLane: target lane
+
+    /** SMs the runtime sites arm on (bit k = SM k). */
+    uint32_t smMask = 0xffffffffu;
+
+    bool armed() const { return site != FaultSite::None; }
+
+    bool
+    memorySite() const
+    {
+        return site == FaultSite::TagClear || site == FaultSite::TagSet ||
+               site == FaultSite::DramWordFlip;
+    }
+
+    bool runtimeSite() const { return armed() && !memorySite(); }
+
+    bool
+    appliesToSm(unsigned sm_id) const
+    {
+        return ((smMask >> (sm_id & 31u)) & 1u) != 0;
+    }
+};
+
+/**
+ * Apply a launch-time memory fault to @p mem. Returns true if the plan
+ * is a memory site and its target word lies in DRAM (the flip/clear was
+ * applied), false otherwise. DramWordFlip preserves the word's tag bit,
+ * which is how capability-metadata corruption of a tagged in-memory
+ * capability is modelled.
+ */
+bool applyMemoryFault(const FaultPlan &plan, MainMemory &mem);
+
+/**
+ * Per-SM runtime injector: owns the trigger state for the structure-site
+ * faults and is consulted from the register-file and scratchpad write
+ * paths (only when attached, so the fault-free hot path pays one null
+ * check). All methods are deterministic functions of the event stream.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan) : plan_(plan) {}
+
+    /** Re-arm for a fresh launch (same plan, event counts cleared). */
+    void
+    reset()
+    {
+        now_ = 0;
+        events_ = 0;
+        fires_ = 0;
+        done_ = false;
+    }
+
+    /** The SM's current cycle, advanced from the run loop. */
+    void setNow(uint64_t cycle) { now_ = cycle; }
+
+    /** Number of corruptions actually applied so far. */
+    uint64_t fires() const { return fires_; }
+
+    const FaultPlan &plan() const { return plan_; }
+
+    // ---- MetaRfFlip ----
+
+    /** Count a meta-RF write to (warp, reg); true = corrupt this one. */
+    bool shouldCorruptMetaWrite(unsigned warp, unsigned reg);
+
+    /** Flip the planned bit of @p m's metadata word (tag preserved). */
+    void corruptMeta(CapMeta &m);
+
+    // ---- StuckLane ----
+
+    /** Persistent stuck-at lane fault currently active? */
+    bool
+    stuckLaneActive() const
+    {
+        return plan_.site == FaultSite::StuckLane && inWindow();
+    }
+
+    /** Force the planned bit of @p value to the stuck level. Counts a
+     *  fire only when the value actually changes, so re-applying the
+     *  fault along a write path is idempotent. */
+    void
+    corruptLaneValue(uint32_t &value)
+    {
+        const uint32_t mask = 1u << (plan_.bit & 31u);
+        const uint32_t forced =
+            (value & ~mask) | (plan_.stuckValue ? mask : 0u);
+        if (forced != value) {
+            value = forced;
+            ++fires_;
+        }
+    }
+
+    // ---- ScratchpadDropWrite ----
+
+    /** Count a scratchpad store; true = drop this one. */
+    bool shouldDropStore();
+
+  private:
+    bool
+    inWindow() const
+    {
+        return now_ >= plan_.cycleMin && now_ <= plan_.cycleMax;
+    }
+
+    /** One-shot trigger: the nthEvent'th eligible event in the window. */
+    bool fireOneShot();
+
+    FaultPlan plan_;
+    uint64_t now_ = 0;
+    uint64_t events_ = 0;
+    uint64_t fires_ = 0;
+    bool done_ = false;
+};
+
+} // namespace simt
+
+#endif // CHERI_SIMT_SIMT_FAULTINJECT_HPP_

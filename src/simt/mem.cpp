@@ -142,6 +142,23 @@ MainMemory::contentHash() const
     return h;
 }
 
+uint64_t
+MainMemory::dataHash(uint32_t addr, uint32_t bytes, uint32_t exclude_addr,
+                     uint32_t exclude_bytes) const
+{
+    constexpr uint64_t kPrime = 1099511628211ull;
+    uint64_t h = 1469598103934665603ull;
+    for (uint32_t a = addr; a < addr + bytes; ++a) {
+        if (exclude_bytes != 0 && a >= exclude_addr &&
+            a < exclude_addr + exclude_bytes)
+            continue;
+        if (!contains(a))
+            continue;
+        h = (h ^ load8(a)) * kPrime;
+    }
+    return h;
+}
+
 std::vector<MemTransaction>
 Coalescer::coalesce(const std::vector<uint32_t> &addrs,
                     const LaneMask &active,

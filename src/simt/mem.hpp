@@ -64,6 +64,17 @@ class MainMemory
     /** Order-dependent hash of all bytes and word tags (parity tests). */
     uint64_t contentHash() const;
 
+    /**
+     * Data-only hash of [addr, addr+bytes), skipping the (optional)
+     * exclusion window [exclude_addr, exclude_addr+exclude_bytes). Tag
+     * bits are not hashed. Used by the fault-injection campaign to
+     * compare architectural output while masking out the word the fault
+     * itself corrupted.
+     */
+    uint64_t dataHash(uint32_t addr, uint32_t bytes,
+                      uint32_t exclude_addr = 0,
+                      uint32_t exclude_bytes = 0) const;
+
     /** Host-side bulk copy of @p bytes at @p addr into @p out
      *  (seeds MemShard overlay pages; see simt/memsys.hpp). */
     void copyOut(uint32_t addr, uint8_t *out, uint32_t bytes) const;

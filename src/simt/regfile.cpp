@@ -318,6 +318,17 @@ RegFileSystem::writeData(unsigned warp, unsigned reg,
 {
     if (reg == 0)
         return; // x0 is hardwired to zero
+
+    const std::vector<uint32_t> *src = &vals;
+    if (injector_ && injector_->stuckLaneActive()) {
+        const unsigned lane = injector_->plan().lane % cfg_.numLanes;
+        if (mask[lane]) {
+            faultDataScratch_ = vals;
+            injector_->corruptLaneValue(faultDataScratch_[lane]);
+            src = &faultDataScratch_;
+        }
+    }
+
     Entry &e = dataEntries_[entryIndex(warp, reg)];
 
     bool full_mask = true;
@@ -326,14 +337,14 @@ RegFileSystem::writeData(unsigned warp, unsigned reg,
 
     std::vector<uint32_t> merged;
     if (full_mask) {
-        merged = vals;
+        merged = *src;
     } else {
         if (e.kind == Kind::Spilled)
             unspillData(e, warp, reg, acc);
         expandData(e, merged);
         for (unsigned i = 0; i < cfg_.numLanes; ++i) {
             if (mask[i])
-                merged[i] = vals[i];
+                merged[i] = (*src)[i];
         }
     }
 
@@ -397,8 +408,16 @@ RegFileSystem::writeMeta(unsigned warp, unsigned reg,
     if (reg == 0)
         return;
 
+    const std::vector<CapMeta> *src = &vals;
+    if (injector_ && injector_->shouldCorruptMetaWrite(warp, reg)) {
+        faultMetaScratch_ = vals;
+        injector_->corruptMeta(
+            faultMetaScratch_[injector_->plan().lane % cfg_.numLanes]);
+        src = &faultMetaScratch_;
+    }
+
     for (unsigned i = 0; i < cfg_.numLanes; ++i) {
-        if (mask[i] && !vals[i].isNull()) {
+        if (mask[i] && !(*src)[i].isNull()) {
             panic_if(reg >= cfg_.metaRegsTracked,
                      "capability written to x%u, beyond the metadata "
                      "SRF's %u tracked registers",
@@ -413,7 +432,7 @@ RegFileSystem::writeMeta(unsigned warp, unsigned reg,
             static_cast<size_t>(entryIndex(warp, reg)) * cfg_.numLanes;
         for (unsigned i = 0; i < cfg_.numLanes; ++i) {
             if (mask[i])
-                flatMeta_[base + i] = vals[i];
+                flatMeta_[base + i] = (*src)[i];
         }
         return;
     }
@@ -426,14 +445,14 @@ RegFileSystem::writeMeta(unsigned warp, unsigned reg,
 
     std::vector<CapMeta> merged;
     if (full_mask) {
-        merged = vals;
+        merged = *src;
     } else {
         if (e.kind == Kind::Spilled)
             unspillMeta(e, warp, reg, acc);
         expandMeta(e, merged);
         for (unsigned i = 0; i < cfg_.numLanes; ++i) {
             if (mask[i])
-                merged[i] = vals[i];
+                merged[i] = (*src)[i];
         }
     }
 
@@ -585,6 +604,23 @@ RegFileSystem::writeDataAffine(unsigned warp, unsigned reg, uint32_t base,
 {
     if (reg == 0)
         return; // x0 is hardwired to zero
+
+    if (injector_ && injector_->stuckLaneActive()) {
+        // A stuck lane breaks the affine form: expand the sequence and
+        // take the general write path so the corrupted lane is stored
+        // (corruptLaneValue is idempotent, so the nested writeData call
+        // re-applying the stuck bit changes nothing).
+        faultDataScratch_.resize(cfg_.numLanes);
+        for (unsigned i = 0; i < cfg_.numLanes; ++i)
+            faultDataScratch_[i] =
+                base + static_cast<uint32_t>(stride) * i;
+        injector_->corruptLaneValue(
+            faultDataScratch_[injector_->plan().lane % cfg_.numLanes]);
+        const LaneMask full(cfg_.numLanes, 1);
+        writeData(warp, reg, faultDataScratch_, full, acc);
+        return;
+    }
+
     Entry &e = dataEntries_[entryIndex(warp, reg)];
 
     // compressData of the expanded sequence: single-lane vectors always
@@ -625,7 +661,11 @@ RegFileSystem::writeMetaUniform(unsigned warp, unsigned reg,
     if (reg == 0)
         return;
 
-    if (!value.isNull()) {
+    CapMeta stored = value;
+    if (injector_ && injector_->shouldCorruptMetaWrite(warp, reg))
+        injector_->corruptMeta(stored);
+
+    if (!stored.isNull()) {
         panic_if(reg >= cfg_.metaRegsTracked,
                  "capability written to x%u, beyond the metadata "
                  "SRF's %u tracked registers",
@@ -637,7 +677,7 @@ RegFileSystem::writeMetaUniform(unsigned warp, unsigned reg,
         const size_t base =
             static_cast<size_t>(entryIndex(warp, reg)) * cfg_.numLanes;
         for (unsigned i = 0; i < cfg_.numLanes; ++i)
-            flatMeta_[base + i] = value;
+            flatMeta_[base + i] = stored;
         return;
     }
 
@@ -647,8 +687,8 @@ RegFileSystem::writeMetaUniform(unsigned warp, unsigned reg,
         --metaVecCount_;
     }
     e.kind = Kind::Scalar;
-    e.base = value.meta;
-    e.tag = value.tag;
+    e.base = stored.meta;
+    e.tag = stored.tag;
     e.nullMask = 0;
     e.slot = -1;
 }

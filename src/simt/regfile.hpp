@@ -178,6 +178,13 @@ class RegFileSystem
     /** Reset all architectural registers to zero (kernel launch). */
     void reset();
 
+    /**
+     * Arm runtime fault injection on the write paths (MetaRfFlip /
+     * StuckLane sites; see simt/faultinject.hpp). nullptr -- the default
+     * -- is the fault-free configuration and costs one pointer check.
+     */
+    void attachFaultInjector(FaultInjector *inj) { injector_ = inj; }
+
     // ---- Occupancy, for Figure 10 and Table 2 ----
 
     /** Vector registers of each file currently resident in the VRF. */
@@ -279,6 +286,13 @@ class RegFileSystem
     unsigned metaVecCount_ = 0;
     uint32_t capRegMask_ = 0;
     uint64_t useClock_ = 0;
+
+    // Runtime fault injection (disarmed by default). The scratch buffers
+    // hold the corrupted copy of a write's values, so the const write
+    // interfaces stay unchanged.
+    FaultInjector *injector_ = nullptr;
+    std::vector<uint32_t> faultDataScratch_;
+    std::vector<CapMeta> faultMetaScratch_;
 };
 
 } // namespace simt

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "simt/faultinject.hpp"
 #include "support/logging.hpp"
 
 namespace simt
@@ -50,6 +51,8 @@ Scratchpad::load32(uint32_t addr) const
 void
 Scratchpad::store8(uint32_t addr, uint8_t value)
 {
+    if (injector_ && injector_->shouldDropStore())
+        return;
     uint32_t &w = words_[index(addr)];
     const unsigned shift = (addr & 3) * 8;
     w = (w & ~(0xffu << shift)) | (static_cast<uint32_t>(value) << shift);
@@ -58,6 +61,8 @@ Scratchpad::store8(uint32_t addr, uint8_t value)
 void
 Scratchpad::store16(uint32_t addr, uint16_t value)
 {
+    if (injector_ && injector_->shouldDropStore())
+        return;
     uint32_t &w = words_[index(addr)];
     const unsigned shift = (addr & 2) * 8;
     w = (w & ~(0xffffu << shift)) | (static_cast<uint32_t>(value) << shift);
@@ -66,6 +71,8 @@ Scratchpad::store16(uint32_t addr, uint16_t value)
 void
 Scratchpad::store32(uint32_t addr, uint32_t value)
 {
+    if (injector_ && injector_->shouldDropStore())
+        return;
     words_[index(addr)] = value;
 }
 

@@ -71,12 +71,20 @@ class Scratchpad
 
     void reset();
 
+    /**
+     * Arm the ScratchpadDropWrite fault site (see simt/faultinject.hpp):
+     * the injector may silently discard a store8/16/32. nullptr -- the
+     * default -- is fault-free.
+     */
+    void attachFaultInjector(FaultInjector *inj) { injector_ = inj; }
+
   private:
     size_t index(uint32_t addr) const;
 
     const SmConfig &cfg_;
     std::vector<uint32_t> words_;
     std::vector<bool> tags_;
+    FaultInjector *injector_ = nullptr;
 };
 
 } // namespace simt

@@ -196,6 +196,22 @@ Sm::Sm(const SmConfig &cfg)
     rs2Meta_.resize(cfg_.numLanes);
     resultMeta_.resize(cfg_.numLanes);
     storeCapTags_.resize(cfg_.numLanes);
+
+    // Runtime fault-injection sites hook the register-file and scratchpad
+    // write paths; memory sites (tag/DRAM-word flips) are applied by the
+    // launch layer, once, to the shared base DRAM instead.
+    if (cfg_.faultPlan.runtimeSite() &&
+        cfg_.faultPlan.appliesToSm(cfg_.smId)) {
+        injector_ = std::make_unique<FaultInjector>(cfg_.faultPlan);
+        regfile_.attachFaultInjector(injector_.get());
+        scratchpad_.attachFaultInjector(injector_.get());
+    }
+}
+
+uint64_t
+Sm::faultFires() const
+{
+    return injector_ ? injector_->fires() : 0;
 }
 
 void
@@ -267,6 +283,8 @@ Sm::launch(uint32_t entry_pc, unsigned warps_per_block)
     tagController_.reset();
     stackCache_.reset();
     dramTimer_.reset();
+    if (injector_)
+        injector_->reset();
     stats_.clear();
     std::fill(opCounts_.begin(), opCounts_.end(), 0);
 
@@ -327,9 +345,25 @@ Sm::haltThread(unsigned warp, unsigned lane)
 
 void
 Sm::trap(unsigned warp, unsigned lane, uint32_t pc, Op op, uint32_t addr,
-         const char *kind)
+         TrapKind kind)
 {
     statCheriTraps_.add();
+    if (!firstTrap_.trapped) {
+        firstTrap_.trapped = true;
+        firstTrap_.pc = pc;
+        firstTrap_.addr = addr;
+        firstTrap_.warp = warp;
+        firstTrap_.lane = lane;
+        firstTrap_.op = op;
+        firstTrap_.kind = kind;
+    }
+    haltThread(warp, lane);
+}
+
+void
+Sm::containmentTrap(unsigned warp, unsigned lane, uint32_t pc, Op op,
+                    uint32_t addr, TrapKind kind)
+{
     if (!firstTrap_.trapped) {
         firstTrap_.trapped = true;
         firstTrap_.pc = pc;
@@ -433,6 +467,8 @@ Sm::run(uint64_t max_cycles)
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)
             .count());
+    if (injector_)
+        stats_.set("fault_injections", injector_->fires());
     return ok;
 }
 
@@ -440,6 +476,8 @@ bool
 Sm::runLoop(uint64_t max_cycles)
 {
     while (now_ < max_cycles) {
+        if (injector_)
+            injector_->setNow(now_);
         if (liveWarps_ == 0) {
             // Fold per-op counts into the stat set.
             for (size_t i = 0; i < opCounts_.size(); ++i) {
@@ -472,7 +510,8 @@ Sm::runLoop(uint64_t max_cycles)
                     next = std::min(next, w.readyAt);
             }
             if (next == std::numeric_limits<uint64_t>::max()) {
-                warn("deadlock: all live warps waiting at a barrier");
+                if (support::verbose())
+                    warn("deadlock: all live warps waiting at a barrier");
                 // Surface the deadlock as a structured trap so harnesses
                 // (and the multi-SM merge) can detect it without
                 // scraping stderr. Recorded directly rather than via
@@ -485,7 +524,7 @@ Sm::runLoop(uint64_t max_cycles)
                             continue;
                         firstTrap_.trapped = true;
                         firstTrap_.warp = wid;
-                        firstTrap_.kind = "barrier-deadlock";
+                        firstTrap_.kind = TrapKind::BarrierDeadlock;
                         firstTrap_.addr = 0;
                         for (unsigned lane = 0; lane < cfg_.numLanes;
                              ++lane) {
@@ -514,8 +553,33 @@ Sm::runLoop(uint64_t max_cycles)
         metaOccAccum_ += regfile_.metaVectorsInVrf() * slot_cycles;
         now_ += slot_cycles;
     }
-    warn("kernel did not complete within %llu cycles",
-         static_cast<unsigned long long>(max_cycles));
+    if (support::verbose())
+        warn("kernel did not complete within %llu cycles",
+             static_cast<unsigned long long>(max_cycles));
+    // Surface the timeout as a structured trap so launch policies can
+    // contain runaway kernels without scraping stderr. Like the
+    // barrier-deadlock trap this is recorded directly, not via trap():
+    // it is a containment event, not a CHERI violation, so the
+    // cheri-trap counter must not move.
+    if (!firstTrap_.trapped) {
+        firstTrap_.trapped = true;
+        firstTrap_.kind = TrapKind::WatchdogTimeout;
+        firstTrap_.addr = 0;
+        for (unsigned wid = 0; wid < cfg_.numWarps; ++wid) {
+            const Warp &w = warps_[wid];
+            if (w.done())
+                continue;
+            firstTrap_.warp = wid;
+            for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                if (!w.halted[lane]) {
+                    firstTrap_.lane = lane;
+                    firstTrap_.pc = w.pc[lane];
+                    break;
+                }
+            }
+            break;
+        }
+    }
     return false;
 }
 
@@ -714,7 +778,7 @@ Sm::executeAluLane(Warp &w, unsigned wid, unsigned lane, const Instr &in,
       case Op::CSPECIALRW: {
         const auto scr_idx = static_cast<isa::Scr>(imm & 0x1f);
         if (scr_idx >= isa::NUM_SCRS) {
-            trap(wid, lane, pc, op, scr_idx, "bad scr index");
+            trap(wid, lane, pc, op, scr_idx, TrapKind::BadScrIndex);
             active_[lane] = false;
             break;
         }
@@ -746,7 +810,7 @@ Sm::executeAluLane(Warp &w, unsigned wid, unsigned lane, const Instr &in,
         const cap::SetBoundsResult res =
             cap::setBounds(cap1(), len);
         if (op == Op::CSETBOUNDSEXACT && !res.exact) {
-            trap(wid, lane, pc, op, a, "inexact bounds");
+            trap(wid, lane, pc, op, a, TrapKind::InexactBounds);
             active_[lane] = false;
             break;
         }
@@ -986,7 +1050,7 @@ Sm::executeWarp(unsigned wid)
     if (pc % 4 != 0 || idx >= decoded_->size()) {
         for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
             if (active_[lane])
-                trap(wid, lane, pc, Op::ILLEGAL, pc, "bad fetch pc");
+                trap(wid, lane, pc, Op::ILLEGAL, pc, TrapKind::BadFetchPc);
         }
         return 1;
     }
@@ -996,7 +1060,8 @@ Sm::executeWarp(unsigned wid)
             !cap::isRangeInBounds(pcc, pc, 4)) {
             for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
                 if (active_[lane])
-                    trap(wid, lane, pc, Op::ILLEGAL, pc, "pcc violation");
+                    trap(wid, lane, pc, Op::ILLEGAL, pc,
+                         TrapKind::PccViolation);
             }
             return 1;
         }
@@ -1007,7 +1072,7 @@ Sm::executeWarp(unsigned wid)
     if (op == Op::ILLEGAL) {
         for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
             if (active_[lane])
-                trap(wid, lane, pc, op, pc, "illegal instruction");
+                trap(wid, lane, pc, op, pc, TrapKind::IllegalInstruction);
         }
         return 1;
     }
@@ -1139,7 +1204,7 @@ Sm::executeWarp(unsigned wid)
                     return false; // TCIM / unmapped / mixed regions
 
                 CapPipe c0{};
-                const char *fault = nullptr;
+                TrapKind fault = TrapKind::None;
                 if (cfg_.purecap) {
                     const CapMeta m1 = rs1m.value;
                     c0 = capFromParts(rs1d.base, m1);
@@ -1147,14 +1212,14 @@ Sm::executeWarp(unsigned wid)
                     // condition here is address-independent, so one
                     // verdict covers the warp.
                     if (!m1.tag)
-                        fault = "tag violation";
+                        fault = TrapKind::TagViolation;
                     else if (c0.isSealed())
-                        fault = "seal violation";
+                        fault = TrapKind::SealViolation;
                     else if ((is_store || is_atomic) &&
                              !(c0.perms & cap::PERM_STORE))
-                        fault = "store permission violation";
+                        fault = TrapKind::StorePermViolation;
                     else if (!is_store && !(c0.perms & cap::PERM_LOAD))
-                        fault = "load permission violation";
+                        fault = TrapKind::LoadPermViolation;
                     else if (op == Op::CSC &&
                              !(c0.perms & cap::PERM_STORE_CAP)) {
                         // Faults only on lanes storing a tagged source:
@@ -1175,10 +1240,10 @@ Sm::executeWarp(unsigned wid)
                         if (!uniform)
                             return false;
                         if (tag0)
-                            fault = "store-cap permission violation";
+                            fault = TrapKind::StoreCapPermViolation;
                     }
                 }
-                if (!fault) {
+                if (fault == TrapKind::None) {
                     // Stride a multiple of the access width makes the
                     // alignment residue uniform across lanes.
                     if (static_cast<uint32_t>(rs1d.stride) % bytes != 0)
@@ -1188,10 +1253,10 @@ Sm::executeWarp(unsigned wid)
                             panic("misaligned %s at 0x%08x (baseline)",
                                   isa::opName(op).c_str(),
                                   static_cast<uint32_t>(v_lo));
-                        fault = "misaligned access";
+                        fault = TrapKind::MisalignedAccess;
                     }
                 }
-                if (cfg_.purecap && !fault) {
+                if (cfg_.purecap && fault == TrapKind::None) {
                     // getBounds depends on the address only through
                     // addr >> (exponent + MW - 3); if that is constant
                     // over [n_min, n_max], one decode gives the bounds
@@ -1218,11 +1283,11 @@ Sm::executeWarp(unsigned wid)
                             n_max < bnd.base;
                         if (!all_fail)
                             return false;
-                        fault = "bounds violation";
+                        fault = TrapKind::BoundsViolation;
                     }
                 }
 
-                if (fault) {
+                if (fault != TrapKind::None) {
                     // Every active lane takes the same trap, in lane
                     // order, with its own (closed-form) address.
                     for (unsigned lane = 0; lane < cfg_.numLanes;
@@ -1471,35 +1536,58 @@ Sm::executeWarp(unsigned wid)
                     continue;
                 CapPipe c = cap1(lane);
                 c = cap::setAddr(c, addrs_[lane]);
-                const char *fault = nullptr;
+                TrapKind fault = TrapKind::None;
                 if (!rs1Meta_[lane].tag)
-                    fault = "tag violation";
+                    fault = TrapKind::TagViolation;
                 else if (rs1Meta_[lane].tag &&
                          capFromParts(rs1Data_[lane], rs1Meta_[lane])
                              .isSealed())
-                    fault = "seal violation";
+                    fault = TrapKind::SealViolation;
                 else if ((is_store || is_atomic) &&
                          !(c.perms & cap::PERM_STORE))
-                    fault = "store permission violation";
+                    fault = TrapKind::StorePermViolation;
                 else if (!is_store && !(c.perms & cap::PERM_LOAD))
-                    fault = "load permission violation";
+                    fault = TrapKind::LoadPermViolation;
                 else if (op == Op::CSC && rs2Meta_[lane].tag &&
                          !(c.perms & cap::PERM_STORE_CAP))
-                    fault = "store-cap permission violation";
+                    fault = TrapKind::StoreCapPermViolation;
                 else if (addrs_[lane] % bytes != 0)
-                    fault = "misaligned access";
+                    fault = TrapKind::MisalignedAccess;
                 else if (!cap::isRangeInBounds(c, addrs_[lane], bytes))
-                    fault = "bounds violation";
-                if (fault) {
+                    fault = TrapKind::BoundsViolation;
+                if (fault != TrapKind::None) {
                     trap(wid, lane, pc, op, addrs_[lane], fault);
                     active_[lane] = false;
                 }
             }
         } else {
+            // The baseline machine performs no capability checks, but a
+            // misaligned address still faults the lane rather than the
+            // host: corrupted data used as a pointer stays contained.
             for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
-                if (active_[lane] && addrs_[lane] % bytes != 0)
-                    panic("misaligned %s at 0x%08x (baseline)",
-                          isa::opName(op).c_str(), addrs_[lane]);
+                if (active_[lane] && addrs_[lane] % bytes != 0) {
+                    containmentTrap(wid, lane, pc, op, addrs_[lane],
+                                    TrapKind::MisalignedAccess);
+                    active_[lane] = false;
+                }
+            }
+        }
+
+        // Containment: a lane whose address maps to no memory region
+        // faults rather than aborting the host. TCIM is load-only and
+        // never backs capability or atomic accesses.
+        const bool tcim_ok = !is_store && !is_atomic && !is_cap_access;
+        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+            if (!active_[lane])
+                continue;
+            const uint32_t a = addrs_[lane];
+            bool mapped = Scratchpad::contains(a) || MainMemory::contains(a);
+            if (!mapped && tcim_ok)
+                mapped = a >= kTcimBase && a < kTcimBase + kTcimSize;
+            if (!mapped) {
+                containmentTrap(wid, lane, pc, op, a,
+                                TrapKind::UnmappedAccess);
+                active_[lane] = false;
             }
         }
 
@@ -1700,7 +1788,7 @@ Sm::executeWarp(unsigned wid)
                     cap::setBounds(cap1(lane), len);
                 if (op == Op::CSETBOUNDSEXACT && !r.exact) {
                     trap(wid, lane, pc, op, rs1Data_[lane],
-                         "inexact bounds");
+                         TrapKind::InexactBounds);
                     active_[lane] = false;
                     break;
                 }
@@ -2134,16 +2222,16 @@ Sm::executeWarp(unsigned wid)
                 (rs1d.base + static_cast<uint32_t>(imm)) & ~1u;
             if (cfg_.purecap) {
                 CapPipe c = capFromParts(rs1d.base, rs1m.value);
-                const char *fault = nullptr;
+                TrapKind fault = TrapKind::None;
                 if (!c.tag)
-                    fault = "jump tag violation";
+                    fault = TrapKind::JumpTagViolation;
                 else if (c.isSealed() && (!c.isSentry() || imm != 0))
-                    fault = "jump seal violation";
+                    fault = TrapKind::JumpSealViolation;
                 else if (!(c.perms & cap::PERM_EXECUTE))
-                    fault = "jump permission violation";
+                    fault = TrapKind::JumpPermViolation;
                 else if (!cap::isRangeInBounds(c, target, 4))
-                    fault = "jump bounds violation";
-                if (fault) {
+                    fault = TrapKind::JumpBoundsViolation;
+                if (fault != TrapKind::None) {
                     for (unsigned lane = 0; lane < cfg_.numLanes;
                          ++lane) {
                         if (!active_[lane])
@@ -2196,16 +2284,16 @@ Sm::executeWarp(unsigned wid)
                     (a + static_cast<uint32_t>(imm)) & ~1u;
                 if (cfg_.purecap) {
                     CapPipe c = capFromParts(a, rs1m.at(lane));
-                    const char *fault = nullptr;
+                    TrapKind fault = TrapKind::None;
                     if (!c.tag)
-                        fault = "jump tag violation";
+                        fault = TrapKind::JumpTagViolation;
                     else if (c.isSealed() && (!c.isSentry() || imm != 0))
-                        fault = "jump seal violation";
+                        fault = TrapKind::JumpSealViolation;
                     else if (!(c.perms & cap::PERM_EXECUTE))
-                        fault = "jump permission violation";
+                        fault = TrapKind::JumpPermViolation;
                     else if (!cap::isRangeInBounds(c, target, 4))
-                        fault = "jump bounds violation";
-                    if (fault) {
+                        fault = TrapKind::JumpBoundsViolation;
+                    if (fault != TrapKind::None) {
                         trap(wid, lane, pc, op, target, fault);
                         active_[lane] = false;
                         continue;
@@ -2255,7 +2343,7 @@ Sm::executeWarp(unsigned wid)
             if (!active_[lane])
                 continue;
             statSoftBoundsTraps_.add();
-            trap(wid, lane, pc, op, 0, "software bounds trap");
+            trap(wid, lane, pc, op, 0, TrapKind::SoftwareBoundsTrap);
         }
     } else {
         // Everything else (including SIMT_BARRIER) falls through to the

@@ -34,13 +34,14 @@
 #include "simt/memsys.hpp"
 #include "simt/regfile.hpp"
 #include "simt/scratchpad.hpp"
+#include "simt/trap.hpp"
 #include "support/logging.hpp"
 #include "support/stats.hpp"
 
 namespace simt
 {
 
-/** Description of the first CHERI trap taken, for diagnostics and tests. */
+/** Description of the first trap taken, for diagnostics and tests. */
 struct TrapInfo
 {
     bool trapped = false;
@@ -49,7 +50,7 @@ struct TrapInfo
     unsigned warp = 0;
     unsigned lane = 0;
     isa::Op op = isa::Op::ILLEGAL;
-    std::string kind;
+    TrapKind kind = TrapKind::None;
 };
 
 class Sm
@@ -104,6 +105,9 @@ class Sm
     uint64_t cycles() const { return now_; }
     const TrapInfo &firstTrap() const { return firstTrap_; }
     bool trapped() const { return firstTrap_.trapped; }
+
+    /** Times the configured fault plan's runtime site actually fired. */
+    uint64_t faultFires() const;
 
     /** Host wall-clock time spent inside run() since the last launch().
      *  Host-side measurement only -- deliberately kept out of the StatSet
@@ -169,7 +173,13 @@ class Sm
     bool runLoop(uint64_t max_cycles);
 
     void trap(unsigned warp, unsigned lane, uint32_t pc, isa::Op op,
-              uint32_t addr, const char *kind);
+              uint32_t addr, TrapKind kind);
+
+    /** Like trap(), but for machine containment faults (unmapped or
+     *  baseline-misaligned accesses) that are not CHERI checks and so
+     *  must not move the cheri_traps counter. */
+    void containmentTrap(unsigned warp, unsigned lane, uint32_t pc,
+                         isa::Op op, uint32_t addr, TrapKind kind);
 
     /** Per-lane memory access helpers (functional + routing). */
     uint32_t loadValue(uint32_t addr, unsigned log_width, bool sign);
@@ -238,6 +248,12 @@ class Sm
     support::StatSet stats_;
     MainMemory dram_;
     MemShard *shard_ = nullptr;
+
+    // Runtime fault injection (nullptr unless cfg_.faultPlan arms a
+    // runtime site that applies to this SM). Owned here; attached to the
+    // register file and scratchpad write paths.
+    std::unique_ptr<FaultInjector> injector_;
+
     Scratchpad scratchpad_;
     DramTimer dramTimer_;
     TagController tagController_;

@@ -1,0 +1,71 @@
+#include "simt/trap.hpp"
+
+#include <ostream>
+
+namespace simt
+{
+
+namespace
+{
+
+struct TrapName
+{
+    TrapKind kind;
+    const char *name;
+};
+
+// The spellings are part of the cheri-simt-bench-v1 JSON schema; do not
+// reword them without bumping the schema.
+constexpr TrapName kTrapNames[] = {
+    {TrapKind::None, ""},
+    {TrapKind::TagViolation, "tag violation"},
+    {TrapKind::SealViolation, "seal violation"},
+    {TrapKind::LoadPermViolation, "load permission violation"},
+    {TrapKind::StorePermViolation, "store permission violation"},
+    {TrapKind::StoreCapPermViolation, "store-cap permission violation"},
+    {TrapKind::MisalignedAccess, "misaligned access"},
+    {TrapKind::BoundsViolation, "bounds violation"},
+    {TrapKind::JumpTagViolation, "jump tag violation"},
+    {TrapKind::JumpSealViolation, "jump seal violation"},
+    {TrapKind::JumpPermViolation, "jump permission violation"},
+    {TrapKind::JumpBoundsViolation, "jump bounds violation"},
+    {TrapKind::InexactBounds, "inexact bounds"},
+    {TrapKind::PccViolation, "pcc violation"},
+    {TrapKind::BadFetchPc, "bad fetch pc"},
+    {TrapKind::IllegalInstruction, "illegal instruction"},
+    {TrapKind::BadScrIndex, "bad scr index"},
+    {TrapKind::UnmappedAccess, "unmapped access"},
+    {TrapKind::SoftwareBoundsTrap, "software bounds trap"},
+    {TrapKind::BarrierDeadlock, "barrier-deadlock"},
+    {TrapKind::WatchdogTimeout, "watchdog-timeout"},
+};
+
+} // namespace
+
+const char *
+trapKindName(TrapKind kind)
+{
+    for (const TrapName &entry : kTrapNames) {
+        if (entry.kind == kind)
+            return entry.name;
+    }
+    return "unknown";
+}
+
+TrapKind
+trapKindFromName(std::string_view name)
+{
+    for (const TrapName &entry : kTrapNames) {
+        if (name == entry.name)
+            return entry.kind;
+    }
+    return TrapKind::None;
+}
+
+std::ostream &
+operator<<(std::ostream &os, TrapKind kind)
+{
+    return os << trapKindName(kind);
+}
+
+} // namespace simt

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The structured trap taxonomy of the simulated SM. Every precise trap
+ * the pipeline can raise -- CHERI check failures, fetch/decode faults,
+ * barrier deadlock, and the launch watchdog -- is one enumerator, so
+ * hosts and tests switch on trap kinds instead of comparing strings.
+ * The JSON results schema keeps the historical string spellings via
+ * trapKindName()/trapKindFromName().
+ */
+
+#ifndef CHERI_SIMT_SIMT_TRAP_HPP_
+#define CHERI_SIMT_SIMT_TRAP_HPP_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+namespace simt
+{
+
+/** Every precise trap the SM can raise (None = no trap). */
+enum class TrapKind : uint8_t
+{
+    None = 0,
+
+    // CHERI memory-access checks, in the priority order the pipeline
+    // applies them (tag, seal, permission, alignment, bounds).
+    TagViolation,
+    SealViolation,
+    LoadPermViolation,
+    StorePermViolation,
+    StoreCapPermViolation,
+    MisalignedAccess,
+    BoundsViolation,
+
+    // CHERI jump-target checks (JALR through a capability).
+    JumpTagViolation,
+    JumpSealViolation,
+    JumpPermViolation,
+    JumpBoundsViolation,
+
+    // Capability-manipulation and fetch faults.
+    InexactBounds,
+    PccViolation,
+    BadFetchPc,
+    IllegalInstruction,
+    BadScrIndex,
+
+    // Machine containment: an access whose address maps to no memory
+    // region (reachable on the baseline machine, or when fault-injected
+    // data flows into address arithmetic) faults the lane instead of
+    // aborting the host process.
+    UnmappedAccess,
+
+    // Software-raised and launch-level conditions.
+    SoftwareBoundsTrap,
+    BarrierDeadlock,
+    WatchdogTimeout,
+};
+
+/** Canonical string of a trap kind ("" for None); stable JSON spelling. */
+const char *trapKindName(TrapKind kind);
+
+/** Inverse of trapKindName; unknown or empty names map to None. */
+TrapKind trapKindFromName(std::string_view name);
+
+/** Stream the canonical name (gtest failure messages). */
+std::ostream &operator<<(std::ostream &os, TrapKind kind);
+
+} // namespace simt
+
+#endif // CHERI_SIMT_SIMT_TRAP_HPP_

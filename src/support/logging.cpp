@@ -25,7 +25,28 @@ vformat(const char *fmt, va_list ap)
     return std::string(buf.data(), static_cast<size_t>(n));
 }
 
+int g_verbose = -1; // -1: consult the environment on first use
+
 } // namespace
+
+bool
+verbose()
+{
+    if (g_verbose < 0) {
+        const char *env = std::getenv("CHERI_SIMT_VERBOSE");
+        g_verbose = (env != nullptr && env[0] != '\0' &&
+                     !(env[0] == '0' && env[1] == '\0'))
+                        ? 1
+                        : 0;
+    }
+    return g_verbose != 0;
+}
+
+void
+setVerbose(bool on)
+{
+    g_verbose = on ? 1 : 0;
+}
 
 std::string
 strprintf(const char *fmt, ...)

@@ -30,6 +30,16 @@ void warnImpl(const char *file, int line, const char *fmt, ...)
 std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/**
+ * Whether advisory diagnostics (verbose-only warn() sites) should print.
+ * Defaults to quiet; set the CHERI_SIMT_VERBOSE environment variable to a
+ * non-empty value other than "0", or call setVerbose(true), to enable.
+ * Conditions that matter architecturally are surfaced as structured traps
+ * regardless of this flag.
+ */
+bool verbose();
+void setVerbose(bool on);
+
 } // namespace support
 
 #define panic(...) ::support::panicImpl(__FILE__, __LINE__, __VA_ARGS__)

@@ -258,7 +258,7 @@ expectTrapParity(Op access)
     ASSERT_TRUE(fast.trapped());
     ASSERT_TRUE(slow.trapped());
     expectSameTrap(fast.firstTrap(), slow.firstTrap());
-    EXPECT_EQ(fast.firstTrap().kind, "bounds violation");
+    EXPECT_EQ(fast.firstTrap().kind, simt::TrapKind::BoundsViolation);
     EXPECT_EQ(fast.firstTrap().warp, 0u);
     EXPECT_EQ(fast.firstTrap().lane, 4u); // first out-of-bounds lane
     EXPECT_EQ(fast.cycles(), slow.cycles());

@@ -300,7 +300,7 @@ TEST(KcSafety, OverreadTrapsUnderCheri)
         k, cfg, {Arg::integer(n), Arg::buffer(bi), Arg::buffer(bo)});
     ASSERT_TRUE(r.completed);
     EXPECT_TRUE(r.trapped);
-    EXPECT_EQ(r.trapKind, "bounds violation");
+    EXPECT_EQ(r.trapKind, simt::TrapKind::BoundsViolation);
 }
 
 TEST(KcSafety, OverreadTrapsUnderSoftBounds)
@@ -317,7 +317,7 @@ TEST(KcSafety, OverreadTrapsUnderSoftBounds)
         k, cfg, {Arg::integer(n), Arg::buffer(bi), Arg::buffer(bo)});
     ASSERT_TRUE(r.completed);
     EXPECT_TRUE(r.trapped);
-    EXPECT_EQ(r.trapKind, "software bounds trap");
+    EXPECT_EQ(r.trapKind, simt::TrapKind::SoftwareBoundsTrap);
     EXPECT_GT(r.stats.get("soft_bounds_traps"), 0u);
 }
 

@@ -269,7 +269,7 @@ struct Outcome
     bool completed = false;
     bool verified = false;
     bool trapped = false;
-    std::string trapKind;
+    simt::TrapKind trapKind = simt::TrapKind::None;
     bool mergeFallback = false;
     uint64_t cycles = 0;
     std::vector<uint64_t> smCycles;
@@ -457,7 +457,7 @@ TEST(BarrierDeadlock, SurfacedAsStructuredTrap)
 
     EXPECT_FALSE(sm.run());
     ASSERT_TRUE(sm.trapped());
-    EXPECT_EQ(sm.firstTrap().kind, "barrier-deadlock");
+    EXPECT_EQ(sm.firstTrap().kind, simt::TrapKind::BarrierDeadlock);
     EXPECT_EQ(sm.firstTrap().warp, 0u);
     EXPECT_EQ(sm.firstTrap().addr, 0u);
 

@@ -63,7 +63,7 @@ TEST(Safety, AndPermDroppingStoreMakesStoresTrap)
     simt::Sm sm(tinyCheri());
     runAsm(sm, a);
     EXPECT_TRUE(sm.trapped());
-    EXPECT_EQ(sm.firstTrap().kind, "store permission violation");
+    EXPECT_EQ(sm.firstTrap().kind, simt::TrapKind::StorePermViolation);
 }
 
 TEST(Safety, SealedCapabilityCannotBeDereferenced)
@@ -79,7 +79,7 @@ TEST(Safety, SealedCapabilityCannotBeDereferenced)
     simt::Sm sm(tinyCheri());
     runAsm(sm, a);
     EXPECT_TRUE(sm.trapped());
-    EXPECT_EQ(sm.firstTrap().kind, "seal violation");
+    EXPECT_EQ(sm.firstTrap().kind, simt::TrapKind::SealViolation);
 }
 
 TEST(Safety, SealedCapabilityResistsMutation)
@@ -152,7 +152,7 @@ TEST(Safety, JumpThroughDataCapabilityTraps)
     simt::Sm sm(tinyCheri());
     runAsm(sm, a);
     EXPECT_TRUE(sm.trapped());
-    EXPECT_EQ(sm.firstTrap().kind, "jump permission violation");
+    EXPECT_EQ(sm.firstTrap().kind, simt::TrapKind::JumpPermViolation);
 }
 
 // ---- kernel-level shared-memory safety ----
@@ -187,7 +187,7 @@ TEST(Safety, SharedArrayOverflowTrapsUnderCheri)
     const nocl::RunResult r = dev.launch(k, lc, {Arg::buffer(bo)});
     ASSERT_TRUE(r.completed);
     EXPECT_TRUE(r.trapped);
-    EXPECT_EQ(r.trapKind, "bounds violation");
+    EXPECT_EQ(r.trapKind, simt::TrapKind::BoundsViolation);
 }
 
 TEST(Safety, SharedArrayOverflowCorruptsNeighbourUnderBaseline)
@@ -237,7 +237,7 @@ TEST(Safety, AtomicOutOfBoundsTrapsUnderCheri)
         dev.launch(k, lc, {Arg::integer(64), Arg::buffer(bo)});
     ASSERT_TRUE(r.completed);
     EXPECT_TRUE(r.trapped);
-    EXPECT_EQ(r.trapKind, "bounds violation");
+    EXPECT_EQ(r.trapKind, simt::TrapKind::BoundsViolation);
 }
 
 TEST(Safety, NegativeIndexTrapsUnderCheriAndSoftBounds)

@@ -679,7 +679,7 @@ TEST(SmExec, PurecapOutOfBoundsStoreTraps)
     sm.launch(0, 1);
     ASSERT_TRUE(sm.run());
     EXPECT_TRUE(sm.trapped());
-    EXPECT_EQ(sm.firstTrap().kind, "bounds violation");
+    EXPECT_EQ(sm.firstTrap().kind, TrapKind::BoundsViolation);
     EXPECT_EQ(sm.stats().get("cheri_traps"), cfg.numThreads());
 }
 
@@ -701,7 +701,7 @@ TEST(SmExec, PurecapUntaggedPointerTraps)
     sm.launch(0, 1);
     ASSERT_TRUE(sm.run());
     EXPECT_TRUE(sm.trapped());
-    EXPECT_EQ(sm.firstTrap().kind, "tag violation");
+    EXPECT_EQ(sm.firstTrap().kind, TrapKind::TagViolation);
     // The forged store must not have modified memory.
     EXPECT_EQ(sm.dram().load32(kDramBase), 0u);
 }
@@ -761,7 +761,7 @@ TEST(SmExec, CorruptedCapabilityInMemoryLosesTag)
     sm.launch(0, 1);
     ASSERT_TRUE(sm.run());
     EXPECT_TRUE(sm.trapped());
-    EXPECT_EQ(sm.firstTrap().kind, "tag violation");
+    EXPECT_EQ(sm.firstTrap().kind, TrapKind::TagViolation);
 }
 
 TEST(SmExec, CscPortStallCounted)
@@ -853,7 +853,7 @@ TEST(SmTrap, CspecialrwBadIndexTrapsInsteadOfCorrupting)
     sm.launch(0, 1);
     ASSERT_TRUE(sm.run());
     EXPECT_TRUE(sm.trapped());
-    EXPECT_EQ(sm.firstTrap().kind, "bad scr index");
+    EXPECT_EQ(sm.firstTrap().kind, TrapKind::BadScrIndex);
 }
 
 } // namespace
