@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -260,17 +261,24 @@ geomean(const std::vector<double> &values)
     size_t used = 0;
     for (double v : values) {
         if (!(v > 0.0) || !std::isfinite(v)) {
-            warn("geomean: skipping non-positive entry %g", v);
+            // Campaigns sweep configurations where whole suites are
+            // skipped; per-entry chatter is debug-level, like the
+            // deadlock/timeout warnings (CHERI_SIMT_VERBOSE).
+            if (support::verbose())
+                warn("geomean: skipping non-positive entry %g", v);
             continue;
         }
         log_sum += std::log(v);
         ++used;
     }
     if (used == 0) {
-        if (!values.empty())
+        if (support::verbose() && !values.empty())
             warn("geomean: no positive entries among %zu values",
                  values.size());
-        return 0.0;
+        // No usable entry: the mean is undefined, and NaN (unlike the
+        // 0.0 this used to return) cannot be mistaken for a measured
+        // ratio by downstream tooling; the JSON dump writes it as null.
+        return std::numeric_limits<double>::quiet_NaN();
     }
     return std::exp(log_sum / static_cast<double>(used));
 }

@@ -11,7 +11,11 @@
  * state. Kernel compilation goes through the process-wide
  * nocl::KernelCache, so a sweep compiles each kernel once instead of
  * once per point. The simulator is deterministic, therefore serial and
- * parallel runs report bit-identical cycle counts and statistics.
+ * parallel runs report bit-identical cycle counts and modelled
+ * statistics. (The simhost_* counters describe the host simulation
+ * itself and depend on the adaptive engine cache's warm-up state -- a
+ * kernel's first launch is the sampling launch -- so they are outside
+ * this guarantee; see DESIGN.md section 10.)
  */
 
 #ifndef CHERI_SIMT_BENCH_BENCH_COMMON_HPP_
@@ -131,9 +135,12 @@ runMatrix(const std::vector<ConfigPoint> &points,
 
 /**
  * Geometric mean of a vector of ratios. Non-positive and non-finite
- * entries (a failed benchmark, a zero-cycle baseline) are skipped with a
- * warning instead of silently propagating NaN; returns 0.0 when no
- * usable entry remains.
+ * entries (a failed benchmark, a zero-cycle baseline) are skipped --
+ * with a warning only under CHERI_SIMT_VERBOSE, so campaign sweeps stay
+ * quiet -- instead of silently propagating into the mean. When no
+ * usable entry remains (including the empty vector) the mean is
+ * undefined and the function returns NaN; the JSON dump layer writes
+ * non-finite metrics as null, which json_check accepts.
  */
 double geomean(const std::vector<double> &values);
 

@@ -1,22 +1,34 @@
 /**
  * @file
- * Simulator host-throughput regression guard: runs the suite under the
- * optimised CHERI configuration with the warp-regularity fast paths
- * enabled and disabled, and reports host instructions/second, the
- * fast-path speedup, and the scalarised-execution hit rate.
+ * Simulator host-throughput regression guard for the multi-engine
+ * execute layer (DESIGN.md section 10): runs the suite under the
+ * optimised CHERI configuration with each engine forced -- verbatim
+ * per-lane, regularity fast path, packed host-SIMD -- and with the
+ * adaptive policy (the default), and reports host instructions/second,
+ * per-engine speedups over verbatim, and the scalarised-execution hit
+ * rate.
  *
- * The fast paths are bit-identical by construction (the parity test
- * proves it); this harness guards the *reason they exist*: uniform-heavy
- * kernels (VecAdd, Reduce, SPMV) should simulate several times faster,
- * and the divergent adversarial case (BlkStencil) should not regress.
+ * The engines are bit-identical by construction (test_fastpath_parity
+ * proves it); this harness guards the *reason they exist*:
+ * uniform-heavy kernels (VecAdd, Reduce) should simulate several times
+ * faster, and no kernel may regress under the adaptive policy -- the
+ * per-benchmark `speedup >= 1.0` assertion below fails the run (and so
+ * CI) on any per-kernel regression that a geomean would hide. This is
+ * the guard that caught the SPMV fast-path regression.
  *
  * Host wall-clock numbers are machine-dependent, so they live in the
- * JSON "metrics" object, never in the modelled "stats" counters.
+ * JSON "metrics" object, never in the modelled "stats" counters. The
+ * asserted speedups are re-measured serially (the matrix phase shares a
+ * worker pool, which corrupts wall-clock ratios) as a best-of-N to
+ * filter scheduler noise, against a documented 0.95 noise floor for the
+ * 1.0x target.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,17 +42,97 @@ using Mode = kc::CompileOptions::Mode;
 /** Uniform-heavy kernels that the fast paths must accelerate. */
 const std::vector<std::string> kFocus = {"VecAdd", "Reduce", "SPMV"};
 
-/** Divergent adversarial kernel that must not regress (tolerance
- *  covers host timing noise on a loaded machine). */
+/** Divergent adversarial kernel that must not regress. */
 const char *kAdversarial = "BlkStencil";
 
-double
-instrsPerSec(const benchcommon::SuiteResult &r)
+/**
+ * Per-benchmark floor for the adaptive speedup-over-verbatim assertion.
+ * The target is >= 1.0x on every kernel; the margin covers host timing
+ * noise that survives the serial best-of-N re-measure (a few percent on
+ * a loaded machine, worst for the microsecond-scale small workloads).
+ */
+constexpr double kMinAdaptiveSpeedup = 0.95;
+
+/** The engine rows of the matrix, in fixed order. */
+struct EngineRow
 {
-    const double instrs =
-        static_cast<double>(r.run.stats.get("simhost_instrs"));
-    const double ns = static_cast<double>(r.run.hostNs);
-    return ns > 0.0 ? instrs / (ns * 1e-9) : 0.0;
+    const char *key;   ///< metric-name fragment
+    const char *label; ///< config label in the results JSON
+    simt::ExecEngine sel;
+};
+
+const EngineRow kEngines[] = {
+    {"verbatim", "cheri_opt_verbatim", simt::ExecEngine::Verbatim},
+    {"fastpath", "cheri_opt_fastpath", simt::ExecEngine::FastPath},
+    {"simd", "cheri_opt_simd", simt::ExecEngine::Simd},
+    {"adaptive", "cheri_opt_adaptive", simt::ExecEngine::Auto},
+};
+constexpr size_t kNumEngines = sizeof(kEngines) / sizeof(kEngines[0]);
+
+simt::SmConfig
+engineConfig(simt::ExecEngine sel)
+{
+    simt::SmConfig cfg = simt::SmConfig::cheriOptimised();
+    cfg.engineSel = sel;
+    return cfg;
+}
+
+/** One benchmark's serial re-measure under every engine. */
+struct Measured
+{
+    std::string name;
+    bool ok = true;
+    uint64_t instrs = 0;              ///< simhost_instrs (verbatim run)
+    uint64_t engineChosen = 0;        ///< simhost_engine of the adaptive run
+    double hitRate = 0.0;             ///< fastpath-engine full-run hit rate
+    double bestNs[kNumEngines] = {};  ///< best-of-N wall clock per engine
+};
+
+/**
+ * Serial best-of-N wall-clock measurement of one benchmark under every
+ * engine. One device per engine is reused across repetitions
+ * (construction and input preparation stay off the clock; only
+ * RunResult::hostNs -- the time inside Sm::run() -- is measured); each
+ * repetition re-prepares fresh input/output buffers so accumulating
+ * kernels verify. Repetitions are interleaved across engines, so slow
+ * host drift (thermal, background load) biases every engine equally
+ * instead of penalising whichever is measured last. Repetitions beyond
+ * the first run with a warm adaptive decision cache, so best-of-N
+ * measures the engine the policy settled on.
+ */
+bool
+measureBench(kernels::Benchmark &bench, kernels::Size size,
+             unsigned reps, Measured &m)
+{
+    std::vector<std::unique_ptr<nocl::Device>> devs;
+    for (const auto &e : kEngines)
+        devs.push_back(std::make_unique<nocl::Device>(engineConfig(e.sel),
+                                                      Mode::Purecap));
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        for (size_t ei = 0; ei < kNumEngines; ++ei) {
+            const simt::ExecEngine sel = kEngines[ei].sel;
+            kernels::Prepared p = bench.prepare(*devs[ei], size);
+            const nocl::RunResult res =
+                devs[ei]->launch(*p.kernel, p.cfg, p.args);
+            if (!res.completed || res.trapped || !p.verify(*devs[ei]))
+                return false;
+            const double ns = static_cast<double>(res.hostNs);
+            if (rep == 0 || ns < m.bestNs[ei])
+                m.bestNs[ei] = ns;
+            if (ei == 0 && rep == 0)
+                m.instrs = res.stats.get("simhost_instrs");
+            if (sel == simt::ExecEngine::Auto)
+                m.engineChosen = res.stats.get("simhost_engine");
+            if (sel == simt::ExecEngine::FastPath && rep == 0) {
+                const uint64_t in = res.stats.get("simhost_instrs");
+                m.hitRate = in ? static_cast<double>(res.stats.get(
+                                     "simhost_fastpath_instrs")) /
+                                     static_cast<double>(in)
+                               : 0.0;
+            }
+        }
+    }
+    return true;
 }
 
 } // namespace
@@ -50,63 +142,100 @@ main(int argc, char **argv)
 {
     benchcommon::Harness h(argc, argv, "simspeed");
     benchcommon::printHeader(
-        "SimSpeed", "host simulation throughput with and without the "
-                    "warp-regularity fast paths (CHERI optimised)");
+        "SimSpeed", "host simulation throughput per execute engine "
+                    "(verbatim / fastpath / simd / adaptive, CHERI "
+                    "optimised)");
 
-    simt::SmConfig fast_cfg = simt::SmConfig::cheriOptimised();
-    simt::SmConfig slow_cfg = fast_cfg;
-    slow_cfg.hostFastPath = false;
-
-    const auto rows =
-        h.runMatrix({{"cheri_opt_fast", fast_cfg, Mode::Purecap},
-                     {"cheri_opt_slow", slow_cfg, Mode::Purecap}});
-    const auto &fast = rows[0];
-    const auto &slow = rows[1];
+    // ---- Matrix phase: record and verify every engine row ----
+    // Runs on the shared worker pool; architectural outputs and stats
+    // land in the results JSON. Wall-clock ratios come from the serial
+    // phase below, never from this one.
+    std::vector<benchcommon::ConfigPoint> points;
+    for (const auto &e : kEngines)
+        points.push_back({e.label, engineConfig(e.sel), Mode::Purecap});
+    const auto rows = h.runMatrix(points);
     if (h.options().list)
         return 0;
 
-    std::printf("%-12s %12s %10s %10s %9s %8s\n", "Benchmark", "Instrs",
-                "Fast Mi/s", "Slow Mi/s", "Speedup", "HitRate");
+    bool verify_failed = false;
+    for (const auto &row : rows)
+        for (const auto &r : row)
+            verify_failed = verify_failed || (!r.skipped && !r.ok);
+
+    // ---- Serial re-measure: best-of-N per (benchmark, engine) ----
+    const unsigned reps = h.size() == kernels::Size::Small ? 20 : 3;
+    auto suite = kernels::makeSuite();
+    std::vector<Measured> measured;
+    for (size_t b = 0; b < suite.size(); ++b) {
+        // Respect --filter via the matrix phase's skip flags.
+        bool skipped = false;
+        for (const auto &row : rows)
+            skipped = skipped || (b < row.size() && row[b].skipped);
+        if (skipped)
+            continue;
+        Measured m;
+        m.name = suite[b]->name();
+        m.ok = measureBench(*suite[b], h.size(), reps, m);
+        measured.push_back(std::move(m));
+    }
+
+    std::printf("%-12s %12s %10s %10s %10s %10s %9s %8s\n", "Benchmark",
+                "Instrs", "Verb Mi/s", "Fast spd", "Simd spd", "Adpt spd",
+                "Engine", "HitRate");
 
     std::vector<double> focus_speedups;
-    for (size_t i = 0; i < fast.size(); ++i) {
-        if (fast[i].skipped || slow[i].skipped)
-            continue;
-        const auto &name = fast[i].name;
-        const uint64_t instrs = fast[i].run.stats.get("simhost_instrs");
-        const uint64_t hits =
-            fast[i].run.stats.get("simhost_fastpath_instrs");
-        const double fast_ips = instrsPerSec(fast[i]);
-        const double slow_ips = instrsPerSec(slow[i]);
-        const double speedup =
-            slow_ips > 0.0 ? fast_ips / slow_ips : 0.0;
-        const double hit_rate =
-            instrs > 0 ? static_cast<double>(hits) /
-                             static_cast<double>(instrs)
-                       : 0.0;
+    std::vector<std::string> regressions;
+    for (const auto &m : measured) {
+        const double verb_ns = m.bestNs[0];
+        const double verb_ips =
+            verb_ns > 0.0 ? static_cast<double>(m.instrs) / (verb_ns * 1e-9)
+                          : 0.0;
+        double spd[kNumEngines] = {};
+        for (size_t ei = 0; ei < kNumEngines; ++ei)
+            spd[ei] = m.bestNs[ei] > 0.0 ? verb_ns / m.bestNs[ei] : 0.0;
+        const double adaptive = spd[kNumEngines - 1];
 
-        std::printf("%-12s %12llu %10.2f %10.2f %8.2fx %7.1f%%%s\n",
-                    name.c_str(),
-                    static_cast<unsigned long long>(instrs),
-                    fast_ips * 1e-6, slow_ips * 1e-6, speedup,
-                    hit_rate * 100.0,
-                    fast[i].ok && slow[i].ok ? "" : "  [VERIFY FAILED]");
+        std::printf("%-12s %12llu %10.2f %9.2fx %9.2fx %9.2fx %9s "
+                    "%7.1f%%%s\n",
+                    m.name.c_str(),
+                    static_cast<unsigned long long>(m.instrs),
+                    verb_ips * 1e-6, spd[1], spd[2], adaptive,
+                    simt::execEngineName(
+                        static_cast<simt::ExecEngine>(m.engineChosen)),
+                    m.hitRate * 100.0, m.ok ? "" : "  [VERIFY FAILED]");
 
-        h.metric("hit_rate_" + name, hit_rate);
-        h.metric("speedup_" + name, speedup);
-        h.metric("fast_instrs_per_sec_" + name, fast_ips);
-        h.metric("slow_instrs_per_sec_" + name, slow_ips);
+        verify_failed = verify_failed || !m.ok;
+        for (size_t ei = 0; ei < kNumEngines; ++ei) {
+            h.metric(std::string("speedup_") + kEngines[ei].key + "_" +
+                         m.name,
+                     spd[ei]);
+            h.metric(std::string("instrs_per_sec_") + kEngines[ei].key +
+                         "_" + m.name,
+                     m.bestNs[ei] > 0.0 ? static_cast<double>(m.instrs) /
+                                              (m.bestNs[ei] * 1e-9)
+                                        : 0.0);
+        }
+        h.metric("hit_rate_" + m.name, m.hitRate);
+        h.metric("speedup_" + m.name, adaptive);
+        h.metric("engine_" + m.name,
+                 static_cast<double>(m.engineChosen));
         for (const auto &f : kFocus)
-            if (name == f)
-                focus_speedups.push_back(speedup);
-        if (name == kAdversarial)
-            h.metric("adversarial_speedup", speedup);
+            if (m.name == f)
+                focus_speedups.push_back(adaptive);
+        if (m.name == kAdversarial)
+            h.metric("adversarial_speedup", adaptive);
+
+        // The per-kernel regression guard: the adaptive engine must not
+        // lose to verbatim on ANY benchmark (geomeans hide per-kernel
+        // regressions; this is how the SPMV 0.79x bug shipped).
+        if (m.ok && adaptive < kMinAdaptiveSpeedup)
+            regressions.push_back(m.name);
     }
 
     const double gm = benchcommon::geomean(focus_speedups);
-    std::printf("%-12s %12s %10s %10s %8.2fx   (focus geomean, "
-                "target >= 3x)\n",
-                "geomean", "", "", "", gm);
+    std::printf("%-12s %12s %10s %10s %10s %9.2fx   (focus geomean, "
+                "adaptive)\n",
+                "geomean", "", "", "", "", gm);
     h.metric("focus_geomean_speedup", gm);
 
     // Multi-SM host scaling: the same focus launches with the grid
@@ -124,19 +253,20 @@ main(int argc, char **argv)
         double ms[3] = {0.0, 0.0, 0.0};
         bool all_ok = true;
         for (size_t si = 0; si < 3; ++si) {
-            auto suite = kernels::makeSuite();
-            size_t idx = suite.size();
-            for (size_t b = 0; b < suite.size(); ++b)
-                if (suite[b]->name() == focus)
+            auto scaling_suite = kernels::makeSuite();
+            size_t idx = scaling_suite.size();
+            for (size_t b = 0; b < scaling_suite.size(); ++b)
+                if (scaling_suite[b]->name() == focus)
                     idx = b;
-            if (idx == suite.size()) {
+            if (idx == scaling_suite.size()) {
                 all_ok = false;
                 break;
             }
             simt::SmConfig cfg = simt::SmConfig::cheriOptimised();
             cfg.numSms = kSmCounts[si];
             nocl::Device dev(cfg, Mode::Purecap);
-            kernels::Prepared p = suite[idx]->prepare(dev, h.size());
+            kernels::Prepared p =
+                scaling_suite[idx]->prepare(dev, h.size());
             const nocl::RunResult res =
                 dev.launch(*p.kernel, p.cfg, p.args);
             ms[si] = static_cast<double>(res.hostNs) * 1e-6;
@@ -157,26 +287,18 @@ main(int argc, char **argv)
 
     h.finish();
 
-    for (size_t i = 0; i < fast.size(); ++i) {
-        if (fast[i].skipped || slow[i].skipped)
-            continue;
-        const double fast_ips = instrsPerSec(fast[i]);
-        const double slow_ips = instrsPerSec(slow[i]);
-        const double speedup =
-            slow_ips > 0.0 ? fast_ips / slow_ips : 0.0;
-        const uint64_t instrs = fast[i].run.stats.get("simhost_instrs");
-        const double hit_rate =
-            instrs > 0
-                ? static_cast<double>(
-                      fast[i].run.stats.get("simhost_fastpath_instrs")) /
-                      static_cast<double>(instrs)
+    for (const auto &m : measured) {
+        const double adaptive =
+            m.bestNs[kNumEngines - 1] > 0.0
+                ? m.bestNs[0] / m.bestNs[kNumEngines - 1]
                 : 0.0;
+        const double hit_rate = m.hitRate;
         benchmark::RegisterBenchmark(
-            ("simspeed/" + fast[i].name).c_str(),
-            [speedup, hit_rate](benchmark::State &state) {
+            ("simspeed/" + m.name).c_str(),
+            [adaptive, hit_rate](benchmark::State &state) {
                 for (auto _ : state) {
                 }
-                state.counters["speedup"] = speedup;
+                state.counters["speedup"] = adaptive;
                 state.counters["hit_rate"] = hit_rate;
             })
             ->Iterations(1);
@@ -184,5 +306,21 @@ main(int argc, char **argv)
 
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+
+    if (verify_failed) {
+        std::fprintf(stderr,
+                     "simspeed: FAIL: a benchmark failed verification\n");
+        return 1;
+    }
+    if (!regressions.empty()) {
+        std::fprintf(stderr,
+                     "simspeed: FAIL: adaptive engine slower than "
+                     "verbatim (speedup < %.2f) on:",
+                     kMinAdaptiveSpeedup);
+        for (const auto &name : regressions)
+            std::fprintf(stderr, " %s", name.c_str());
+        std::fprintf(stderr, "\n");
+        return 1;
+    }
     return 0;
 }

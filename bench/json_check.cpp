@@ -119,6 +119,19 @@ main(int argc, char **argv)
                               stats.get("simhost_instrs").asUint())
             return fail(where + ".stats: simhost_fastpath_instrs exceeds "
                                 "simhost_instrs");
+        // The resolved execute engine is a named enumerator, never the
+        // unresolved Auto (0). Only checkable for single-SM documents:
+        // the multi-SM merge sums per-SM stats, so the value becomes a
+        // sum of enumerators.
+        if (stats.get("simhost_engine").isInt() &&
+            doc.get("sms").asUint() == 1) {
+            const uint64_t e = stats.get("simhost_engine").asUint();
+            if (e < 1 || e > 3)
+                return fail(where + ".stats: simhost_engine must be in "
+                                    "[1, 3] (verbatim/fastpath/simd), "
+                                    "got " +
+                            std::to_string(e));
+        }
     }
 
     const Value &metrics = doc.get("metrics");

@@ -1233,7 +1233,11 @@ compile(const KernelIr &ir, const CompileOptions &opt)
          {25, 26, 27, 28, 29, 24, 23, 22, 21, 20, 19, 18}) {
         try {
             CodeGen cg(folded, opt, floor);
-            return cg.run();
+            CompiledKernel out = cg.run();
+            // Identity of the *source* IR (not the folded copy): it must
+            // match the fingerprint nocl's compilation cache computes.
+            out.fingerprint = irFingerprint(ir);
+            return out;
         } catch (const RegPressure &p) {
             dedicated_pressure |= p.dedicated;
             temp_pressure |= !p.dedicated;

@@ -100,6 +100,13 @@ struct CompiledKernel
 
     /** SoftBounds: accesses compiled without a check (unsafe fallback). */
     unsigned uncheckedAccesses = 0;
+
+    /**
+     * irFingerprint of the source IR (set by compile()). Stable kernel
+     * identity across configurations -- the launch layer keys the
+     * simulator's adaptive engine-decision cache with it.
+     */
+    uint64_t fingerprint = 0;
 };
 
 /** Compile a kernel IR for the given options. */

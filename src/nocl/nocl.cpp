@@ -409,6 +409,13 @@ Device::launchAttempt(
         // Single SM: the exact pre-sharding code path.
         simt::Sm &sm = *sms_[0];
         sm.loadProgram(compiled.code);
+        // Key the simulator's adaptive engine-decision cache with the
+        // KernelCache identity, so every compilation of the same kernel
+        // IR shares one decision (must precede launch(), which resolves
+        // the engine).
+        sm.setProgramKey(support::strprintf(
+            "%s|%016llx", compiled.name.c_str(),
+            static_cast<unsigned long long>(compiled.fingerprint)));
         sm.launch(0, warps_per_block);
         const bool completed = sm.run(max_cycles);
 
@@ -441,8 +448,12 @@ Device::launchAttempt(
     const unsigned ns = smCfg_.numSms;
     const auto t0 = std::chrono::steady_clock::now();
 
-    for (auto &sm : sms_)
+    for (auto &sm : sms_) {
         sm->loadProgram(compiled.code);
+        sm->setProgramKey(support::strprintf(
+            "%s|%016llx", compiled.name.c_str(),
+            static_cast<unsigned long long>(compiled.fingerprint)));
+    }
 
     std::vector<uint8_t> completed(ns, 0);
     RunResult res;

@@ -35,6 +35,51 @@ namespace simt
  */
 using LaneMask = std::vector<uint8_t>;
 
+/**
+ * Host-side execute engine (see DESIGN.md section 10). Engines differ
+ * only in host speed: architectural state, modelled counters, memory
+ * contents and trap records are bit-identical across all of them (the
+ * 3-way parity suite proves it). Only the simhost_* throughput counters
+ * may differ.
+ */
+enum class ExecEngine : uint8_t
+{
+    /**
+     * Sample the fast-path hit rate over the first engineSampleWindow
+     * warp-steps of a launch, then pick the cheapest engine for this
+     * (kernel, configuration) and cache the decision process-wide.
+     */
+    Auto = 0,
+
+    /** Reference per-lane interpreter; no descriptor fast paths. */
+    Verbatim = 1,
+
+    /**
+     * Warp-regularity fast paths (scalarised execute, lazy operand
+     * descriptors) with threaded-code dispatch on the residual vector
+     * ALU path.
+     */
+    FastPath = 2,
+
+    /**
+     * FastPath plus the packed host-SIMD lane ALU (AVX2 when compiled
+     * in and supported by the host, otherwise the scalar handler --
+     * still bit-identical, just not faster than FastPath).
+     */
+    Simd = 3,
+};
+
+inline const char *
+execEngineName(ExecEngine e)
+{
+    switch (e) {
+      case ExecEngine::Auto: return "auto";
+      case ExecEngine::Verbatim: return "verbatim";
+      case ExecEngine::FastPath: return "fastpath";
+      default: return "simd";
+    }
+}
+
 /** Simulated physical memory map. */
 constexpr uint32_t kTcimBase = 0x00000000;   ///< instruction memory
 constexpr uint32_t kTcimSize = 1 << 16;      ///< 64 KiB
@@ -103,6 +148,45 @@ struct SmConfig
      * paths.
      */
     bool hostFastPath = true;
+
+    /**
+     * Execute-engine selection (only consulted when hostFastPath is
+     * true; hostFastPath == false forces the Verbatim engine, keeping
+     * the historical on/off switch meaningful for the parity tests).
+     * The default Auto policy is the fix for the SPMV regression: a
+     * kernel whose sampled hit rate is below engineMinHitRate stops
+     * paying the descriptor-classification overhead and runs Verbatim.
+     */
+    ExecEngine engineSel = ExecEngine::Auto;
+
+    /**
+     * Warp-steps sampled (running the FastPath engine) before the Auto
+     * policy decides. Kernels finishing earlier decide on the partial
+     * sample at run end -- the whole run, which is the unbiased
+     * estimate; the window only bounds how long a pathological first
+     * launch keeps paying fast-path overhead. Deliberately large:
+     * kernel prefixes (setup loops) are more regular than steady state,
+     * and a biased early decision would be cached for every later
+     * launch. The decision derives only from deterministic
+     * architectural events, so it is reproducible across repeats.
+     */
+    unsigned engineSampleWindow = 32768;
+
+    /**
+     * Minimum sampled fast-path hit rate (simhost_fastpath_instrs /
+     * simhost_instrs over the window) for a regularity engine to pay
+     * for itself; below it Auto picks Verbatim. Calibrated against
+     * bench_simspeed: SPMV sits near 0.19 and regresses, VecAdd at
+     * 0.82 gains >2x (see EXPERIMENTS.md).
+     */
+    double engineMinHitRate = 0.35;
+
+    /**
+     * Minimum share of sampled warp-steps retiring through a
+     * packed-coverable vector ALU handler for Auto to prefer Simd over
+     * FastPath (the two engines behave identically elsewhere).
+     */
+    double engineMinPackedShare = 0.02;
 
     /** Pipeline depth: a warp re-issues this many cycles after issue. */
     unsigned pipelineDepth = 6;

@@ -1,0 +1,288 @@
+#include "simt/engine.hpp"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "isa/encoding.hpp"
+
+namespace simt
+{
+namespace engine
+{
+
+namespace
+{
+
+using isa::Op;
+
+float
+asFloat(uint32_t v)
+{
+    return std::bit_cast<float>(v);
+}
+
+uint32_t
+asBits(float f)
+{
+    return std::bit_cast<uint32_t>(f);
+}
+
+int32_t
+s(uint32_t v)
+{
+    return static_cast<int32_t>(v);
+}
+
+/**
+ * One tight lane loop per op: @p F computes (a, b, imm) -> result. The
+ * per-lane expressions are identical to Sm::executeAluLane's, and
+ * inactive lanes keep their previous result_ values, exactly like the
+ * per-lane reference loop (which never touches them).
+ */
+template <typename F>
+void
+scalarLoop(const AluCtx &c, F f)
+{
+    const DataDesc &r1 = *c.rs1;
+    const DataDesc &r2 = *c.rs2;
+    for (unsigned lane = 0; lane < c.numLanes; ++lane) {
+        if (c.active[lane])
+            c.result[lane] = f(r1.at(lane), r2.at(lane), c.imm);
+    }
+}
+
+#define SCALAR_HANDLER(expr)                                              \
+    +[](const AluCtx &c) {                                                \
+        scalarLoop(c, [](uint32_t a, uint32_t b, int32_t imm) -> uint32_t \
+                   { (void)a; (void)b; (void)imm; return (expr); });      \
+    }
+
+/** The scalar handler table, indexed by opcode. */
+std::array<AluLoopFn, static_cast<size_t>(Op::NUM_OPS)>
+buildScalarTable()
+{
+    std::array<AluLoopFn, static_cast<size_t>(Op::NUM_OPS)> t{};
+    auto set = [&](Op op, AluLoopFn fn) {
+        t[static_cast<size_t>(op)] = fn;
+    };
+
+    set(Op::ADDI, SCALAR_HANDLER(a + static_cast<uint32_t>(imm)));
+    set(Op::SLTI, SCALAR_HANDLER(s(a) < imm ? 1u : 0u));
+    set(Op::SLTIU, SCALAR_HANDLER(a < static_cast<uint32_t>(imm) ? 1u : 0u));
+    set(Op::XORI, SCALAR_HANDLER(a ^ static_cast<uint32_t>(imm)));
+    set(Op::ORI, SCALAR_HANDLER(a | static_cast<uint32_t>(imm)));
+    set(Op::ANDI, SCALAR_HANDLER(a & static_cast<uint32_t>(imm)));
+    set(Op::SLLI, SCALAR_HANDLER(a << (imm & 31)));
+    set(Op::SRLI, SCALAR_HANDLER(a >> (imm & 31)));
+    set(Op::SRAI,
+        SCALAR_HANDLER(static_cast<uint32_t>(s(a) >> (imm & 31))));
+    set(Op::ADD, SCALAR_HANDLER(a + b));
+    set(Op::SUB, SCALAR_HANDLER(a - b));
+    set(Op::SLL, SCALAR_HANDLER(a << (b & 31)));
+    set(Op::SLT, SCALAR_HANDLER(s(a) < s(b) ? 1u : 0u));
+    set(Op::SLTU, SCALAR_HANDLER(a < b ? 1u : 0u));
+    set(Op::XOR, SCALAR_HANDLER(a ^ b));
+    set(Op::SRL, SCALAR_HANDLER(a >> (b & 31)));
+    set(Op::SRA, SCALAR_HANDLER(static_cast<uint32_t>(s(a) >> (b & 31))));
+    set(Op::OR, SCALAR_HANDLER(a | b));
+    set(Op::AND, SCALAR_HANDLER(a & b));
+    set(Op::MUL, SCALAR_HANDLER(a * b));
+    set(Op::MULH, SCALAR_HANDLER(static_cast<uint32_t>(
+                      (static_cast<int64_t>(s(a)) * s(b)) >> 32)));
+    set(Op::MULHSU,
+        SCALAR_HANDLER(static_cast<uint32_t>(
+            (static_cast<int64_t>(s(a)) * static_cast<uint64_t>(b)) >> 32)));
+    set(Op::MULHU, SCALAR_HANDLER(static_cast<uint32_t>(
+                       (static_cast<uint64_t>(a) * b) >> 32)));
+    set(Op::DIV,
+        SCALAR_HANDLER(b == 0 ? 0xffffffffu
+                              : (s(a) == INT32_MIN && s(b) == -1
+                                     ? static_cast<uint32_t>(INT32_MIN)
+                                     : static_cast<uint32_t>(s(a) / s(b)))));
+    set(Op::DIVU, SCALAR_HANDLER(b == 0 ? 0xffffffffu : a / b));
+    set(Op::REM,
+        SCALAR_HANDLER(b == 0 ? a
+                              : (s(a) == INT32_MIN && s(b) == -1
+                                     ? 0u
+                                     : static_cast<uint32_t>(s(a) % s(b)))));
+    set(Op::REMU, SCALAR_HANDLER(b == 0 ? a : a % b));
+    set(Op::FADD_S, SCALAR_HANDLER(asBits(asFloat(a) + asFloat(b))));
+    set(Op::FSUB_S, SCALAR_HANDLER(asBits(asFloat(a) - asFloat(b))));
+    set(Op::FMUL_S, SCALAR_HANDLER(asBits(asFloat(a) * asFloat(b))));
+    set(Op::FMIN_S,
+        SCALAR_HANDLER(asBits(std::fmin(asFloat(a), asFloat(b)))));
+    set(Op::FMAX_S,
+        SCALAR_HANDLER(asBits(std::fmax(asFloat(a), asFloat(b)))));
+    set(Op::FCVT_W_S, SCALAR_HANDLER(static_cast<uint32_t>(
+                          static_cast<int32_t>(asFloat(a)))));
+    set(Op::FCVT_WU_S, SCALAR_HANDLER(static_cast<uint32_t>(asFloat(a))));
+    set(Op::FCVT_S_W, SCALAR_HANDLER(asBits(static_cast<float>(s(a)))));
+    set(Op::FCVT_S_WU, SCALAR_HANDLER(asBits(static_cast<float>(a))));
+    set(Op::FEQ_S, SCALAR_HANDLER(asFloat(a) == asFloat(b) ? 1u : 0u));
+    set(Op::FLT_S, SCALAR_HANDLER(asFloat(a) < asFloat(b) ? 1u : 0u));
+    set(Op::FLE_S, SCALAR_HANDLER(asFloat(a) <= asFloat(b) ? 1u : 0u));
+    return t;
+}
+
+#undef SCALAR_HANDLER
+
+const std::array<AluLoopFn, static_cast<size_t>(Op::NUM_OPS)> &
+scalarTable()
+{
+    static const auto table = buildScalarTable();
+    return table;
+}
+
+/** The integer ALU family the packed backend covers: every op whose
+ *  AVX2 semantics are bit-for-bit the scalar expression. */
+bool
+packedOpClass(Op op)
+{
+    switch (op) {
+      case Op::ADDI: case Op::SLTI: case Op::SLTIU: case Op::XORI:
+      case Op::ORI: case Op::ANDI: case Op::SLLI: case Op::SRLI:
+      case Op::SRAI: case Op::ADD: case Op::SUB: case Op::SLL:
+      case Op::SLT: case Op::SLTU: case Op::XOR: case Op::SRL:
+      case Op::SRA: case Op::OR: case Op::AND: case Op::MUL:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+envForcesScalar()
+{
+    const char *v = std::getenv("CHERI_SIMT_FORCE_SCALAR");
+    if (!v || !*v)
+        return false;
+    return std::strcmp(v, "0") != 0 && std::strcmp(v, "off") != 0 &&
+           std::strcmp(v, "OFF") != 0;
+}
+
+// Engine-decision cache (process-wide, like the decoded-program cache).
+std::mutex g_decision_mutex;
+std::map<std::string, EngineDecision> &
+decisionMap()
+{
+    static std::map<std::string, EngineDecision> m;
+    return m;
+}
+
+} // namespace
+
+#ifndef CHERI_SIMT_HAVE_AVX2
+// Forced-scalar / non-AVX2 builds: no vectorised handlers exist, so the
+// Simd engine degrades to the scalar handlers (still bit-identical).
+AluLoopFn
+avx2AluHandler(Op)
+{
+    return nullptr;
+}
+#endif
+
+bool
+avx2Compiled()
+{
+#ifdef CHERI_SIMT_HAVE_AVX2
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+avx2Selected()
+{
+    static const bool selected = [] {
+        if (!avx2Compiled() || envForcesScalar())
+            return false;
+#if defined(__x86_64__) || defined(__i386__)
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+    }();
+    return selected;
+}
+
+const char *
+packedBackendName()
+{
+    return avx2Selected() ? "avx2" : "scalar";
+}
+
+AluLoopFn
+aluLoopHandler(Op op)
+{
+    return scalarTable()[static_cast<size_t>(op)];
+}
+
+bool
+packedAluAccelerated(Op op)
+{
+    return avx2Selected() && packedOpClass(op) &&
+           avx2AluHandler(op) != nullptr;
+}
+
+AluLoopFn
+packedAluHandler(Op op)
+{
+    if (avx2Selected()) {
+        if (AluLoopFn fn = avx2AluHandler(op))
+            return fn;
+    }
+    return packedOpClass(op) ? aluLoopHandler(op) : nullptr;
+}
+
+DecodedProgram
+decodeProgram(const std::vector<uint32_t> &words)
+{
+    DecodedProgram p;
+    p.instrs.resize(words.size());
+    p.aluLoop.resize(words.size(), nullptr);
+    p.packedLoop.resize(words.size(), nullptr);
+    p.packedOk.resize(words.size(), 0);
+    for (size_t i = 0; i < words.size(); ++i) {
+        p.instrs[i] = isa::decode(words[i]);
+        const Op op = p.instrs[i].op;
+        p.aluLoop[i] = aluLoopHandler(op);
+        p.packedLoop[i] = packedAluHandler(op);
+        p.packedOk[i] = packedAluAccelerated(op) ? 1 : 0;
+    }
+    return p;
+}
+
+bool
+lookupEngineDecision(const std::string &key, EngineDecision &out)
+{
+    std::lock_guard<std::mutex> lock(g_decision_mutex);
+    const auto &m = decisionMap();
+    const auto it = m.find(key);
+    if (it == m.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+void
+storeEngineDecision(const std::string &key, const EngineDecision &d)
+{
+    std::lock_guard<std::mutex> lock(g_decision_mutex);
+    decisionMap().insert_or_assign(key, d);
+}
+
+void
+clearEngineDecisions()
+{
+    std::lock_guard<std::mutex> lock(g_decision_mutex);
+    decisionMap().clear();
+}
+
+} // namespace engine
+} // namespace simt

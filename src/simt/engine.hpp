@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Multi-engine execute layer for the host simulator (DESIGN.md
+ * section 10): threaded-code dispatch tables over the decoded program,
+ * the packed host-SIMD lane ALU, and the process-wide cache of adaptive
+ * engine decisions.
+ *
+ * The trap-free vector ALU ops (the set the former Sm::vectorAluLoop
+ * switch covered) are executed through per-instruction handler pointers
+ * resolved at decode time -- one indirect call per warp-instruction
+ * instead of a per-opcode switch. Each op has two handlers:
+ *
+ *  - a scalar lane loop whose per-lane expressions replicate
+ *    Sm::executeAluLane exactly (bit-identical by construction), and
+ *  - optionally a packed (AVX2) loop for the integer ALU family, used
+ *    by the Simd engine. Packed handlers are restricted to ops whose
+ *    AVX2 semantics match the scalar expressions bit-for-bit (shifts
+ *    mask the count with 31 explicitly; no floating point, whose
+ *    rounding environment we refuse to reason about).
+ *
+ * Handler tables are pure functions of the opcode and of process-wide
+ * runtime dispatch (AVX2 cpuid + the CHERI_SIMT_FORCE_SCALAR
+ * environment override, both latched on first use), so they are safe to
+ * share across Sm instances via the decoded-program cache.
+ */
+
+#ifndef CHERI_SIMT_SIMT_ENGINE_HPP_
+#define CHERI_SIMT_SIMT_ENGINE_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hpp"
+#include "simt/config.hpp"
+#include "simt/regfile.hpp"
+
+namespace simt
+{
+namespace engine
+{
+
+/** Operands of one vector ALU lane loop (all pointers borrowed). */
+struct AluCtx
+{
+    const DataDesc *rs1;
+    const DataDesc *rs2;
+    const uint8_t *active; ///< one byte per lane, nonzero = active
+    uint32_t *result;      ///< per-lane results; inactive lanes untouched
+    int32_t imm;
+    unsigned numLanes;
+};
+
+/** A resolved lane-loop handler ("threaded code" dispatch target). */
+using AluLoopFn = void (*)(const AluCtx &);
+
+/**
+ * Scalar handler for @p op, or nullptr when the op needs the
+ * trap-capable per-lane path (capability ops, CSRs, control flow, ...).
+ * Covers exactly the ops whose only architectural effect is writing
+ * result_[lane] for active lanes.
+ */
+AluLoopFn aluLoopHandler(isa::Op op);
+
+/**
+ * Packed handler for @p op under the current runtime dispatch: the
+ * AVX2 loop when available, else the scalar handler for ops that have
+ * a packed form (so the Simd engine stays valid -- and bit-identical --
+ * on any host), else nullptr.
+ */
+AluLoopFn packedAluHandler(isa::Op op);
+
+/** Does @p op have a real (vectorised) packed handler right now? */
+bool packedAluAccelerated(isa::Op op);
+
+/**
+ * AVX2 lane loop for @p op, or nullptr when uncovered. Defined in
+ * engine_avx2.cpp (compiled with -mavx2) when CMake detects support,
+ * else stubbed to nullptr in engine.cpp. Internal to the engine layer:
+ * callers want packedAluHandler, which applies runtime dispatch.
+ */
+AluLoopFn avx2AluHandler(isa::Op op);
+
+/** AVX2 handlers compiled into this binary? (CMake-time gate.) */
+bool avx2Compiled();
+
+/** AVX2 selected at runtime (compiled + cpuid + no forced-scalar)? */
+bool avx2Selected();
+
+/** "avx2" or "scalar"; what packed handlers execute as, for reports. */
+const char *packedBackendName();
+
+/**
+ * A program decoded once and shared across Sm instances, with the
+ * threaded-dispatch tables resolved per instruction.
+ */
+struct DecodedProgram
+{
+    std::vector<isa::Instr> instrs;
+
+    /** Scalar lane-loop handler per instruction (nullptr: per-lane path). */
+    std::vector<AluLoopFn> aluLoop;
+
+    /** Packed-or-scalar handler per instruction (Simd engine). */
+    std::vector<AluLoopFn> packedLoop;
+
+    /** Instruction has a genuinely vectorised packed handler. */
+    std::vector<uint8_t> packedOk;
+
+    size_t size() const { return instrs.size(); }
+};
+
+/** Decode @p words and resolve the dispatch tables. */
+DecodedProgram decodeProgram(const std::vector<uint32_t> &words);
+
+// ---- Adaptive engine decisions ----
+//
+// Keyed by kernel identity (the nocl::KernelCache fingerprint when the
+// launch layer provides it, else a hash of the program image) plus the
+// engine-relevant SmConfig fields; see Sm::engineCacheKey(). Guarded by
+// a mutex: multi-SM launches decide from concurrent worker threads.
+
+struct EngineDecision
+{
+    ExecEngine engine = ExecEngine::FastPath;
+    double hitRate = 0.0;     ///< sampled fast-path hit rate
+    double packedShare = 0.0; ///< sampled packed-coverable ALU share
+};
+
+bool lookupEngineDecision(const std::string &key, EngineDecision &out);
+void storeEngineDecision(const std::string &key, const EngineDecision &d);
+
+/** Drop all cached decisions (test seam for determinism checks). */
+void clearEngineDecisions();
+
+} // namespace engine
+} // namespace simt
+
+#endif // CHERI_SIMT_SIMT_ENGINE_HPP_

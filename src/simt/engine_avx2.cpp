@@ -1,0 +1,194 @@
+/**
+ * @file
+ * AVX2 packed lane ALU: each handler executes a whole warp's lanes in
+ * 8-lane blocks over packed 32-bit registers, with a scalar tail for
+ * lane counts that are not a multiple of 8.
+ *
+ * Bit-identity argument (DESIGN.md section 10): the covered set is
+ * restricted to two's-complement integer ops whose AVX2 instruction
+ * semantics equal the scalar C++ expression on every input --
+ * wraparound add/sub/mul-low, bitwise logic, compares materialised as
+ * 0/1, and shifts with the count masked to 5 bits exactly as the
+ * scalar path does (b & 31 / imm & 31). Unsigned compares flip the
+ * sign bit and use the signed compare. Affine operands are expanded
+ * with the same base + stride * lane arithmetic (32-bit wraparound in
+ * both paths). Inactive lanes are preserved by a mask blend against
+ * the previous result values, matching the reference loop, which never
+ * touches them. Floating point is deliberately uncovered.
+ *
+ * This translation unit is compiled with -mavx2 (CMake adds the flag
+ * per-source); nothing here runs unless runtime dispatch selected the
+ * AVX2 backend (engine::avx2Selected).
+ */
+
+#include "simt/engine.hpp"
+
+#ifdef CHERI_SIMT_HAVE_AVX2
+
+#include <immintrin.h>
+
+namespace simt
+{
+namespace engine
+{
+
+namespace
+{
+
+using isa::Op;
+
+__m256i
+laneIndices()
+{
+    return _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+}
+
+/** Expand 8 lanes of an operand descriptor starting at @p lane_base. */
+__m256i
+loadOperand(const DataDesc &d, unsigned lane_base)
+{
+    if (d.kind == DataDesc::Kind::Lanes) {
+        return _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(d.lanes + lane_base));
+    }
+    const __m256i idx = _mm256_add_epi32(
+        _mm256_set1_epi32(static_cast<int>(lane_base)), laneIndices());
+    return _mm256_add_epi32(
+        _mm256_set1_epi32(static_cast<int>(d.base)),
+        _mm256_mullo_epi32(_mm256_set1_epi32(d.stride), idx));
+}
+
+/** Store 8 results, preserving inactive lanes' previous values. */
+void
+blendStore(uint32_t *result, const uint8_t *active, unsigned lane_base,
+           __m256i vals)
+{
+    const __m128i a8 = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(active + lane_base));
+    const __m256i a32 = _mm256_cvtepu8_epi32(a8);
+    const __m256i mask =
+        _mm256_cmpgt_epi32(a32, _mm256_setzero_si256());
+    const __m256i old = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(result + lane_base));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(result + lane_base),
+                        _mm256_blendv_epi8(old, vals, mask));
+}
+
+/** A full-mask compare becomes the scalar paths' 0/1 result. */
+__m256i
+cmpToBool(__m256i cmp)
+{
+    return _mm256_srli_epi32(cmp, 31);
+}
+
+/** Flip the sign bit: unsigned a < b == signed flip(a) < flip(b). */
+__m256i
+flipSign(__m256i v)
+{
+    return _mm256_xor_si256(
+        v, _mm256_set1_epi32(static_cast<int>(0x80000000u)));
+}
+
+__m256i
+maskShiftCount(__m256i b)
+{
+    return _mm256_and_si256(b, _mm256_set1_epi32(31));
+}
+
+/**
+ * Run @p vf over 8-lane blocks and @p sf over the scalar tail. @p vf
+ * receives (a, b, vimm, imm); @p sf the scalar (a, b, imm), with
+ * expressions matching Sm::executeAluLane.
+ */
+template <typename VF, typename SF>
+void
+packedLoop(const AluCtx &c, VF vf, SF sf)
+{
+    const __m256i vimm = _mm256_set1_epi32(c.imm);
+    unsigned lane = 0;
+    for (; lane + 8 <= c.numLanes; lane += 8) {
+        const __m256i a = loadOperand(*c.rs1, lane);
+        const __m256i b = loadOperand(*c.rs2, lane);
+        blendStore(c.result, c.active, lane, vf(a, b, vimm, c.imm));
+    }
+    for (; lane < c.numLanes; ++lane) {
+        if (c.active[lane])
+            c.result[lane] = sf(c.rs1->at(lane), c.rs2->at(lane), c.imm);
+    }
+}
+
+int32_t
+s(uint32_t v)
+{
+    return static_cast<int32_t>(v);
+}
+
+} // namespace
+
+AluLoopFn
+avx2AluHandler(Op op)
+{
+#define PACKED_CASE(opname, vexpr, sexpr)                                \
+    case Op::opname:                                                     \
+        return +[](const AluCtx &c) {                                    \
+            packedLoop(                                                  \
+                c,                                                       \
+                [](__m256i a, __m256i b, __m256i vimm, int32_t imm) {    \
+                    (void)a; (void)b; (void)vimm; (void)imm;             \
+                    return (vexpr);                                      \
+                },                                                       \
+                [](uint32_t a, uint32_t b, int32_t imm) -> uint32_t {    \
+                    (void)a; (void)b; (void)imm;                         \
+                    return (sexpr);                                      \
+                });                                                      \
+        }
+
+    switch (op) {
+        PACKED_CASE(ADDI, _mm256_add_epi32(a, vimm),
+                    a + static_cast<uint32_t>(imm));
+        PACKED_CASE(SLTI, cmpToBool(_mm256_cmpgt_epi32(vimm, a)),
+                    s(a) < imm ? 1u : 0u);
+        PACKED_CASE(SLTIU,
+                    cmpToBool(_mm256_cmpgt_epi32(flipSign(vimm),
+                                                 flipSign(a))),
+                    a < static_cast<uint32_t>(imm) ? 1u : 0u);
+        PACKED_CASE(XORI, _mm256_xor_si256(a, vimm),
+                    a ^ static_cast<uint32_t>(imm));
+        PACKED_CASE(ORI, _mm256_or_si256(a, vimm),
+                    a | static_cast<uint32_t>(imm));
+        PACKED_CASE(ANDI, _mm256_and_si256(a, vimm),
+                    a & static_cast<uint32_t>(imm));
+        PACKED_CASE(SLLI, _mm256_slli_epi32(a, imm & 31),
+                    a << (imm & 31));
+        PACKED_CASE(SRLI, _mm256_srli_epi32(a, imm & 31),
+                    a >> (imm & 31));
+        PACKED_CASE(SRAI, _mm256_srai_epi32(a, imm & 31),
+                    static_cast<uint32_t>(s(a) >> (imm & 31)));
+        PACKED_CASE(ADD, _mm256_add_epi32(a, b), a + b);
+        PACKED_CASE(SUB, _mm256_sub_epi32(a, b), a - b);
+        PACKED_CASE(SLL, _mm256_sllv_epi32(a, maskShiftCount(b)),
+                    a << (b & 31));
+        PACKED_CASE(SLT, cmpToBool(_mm256_cmpgt_epi32(b, a)),
+                    s(a) < s(b) ? 1u : 0u);
+        PACKED_CASE(SLTU,
+                    cmpToBool(_mm256_cmpgt_epi32(flipSign(b),
+                                                 flipSign(a))),
+                    a < b ? 1u : 0u);
+        PACKED_CASE(XOR, _mm256_xor_si256(a, b), a ^ b);
+        PACKED_CASE(SRL, _mm256_srlv_epi32(a, maskShiftCount(b)),
+                    a >> (b & 31));
+        PACKED_CASE(SRA, _mm256_srav_epi32(a, maskShiftCount(b)),
+                    static_cast<uint32_t>(s(a) >> (b & 31)));
+        PACKED_CASE(OR, _mm256_or_si256(a, b), a | b);
+        PACKED_CASE(AND, _mm256_and_si256(a, b), a & b);
+        PACKED_CASE(MUL, _mm256_mullo_epi32(a, b), a * b);
+      default:
+        return nullptr;
+    }
+#undef PACKED_CASE
+}
+
+} // namespace engine
+} // namespace simt
+
+#endif // CHERI_SIMT_HAVE_AVX2

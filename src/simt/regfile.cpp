@@ -214,10 +214,15 @@ RegFileSystem::expandData(const Entry &e, std::vector<uint32_t> &out) const
 {
     out.resize(cfg_.numLanes);
     switch (e.kind) {
-      case Kind::Scalar:
-        for (unsigned i = 0; i < cfg_.numLanes; ++i)
-            out[i] = e.base + static_cast<uint32_t>(e.stride) * i;
+      case Kind::Scalar: {
+        // Same closed-form expansion as a descriptor read's
+        // DataDesc::materialiseTo, so eager and lazy reads agree.
+        DataDesc d;
+        d.base = e.base;
+        d.stride = e.stride;
+        d.materialiseTo(out.data(), cfg_.numLanes);
         break;
+      }
       case Kind::Vector:
         for (unsigned i = 0; i < cfg_.numLanes; ++i)
             out[i] = static_cast<uint32_t>(slots_[e.slot][i]);

@@ -76,6 +76,26 @@ struct DataDesc
                    ? base + static_cast<uint32_t>(stride) * lane
                    : lanes[lane];
     }
+
+    /**
+     * Expand into @p out (the reference per-lane buffer). A Lanes
+     * descriptor pointing at @p out itself is a no-op; engine handlers
+     * and the per-lane fallback paths share this exact expansion, so
+     * operand values are bit-identical across engines by construction.
+     */
+    void
+    materialiseTo(uint32_t *out, unsigned num_lanes) const
+    {
+        if (kind == Kind::Lanes) {
+            if (lanes != out) {
+                for (unsigned lane = 0; lane < num_lanes; ++lane)
+                    out[lane] = lanes[lane];
+            }
+            return;
+        }
+        for (unsigned lane = 0; lane < num_lanes; ++lane)
+            out[lane] = base + static_cast<uint32_t>(stride) * lane;
+    }
 };
 
 /** Lazy operand descriptor for a capability-metadata register read. */

@@ -5,6 +5,7 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -63,10 +64,7 @@ asBits(float f)
 void
 materialiseData(const DataDesc &d, std::vector<uint32_t> &buf)
 {
-    if (d.kind == DataDesc::Kind::Lanes)
-        return;
-    for (unsigned lane = 0; lane < buf.size(); ++lane)
-        buf[lane] = d.base + static_cast<uint32_t>(d.stride) * lane;
+    d.materialiseTo(buf.data(), static_cast<unsigned>(buf.size()));
 }
 
 void
@@ -89,10 +87,28 @@ materialiseMeta(const MetaDesc &d, std::vector<CapMeta> &buf)
 
 // Decoded-program cache, shared across Sm instances: benchmark harnesses
 // construct one Sm per configuration point but run the same few kernel
-// images, so each image is decoded once per process.
+// images, so each image is decoded (and its dispatch tables resolved)
+// once per process. Safe to share because the tables are pure functions
+// of the opcode and of process-wide runtime dispatch (see engine.hpp).
 std::mutex g_decode_cache_mutex;
-std::map<std::vector<uint32_t>, std::shared_ptr<const std::vector<Instr>>>
+std::map<std::vector<uint32_t>,
+         std::shared_ptr<const engine::DecodedProgram>>
     g_decode_cache;
+
+/** FNV-1a over the image words: the fallback program key. */
+std::string
+imageKey(const std::vector<uint32_t> &words)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (const uint32_t w : words) {
+        h ^= w;
+        h *= 1099511628211ull;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "img:%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
 
 /**
  * Per-opcode classification, tabulated once from the isa:: predicates so
@@ -185,7 +201,7 @@ Sm::Sm(const SmConfig &cfg)
     for (auto &scr : scrs_)
         scr = cap::nullCapPipe();
 
-    decoded_ = std::make_shared<const std::vector<Instr>>();
+    decoded_ = std::make_shared<const engine::DecodedProgram>();
 
     active_.resize(cfg_.numLanes);
     rs1Data_.resize(cfg_.numLanes);
@@ -220,15 +236,19 @@ Sm::loadProgram(const std::vector<uint32_t> &words)
     fatal_if(words.size() * 4 > kTcimSize, "program exceeds TCIM size");
     code_ = words;
 
-    std::lock_guard<std::mutex> lock(g_decode_cache_mutex);
-    auto &slot = g_decode_cache[words];
-    if (!slot) {
-        auto dec = std::make_shared<std::vector<Instr>>(words.size());
-        for (size_t i = 0; i < words.size(); ++i)
-            (*dec)[i] = isa::decode(words[i]);
-        slot = std::move(dec);
+    {
+        std::lock_guard<std::mutex> lock(g_decode_cache_mutex);
+        auto &slot = g_decode_cache[words];
+        if (!slot) {
+            slot = std::make_shared<const engine::DecodedProgram>(
+                engine::decodeProgram(words));
+        }
+        decoded_ = slot;
     }
-    decoded_ = slot;
+
+    // Fallback engine-decision key; the launch layer overrides it with
+    // the KernelCache fingerprint via setProgramKey().
+    programKey_ = imageKey(words);
 }
 
 void
@@ -293,6 +313,74 @@ Sm::launch(uint32_t entry_pc, unsigned warps_per_block)
     // files always carry both (json_check relies on the pairing).
     stats_.add("simhost_instrs", 0);
     stats_.add("simhost_fastpath_instrs", 0);
+
+    resolveEngine();
+}
+
+std::string
+Sm::engineCacheKey() const
+{
+    // Everything that shifts descriptor regularity (and so the sampled
+    // hit rate) must salt the key: the CHERI mode and register-file
+    // organisation change how often operands stay uniform/affine, and
+    // the geometry changes what one SM's shard of the grid looks like.
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "|p%u|mc%u|sv%u|nv%u|sp%u|l%u|w%u|v%u|n%u|i%u",
+                  cfg_.purecap ? 1u : 0u, cfg_.metaCompressed ? 1u : 0u,
+                  cfg_.sharedVrf ? 1u : 0u, cfg_.nvo ? 1u : 0u,
+                  cfg_.metaSrfSinglePort ? 1u : 0u, cfg_.numLanes,
+                  cfg_.numWarps, cfg_.vrfCapacity, cfg_.numSms, cfg_.smId);
+    return programKey_ + buf;
+}
+
+void
+Sm::resolveEngine()
+{
+    sampling_ = false;
+    sampleSteps_ = 0;
+    sampleHits_ = 0;
+    samplePacked_ = 0;
+    if (!cfg_.hostFastPath) {
+        engine_ = ExecEngine::Verbatim;
+        return;
+    }
+    if (cfg_.engineSel != ExecEngine::Auto) {
+        engine_ = cfg_.engineSel;
+        return;
+    }
+    engine::EngineDecision d;
+    if (engine::lookupEngineDecision(engineCacheKey(), d)) {
+        engine_ = d.engine;
+        return;
+    }
+    engine_ = ExecEngine::FastPath;
+    sampling_ = true;
+}
+
+void
+Sm::decideEngine()
+{
+    sampling_ = false;
+    engine::EngineDecision d;
+    if (sampleSteps_ > 0) {
+        d.hitRate =
+            static_cast<double>(sampleHits_) / static_cast<double>(sampleSteps_);
+        d.packedShare = static_cast<double>(samplePacked_) /
+                        static_cast<double>(sampleSteps_);
+    }
+    // The conservative guard first (the SPMV fix): a kernel that rarely
+    // scalarises pays descriptor classification for nothing, so it runs
+    // the reference engine. Otherwise prefer Simd whenever a meaningful
+    // share of steps retires through a packed-coverable handler.
+    if (d.hitRate < cfg_.engineMinHitRate)
+        d.engine = ExecEngine::Verbatim;
+    else if (d.packedShare >= cfg_.engineMinPackedShare)
+        d.engine = ExecEngine::Simd;
+    else
+        d.engine = ExecEngine::FastPath;
+    engine_ = d.engine;
+    engine::storeEngineDecision(engineCacheKey(), d);
 }
 
 int
@@ -469,6 +557,10 @@ Sm::run(uint64_t max_cycles)
             .count());
     if (injector_)
         stats_.set("fault_injections", injector_->fires());
+    // The engine selected for this kernel (for Auto: the decision in
+    // force at run end). simhost_-prefixed like the other host-side
+    // throughput counters, so parity comparisons exclude it.
+    stats_.set("simhost_engine", static_cast<uint64_t>(engine_));
     return ok;
 }
 
@@ -479,6 +571,12 @@ Sm::runLoop(uint64_t max_cycles)
         if (injector_)
             injector_->setNow(now_);
         if (liveWarps_ == 0) {
+            // A kernel that finished inside the sampling window decides
+            // on the partial sample (deterministic: the sample is a
+            // function of the architectural execution only). Timeouts
+            // and deadlocks deliberately do not decide.
+            if (sampling_)
+                decideEngine();
             // Fold per-op counts into the stat set.
             for (size_t i = 0; i < opCounts_.size(); ++i) {
                 if (opCounts_[i]) {
@@ -844,170 +942,15 @@ Sm::executeAluLane(Warp &w, unsigned wid, unsigned lane, const Instr &in,
     }
 }
 
-bool
-Sm::vectorAluLoop(const Instr &in, const DataDesc &rs1d,
-                  const DataDesc &rs2d)
-{
-    const int32_t imm = in.imm;
-    const uint32_t uimm = static_cast<uint32_t>(imm);
-    // One tight loop per op; the per-lane expressions match
-    // executeAluLane's exactly (resultMeta_ keeps its per-instruction
-    // null fill, as executeAluLane leaves it for these ops).
-    const auto loop = [&](auto f) {
-        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
-            if (active_[lane])
-                result_[lane] = f(rs1d.at(lane), rs2d.at(lane));
-        }
-        return true;
-    };
-    const auto s = [](uint32_t v) { return static_cast<int32_t>(v); };
-    switch (in.op) {
-      case Op::ADDI:
-        return loop([&](uint32_t a, uint32_t) { return a + uimm; });
-      case Op::SLTI:
-        return loop(
-            [&](uint32_t a, uint32_t) { return s(a) < imm ? 1u : 0u; });
-      case Op::SLTIU:
-        return loop(
-            [&](uint32_t a, uint32_t) { return a < uimm ? 1u : 0u; });
-      case Op::XORI:
-        return loop([&](uint32_t a, uint32_t) { return a ^ uimm; });
-      case Op::ORI:
-        return loop([&](uint32_t a, uint32_t) { return a | uimm; });
-      case Op::ANDI:
-        return loop([&](uint32_t a, uint32_t) { return a & uimm; });
-      case Op::SLLI:
-        return loop(
-            [&](uint32_t a, uint32_t) { return a << (imm & 31); });
-      case Op::SRLI:
-        return loop(
-            [&](uint32_t a, uint32_t) { return a >> (imm & 31); });
-      case Op::SRAI:
-        return loop([&](uint32_t a, uint32_t) {
-            return static_cast<uint32_t>(s(a) >> (imm & 31));
-        });
-      case Op::ADD:
-        return loop([](uint32_t a, uint32_t b) { return a + b; });
-      case Op::SUB:
-        return loop([](uint32_t a, uint32_t b) { return a - b; });
-      case Op::SLL:
-        return loop([](uint32_t a, uint32_t b) { return a << (b & 31); });
-      case Op::SLT:
-        return loop(
-            [&](uint32_t a, uint32_t b) { return s(a) < s(b) ? 1u : 0u; });
-      case Op::SLTU:
-        return loop([](uint32_t a, uint32_t b) { return a < b ? 1u : 0u; });
-      case Op::XOR:
-        return loop([](uint32_t a, uint32_t b) { return a ^ b; });
-      case Op::SRL:
-        return loop([](uint32_t a, uint32_t b) { return a >> (b & 31); });
-      case Op::SRA:
-        return loop([&](uint32_t a, uint32_t b) {
-            return static_cast<uint32_t>(s(a) >> (b & 31));
-        });
-      case Op::OR:
-        return loop([](uint32_t a, uint32_t b) { return a | b; });
-      case Op::AND:
-        return loop([](uint32_t a, uint32_t b) { return a & b; });
-      case Op::MUL:
-        return loop([](uint32_t a, uint32_t b) { return a * b; });
-      case Op::MULH:
-        return loop([&](uint32_t a, uint32_t b) {
-            return static_cast<uint32_t>(
-                (static_cast<int64_t>(s(a)) * s(b)) >> 32);
-        });
-      case Op::MULHSU:
-        return loop([&](uint32_t a, uint32_t b) {
-            return static_cast<uint32_t>(
-                (static_cast<int64_t>(s(a)) * static_cast<uint64_t>(b)) >>
-                32);
-        });
-      case Op::MULHU:
-        return loop([](uint32_t a, uint32_t b) {
-            return static_cast<uint32_t>(
-                (static_cast<uint64_t>(a) * b) >> 32);
-        });
-      case Op::DIV:
-        return loop([&](uint32_t a, uint32_t b) {
-            return b == 0 ? 0xffffffffu
-                          : (s(a) == INT32_MIN && s(b) == -1
-                                 ? static_cast<uint32_t>(INT32_MIN)
-                                 : static_cast<uint32_t>(s(a) / s(b)));
-        });
-      case Op::DIVU:
-        return loop([](uint32_t a, uint32_t b) {
-            return b == 0 ? 0xffffffffu : a / b;
-        });
-      case Op::REM:
-        return loop([&](uint32_t a, uint32_t b) {
-            return b == 0 ? a
-                          : (s(a) == INT32_MIN && s(b) == -1
-                                 ? 0u
-                                 : static_cast<uint32_t>(s(a) % s(b)));
-        });
-      case Op::REMU:
-        return loop(
-            [](uint32_t a, uint32_t b) { return b == 0 ? a : a % b; });
-      case Op::FADD_S:
-        return loop([](uint32_t a, uint32_t b) {
-            return asBits(asFloat(a) + asFloat(b));
-        });
-      case Op::FSUB_S:
-        return loop([](uint32_t a, uint32_t b) {
-            return asBits(asFloat(a) - asFloat(b));
-        });
-      case Op::FMUL_S:
-        return loop([](uint32_t a, uint32_t b) {
-            return asBits(asFloat(a) * asFloat(b));
-        });
-      case Op::FMIN_S:
-        return loop([](uint32_t a, uint32_t b) {
-            return asBits(std::fmin(asFloat(a), asFloat(b)));
-        });
-      case Op::FMAX_S:
-        return loop([](uint32_t a, uint32_t b) {
-            return asBits(std::fmax(asFloat(a), asFloat(b)));
-        });
-      case Op::FCVT_W_S:
-        return loop([](uint32_t a, uint32_t) {
-            return static_cast<uint32_t>(
-                static_cast<int32_t>(asFloat(a)));
-        });
-      case Op::FCVT_WU_S:
-        return loop([](uint32_t a, uint32_t) {
-            return static_cast<uint32_t>(asFloat(a));
-        });
-      case Op::FCVT_S_W:
-        return loop([&](uint32_t a, uint32_t) {
-            return asBits(static_cast<float>(s(a)));
-        });
-      case Op::FCVT_S_WU:
-        return loop([](uint32_t a, uint32_t) {
-            return asBits(static_cast<float>(a));
-        });
-      case Op::FEQ_S:
-        return loop([](uint32_t a, uint32_t b) {
-            return asFloat(a) == asFloat(b) ? 1u : 0u;
-        });
-      case Op::FLT_S:
-        return loop([](uint32_t a, uint32_t b) {
-            return asFloat(a) < asFloat(b) ? 1u : 0u;
-        });
-      case Op::FLE_S:
-        return loop([](uint32_t a, uint32_t b) {
-            return asFloat(a) <= asFloat(b) ? 1u : 0u;
-        });
-      default:
-        return false;
-    }
-}
-
 unsigned
 Sm::executeWarp(unsigned wid)
 {
     Warp &w = warps_[wid];
     const bool check_pcc = cfg_.purecap && !cfg_.staticPcMeta;
-    const bool fast_enabled = cfg_.hostFastPath;
+    // Engine dispatch: Verbatim is the reference per-lane interpreter;
+    // FastPath and Simd differ only in which lane-loop handler table the
+    // residual vector ALU path uses (see below).
+    const bool fast_enabled = engine_ != ExecEngine::Verbatim;
 
     // ---- Active-thread selection ----
     // A regular warp has every live lane at the same (nest, pc) [and the
@@ -1067,7 +1010,7 @@ Sm::executeWarp(unsigned wid)
         }
     }
 
-    const Instr &in = (*decoded_)[idx];
+    const Instr &in = decoded_->instrs[idx];
     const Op op = in.op;
     if (op == Op::ILLEGAL) {
         for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
@@ -2090,8 +2033,26 @@ Sm::executeWarp(unsigned wid)
                 return false;
             }();
         }
-        if (!fast_done && fast_enabled)
-            fast_done = vectorAluLoop(in, rs1d, rs2d);
+        if (!fast_done && fast_enabled) {
+            // Threaded-code dispatch: the handler pointer was resolved
+            // at decode time for every trap-free pure-data ALU op (the
+            // set the former per-opcode vectorAluLoop switch covered),
+            // nullptr otherwise. The Simd engine swaps in the packed
+            // (host-SIMD) handler table; per-lane expressions are
+            // bit-identical across all tables.
+            const engine::AluLoopFn fn = engine_ == ExecEngine::Simd
+                                             ? decoded_->packedLoop[idx]
+                                             : decoded_->aluLoop[idx];
+            if (fn) {
+                const engine::AluCtx ctx{&rs1d,          &rs2d,
+                                         active_.data(), result_.data(),
+                                         imm,            cfg_.numLanes};
+                fn(ctx);
+                fast_done = true;
+                if (sampling_ && decoded_->packedOk[idx])
+                    ++samplePacked_;
+            }
+        }
         if (!fast_done) {
             for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
                 if (!active_[lane])
@@ -2394,6 +2355,16 @@ Sm::executeWarp(unsigned wid)
 
     if (fast_hit)
         statSimhostFastpath_.add();
+
+    // Adaptive-policy sampling window (counts every retired warp-step:
+    // no path returns early once the instruction is counted above).
+    if (sampling_) {
+        ++sampleSteps_;
+        if (fast_hit)
+            ++sampleHits_;
+        if (sampleSteps_ >= cfg_.engineSampleWindow)
+            decideEngine();
+    }
 
     // Register-file spill/reload traffic goes through DRAM.
     const unsigned rf_bytes = fetch_acc.dramBytes + wb_acc.dramBytes;

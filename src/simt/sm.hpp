@@ -30,6 +30,7 @@
 #include "cap/cheri_concentrate.hpp"
 #include "isa/instr.hpp"
 #include "simt/config.hpp"
+#include "simt/engine.hpp"
 #include "simt/mem.hpp"
 #include "simt/memsys.hpp"
 #include "simt/regfile.hpp"
@@ -77,6 +78,18 @@ class Sm
 
     /** Load a program image into the tightly-coupled instruction memory. */
     void loadProgram(const std::vector<uint32_t> &words);
+
+    /**
+     * Identify the loaded program for the adaptive engine policy's
+     * decision cache (the nocl launch layer passes the KernelCache
+     * fingerprint). loadProgram() installs a fallback key hashed from
+     * the image, so callers that never set a key still share decisions
+     * across launches of the same image.
+     */
+    void setProgramKey(const std::string &key) { programKey_ = key; }
+
+    /** Engine the current/last launch ran with (Auto resolved). */
+    ExecEngine engine() const { return engine_; }
 
     /** Set a special capability register (DDC/STC/ARG). */
     void setScr(isa::Scr scr, const cap::CapPipe &value);
@@ -158,19 +171,21 @@ class Sm
                         const isa::Instr &in, uint32_t pc, uint32_t a,
                         uint32_t b, const CapMeta &m1);
 
-    /**
-     * Whole-warp loop for the trap-free pure-data ALU ops (integer and
-     * FP arithmetic whose only effect is result_[lane]): the op
-     * dispatch is hoisted out of the lane loop. Per-lane expressions
-     * are identical to executeAluLane's; returns false for any op it
-     * does not cover (the caller falls back to executeAluLane per
-     * lane).
-     */
-    bool vectorAluLoop(const isa::Instr &in, const DataDesc &rs1d,
-                       const DataDesc &rs2d);
-
     /** The scheduling loop of run(), separated for host-time accounting. */
     bool runLoop(uint64_t max_cycles);
+
+    // ---- Adaptive engine policy (DESIGN.md section 10) ----
+
+    /** Key of the engine-decision cache: programKey_ + config salt. */
+    std::string engineCacheKey() const;
+
+    /** Resolve cfg_.engineSel at launch(): forced engine, cached
+     *  decision, or start a sampling window on the FastPath engine. */
+    void resolveEngine();
+
+    /** Conclude a sampling window (full, or partial at run end):
+     *  compute hit rate and packed share, pick the engine, cache it. */
+    void decideEngine();
 
     void trap(unsigned warp, unsigned lane, uint32_t pc, isa::Op op,
               uint32_t addr, TrapKind kind);
@@ -263,9 +278,25 @@ class Sm
 
     std::vector<uint32_t> code_;
 
-    // Decoded program, shared across Sm instances running the same image
-    // (see the process-wide decode cache in sm.cpp).
-    std::shared_ptr<const std::vector<isa::Instr>> decoded_;
+    // Decoded program with resolved dispatch tables, shared across Sm
+    // instances running the same image (see the process-wide decode
+    // cache in sm.cpp).
+    std::shared_ptr<const engine::DecodedProgram> decoded_;
+
+    // ---- Adaptive engine policy state ----
+
+    // Identity of the loaded program for the decision cache (KernelCache
+    // fingerprint via setProgramKey(), else an image hash).
+    std::string programKey_;
+
+    // Engine this launch executes with. While sampling_ is true the SM
+    // runs FastPath and counts fast-path hits until engineSampleWindow
+    // warp-steps (or run end), then decideEngine() picks and caches.
+    ExecEngine engine_ = ExecEngine::FastPath;
+    bool sampling_ = false;
+    uint64_t sampleSteps_ = 0;  ///< warp-steps observed in the window
+    uint64_t sampleHits_ = 0;   ///< of which took a descriptor fast path
+    uint64_t samplePacked_ = 0; ///< of which retired a packed-coverable op
 
     cap::CapPipe scrs_[isa::NUM_SCRS];
 

@@ -322,6 +322,50 @@ class Parser
         return true;
     }
 
+    /** Parse the 4 hex digits of a \uXXXX escape (p_ on the 'u' or the
+     *  last consumed character; ends on the last digit). */
+    bool
+    hex4(unsigned &code, std::string &err)
+    {
+        code = 0;
+        for (int i = 0; i < 4; ++i) {
+            ++p_;
+            if (p_ == end_ ||
+                !std::isxdigit(static_cast<unsigned char>(*p_))) {
+                err = "malformed \\u escape";
+                return false;
+            }
+            const char c = *p_;
+            code = code * 16 +
+                   (std::isdigit(static_cast<unsigned char>(c))
+                        ? static_cast<unsigned>(c - '0')
+                        : static_cast<unsigned>(std::tolower(c) - 'a' +
+                                                10));
+        }
+        return true;
+    }
+
+    /** Append code point @p cp (already validated) as UTF-8. */
+    static void
+    appendUtf8(std::string &s, unsigned cp)
+    {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xc0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            s += static_cast<char>(0xe0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            s += static_cast<char>(0xf0 | (cp >> 18));
+            s += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
     bool
     rawString(std::string &s, std::string &err)
     {
@@ -341,26 +385,35 @@ class Parser
                   case 'b': s += '\b'; break;
                   case 'f': s += '\f'; break;
                   case 'u': {
-                    // \uXXXX: decoded as a raw byte for the ASCII range
-                    // (the emitter only escapes control characters).
+                    // \uXXXX is a UTF-16 code unit: BMP code points are
+                    // encoded as UTF-8; a surrogate pair combines into
+                    // one supplementary-plane code point; a lone
+                    // surrogate is not a code point and is rejected.
                     unsigned code = 0;
-                    for (int i = 0; i < 4; ++i) {
-                        ++p_;
-                        if (p_ == end_ ||
-                            !std::isxdigit(
-                                static_cast<unsigned char>(*p_))) {
-                            err = "malformed \\u escape";
+                    if (!hex4(code, err))
+                        return false;
+                    if (code >= 0xdc00 && code <= 0xdfff) {
+                        err = "lone low surrogate in \\u escape";
+                        return false;
+                    }
+                    if (code >= 0xd800 && code <= 0xdbff) {
+                        if (end_ - p_ < 3 || p_[1] != '\\' ||
+                            p_[2] != 'u') {
+                            err = "unpaired high surrogate in \\u escape";
                             return false;
                         }
-                        const char c = *p_;
-                        code = code * 16 +
-                               (std::isdigit(
-                                    static_cast<unsigned char>(c))
-                                    ? static_cast<unsigned>(c - '0')
-                                    : static_cast<unsigned>(
-                                          std::tolower(c) - 'a' + 10));
+                        p_ += 2; // the low surrogate's "\u"
+                        unsigned low = 0;
+                        if (!hex4(low, err))
+                            return false;
+                        if (low < 0xdc00 || low > 0xdfff) {
+                            err = "unpaired high surrogate in \\u escape";
+                            return false;
+                        }
+                        code = 0x10000 + ((code - 0xd800) << 10) +
+                               (low - 0xdc00);
                     }
-                    s += static_cast<char>(code & 0xff);
+                    appendUtf8(s, code);
                     break;
                   }
                   default:

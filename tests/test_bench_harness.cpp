@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <limits>
+#include <map>
 
 #include "bench/bench_common.hpp"
 #include "kernels/suite.hpp"
@@ -29,9 +30,10 @@ TEST(Geomean, OfPositiveRatios)
     EXPECT_DOUBLE_EQ(benchcommon::geomean({1.0, 1.0, 1.0}), 1.0);
 }
 
-TEST(Geomean, EmptyInputIsZero)
+TEST(Geomean, EmptyInputIsNan)
 {
-    EXPECT_DOUBLE_EQ(benchcommon::geomean({}), 0.0);
+    // The mean of nothing is undefined, not a measured 0.0 ratio.
+    EXPECT_TRUE(std::isnan(benchcommon::geomean({})));
 }
 
 TEST(Geomean, SkipsNonPositiveEntries)
@@ -41,10 +43,11 @@ TEST(Geomean, SkipsNonPositiveEntries)
     EXPECT_DOUBLE_EQ(benchcommon::geomean({-3.0, 9.0}), 9.0);
 }
 
-TEST(Geomean, AllUnusableIsZeroNotNan)
+TEST(Geomean, AllUnusableIsNan)
 {
-    const double g = benchcommon::geomean({0.0, -1.0});
-    EXPECT_DOUBLE_EQ(g, 0.0);
+    // Every entry skipped: same undefined-mean contract as the empty
+    // input (dumped as null in the results JSON).
+    EXPECT_TRUE(std::isnan(benchcommon::geomean({0.0, -1.0})));
 }
 
 TEST(Geomean, SkipsNonFiniteEntries)
@@ -170,6 +173,21 @@ TEST(DeviceReuse, SecondKernelUnaffectedByFirst)
 
 // -------------------------------------------------------- parallel runner
 
+/** Modelled counters only: the simhost_* group describes the host
+ *  simulation and depends on the adaptive engine cache's warm-up state
+ *  (a kernel's first launch samples under the fast-path engine, later
+ *  launches run the cached decision), so it is excluded from the
+ *  serial/parallel determinism contract. */
+std::map<std::string, uint64_t>
+modelledStats(const support::StatSet &stats)
+{
+    std::map<std::string, uint64_t> out;
+    for (const auto &[name, value] : stats.all())
+        if (name.rfind("simhost_", 0) != 0)
+            out.emplace(name, value);
+    return out;
+}
+
 void
 expectIdentical(const std::vector<benchcommon::SuiteResult> &a,
                 const std::vector<benchcommon::SuiteResult> &b)
@@ -182,7 +200,8 @@ expectIdentical(const std::vector<benchcommon::SuiteResult> &a,
         EXPECT_EQ(a[i].run.completed, b[i].run.completed);
         EXPECT_EQ(a[i].run.trapped, b[i].run.trapped);
         EXPECT_EQ(a[i].run.cycles, b[i].run.cycles);
-        EXPECT_EQ(a[i].run.stats.all(), b[i].run.stats.all());
+        EXPECT_EQ(modelledStats(a[i].run.stats),
+                  modelledStats(b[i].run.stats));
         EXPECT_EQ(a[i].run.rfCapRegMask, b[i].run.rfCapRegMask);
     }
 }

@@ -1,18 +1,30 @@
 /**
  * @file
- * Bit-identity proof for the host-side warp-regularity fast paths: every
- * benchmark of the suite, under every configuration, is simulated twice
- * -- once with SmConfig::hostFastPath enabled (scalarised execute, lazy
- * operand expansion, coalescer shortcut) and once with it disabled (the
- * original per-lane loop) -- and every architecturally visible outcome
- * must match exactly: cycle count, every modelled perf counter, result
- * buffers (verified output plus whole-memory content hashes), and the
- * first-trap record. Only the "simhost_*" throughput counters, which
- * describe the host simulation itself, are allowed to differ.
+ * Bit-identity proof for the multi-engine execute layer (DESIGN.md
+ * section 10): every benchmark of the suite, under every configuration,
+ * is simulated with each engine forced -- the verbatim per-lane loop
+ * (the reference), the warp-regularity fast path with threaded scalar
+ * dispatch, and the packed host-SIMD engine -- and every architecturally
+ * visible outcome must match the verbatim run exactly: cycle count,
+ * every modelled perf counter, result buffers (verified output plus
+ * whole-memory content hashes), and the first-trap record. Only the
+ * "simhost_*" throughput counters, which describe the host simulation
+ * itself, are allowed to differ.
+ *
+ * The same build runs this matrix with the packed engine on whichever
+ * backend CMake selected (AVX2 or portable scalar); the simd-labelled
+ * ctest legs additionally force the scalar backend via
+ * CHERI_SIMT_FORCE_SCALAR, so both backends are proven against the same
+ * reference.
  *
  * BlkStencil is the adversarial case (divergent control flow and
  * per-lane capability metadata); dedicated trap tests cover partial-warp
- * faults where only some lanes of a warp go out of bounds.
+ * faults where only some lanes of a warp go out of bounds, including a
+ * fault raised inside a divergent block after handler-dispatched ALU
+ * work. A final group proves the adaptive policy (ExecEngine::Auto) is
+ * deterministic: repeated runs -- the sampling run that makes the
+ * decision and the warm runs that reuse the cached one -- and sharded
+ * multi-SM runs all report bit-identical architectural results.
  */
 
 #include <gtest/gtest.h>
@@ -24,6 +36,7 @@
 #include "kc/asm.hpp"
 #include "kernels/suite.hpp"
 #include "nocl/nocl.hpp"
+#include "simt/engine.hpp"
 #include "simt/sm.hpp"
 
 namespace
@@ -33,6 +46,7 @@ using isa::Op;
 using kc::Assembler;
 using kernels::Prepared;
 using kernels::Size;
+using simt::ExecEngine;
 using Mode = kc::CompileOptions::Mode;
 
 enum class Config
@@ -89,8 +103,8 @@ modeOf(Config c)
     }
 }
 
-/** Modelled counters only: the simhost_* pair reports host-simulation
- *  throughput and is the one legitimate fast/slow difference. */
+/** Modelled counters only: the simhost_* group reports host-simulation
+ *  throughput and is the one legitimate cross-engine difference. */
 std::map<std::string, uint64_t>
 modelledStats(const support::StatSet &stats)
 {
@@ -102,28 +116,28 @@ modelledStats(const support::StatSet &stats)
 }
 
 void
-expectSameStats(const support::StatSet &fast, const support::StatSet &slow)
+expectSameStats(const support::StatSet &got, const support::StatSet &ref)
 {
-    const auto f = modelledStats(fast);
-    const auto s = modelledStats(slow);
-    for (const auto &[name, value] : f)
-        EXPECT_EQ(value, s.count(name) ? s.at(name) : 0)
+    const auto g = modelledStats(got);
+    const auto r = modelledStats(ref);
+    for (const auto &[name, value] : g)
+        EXPECT_EQ(value, r.count(name) ? r.at(name) : 0)
             << "counter " << name;
-    for (const auto &[name, value] : s)
-        EXPECT_TRUE(f.count(name)) << "counter " << name
-                                   << " only exists without fast paths";
+    for (const auto &[name, value] : r)
+        EXPECT_TRUE(g.count(name))
+            << "counter " << name << " only exists under verbatim";
 }
 
 void
-expectSameTrap(const simt::TrapInfo &fast, const simt::TrapInfo &slow)
+expectSameTrap(const simt::TrapInfo &got, const simt::TrapInfo &ref)
 {
-    EXPECT_EQ(fast.trapped, slow.trapped);
-    EXPECT_EQ(fast.pc, slow.pc);
-    EXPECT_EQ(fast.addr, slow.addr);
-    EXPECT_EQ(fast.warp, slow.warp);
-    EXPECT_EQ(fast.lane, slow.lane);
-    EXPECT_EQ(fast.op, slow.op);
-    EXPECT_EQ(fast.kind, slow.kind);
+    EXPECT_EQ(got.trapped, ref.trapped);
+    EXPECT_EQ(got.pc, ref.pc);
+    EXPECT_EQ(got.addr, ref.addr);
+    EXPECT_EQ(got.warp, ref.warp);
+    EXPECT_EQ(got.lane, ref.lane);
+    EXPECT_EQ(got.op, ref.op);
+    EXPECT_EQ(got.kind, ref.kind);
 }
 
 /** Everything architecturally observable about one benchmark run. */
@@ -137,12 +151,12 @@ struct Outcome
 };
 
 Outcome
-runOnce(const std::string &bench_name, Config c, bool fast_path)
+runOnce(const std::string &bench_name, Config c, ExecEngine sel)
 {
     auto bench = kernels::makeBenchmark(bench_name);
     EXPECT_NE(bench, nullptr);
     simt::SmConfig cfg = smConfigOf(c);
-    cfg.hostFastPath = fast_path;
+    cfg.engineSel = sel;
     nocl::Device dev(cfg, modeOf(c));
     Prepared p = bench->prepare(dev, Size::Small);
 
@@ -155,35 +169,54 @@ runOnce(const std::string &bench_name, Config c, bool fast_path)
     return o;
 }
 
-class FastPathParity
+void
+expectSameOutcome(const Outcome &got, const Outcome &ref)
+{
+    EXPECT_EQ(got.run.completed, ref.run.completed);
+    EXPECT_EQ(got.run.trapped, ref.run.trapped);
+    EXPECT_EQ(got.run.cycles, ref.run.cycles);
+    EXPECT_EQ(got.verified, ref.verified);
+    EXPECT_EQ(got.run.avgDataVrf, ref.run.avgDataVrf);
+    EXPECT_EQ(got.run.avgMetaVrf, ref.run.avgMetaVrf);
+    EXPECT_EQ(got.run.rfCapRegMask, ref.run.rfCapRegMask);
+    EXPECT_EQ(got.dramHash, ref.dramHash);
+    EXPECT_EQ(got.scratchpadHash, ref.scratchpadHash);
+    expectSameTrap(got.trap, ref.trap);
+    expectSameStats(got.run.stats, ref.run.stats);
+}
+
+class EngineParity
     : public ::testing::TestWithParam<std::tuple<std::string, Config>>
 {
 };
 
-TEST_P(FastPathParity, BitIdentical)
+TEST_P(EngineParity, ThreeWayBitIdentical)
 {
     const auto &[bench_name, config] = GetParam();
-    const Outcome fast = runOnce(bench_name, config, true);
-    const Outcome slow = runOnce(bench_name, config, false);
+    const Outcome verbatim = runOnce(bench_name, config,
+                                     ExecEngine::Verbatim);
+    const Outcome fastpath = runOnce(bench_name, config,
+                                     ExecEngine::FastPath);
+    const Outcome simd = runOnce(bench_name, config, ExecEngine::Simd);
 
-    EXPECT_EQ(fast.run.completed, slow.run.completed);
-    EXPECT_EQ(fast.run.trapped, slow.run.trapped);
-    EXPECT_EQ(fast.run.cycles, slow.run.cycles);
-    EXPECT_EQ(fast.verified, slow.verified);
-    EXPECT_EQ(fast.run.avgDataVrf, slow.run.avgDataVrf);
-    EXPECT_EQ(fast.run.avgMetaVrf, slow.run.avgMetaVrf);
-    EXPECT_EQ(fast.run.rfCapRegMask, slow.run.rfCapRegMask);
-    EXPECT_EQ(fast.dramHash, slow.dramHash);
-    EXPECT_EQ(fast.scratchpadHash, slow.scratchpadHash);
-    expectSameTrap(fast.trap, slow.trap);
-    expectSameStats(fast.run.stats, slow.run.stats);
+    expectSameOutcome(fastpath, verbatim);
+    expectSameOutcome(simd, verbatim);
 
-    // The fast path must actually engage somewhere (any kernel retires at
-    // least some fully converged instructions), otherwise this test only
-    // proves "off == off".
-    EXPECT_GT(fast.run.stats.get("simhost_instrs"), 0u);
-    EXPECT_GT(fast.run.stats.get("simhost_fastpath_instrs"), 0u);
-    EXPECT_EQ(slow.run.stats.get("simhost_fastpath_instrs"), 0u);
+    // Each run must report the engine it was forced to.
+    EXPECT_EQ(verbatim.run.stats.get("simhost_engine"),
+              static_cast<uint64_t>(ExecEngine::Verbatim));
+    EXPECT_EQ(fastpath.run.stats.get("simhost_engine"),
+              static_cast<uint64_t>(ExecEngine::FastPath));
+    EXPECT_EQ(simd.run.stats.get("simhost_engine"),
+              static_cast<uint64_t>(ExecEngine::Simd));
+
+    // The fast paths must actually engage somewhere (any kernel retires
+    // at least some fully converged instructions), otherwise this test
+    // only proves "off == off".
+    EXPECT_GT(verbatim.run.stats.get("simhost_instrs"), 0u);
+    EXPECT_EQ(verbatim.run.stats.get("simhost_fastpath_instrs"), 0u);
+    EXPECT_GT(fastpath.run.stats.get("simhost_fastpath_instrs"), 0u);
+    EXPECT_GT(simd.run.stats.get("simhost_fastpath_instrs"), 0u);
 }
 
 std::vector<std::tuple<std::string, Config>>
@@ -200,7 +233,7 @@ allCases()
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllBenchmarks, FastPathParity, ::testing::ValuesIn(allCases()),
+    AllBenchmarks, EngineParity, ::testing::ValuesIn(allCases()),
     [](const auto &info) {
         return std::get<0>(info.param) + std::string("_") +
                configName(std::get<1>(info.param));
@@ -208,25 +241,26 @@ INSTANTIATE_TEST_SUITE_P(
 
 // ---- Partial-warp trap parity ----
 //
-// A hand-assembled purecap program where per-lane addresses walk out of a
-// 64-byte window mid-warp, so only the upper lanes fault. The fast memory
-// path must commit exactly the same first trap (warp, lane, pc, address,
-// kind) and the same counters as the per-lane loop.
+// Hand-assembled purecap programs where per-lane addresses walk out of a
+// 64-byte window mid-warp, so only some lanes fault. Every engine must
+// commit exactly the same first trap (warp, lane, pc, address, kind) and
+// the same counters as the verbatim per-lane loop.
 
 simt::SmConfig
-trapConfig(bool fast_path)
+trapConfig(ExecEngine sel)
 {
     simt::SmConfig cfg = simt::SmConfig::cheriOptimised();
     cfg.numWarps = 2;
     cfg.numLanes = 8;
-    cfg.hostFastPath = fast_path;
+    cfg.engineSel = sel;
     return cfg;
 }
 
+/** Straight-line variant: lane addresses stride past the window, lanes
+ *  4+ of warp 0 go out of bounds. */
 void
-runTrapProgram(simt::Sm &sm, Op access)
+emitStridedTrapProgram(Assembler &a, Op access)
 {
-    Assembler a;
     a.emitI(Op::CSPECIALRW, 5, 0, isa::SCR_DDC);
     a.emitI(Op::LUI, 6, 0, static_cast<int32_t>(simt::kDramBase));
     a.emitR(Op::CSETADDR, 7, 5, 6);
@@ -240,40 +274,182 @@ runTrapProgram(simt::Sm &sm, Op access)
     else
         a.emit(Op::SW, 0, 7, 8, 0);
     a.emit(Op::SIMT_HALT, 0, 0, 0);
+}
 
+/** Divergent variant: only the odd lanes enter a branch body, do
+ *  handler-dispatched ALU work there, and store through the capability;
+ *  lane 5 is the first whose address leaves the window. Proves a trap
+ *  raised mid-divergent-block, after engine-dispatched ALU steps under a
+ *  partial active mask, is attributed identically by every engine. */
+void
+emitDivergentTrapProgram(Assembler &a)
+{
+    a.emitI(Op::CSPECIALRW, 5, 0, isa::SCR_DDC);
+    a.emitI(Op::LUI, 6, 0, static_cast<int32_t>(simt::kDramBase));
+    a.emitR(Op::CSETADDR, 7, 5, 6);
+    a.emitI(Op::ADDI, 8, 0, 64);
+    a.emitR(Op::CSETBOUNDS, 7, 7, 8); // 64-byte window
+    a.emitI(Op::CSRRS, 9, 0, isa::CSR_HARTID);
+    a.emitI(Op::ANDI, 10, 9, 1);      // odd lanes take the branch body
+
+    const kc::Label skip = a.newLabel();
+    a.emit(Op::SIMT_PUSH, 0, 0, 0);
+    a.emitBranch(Op::BEQ, 10, 0, skip);
+    a.emitI(Op::SLLI, 9, 9, 4);       // divergent ALU: thread id * 16
+    a.emitI(Op::ADDI, 9, 9, 0);       // (both run under a partial mask)
+    a.emitR(Op::CINCOFFSET, 7, 7, 9); // odd offsets 16,48,80,112
+    a.emit(Op::SW, 0, 7, 8, 0);       // 80 and 112 are past the window
+    a.place(skip);
+    a.emit(Op::SIMT_POP, 0, 0, 0);
+    a.emit(Op::SIMT_HALT, 0, 0, 0);
+}
+
+template <typename EmitFn>
+simt::TrapInfo
+runTrapProgram(simt::Sm &sm, EmitFn emit_program)
+{
+    Assembler a;
+    emit_program(a);
     sm.loadProgram(a.finalize());
     sm.setScr(isa::SCR_DDC, cap::rootCap());
     sm.launch(0, 2);
     EXPECT_TRUE(sm.run());
+    EXPECT_TRUE(sm.trapped());
+    return sm.firstTrap();
 }
 
+template <typename EmitFn>
 void
-expectTrapParity(Op access)
+expectTrapParity(EmitFn emit_program, unsigned expect_lane)
 {
-    simt::Sm fast(trapConfig(true));
-    simt::Sm slow(trapConfig(false));
-    runTrapProgram(fast, access);
-    runTrapProgram(slow, access);
+    simt::Sm verbatim(trapConfig(ExecEngine::Verbatim));
+    const simt::TrapInfo ref = runTrapProgram(verbatim, emit_program);
+    EXPECT_EQ(ref.kind, simt::TrapKind::BoundsViolation);
+    EXPECT_EQ(ref.warp, 0u);
+    EXPECT_EQ(ref.lane, expect_lane);
 
-    ASSERT_TRUE(fast.trapped());
-    ASSERT_TRUE(slow.trapped());
-    expectSameTrap(fast.firstTrap(), slow.firstTrap());
-    EXPECT_EQ(fast.firstTrap().kind, simt::TrapKind::BoundsViolation);
-    EXPECT_EQ(fast.firstTrap().warp, 0u);
-    EXPECT_EQ(fast.firstTrap().lane, 4u); // first out-of-bounds lane
-    EXPECT_EQ(fast.cycles(), slow.cycles());
-    EXPECT_EQ(fast.dram().contentHash(), slow.dram().contentHash());
-    expectSameStats(fast.stats(), slow.stats());
+    for (ExecEngine sel : {ExecEngine::FastPath, ExecEngine::Simd}) {
+        SCOPED_TRACE(simt::execEngineName(sel));
+        simt::Sm sm(trapConfig(sel));
+        const simt::TrapInfo got = runTrapProgram(sm, emit_program);
+        expectSameTrap(got, ref);
+        EXPECT_EQ(sm.cycles(), verbatim.cycles());
+        EXPECT_EQ(sm.dram().contentHash(), verbatim.dram().contentHash());
+        expectSameStats(sm.stats(), verbatim.stats());
+    }
 }
 
-TEST(FastPathTrapParity, PartialWarpLoadFault)
+TEST(EngineTrapParity, PartialWarpLoadFault)
 {
-    expectTrapParity(Op::LW);
+    expectTrapParity(
+        [](Assembler &a) { emitStridedTrapProgram(a, Op::LW); },
+        /*expect_lane=*/4);
 }
 
-TEST(FastPathTrapParity, PartialWarpStoreFault)
+TEST(EngineTrapParity, PartialWarpStoreFault)
 {
-    expectTrapParity(Op::SW);
+    expectTrapParity(
+        [](Assembler &a) { emitStridedTrapProgram(a, Op::SW); },
+        /*expect_lane=*/4);
+}
+
+TEST(EngineTrapParity, MidBlockDivergentFault)
+{
+    expectTrapParity([](Assembler &a) { emitDivergentTrapProgram(a); },
+                     /*expect_lane=*/5);
+}
+
+// ---- Adaptive policy ----
+//
+// ExecEngine::Auto samples the first launch and caches a per-kernel
+// decision. The cache must never make the simulation non-deterministic:
+// the sampling launch, the warm launches that reuse the decision, and
+// sharded multi-SM launches must all report bit-identical architectural
+// results. VecAdd (uniform) must settle on an accelerated engine; SPMV
+// (irregular, the kernel whose regression motivated the policy) must
+// fall back to verbatim.
+
+nocl::RunResult
+runAdaptive(const std::string &bench_name, unsigned sms, bool &verified)
+{
+    auto bench = kernels::makeBenchmark(bench_name);
+    EXPECT_NE(bench, nullptr);
+    simt::SmConfig cfg = simt::SmConfig::cheriOptimised();
+    cfg.engineSel = ExecEngine::Auto;
+    cfg.numSms = sms;
+    nocl::Device dev(cfg, Mode::Purecap);
+    Prepared p = bench->prepare(dev, Size::Small);
+    nocl::RunResult res = dev.launch(*p.kernel, p.cfg, p.args);
+    verified = p.verify(dev);
+    return res;
+}
+
+TEST(AdaptiveEngine, DeterministicAcrossRepeatsAndSmCounts)
+{
+    for (const char *bench : {"VecAdd", "SPMV", "BlkStencil"}) {
+        SCOPED_TRACE(bench);
+        simt::engine::clearEngineDecisions();
+
+        for (unsigned sms : {1u, 2u, 4u}) {
+            SCOPED_TRACE(sms);
+            // The first launch at each SM count is the sampling launch
+            // that makes (and caches) the decision; later launches
+            // reuse it. Every repeat must be bit-identical to the
+            // first. (Cross-SM-count *result* parity is test_multisim's
+            // contract; per-SM scheduling counters legitimately differ
+            // between SM counts, so repeats are compared within one.)
+            bool ref_verified = false;
+            const nocl::RunResult ref =
+                runAdaptive(bench, sms, ref_verified);
+            ASSERT_TRUE(ref.completed);
+            EXPECT_TRUE(ref_verified);
+
+            for (int rep = 0; rep < 2; ++rep) {
+                bool verified = false;
+                const nocl::RunResult res =
+                    runAdaptive(bench, sms, verified);
+                EXPECT_EQ(res.completed, ref.completed);
+                EXPECT_EQ(res.trapped, ref.trapped);
+                EXPECT_EQ(res.cycles, ref.cycles);
+                EXPECT_EQ(verified, ref_verified);
+                expectSameStats(res.stats, ref.stats);
+            }
+        }
+    }
+}
+
+TEST(AdaptiveEngine, PolicyPicksExpectedEngines)
+{
+    simt::engine::clearEngineDecisions();
+
+    // VecAdd's warp-steps are overwhelmingly regular: the policy must
+    // keep an accelerated engine (fast path, or SIMD where the packed
+    // share clears the bar).
+    bool verified = false;
+    const nocl::RunResult vecadd = runAdaptive("VecAdd", 1, verified);
+    ASSERT_TRUE(vecadd.completed);
+    EXPECT_TRUE(verified);
+    const uint64_t vecadd_engine = vecadd.stats.get("simhost_engine");
+    EXPECT_TRUE(vecadd_engine ==
+                    static_cast<uint64_t>(ExecEngine::FastPath) ||
+                vecadd_engine == static_cast<uint64_t>(ExecEngine::Simd))
+        << "VecAdd decided engine " << vecadd_engine;
+
+    // SPMV's gather is irregular; its fast-path hit rate sits far below
+    // the engineMinHitRate guard, so the policy must pick verbatim --
+    // this is the decision that fixes the SPMV host-throughput
+    // regression.
+    const nocl::RunResult spmv = runAdaptive("SPMV", 1, verified);
+    ASSERT_TRUE(spmv.completed);
+    EXPECT_TRUE(verified);
+    EXPECT_EQ(spmv.stats.get("simhost_engine"),
+              static_cast<uint64_t>(ExecEngine::Verbatim));
+
+    // A warm launch reuses the cached decision.
+    const nocl::RunResult warm = runAdaptive("SPMV", 1, verified);
+    EXPECT_EQ(warm.stats.get("simhost_engine"),
+              static_cast<uint64_t>(ExecEngine::Verbatim));
+    EXPECT_EQ(warm.cycles, spmv.cycles);
 }
 
 } // namespace

@@ -191,6 +191,36 @@ TEST(Json, StringEscapes)
     EXPECT_EQ(parsed.asString(), "a\"b\\c\n\t\x01");
 }
 
+TEST(Json, UnicodeEscapesDecodeToUtf8)
+{
+    using json::Value;
+    Value out;
+    // One escape per UTF-8 length class: ASCII, 2-byte (é), 3-byte (€).
+    ASSERT_TRUE(Value::parse("\"\\u0041\\u00e9\\u20ac\"", out));
+    EXPECT_EQ(out.asString(), "A\xc3\xa9\xe2\x82\xac");
+    // A surrogate pair combines into one supplementary-plane code point
+    // (U+1D11E, musical G clef -> 4-byte UTF-8).
+    ASSERT_TRUE(Value::parse("\"\\ud834\\udd1e\"", out));
+    EXPECT_EQ(out.asString(), "\xf0\x9d\x84\x9e");
+}
+
+TEST(Json, UnicodeEscapesRejectLoneSurrogates)
+{
+    using json::Value;
+    Value out;
+    std::string err;
+    // High surrogate with no continuation, with a non-escape following,
+    // with a non-surrogate escape following, and a bare low surrogate.
+    EXPECT_FALSE(Value::parse("\"\\ud834\"", out, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(Value::parse("\"\\ud834x\"", out));
+    EXPECT_FALSE(Value::parse("\"\\ud834\\u0041\"", out));
+    EXPECT_FALSE(Value::parse("\"\\udd1e\"", out));
+    // Truncated hex digits still fail cleanly.
+    EXPECT_FALSE(Value::parse("\"\\u12\"", out));
+    EXPECT_FALSE(Value::parse("\"\\ud834\\ud8\"", out));
+}
+
 TEST(Json, RoundTripThroughPrettyPrinter)
 {
     using json::Value;
