@@ -1,5 +1,6 @@
 #include "bench/bench_common.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -25,12 +26,19 @@ namespace
  * are independent tasks for the worker pool.
  */
 SuiteResult
-runPoint(size_t bench_idx, const ConfigPoint &point, kernels::Size size)
+runPoint(size_t bench_idx, const ConfigPoint &point, kernels::Size size,
+         support::trace::Session *trace = nullptr)
 {
     auto suite = kernels::makeSuite();
     kernels::Benchmark &bench = *suite.at(bench_idx);
 
     nocl::Device dev(point.cfg, point.mode);
+    if (trace != nullptr) {
+        // One track per "<config>/<bench>" point; the caller guarantees
+        // single-threaded execution while a session is attached.
+        trace->beginTrack(point.label + "/" + bench.name());
+        dev.attachTraceSession(trace);
+    }
     kernels::Prepared p = bench.prepare(dev, size);
     if (point.capRegLimit != 0)
         p.cfg.capRegLimit = point.capRegLimit;
@@ -111,7 +119,8 @@ suiteNames()
 std::vector<std::vector<SuiteResult>>
 runMatrixFiltered(const std::vector<ConfigPoint> &points,
                   kernels::Size size, unsigned threads,
-                  const std::string &filter)
+                  const std::string &filter,
+                  support::trace::Session *trace = nullptr)
 {
     const auto names = suiteNames();
     const size_t count = names.size();
@@ -127,9 +136,75 @@ runMatrixFiltered(const std::vector<ConfigPoint> &points,
             rows[p][b].skipped = true;
             return;
         }
-        rows[p][b] = runPoint(b, points[p], size);
+        rows[p][b] = runPoint(b, points[p], size, trace);
     });
     return rows;
+}
+
+/** Ratio helper for profile rates: 0 when the denominator is 0. */
+double
+ratioOf(uint64_t num, uint64_t den)
+{
+    return den != 0 ? static_cast<double>(num) / static_cast<double>(den)
+                    : 0.0;
+}
+
+/** Build a result entry's "profile" object from the per-PC histogram
+ *  plus the run's modelled stats (see the schema in bench_common.hpp). */
+support::json::Value
+profileJson(const support::trace::KernelProfile &prof,
+            const support::StatSet &stats)
+{
+    using support::json::Value;
+    Value out = Value::object();
+    out.set("launches", Value::integer(prof.launches));
+
+    uint64_t total = 0;
+    for (uint64_t c : prof.pcCounts)
+        total += c;
+    out.set("instructions", Value::integer(total));
+
+    if (stats.has("simhost_engine"))
+        out.set("engine",
+                Value::str(simt::execEngineName(
+                    static_cast<simt::ExecEngine>(
+                        stats.get("simhost_engine")))));
+    out.set("fastpath_share",
+            Value::number(ratioOf(stats.get("simhost_fastpath_instrs"),
+                                  stats.get("simhost_instrs"))));
+    out.set("stack_cache_hit_rate",
+            Value::number(ratioOf(stats.get("stack_cache_hits"),
+                                  stats.get("stack_cache_hits") +
+                                      stats.get("stack_cache_misses"))));
+    out.set("dram_bytes_per_transaction",
+            Value::number(ratioOf(stats.get("dram_bytes_read") +
+                                      stats.get("dram_bytes_written"),
+                                  stats.get("dram_transactions"))));
+
+    // The 8 hottest PCs, count-descending, ties broken by lower PC.
+    std::vector<size_t> hot;
+    for (size_t i = 0; i < prof.pcCounts.size(); ++i)
+        if (prof.pcCounts[i] != 0)
+            hot.push_back(i);
+    std::sort(hot.begin(), hot.end(), [&](size_t a, size_t b) {
+        if (prof.pcCounts[a] != prof.pcCounts[b])
+            return prof.pcCounts[a] > prof.pcCounts[b];
+        return a < b;
+    });
+    if (hot.size() > 8)
+        hot.resize(8);
+    Value tops = Value::array();
+    for (size_t i : hot) {
+        Value pc = Value::object();
+        pc.set("pc", Value::str(support::strprintf(
+                         "0x%08x", static_cast<uint32_t>(i * 4))));
+        pc.set("count", Value::integer(prof.pcCounts[i]));
+        if (i < prof.disasm.size())
+            pc.set("instr", Value::str(prof.disasm[i]));
+        tops.push(std::move(pc));
+    }
+    out.set("top_pcs", std::move(tops));
+    return out;
 }
 
 } // namespace
@@ -202,6 +277,12 @@ parseArgs(int &argc, char **argv)
                 std::strtoull(take_value("--seed").c_str(), nullptr, 10);
         } else if (arg.rfind("--seed=", 0) == 0) {
             opts.seed = std::strtoull(arg.substr(7).c_str(), nullptr, 10);
+        } else if (arg == "--trace") {
+            opts.tracePath = take_value("--trace");
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            opts.tracePath = arg.substr(8);
+        } else if (arg == "--profile") {
+            opts.profile = true;
         } else {
             argv[out++] = argv[i];
         }
@@ -209,6 +290,13 @@ parseArgs(int &argc, char **argv)
     argc = out;
     argv[argc] = nullptr;
     fatal_if(opts.sms == 0, "--sms requires at least one SM");
+    if ((!opts.tracePath.empty() || opts.profile) && opts.threads != 1) {
+        // The trace session is single-threaded by design: points must
+        // run in suite order on one worker for a deterministic stream.
+        support::log(support::LogLevel::Info,
+                     "tracing/profiling forces --threads 1");
+        opts.threads = 1;
+    }
     return opts;
 }
 
@@ -293,6 +381,11 @@ Harness::Harness(int &argc, char **argv, std::string binary)
     : opts_(parseArgs(argc, argv)), binary_(std::move(binary))
 {
     kernels::setWorkloadSeed(opts_.seed);
+    if (!opts_.tracePath.empty() || opts_.profile) {
+        support::trace::SessionConfig cfg;
+        cfg.profile = opts_.profile;
+        trace_ = std::make_unique<support::trace::Session>(cfg);
+    }
 }
 
 std::vector<SuiteResult>
@@ -330,7 +423,7 @@ Harness::runMatrix(const std::vector<ConfigPoint> &points_in)
         return rows;
     }
     auto rows = runMatrixFiltered(points, opts_.size, opts_.threads,
-                                  opts_.filter);
+                                  opts_.filter, trace_.get());
     for (size_t p = 0; p < points.size(); ++p)
         record(points[p].label, rows[p]);
     return rows;
@@ -362,6 +455,12 @@ Harness::record(const std::string &label,
         for (const auto &[name, value] : r.run.stats.all())
             stats.set(name, Value::integer(value));
         entry.set("stats", std::move(stats));
+        if (trace_ != nullptr && trace_->profiling()) {
+            const support::trace::KernelProfile *prof =
+                trace_->profileFor(label + "/" + r.name);
+            if (prof != nullptr)
+                entry.set("profile", profileJson(*prof, r.run.stats));
+        }
         results_.push(std::move(entry));
     }
 }
@@ -381,6 +480,14 @@ Harness::metric(const std::string &name, double value)
 void
 Harness::finish() const
 {
+    if (trace_ != nullptr && !opts_.tracePath.empty()) {
+        fatal_if(!trace_->writeChromeTrace(opts_.tracePath, binary_),
+                 "cannot write trace file %s", opts_.tracePath.c_str());
+        std::printf("[trace written to %s: %zu events, %llu dropped]\n",
+                    opts_.tracePath.c_str(), trace_->eventCount(),
+                    static_cast<unsigned long long>(
+                        trace_->droppedEvents()));
+    }
     if (opts_.jsonPath.empty())
         return;
 

@@ -21,6 +21,7 @@
 #ifndef CHERI_SIMT_BENCH_BENCH_COMMON_HPP_
 #define CHERI_SIMT_BENCH_BENCH_COMMON_HPP_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,7 @@
 #include "nocl/nocl.hpp"
 #include "simt/config.hpp"
 #include "support/json.hpp"
+#include "support/trace.hpp"
 
 namespace benchcommon
 {
@@ -80,6 +82,14 @@ struct BenchOptions
     /** Workload seed mixed into every benchmark's input generator
      *  (kernels::setWorkloadSeed); 0 = the historical fixed inputs. */
     uint64_t seed = 0;
+
+    /** Path of the Chrome-trace-event JSON file ("cheri-simt-trace-v1");
+     *  empty = no trace. Forces --threads 1 (deterministic stream). */
+    std::string tracePath;
+
+    /** Collect per-kernel per-PC profiles into the results JSON.
+     *  Forces --threads 1, like --trace. */
+    bool profile = false;
 };
 
 /**
@@ -95,6 +105,11 @@ struct BenchOptions
  *   --sms <n> | --sms=<n>             simulated SMs per device (default 1)
  *   --seed <n> | --seed=<n>           workload seed (default 0 = fixed
  *                                     historical inputs)
+ *   --trace <path> | --trace=<path>   write a Chrome-trace-event JSON
+ *                                     file (forces --threads 1)
+ *   --profile                         add per-kernel "profile" objects
+ *                                     to the results JSON (forces
+ *                                     --threads 1)
  */
 BenchOptions parseArgs(int &argc, char **argv);
 
@@ -174,6 +189,20 @@ void printHeader(const std::string &id, const std::string &caption);
  * Fault-campaign entries (bench_fault_campaign) additionally carry
  * "fault_class", "fault_site", "fault_outcome" ("detected" | "masked" |
  * "corrupt"), "fault_bit" and "fault_addr".
+ *
+ * Under --profile every result entry additionally carries a "profile"
+ * object:
+ *
+ *   "profile": { "launches": int, "instructions": int,
+ *                "engine": "<auto|verbatim|fastpath|simd>",
+ *                "fastpath_share": number,
+ *                "stack_cache_hit_rate": number,
+ *                "dram_bytes_per_transaction": number,
+ *                "top_pcs": [ { "pc": "0x...", "count": int,
+ *                               "instr": "<disassembly>" }, ... ] }
+ *
+ * where top_pcs lists the 8 hottest PCs by executed-instruction count
+ * (ties broken by lower PC).
  */
 class Harness
 {
@@ -204,14 +233,21 @@ class Harness
     /** Record a derived scalar (a geomean, an area number, ...). */
     void metric(const std::string &name, double value);
 
-    /** Write the JSON results file if --json was given. */
+    /** Write the JSON results file if --json was given, and the trace
+     *  file if --trace was given. */
     void finish() const;
+
+    /** The trace/profile session, or nullptr when neither --trace nor
+     *  --profile was given (fault-campaign drivers attach it to their
+     *  own devices). */
+    support::trace::Session *traceSession() const { return trace_.get(); }
 
   private:
     BenchOptions opts_;
     std::string binary_;
     support::json::Value results_ = support::json::Value::array();
     support::json::Value metrics_ = support::json::Value::object();
+    std::unique_ptr<support::trace::Session> trace_;
 };
 
 } // namespace benchcommon

@@ -36,6 +36,15 @@ printCampaign(const char *label, const CampaignResult &res)
                     fc.cls.c_str(),
                     benchcommon::faultOutcomeName(fc.outcome),
                     simt::trapKindName(fc.trapKind), fc.trapAddr);
+        if (fc.outcome == benchcommon::FaultOutcome::Detected &&
+            fc.trapKind != simt::TrapKind::None) {
+            // Full forensic record of the trap that caught the fault.
+            std::printf("    %s\n",
+                        simt::formatTrapRecord(
+                            fc.trapInfo, fc.kernelName, fc.purecap,
+                            static_cast<int>(fc.trapSm))
+                            .c_str());
+        }
     }
     std::printf("detected %u, masked %u, corrupt %u "
                 "(protection-relevant corrupt: %u)\n",
@@ -95,6 +104,7 @@ main(int argc, char **argv)
     base.sms = opts.sms;
     base.threads = opts.threads;
     base.filter = opts.filter;
+    base.trace = harness.traceSession();
 
     CampaignOptions cheri_opts = base;
     cheri_opts.cheri = true;

@@ -182,6 +182,12 @@ runBenchCases(size_t bench_idx, const CampaignOptions &opts)
         auto suite = kernels::makeSuite();
         kernels::Benchmark &bench = *suite.at(bench_idx);
         nocl::Device dev(cfg, mode);
+        if (opts.trace != nullptr) {
+            opts.trace->beginTrack(
+                std::string(opts.cheri ? "cheri/" : "baseline/") + name +
+                "/" + fc.cls);
+            dev.attachTraceSession(opts.trace);
+        }
         kernels::Prepared p = bench.prepare(dev, opts.size);
 
         nocl::LaunchPolicy policy;
@@ -192,6 +198,10 @@ runBenchCases(size_t bench_idx, const CampaignOptions &opts)
 
         fc.trapKind = run.trapKind;
         fc.trapAddr = run.trapAddr;
+        fc.trapInfo = run.trapInfo;
+        fc.trapSm = run.trapSm;
+        fc.kernelName = run.kernel ? run.kernel->name : name;
+        fc.purecap = opts.cheri;
         fc.faultInjections = run.faultInjections;
         fc.cycles = run.cycles;
         fc.retries = run.retries;
@@ -271,7 +281,7 @@ runFaultCampaign(const CampaignOptions &opts)
     // Benchmarks are independent tasks; each slot is written by exactly
     // one worker, so completion order cannot affect the result.
     std::vector<std::vector<FaultCase>> rows(selected.size());
-    unsigned n = opts.threads;
+    unsigned n = opts.trace != nullptr ? 1 : opts.threads;
     if (n == 0) {
         n = std::thread::hardware_concurrency();
         if (n == 0)

@@ -41,7 +41,16 @@
 
 #include "kernels/suite.hpp"
 #include "simt/config.hpp"
+#include "simt/sm.hpp"
 #include "simt/trap.hpp"
+
+namespace support
+{
+namespace trace
+{
+class Session;
+} // namespace trace
+} // namespace support
 
 namespace benchcommon
 {
@@ -71,6 +80,13 @@ struct FaultCase
     unsigned watchdog = 0;
     bool degraded = false;
 
+    /** Forensic record of the detected trap (see formatTrapRecord),
+     *  the SM that raised it, and the launched kernel's name. */
+    simt::TrapInfo trapInfo;
+    unsigned trapSm = 0;
+    std::string kernelName;
+    bool purecap = false;
+
     /** The fault-free reference run completed and verified. */
     bool goldenOk = false;
 };
@@ -90,6 +106,10 @@ struct CampaignOptions
 
     /** ECMAScript regex over benchmark names; empty = all fourteen. */
     std::string filter;
+
+    /** Trace/profile session attached to every faulty re-run device
+     *  (nullptr = none). Forces single-threaded campaign execution. */
+    support::trace::Session *trace = nullptr;
 };
 
 struct CampaignResult

@@ -1,13 +1,19 @@
 /**
  * @file
- * CI validator for the benchmark harness's JSON results files
- * (schema "cheri-simt-bench-v1"). Parses the file with the repo's own
- * JSON parser and checks the invariants the downstream tooling relies
- * on: the schema tag, a non-empty results array whose entries carry the
- * required fields, integer cycle counts, and integer stats counters.
+ * CI validator for the harness's JSON files. Dispatches on the schema
+ * tag:
+ *
+ *  - "cheri-simt-bench-v1": benchmark results -- the schema tag, a
+ *    non-empty results array whose entries carry the required fields,
+ *    integer cycle counts, integer stats counters, and (when present)
+ *    well-formed per-kernel "profile" objects;
+ *  - "cheri-simt-trace-v1": Chrome-trace-event exports -- a traceEvents
+ *    array of M/X/i/C events with integer pid/tid/ts, durations on
+ *    complete events, and metadata naming every process.
+ *
  * Exits non-zero with a diagnostic on the first violation.
  *
- * Usage: json_check <results.json>
+ * Usage: json_check <results-or-trace.json>
  */
 
 #include <cstdio>
@@ -27,6 +33,104 @@ fail(const std::string &msg)
     return 1;
 }
 
+using support::json::Value;
+
+/** Validate one result entry's optional per-kernel "profile" object. */
+int
+checkProfile(const Value &r, const std::string &where)
+{
+    const Value &prof = r.get("profile");
+    if (prof.isNull())
+        return 0;
+    if (!prof.isObject())
+        return fail(where + ".profile is not an object");
+    for (const char *field : {"launches", "instructions"})
+        if (!prof.get(field).isInt())
+            return fail(where + ".profile." + field +
+                        " is not an integer");
+    if (prof.get("launches").asUint() == 0)
+        return fail(where + ".profile.launches is zero");
+    for (const char *field : {"fastpath_share", "stack_cache_hit_rate",
+                              "dram_bytes_per_transaction"})
+        if (!prof.get(field).isNumber())
+            return fail(where + ".profile." + field + " is not a number");
+    const double share = prof.get("fastpath_share").asDouble();
+    if (share < 0.0 || share > 1.0)
+        return fail(where + ".profile.fastpath_share outside [0, 1]");
+    const Value &tops = prof.get("top_pcs");
+    if (!tops.isArray())
+        return fail(where + ".profile.top_pcs is not an array");
+    uint64_t prev = UINT64_MAX;
+    uint64_t top_sum = 0;
+    for (size_t i = 0; i < tops.size(); ++i) {
+        const Value &pc = tops.at(i);
+        const std::string at =
+            where + ".profile.top_pcs[" + std::to_string(i) + "]";
+        if (!pc.get("pc").isString() ||
+            pc.get("pc").asString().rfind("0x", 0) != 0)
+            return fail(at + ".pc is not a hex string");
+        if (!pc.get("count").isInt() || pc.get("count").asUint() == 0)
+            return fail(at + ".count is not a positive integer");
+        if (pc.get("count").asUint() > prev)
+            return fail(at + ": top_pcs not sorted by count");
+        prev = pc.get("count").asUint();
+        top_sum += pc.get("count").asUint();
+    }
+    if (top_sum > prof.get("instructions").asUint())
+        return fail(where +
+                    ".profile: top_pcs counts exceed instructions");
+    return 0;
+}
+
+/** Validate a "cheri-simt-trace-v1" Chrome-trace-event document. */
+int
+checkTrace(const Value &doc)
+{
+    if (!doc.get("binary").isString() ||
+        doc.get("binary").asString().empty())
+        return fail("missing binary name");
+    if (!doc.get("dropped_events").isInt())
+        return fail("dropped_events is not an integer");
+    const Value &events = doc.get("traceEvents");
+    if (!events.isArray())
+        return fail("traceEvents is not an array");
+    if (events.size() == 0)
+        return fail("traceEvents is empty");
+    size_t meta = 0;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const Value &e = events.at(i);
+        const std::string where =
+            "traceEvents[" + std::to_string(i) + "]";
+        if (!e.isObject())
+            return fail(where + " is not an object");
+        if (!e.get("name").isString() ||
+            e.get("name").asString().empty())
+            return fail(where + ".name missing");
+        const std::string ph = e.get("ph").asString();
+        if (ph != "M" && ph != "X" && ph != "i" && ph != "C")
+            return fail(where + ".ph must be M, X, i or C, got '" + ph +
+                        "'");
+        for (const char *field : {"pid", "tid"})
+            if (!e.get(field).isInt())
+                return fail(where + "." + field + " is not an integer");
+        if (ph == "M") {
+            ++meta;
+            continue;
+        }
+        if (!e.get("ts").isInt())
+            return fail(where + ".ts is not an integer");
+        if (ph == "X" && !e.get("dur").isInt())
+            return fail(where + ": complete event without dur");
+        if (ph == "i" && e.get("s").asString() != "t")
+            return fail(where + ": instant event scope must be 't'");
+    }
+    if (meta == 0)
+        return fail("no metadata (process/thread name) events");
+    std::printf("json_check: trace ok (%zu events, %zu metadata)\n",
+                events.size(), meta);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -41,14 +145,16 @@ main(int argc, char **argv)
     std::ostringstream text;
     text << in.rdbuf();
 
-    using support::json::Value;
     Value doc;
     std::string err;
     if (!Value::parse(text.str(), doc, &err))
         return fail("parse error: " + err);
     if (!doc.isObject())
         return fail("top level is not an object");
-    if (doc.get("schema").asString() != "cheri-simt-bench-v1")
+    const std::string schema = doc.get("schema").asString();
+    if (schema == "cheri-simt-trace-v1")
+        return checkTrace(doc);
+    if (schema != "cheri-simt-bench-v1")
         return fail("missing or unknown schema tag");
     if (!doc.get("binary").isString() ||
         doc.get("binary").asString().empty())
@@ -132,6 +238,8 @@ main(int argc, char **argv)
                                     "got " +
                             std::to_string(e));
         }
+        if (const int rc = checkProfile(r, where))
+            return rc;
     }
 
     const Value &metrics = doc.get("metrics");

@@ -3,8 +3,10 @@
 #include <chrono>
 #include <thread>
 
+#include "isa/encoding.hpp"
 #include "support/bits.hpp"
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace nocl
 {
@@ -29,6 +31,18 @@ cacheKey(const kc::KernelIr &ir, const kc::CompileOptions &opts)
         static_cast<unsigned long long>(kc::irFingerprint(ir)),
         static_cast<unsigned>(opts.mode), opts.blockDim, opts.gridDim,
         opts.numThreads, opts.stackBytes, opts.capRegLimit, opts.numSms);
+}
+
+/** Disassembly of a compiled image, one line per code word (for the
+ *  profiler's per-PC report). */
+std::vector<std::string>
+disasmOf(const kc::CompiledKernel &compiled, bool purecap)
+{
+    std::vector<std::string> out;
+    out.reserve(compiled.code.size());
+    for (uint32_t word : compiled.code)
+        out.push_back(isa::toString(isa::decode(word), purecap));
+    return out;
 }
 
 } // namespace
@@ -281,6 +295,21 @@ Device::launchWithPolicy(
     unsigned watchdog_total = res.watchdogFires;
     while (needs_retry(res) && retries < policy.maxRetries) {
         ++retries;
+        if (trace_ != nullptr) {
+            using namespace support::trace;
+            support::trace::Buffer *buf = trace_->deviceBuffer();
+            if (buf->wants(kCatWatchdog)) {
+                buf->setNow(0);
+                using support::json::Value;
+                Event &e = buf->emit(EventKind::Instant, kCatWatchdog,
+                                     "containment-retry");
+                e.args.emplace_back("attempt", Value::integer(retries));
+                e.args.emplace_back(
+                    "reason",
+                    Value::str(res.trapped ? "watchdog-timeout"
+                                           : "merge-conflict"));
+            }
+        }
         dram() = snapshot;
         res = attempt(false);
         watchdog_total += res.watchdogFires;
@@ -293,6 +322,18 @@ Device::launchWithPolicy(
         // launch would simply time out again in serial form.
         // Parallel execution keeps conflicting: give up on it and run
         // the SMs one at a time for exact sequential semantics.
+        if (trace_ != nullptr) {
+            using namespace support::trace;
+            support::trace::Buffer *buf = trace_->deviceBuffer();
+            if (buf->wants(kCatLaunch)) {
+                buf->setNow(0);
+                using support::json::Value;
+                Event &e = buf->emit(EventKind::Instant, kCatLaunch,
+                                     "degrade-to-serial");
+                e.args.emplace_back(
+                    "reason", Value::str(res.mergeFallbackReason));
+            }
+        }
         dram() = snapshot;
         res = attempt(true);
         watchdog_total += res.watchdogFires;
@@ -382,6 +423,59 @@ Device::launchAttempt(
         simt::applyMemoryFault(smCfg_.faultPlan, dram()))
         ++memory_faults;
 
+    // ---- Trace-session plumbing (observational only) ----
+    //
+    // The device runtime owns the sm = -1 buffer; the memory system
+    // reports epoch commits into it. Per-SM buffers and profile scratch
+    // are created here, on the control thread, before any worker spawns.
+    support::trace::Buffer *devbuf = nullptr;
+    if (trace_ != nullptr) {
+        devbuf = trace_->deviceBuffer();
+        devbuf->setNow(0);
+        memsys_->attachTrace(devbuf);
+        if (memory_faults > 0 &&
+            devbuf->wants(support::trace::kCatFault)) {
+            using support::json::Value;
+            const char *site = simt::faultSiteName(smCfg_.faultPlan.site);
+            support::trace::Event &e =
+                devbuf->emit(support::trace::EventKind::Instant,
+                             support::trace::kCatFault,
+                             std::string("fault-apply: ") + site);
+            e.args.emplace_back("site", Value::str(site));
+            e.args.emplace_back(
+                "addr", Value::str(support::strprintf(
+                            "0x%08x", smCfg_.faultPlan.addr & ~3u)));
+            e.args.emplace_back("bit",
+                                Value::integer(smCfg_.faultPlan.bit));
+        }
+    }
+
+    // Close out the attempt on the trace timeline: emit the launch span,
+    // fold the profile scratch, and advance the track past this attempt.
+    const auto trace_attempt_end = [&](const RunResult &res, bool serial) {
+        if (trace_ == nullptr)
+            return;
+        using namespace support::trace;
+        using support::json::Value;
+        if (devbuf->wants(kCatLaunch)) {
+            devbuf->setNow(0);
+            Event &e = devbuf->emit(EventKind::Span, kCatLaunch,
+                                    std::string("launch ") + compiled.name);
+            e.dur = res.cycles;
+            e.args.emplace_back("kernel", Value::str(compiled.name));
+            e.args.emplace_back("sms", Value::integer(res.numSms));
+            e.args.emplace_back("serial", Value::boolean(serial));
+            e.args.emplace_back("completed",
+                                Value::boolean(res.completed));
+            e.args.emplace_back("trapped", Value::boolean(res.trapped));
+        }
+        if (trace_->profiling())
+            trace_->setDisasm(disasmOf(compiled, purecap));
+        trace_->foldProfile();
+        memsys_->attachTrace(nullptr);
+        trace_->commitAttempt(res.cycles);
+    };
+
     // ---- Special capability registers (all SMs share them) ----
     if (purecap) {
         cap::CapPipe stc =
@@ -408,6 +502,9 @@ Device::launchAttempt(
     if (smCfg_.numSms == 1) {
         // Single SM: the exact pre-sharding code path.
         simt::Sm &sm = *sms_[0];
+        if (trace_ != nullptr)
+            sm.attachTrace(trace_->smBuffer(0),
+                           trace_->pcScratch(0, compiled.code.size()));
         sm.loadProgram(compiled.code);
         // Key the simulator's adaptive engine-decision cache with the
         // KernelCache identity, so every compilation of the same kernel
@@ -425,6 +522,8 @@ Device::launchAttempt(
         if (res.trapped) {
             res.trapKind = sm.firstTrap().kind;
             res.trapAddr = sm.firstTrap().addr;
+            res.trapInfo = sm.firstTrap();
+            res.trapSm = 0;
             if (res.trapKind == simt::TrapKind::WatchdogTimeout)
                 res.watchdogFires = 1;
         }
@@ -437,6 +536,10 @@ Device::launchAttempt(
         res.hostNs = sm.hostNanos();
         res.smCycles = {res.cycles};
         res.faultInjections = memory_faults + sm.faultFires();
+        if (trace_ != nullptr) {
+            sm.attachTrace(nullptr);
+            trace_attempt_end(res, /*serial=*/false);
+        }
         return res;
     }
 
@@ -453,6 +556,14 @@ Device::launchAttempt(
         sm->setProgramKey(support::strprintf(
             "%s|%016llx", compiled.name.c_str(),
             static_cast<unsigned long long>(compiled.fingerprint)));
+    }
+    if (trace_ != nullptr) {
+        // Buffers and scratch must exist before the workers spawn; each
+        // worker then only ever touches its own SM's buffer.
+        for (unsigned k = 0; k < ns; ++k)
+            sms_[k]->attachTrace(
+                trace_->smBuffer(k),
+                trace_->pcScratch(k, compiled.code.size()));
     }
 
     std::vector<uint8_t> completed(ns, 0);
@@ -477,6 +588,13 @@ Device::launchAttempt(
             }
             for (auto &w : workers)
                 w.join();
+        }
+        if (devbuf != nullptr) {
+            // Stamp the epoch-commit event at the slowest SM's finish.
+            uint64_t max_c = 0;
+            for (auto &sm : sms_)
+                max_c = std::max(max_c, sm->cycles());
+            devbuf->setNow(max_c);
         }
         const simt::MemorySystem::MergeReport merge =
             memsys_->commitEpoch();
@@ -508,6 +626,8 @@ Device::launchAttempt(
             sms_[k]->launch(0, warps_per_block);
             completed[k] = sms_[k]->run(max_cycles) ? 1 : 0;
             sms_[k]->attachShard(nullptr);
+            if (devbuf != nullptr)
+                devbuf->setNow(sms_[k]->cycles());
             const auto rep = memsys_->commitEpoch();
             panic_if(rep.conflict, "single-shard epoch conflicted");
             memsys_->endEpoch();
@@ -526,6 +646,8 @@ Device::launchAttempt(
             res.trapped = true;
             res.trapKind = sm.firstTrap().kind;
             res.trapAddr = sm.firstTrap().addr;
+            res.trapInfo = sm.firstTrap();
+            res.trapSm = k;
         }
         if (sm.trapped() &&
             sm.firstTrap().kind == simt::TrapKind::WatchdogTimeout)
@@ -558,6 +680,11 @@ Device::launchAttempt(
     res.faultInjections += memory_faults;
     if (aborted)
         res.completed = false;
+    if (trace_ != nullptr) {
+        for (auto &sm : sms_)
+            sm->attachTrace(nullptr);
+        trace_attempt_end(res, run_serially);
+    }
     return res;
 }
 

@@ -25,6 +25,14 @@
 #include "kc/kernel.hpp"
 #include "simt/sm.hpp"
 
+namespace support
+{
+namespace trace
+{
+class Session;
+} // namespace trace
+} // namespace support
+
 namespace nocl
 {
 
@@ -105,6 +113,11 @@ struct RunResult
     bool trapped = false;
     simt::TrapKind trapKind = simt::TrapKind::None;
     uint32_t trapAddr = 0;
+
+    /** Full forensic record of the winning trap (the lowest trapped
+     *  SM's first trap), and which SM raised it. */
+    simt::TrapInfo trapInfo;
+    unsigned trapSm = 0;
 
     /** Modelled cycles: the slowest SM of the launch (max over SMs). */
     uint64_t cycles = 0;
@@ -273,6 +286,21 @@ class Device
     uint32_t heapStart() const;
     uint32_t heapEnd() const { return heapNext_; }
 
+    /**
+     * Attach (or detach, with nullptr) a trace/profile session. While
+     * attached, every launch records lifecycle / epoch / trap / fault
+     * events into the session's buffers (merged in SM-index order at
+     * each attempt commit) and, when the session profiles, per-PC
+     * instruction histograms. Observational only: architectural results
+     * are bit-identical with or without a session attached. The caller
+     * keeps ownership and must beginTrack() before launches it wants
+     * grouped under a named track.
+     */
+    void attachTraceSession(support::trace::Session *session)
+    {
+        trace_ = session;
+    }
+
   private:
     kc::CompileOptions compileOptions(const LaunchConfig &cfg) const;
 
@@ -293,6 +321,7 @@ class Device
     std::unique_ptr<simt::MemorySystem> memsys_;
     uint32_t heapNext_ = 0;
     uint32_t heapLimit_ = 0;
+    support::trace::Session *trace_ = nullptr;
 };
 
 } // namespace nocl

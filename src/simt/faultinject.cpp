@@ -2,6 +2,7 @@
 
 #include "simt/mem.hpp"
 #include "simt/regfile.hpp"
+#include "support/trace.hpp"
 
 namespace simt
 {
@@ -55,6 +56,22 @@ applyMemoryFault(const FaultPlan &plan, MainMemory &mem)
     return true;
 }
 
+void
+FaultInjector::traceStrike()
+{
+    using namespace support::trace;
+    if (trace_ == nullptr || !trace_->wants(kCatFault))
+        return;
+    using support::json::Value;
+    Event &e = trace_->emit(EventKind::Instant, kCatFault,
+                            std::string("fault-strike: ") +
+                                faultSiteName(plan_.site));
+    e.cycle = now_;
+    e.args.emplace_back("site", Value::str(faultSiteName(plan_.site)));
+    e.args.emplace_back("bit", Value::integer(plan_.bit));
+    e.args.emplace_back("fires", Value::integer(fires_));
+}
+
 bool
 FaultInjector::fireOneShot()
 {
@@ -65,6 +82,8 @@ FaultInjector::fireOneShot()
         return false;
     done_ = true;
     ++fires_;
+    if (trace_ != nullptr)
+        traceStrike();
     return true;
 }
 

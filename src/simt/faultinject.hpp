@@ -30,6 +30,14 @@
 
 #include <cstdint>
 
+namespace support
+{
+namespace trace
+{
+class Buffer;
+} // namespace trace
+} // namespace support
+
 namespace simt
 {
 
@@ -129,6 +137,10 @@ class FaultInjector
     /** The SM's current cycle, advanced from the run loop. */
     void setNow(uint64_t cycle) { now_ = cycle; }
 
+    /** Attach (or detach) an observational trace buffer: every strike
+     *  that actually corrupts state emits a fault-strike event. */
+    void attachTrace(support::trace::Buffer *buf) { trace_ = buf; }
+
     /** Number of corruptions actually applied so far. */
     uint64_t fires() const { return fires_; }
 
@@ -163,6 +175,8 @@ class FaultInjector
         if (forced != value) {
             value = forced;
             ++fires_;
+            if (trace_ != nullptr)
+                traceStrike();
         }
     }
 
@@ -181,11 +195,15 @@ class FaultInjector
     /** One-shot trigger: the nthEvent'th eligible event in the window. */
     bool fireOneShot();
 
+    /** Emit a fault-strike trace event (cold; trace_ checked first). */
+    void traceStrike();
+
     FaultPlan plan_;
     uint64_t now_ = 0;
     uint64_t events_ = 0;
     uint64_t fires_ = 0;
     bool done_ = false;
+    support::trace::Buffer *trace_ = nullptr;
 };
 
 } // namespace simt

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace simt
 {
@@ -379,8 +380,10 @@ MemorySystem::commitEpoch()
             }
         }
     }
-    if (report.conflict)
+    if (report.conflict) {
+        traceCommit(report);
         return report;
+    }
 
     // Pass 2: commit, in SM index order within each page, pages in
     // address order -- a fixed order independent of host scheduling.
@@ -474,7 +477,34 @@ MemorySystem::commitEpoch()
             }
         }
     }
+    traceCommit(report);
     return report;
+}
+
+void
+MemorySystem::traceCommit(const MergeReport &report)
+{
+    using namespace support::trace;
+    if (trace_ == nullptr || !trace_->wants(kCatEpoch))
+        return;
+    using support::json::Value;
+    Event &e = trace_->emit(EventKind::Instant, kCatEpoch,
+                            report.conflict ? "merge-conflict"
+                                            : "epoch-commit");
+    e.args.emplace_back("shards", Value::integer(numShards()));
+    if (report.conflict) {
+        e.args.emplace_back(
+            "addr", Value::str(support::strprintf("0x%08x",
+                                                  report.conflictAddr)));
+        e.args.emplace_back("reason", Value::str(report.reason));
+    } else {
+        e.args.emplace_back("words_committed",
+                            Value::integer(report.wordsCommitted));
+        e.args.emplace_back("amos_mediated",
+                            Value::integer(report.amosMediated));
+        e.args.emplace_back("pages_touched",
+                            Value::integer(report.pagesTouched));
+    }
 }
 
 } // namespace simt

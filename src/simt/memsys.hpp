@@ -46,6 +46,14 @@
 #include "isa/instr.hpp"
 #include "simt/mem.hpp"
 
+namespace support
+{
+namespace trace
+{
+class Buffer;
+} // namespace trace
+} // namespace support
+
 namespace simt
 {
 
@@ -161,6 +169,10 @@ class MemorySystem
     MainMemory &base() { return base_; }
     const MainMemory &base() const { return base_; }
 
+    /** Attach (or detach) an observational trace buffer: commitEpoch()
+     *  reports every epoch commit / merge conflict into it. */
+    void attachTrace(support::trace::Buffer *buf) { trace_ = buf; }
+
     /** Build @p num_shards fresh shard views over the base memory. */
     void beginEpoch(unsigned num_shards);
 
@@ -182,8 +194,12 @@ class MemorySystem
     void endEpoch() { shards_.clear(); }
 
   private:
+    /** Emit the epoch-commit / merge-conflict trace event. */
+    void traceCommit(const MergeReport &report);
+
     MainMemory &base_;
     std::vector<std::unique_ptr<MemShard>> shards_;
+    support::trace::Buffer *trace_ = nullptr;
 };
 
 } // namespace simt

@@ -13,6 +13,7 @@
 #include "isa/encoding.hpp"
 #include "support/bits.hpp"
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace simt
 {
@@ -381,6 +382,20 @@ Sm::decideEngine()
         d.engine = ExecEngine::FastPath;
     engine_ = d.engine;
     engine::storeEngineDecision(engineCacheKey(), d);
+
+    using namespace support::trace;
+    if (trace_ != nullptr && trace_->wants(kCatEngine)) {
+        using support::json::Value;
+        Event &e = trace_->emit(EventKind::Instant, kCatEngine,
+                                std::string("engine: ") +
+                                    execEngineName(d.engine));
+        e.cycle = now_;
+        e.args.emplace_back("engine",
+                            Value::str(execEngineName(d.engine)));
+        e.args.emplace_back("hit_rate", Value::number(d.hitRate));
+        e.args.emplace_back("packed_share", Value::number(d.packedShare));
+        e.args.emplace_back("sample_steps", Value::integer(sampleSteps_));
+    }
 }
 
 int
@@ -431,9 +446,106 @@ Sm::haltThread(unsigned warp, unsigned lane)
     }
 }
 
+namespace
+{
+
+/** Describe the faulting address's relation to the capability bounds. */
+std::string
+trapBoundsRelation(const TrapInfo &t)
+{
+    if (!t.hasCap)
+        return "no capability context";
+    if (!t.capTag)
+        return "tag clear";
+    if (t.addr < t.capBase)
+        return support::strprintf("%u bytes below base",
+                                  t.capBase - t.addr);
+    if (static_cast<uint64_t>(t.addr) >= t.capTop)
+        return support::strprintf(
+            "%llu bytes past top",
+            static_cast<unsigned long long>(t.addr - t.capTop));
+    return "within bounds (permission/seal check failed)";
+}
+
+} // namespace
+
+std::string
+formatTrapRecord(const TrapInfo &t, const std::string &kernel, bool purecap,
+                 int sm)
+{
+    if (!t.trapped)
+        return "no trap";
+    std::string s = trapKindName(t.kind);
+    s += support::strprintf(": kernel=%s", kernel.c_str());
+    if (sm >= 0)
+        s += support::strprintf(" sm%d", sm);
+    s += support::strprintf(" warp %u lane %u pc=0x%08x", t.warp, t.lane,
+                            t.pc);
+    s += support::strprintf(
+        " '%s'",
+        t.hasInstr ? isa::toString(t.instr, purecap).c_str() : "<no instr>");
+    s += support::strprintf(" addr=0x%08x", t.addr);
+    if (t.hasCap) {
+        s += support::strprintf(
+            " cap=[0x%08x,0x%09llx) perms=0x%02x tag=%d", t.capBase,
+            static_cast<unsigned long long>(t.capTop), t.capPerms,
+            t.capTag ? 1 : 0);
+        s += " (" + trapBoundsRelation(t) + ")";
+    }
+    return s;
+}
+
+void
+Sm::trapForensics(TrapInfo &t, const Instr *in, const CapPipe *auth_cap)
+{
+    if (in != nullptr) {
+        t.hasInstr = true;
+        t.instr = *in;
+    }
+    if (auth_cap != nullptr) {
+        t.hasCap = true;
+        t.capTag = auth_cap->tag;
+        t.capPerms = auth_cap->perms;
+        const cap::Bounds bounds = cap::getBounds(*auth_cap);
+        t.capBase = bounds.base;
+        t.capTop = bounds.top;
+    }
+}
+
+void
+Sm::traceTrap(const TrapInfo &t)
+{
+    using namespace support::trace;
+    if (trace_ == nullptr || !trace_->wants(kCatTrap))
+        return;
+    Event &e = trace_->emit(EventKind::Instant, kCatTrap,
+                            std::string("trap: ") + trapKindName(t.kind));
+    e.cycle = now_;
+    auto &args = e.args;
+    using support::json::Value;
+    args.emplace_back("kind", Value::str(trapKindName(t.kind)));
+    args.emplace_back("pc", Value::str(support::strprintf("0x%08x", t.pc)));
+    args.emplace_back("warp", Value::integer(t.warp));
+    args.emplace_back("lane", Value::integer(t.lane));
+    args.emplace_back("addr",
+                      Value::str(support::strprintf("0x%08x", t.addr)));
+    if (t.hasInstr)
+        args.emplace_back("instr",
+                          Value::str(isa::toString(t.instr, cfg_.purecap)));
+    if (t.hasCap) {
+        args.emplace_back(
+            "cap", Value::str(support::strprintf(
+                       "[0x%08x,0x%09llx) perms=0x%02x tag=%d", t.capBase,
+                       static_cast<unsigned long long>(t.capTop), t.capPerms,
+                       t.capTag ? 1 : 0)));
+        args.emplace_back("bounds_relation",
+                          Value::str(trapBoundsRelation(t)));
+    }
+}
+
 void
 Sm::trap(unsigned warp, unsigned lane, uint32_t pc, Op op, uint32_t addr,
-         TrapKind kind)
+         TrapKind kind, const Instr *in, const CapPipe *auth_cap)
 {
     statCheriTraps_.add();
     if (!firstTrap_.trapped) {
@@ -444,13 +556,26 @@ Sm::trap(unsigned warp, unsigned lane, uint32_t pc, Op op, uint32_t addr,
         firstTrap_.lane = lane;
         firstTrap_.op = op;
         firstTrap_.kind = kind;
+        trapForensics(firstTrap_, in, auth_cap);
+    }
+    if (trace_ != nullptr) {
+        TrapInfo t;
+        t.trapped = true;
+        t.pc = pc;
+        t.addr = addr;
+        t.warp = warp;
+        t.lane = lane;
+        t.op = op;
+        t.kind = kind;
+        trapForensics(t, in, auth_cap);
+        traceTrap(t);
     }
     haltThread(warp, lane);
 }
 
 void
 Sm::containmentTrap(unsigned warp, unsigned lane, uint32_t pc, Op op,
-                    uint32_t addr, TrapKind kind)
+                    uint32_t addr, TrapKind kind, const Instr *in)
 {
     if (!firstTrap_.trapped) {
         firstTrap_.trapped = true;
@@ -460,6 +585,19 @@ Sm::containmentTrap(unsigned warp, unsigned lane, uint32_t pc, Op op,
         firstTrap_.lane = lane;
         firstTrap_.op = op;
         firstTrap_.kind = kind;
+        trapForensics(firstTrap_, in, nullptr);
+    }
+    if (trace_ != nullptr) {
+        TrapInfo t;
+        t.trapped = true;
+        t.pc = pc;
+        t.addr = addr;
+        t.warp = warp;
+        t.lane = lane;
+        t.op = op;
+        t.kind = kind;
+        trapForensics(t, in, nullptr);
+        traceTrap(t);
     }
     haltThread(warp, lane);
 }
@@ -561,6 +699,27 @@ Sm::run(uint64_t max_cycles)
     // force at run end). simhost_-prefixed like the other host-side
     // throughput counters, so parity comparisons exclude it.
     stats_.set("simhost_engine", static_cast<uint64_t>(engine_));
+
+    using namespace support::trace;
+    if (trace_ != nullptr && trace_->wants(kCatCounter)) {
+        using support::json::Value;
+        const uint64_t instrs = stats_.get("simhost_instrs");
+        const uint64_t fast = stats_.get("simhost_fastpath_instrs");
+        Event &hr = trace_->emit(EventKind::Counter, kCatCounter,
+                                 "fastpath_hit_rate");
+        hr.cycle = now_;
+        hr.args.emplace_back(
+            "rate", Value::number(instrs ? static_cast<double>(fast) /
+                                               static_cast<double>(instrs)
+                                         : 0.0));
+        Event &dr = trace_->emit(EventKind::Counter, kCatCounter,
+                                 "dram_bytes");
+        dr.cycle = now_;
+        dr.args.emplace_back("read",
+                             Value::integer(stats_.get("dram_bytes_read")));
+        dr.args.emplace_back(
+            "written", Value::integer(stats_.get("dram_bytes_written")));
+    }
     return ok;
 }
 
@@ -608,8 +767,8 @@ Sm::runLoop(uint64_t max_cycles)
                     next = std::min(next, w.readyAt);
             }
             if (next == std::numeric_limits<uint64_t>::max()) {
-                if (support::verbose())
-                    warn("deadlock: all live warps waiting at a barrier");
+                support::log(support::LogLevel::Info,
+                             "deadlock: all live warps waiting at a barrier");
                 // Surface the deadlock as a structured trap so harnesses
                 // (and the multi-SM merge) can detect it without
                 // scraping stderr. Recorded directly rather than via
@@ -635,6 +794,13 @@ Sm::runLoop(uint64_t max_cycles)
                         break;
                     }
                 }
+                if (trace_ != nullptr &&
+                    trace_->wants(support::trace::kCatWatchdog)) {
+                    support::trace::Event &e = trace_->emit(
+                        support::trace::EventKind::Instant,
+                        support::trace::kCatWatchdog, "barrier-deadlock");
+                    e.cycle = now_;
+                }
                 return false;
             }
             const uint64_t dt = next - now_;
@@ -651,9 +817,9 @@ Sm::runLoop(uint64_t max_cycles)
         metaOccAccum_ += regfile_.metaVectorsInVrf() * slot_cycles;
         now_ += slot_cycles;
     }
-    if (support::verbose())
-        warn("kernel did not complete within %llu cycles",
-             static_cast<unsigned long long>(max_cycles));
+    support::log(support::LogLevel::Info,
+                 "kernel did not complete within %llu cycles",
+                 static_cast<unsigned long long>(max_cycles));
     // Surface the timeout as a structured trap so launch policies can
     // contain runaway kernels without scraping stderr. Like the
     // barrier-deadlock trap this is recorded directly, not via trap():
@@ -677,6 +843,14 @@ Sm::runLoop(uint64_t max_cycles)
             }
             break;
         }
+    }
+    if (trace_ != nullptr && trace_->wants(support::trace::kCatWatchdog)) {
+        support::trace::Event &e = trace_->emit(
+            support::trace::EventKind::Instant, support::trace::kCatWatchdog,
+            "watchdog-timeout");
+        e.cycle = now_;
+        e.args.emplace_back("max_cycles",
+                            support::json::Value::integer(max_cycles));
     }
     return false;
 }
@@ -876,7 +1050,7 @@ Sm::executeAluLane(Warp &w, unsigned wid, unsigned lane, const Instr &in,
       case Op::CSPECIALRW: {
         const auto scr_idx = static_cast<isa::Scr>(imm & 0x1f);
         if (scr_idx >= isa::NUM_SCRS) {
-            trap(wid, lane, pc, op, scr_idx, TrapKind::BadScrIndex);
+            trap(wid, lane, pc, op, scr_idx, TrapKind::BadScrIndex, &in);
             active_[lane] = false;
             break;
         }
@@ -908,7 +1082,8 @@ Sm::executeAluLane(Warp &w, unsigned wid, unsigned lane, const Instr &in,
         const cap::SetBoundsResult res =
             cap::setBounds(cap1(), len);
         if (op == Op::CSETBOUNDSEXACT && !res.exact) {
-            trap(wid, lane, pc, op, a, TrapKind::InexactBounds);
+            const CapPipe c = cap1();
+            trap(wid, lane, pc, op, a, TrapKind::InexactBounds, &in, &c);
             active_[lane] = false;
             break;
         }
@@ -1004,7 +1179,7 @@ Sm::executeWarp(unsigned wid)
             for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
                 if (active_[lane])
                     trap(wid, lane, pc, Op::ILLEGAL, pc,
-                         TrapKind::PccViolation);
+                         TrapKind::PccViolation, nullptr, &pcc);
             }
             return 1;
         }
@@ -1015,7 +1190,8 @@ Sm::executeWarp(unsigned wid)
     if (op == Op::ILLEGAL) {
         for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
             if (active_[lane])
-                trap(wid, lane, pc, op, pc, TrapKind::IllegalInstruction);
+                trap(wid, lane, pc, op, pc, TrapKind::IllegalInstruction,
+                     &in);
         }
         return 1;
     }
@@ -1023,6 +1199,9 @@ Sm::executeWarp(unsigned wid)
     statInstrs_.add();
     statSimhostInstrs_.add();
     opCounts_[static_cast<size_t>(op)]++;
+    // Per-PC profile histogram (observational; nullptr unless --profile).
+    if (profilePc_ != nullptr && idx < profilePc_->size())
+        (*profilePc_)[idx]++;
     const OpTraits &tr = opTraits(op);
     if (tr.cheri)
         statCheriInstrs_.add();
@@ -1240,7 +1419,7 @@ Sm::executeWarp(unsigned wid)
                         const uint32_t addr =
                             a0 +
                             static_cast<uint32_t>(rs1d.stride) * lane;
-                        trap(wid, lane, pc, op, addr, fault);
+                        trap(wid, lane, pc, op, addr, fault, &in, &c0);
                         active_[lane] = false;
                     }
                     writes_rd = (tr.load || is_atomic) &&
@@ -1499,7 +1678,7 @@ Sm::executeWarp(unsigned wid)
                 else if (!cap::isRangeInBounds(c, addrs_[lane], bytes))
                     fault = TrapKind::BoundsViolation;
                 if (fault != TrapKind::None) {
-                    trap(wid, lane, pc, op, addrs_[lane], fault);
+                    trap(wid, lane, pc, op, addrs_[lane], fault, &in, &c);
                     active_[lane] = false;
                 }
             }
@@ -1510,7 +1689,7 @@ Sm::executeWarp(unsigned wid)
             for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
                 if (active_[lane] && addrs_[lane] % bytes != 0) {
                     containmentTrap(wid, lane, pc, op, addrs_[lane],
-                                    TrapKind::MisalignedAccess);
+                                    TrapKind::MisalignedAccess, &in);
                     active_[lane] = false;
                 }
             }
@@ -1529,7 +1708,7 @@ Sm::executeWarp(unsigned wid)
                 mapped = a >= kTcimBase && a < kTcimBase + kTcimSize;
             if (!mapped) {
                 containmentTrap(wid, lane, pc, op, a,
-                                TrapKind::UnmappedAccess);
+                                TrapKind::UnmappedAccess, &in);
                 active_[lane] = false;
             }
         }
@@ -1730,8 +1909,9 @@ Sm::executeWarp(unsigned wid)
                 const cap::SetBoundsResult r =
                     cap::setBounds(cap1(lane), len);
                 if (op == Op::CSETBOUNDSEXACT && !r.exact) {
+                    const CapPipe c = cap1(lane);
                     trap(wid, lane, pc, op, rs1Data_[lane],
-                         TrapKind::InexactBounds);
+                         TrapKind::InexactBounds, &in, &c);
                     active_[lane] = false;
                     break;
                 }
@@ -2197,7 +2377,7 @@ Sm::executeWarp(unsigned wid)
                          ++lane) {
                         if (!active_[lane])
                             continue;
-                        trap(wid, lane, pc, op, target, fault);
+                        trap(wid, lane, pc, op, target, fault, &in, &c);
                         active_[lane] = false;
                     }
                     fast_hit = true;
@@ -2255,7 +2435,7 @@ Sm::executeWarp(unsigned wid)
                     else if (!cap::isRangeInBounds(c, target, 4))
                         fault = TrapKind::JumpBoundsViolation;
                     if (fault != TrapKind::None) {
-                        trap(wid, lane, pc, op, target, fault);
+                        trap(wid, lane, pc, op, target, fault, &in, &c);
                         active_[lane] = false;
                         continue;
                     }
@@ -2304,7 +2484,7 @@ Sm::executeWarp(unsigned wid)
             if (!active_[lane])
                 continue;
             statSoftBoundsTraps_.add();
-            trap(wid, lane, pc, op, 0, TrapKind::SoftwareBoundsTrap);
+            trap(wid, lane, pc, op, 0, TrapKind::SoftwareBoundsTrap, &in);
         }
     } else {
         // Everything else (including SIMT_BARRIER) falls through to the

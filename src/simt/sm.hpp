@@ -39,6 +39,14 @@
 #include "support/logging.hpp"
 #include "support/stats.hpp"
 
+namespace support
+{
+namespace trace
+{
+class Buffer;
+} // namespace trace
+} // namespace support
+
 namespace simt
 {
 
@@ -52,7 +60,31 @@ struct TrapInfo
     unsigned lane = 0;
     isa::Op op = isa::Op::ILLEGAL;
     TrapKind kind = TrapKind::None;
+
+    /** Decoded faulting instruction, when one was in flight (fetch-side
+     *  traps and the watchdog/deadlock records leave it defaulted). */
+    bool hasInstr = false;
+    isa::Instr instr{};
+
+    /** Forensic snapshot of the offending capability for CHERI checks
+     *  (the capability the access was authorised against, with its
+     *  address set to the faulting address). */
+    bool hasCap = false;
+    bool capTag = false;
+    uint32_t capPerms = 0;
+    uint32_t capBase = 0;
+    uint64_t capTop = 0;
 };
+
+/**
+ * Render the full forensic record of a trap: kind, site (SM/warp/lane/
+ * PC), the disassembled instruction, the kernel name, and -- for CHERI
+ * traps -- the offending capability's bounds/perms/tag plus the faulting
+ * address's relation to the bounds. One line, for logs and campaign
+ * tables.
+ */
+std::string formatTrapRecord(const TrapInfo &t, const std::string &kernel,
+                             bool purecap, int sm = -1);
 
 class Sm
 {
@@ -70,6 +102,23 @@ class Sm
      * launch epochs; timing models (DRAM timer, caches) are unaffected.
      */
     void attachShard(MemShard *shard) { shard_ = shard; }
+
+    /**
+     * Attach (or detach, with nullptr) a trace buffer and optional
+     * per-PC profile histogram (indexed pc / 4, sized to the code
+     * image). Observational only: no modelled state ever depends on
+     * whether tracing is attached -- the hook sites are cold paths plus
+     * one predicted branch per warp instruction for the histogram.
+     */
+    void
+    attachTrace(support::trace::Buffer *buf,
+                std::vector<uint64_t> *pc_hist = nullptr)
+    {
+        trace_ = buf;
+        profilePc_ = pc_hist;
+        if (injector_)
+            injector_->attachTrace(buf);
+    }
 
     Scratchpad &scratchpad() { return scratchpad_; }
     RegFileSystem &regfile() { return regfile_; }
@@ -187,14 +236,26 @@ class Sm
      *  compute hit rate and packed share, pick the engine, cache it. */
     void decideEngine();
 
+    /** @p in and @p auth_cap, when available at the trap site, feed the
+     *  forensic record (disassembly, capability bounds) -- diagnostics
+     *  only, never modelled state. */
     void trap(unsigned warp, unsigned lane, uint32_t pc, isa::Op op,
-              uint32_t addr, TrapKind kind);
+              uint32_t addr, TrapKind kind, const isa::Instr *in = nullptr,
+              const cap::CapPipe *auth_cap = nullptr);
 
     /** Like trap(), but for machine containment faults (unmapped or
      *  baseline-misaligned accesses) that are not CHERI checks and so
      *  must not move the cheri_traps counter. */
     void containmentTrap(unsigned warp, unsigned lane, uint32_t pc,
-                         isa::Op op, uint32_t addr, TrapKind kind);
+                         isa::Op op, uint32_t addr, TrapKind kind,
+                         const isa::Instr *in = nullptr);
+
+    /** Fill the forensic fields of a TrapInfo record. */
+    static void trapForensics(TrapInfo &t, const isa::Instr *in,
+                              const cap::CapPipe *auth_cap);
+
+    /** Emit the trace event for a just-recorded trap (cold path). */
+    void traceTrap(const TrapInfo &t);
 
     /** Per-lane memory access helpers (functional + routing). */
     uint32_t loadValue(uint32_t addr, unsigned log_width, bool sign);
@@ -263,6 +324,11 @@ class Sm
     support::StatSet stats_;
     MainMemory dram_;
     MemShard *shard_ = nullptr;
+
+    // Observational trace sink and per-PC profile histogram (both
+    // nullptr unless a trace session is attached; see attachTrace()).
+    support::trace::Buffer *trace_ = nullptr;
+    std::vector<uint64_t> *profilePc_ = nullptr;
 
     // Runtime fault injection (nullptr unless cfg_.faultPlan arms a
     // runtime site that applies to this SM). Owned here; attached to the

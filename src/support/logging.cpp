@@ -25,27 +25,71 @@ vformat(const char *fmt, va_list ap)
     return std::string(buf.data(), static_cast<size_t>(n));
 }
 
-int g_verbose = -1; // -1: consult the environment on first use
+int g_log_level = -1; // -1: consult the environment on first use
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error: return "error";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Info: return "info";
+      default: return "debug";
+    }
+}
 
 } // namespace
+
+LogLevel
+logLevel()
+{
+    if (g_log_level < 0) {
+        const char *env = std::getenv("CHERI_SIMT_VERBOSE");
+        if (env == nullptr || env[0] == '\0' ||
+            (env[0] == '0' && env[1] == '\0'))
+            g_log_level = static_cast<int>(LogLevel::Warn);
+        else if (env[0] >= '2' && env[0] <= '9')
+            g_log_level = static_cast<int>(LogLevel::Debug);
+        else
+            g_log_level = static_cast<int>(LogLevel::Info);
+    }
+    return static_cast<LogLevel>(g_log_level);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_log_level = static_cast<int>(level);
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <= static_cast<int>(logLevel());
+}
+
+void
+log(LogLevel level, const char *fmt, ...)
+{
+    if (!logEnabled(level))
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "%s: %s\n", levelName(level), msg.c_str());
+}
 
 bool
 verbose()
 {
-    if (g_verbose < 0) {
-        const char *env = std::getenv("CHERI_SIMT_VERBOSE");
-        g_verbose = (env != nullptr && env[0] != '\0' &&
-                     !(env[0] == '0' && env[1] == '\0'))
-                        ? 1
-                        : 0;
-    }
-    return g_verbose != 0;
+    return logEnabled(LogLevel::Info);
 }
 
 void
 setVerbose(bool on)
 {
-    g_verbose = on ? 1 : 0;
+    setLogLevel(on ? LogLevel::Info : LogLevel::Warn);
 }
 
 std::string

@@ -8,6 +8,10 @@
  *  - fatal():  the user supplied an impossible configuration or workload.
  *              Exits with an error code.
  *  - warn():   something is suspicious but execution can continue.
+ *
+ * Advisory diagnostics go through the leveled log() helper instead, so
+ * every verbosity decision is made in one place and everything prints
+ * to stderr -- --json output on stdout is never contaminated.
  */
 
 #ifndef CHERI_SIMT_SUPPORT_LOGGING_HPP_
@@ -31,13 +35,39 @@ std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /**
- * Whether advisory diagnostics (verbose-only warn() sites) should print.
- * Defaults to quiet; set the CHERI_SIMT_VERBOSE environment variable to a
- * non-empty value other than "0", or call setVerbose(true), to enable.
- * Conditions that matter architecturally are surfaced as structured traps
- * regardless of this flag.
+ * Diagnostic verbosity, consolidated from the scattered
+ * CHERI_SIMT_VERBOSE checks. The environment variable selects the
+ * level once, on first use:
+ *
+ *   unset / "" / "0"  -> Warn  (quiet: only unconditional warns print)
+ *   "1" or other      -> Info  (advisory diagnostics print)
+ *   "2" and above     -> Debug (chatty per-launch diagnostics print)
+ *
+ * All log output goes to stderr; conditions that matter architecturally
+ * are surfaced as structured traps regardless of the level.
  */
+enum class LogLevel
+{
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/** Would a message at @p level print right now? */
+bool logEnabled(LogLevel level);
+
+/** Print "level: message" to stderr iff @p level <= logLevel(). */
+void log(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** logEnabled(LogLevel::Info) -- kept for existing call sites. */
 bool verbose();
+
+/** setLogLevel(Info) / setLogLevel(Warn) -- kept for existing tests. */
 void setVerbose(bool on);
 
 } // namespace support

@@ -8,8 +8,10 @@
 
 #include "support/bits.hpp"
 #include "support/json.hpp"
+#include "support/logging.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
+#include "support/trace.hpp"
 
 namespace
 {
@@ -140,6 +142,56 @@ TEST(Stats, ToStringSorted)
     s.add("b", 2);
     s.add("a", 1);
     EXPECT_EQ(s.toString(), "a = 1\nb = 2\n");
+}
+
+TEST(Stats, HandleCreatesCounterLazily)
+{
+    StatSet s;
+    StatSet::Handle h = s.handle("hot");
+    // Taking a handle alone must not create the counter: the set of
+    // emitted counters depends only on what actually ran.
+    EXPECT_FALSE(s.has("hot"));
+    h.add();
+    EXPECT_TRUE(s.has("hot"));
+    EXPECT_EQ(s.get("hot"), 1u);
+    h.add(4);
+    EXPECT_EQ(s.get("hot"), 5u);
+}
+
+TEST(Stats, HandleTrackMax)
+{
+    StatSet s;
+    StatSet::Handle h = s.handle("peak");
+    h.trackMax(5);
+    h.trackMax(3);
+    EXPECT_EQ(s.get("peak"), 5u);
+    h.trackMax(9);
+    EXPECT_EQ(s.get("peak"), 9u);
+}
+
+TEST(Stats, HandleReResolvesAfterClear)
+{
+    StatSet s;
+    StatSet::Handle h = s.handle("n");
+    h.add(7);
+    EXPECT_EQ(s.get("n"), 7u);
+    // clear() destroys every map node; the cached slot pointer dangles
+    // and the handle must re-resolve via the generation check instead
+    // of writing through it.
+    s.clear();
+    EXPECT_FALSE(s.has("n"));
+    h.add(2);
+    EXPECT_EQ(s.get("n"), 2u);
+}
+
+TEST(Stats, HandlesShareOneCounter)
+{
+    StatSet s;
+    StatSet::Handle a = s.handle("shared");
+    StatSet::Handle b = s.handle("shared");
+    a.add(1);
+    b.add(2);
+    EXPECT_EQ(s.get("shared"), 3u);
 }
 
 // ------------------------------------------------------------------- JSON
@@ -281,6 +333,133 @@ TEST(Json, AbsentObjectKeysReadAsNull)
     Value obj = Value::object();
     EXPECT_FALSE(obj.has("missing"));
     EXPECT_TRUE(obj.get("missing").isNull());
+}
+
+// ------------------------------------------------------------------ Trace
+
+TEST(Trace, BufferMasksCategories)
+{
+    using namespace support::trace;
+    Buffer buf(kCatTrap | kCatLaunch, 8, 0);
+    EXPECT_TRUE(buf.wants(kCatTrap));
+    EXPECT_TRUE(buf.wants(kCatLaunch));
+    EXPECT_FALSE(buf.wants(kCatCounter));
+}
+
+TEST(Trace, RingDropsOldestDeterministically)
+{
+    using namespace support::trace;
+    Buffer buf(kCatAll, 4, 0);
+    for (int i = 0; i < 6; ++i) {
+        buf.setNow(static_cast<uint64_t>(i));
+        buf.emit(EventKind::Instant, kCatLaunch,
+                 "e" + std::to_string(i));
+    }
+    EXPECT_EQ(buf.size(), 4u);
+    EXPECT_EQ(buf.dropped(), 2u);
+    const auto events = buf.drain();
+    ASSERT_EQ(events.size(), 4u);
+    // Oldest two (e0, e1) were overwritten; drain is oldest-first.
+    EXPECT_EQ(events.front().name, "e2");
+    EXPECT_EQ(events.back().name, "e5");
+    EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(Trace, SessionMergesBuffersInSmIndexOrder)
+{
+    using namespace support::trace;
+    Session session;
+    session.beginTrack("t");
+    // Populate out of order: SM 1 first, then SM 0, then the device.
+    session.smBuffer(1)->emit(EventKind::Instant, kCatLaunch, "sm1");
+    session.smBuffer(0)->emit(EventKind::Instant, kCatLaunch, "sm0");
+    session.deviceBuffer()->emit(EventKind::Instant, kCatLaunch, "dev");
+    session.commitAttempt(10);
+
+    const support::json::Value doc = session.chromeTrace("unit");
+    const support::json::Value &events = doc.get("traceEvents");
+    // Skip the metadata events; order must be device, sm0, sm1.
+    std::vector<std::string> names;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const std::string ph = events.at(i).get("ph").asString();
+        if (ph != "M")
+            names.push_back(events.at(i).get("name").asString());
+    }
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "dev");
+    EXPECT_EQ(names[1], "sm0");
+    EXPECT_EQ(names[2], "sm1");
+}
+
+TEST(Trace, CommitAttemptAdvancesTrackTimeline)
+{
+    using namespace support::trace;
+    Session session;
+    session.beginTrack("t");
+    session.deviceBuffer()->setNow(5);
+    session.deviceBuffer()->emit(EventKind::Instant, kCatLaunch, "a");
+    session.commitAttempt(100);
+    session.deviceBuffer()->setNow(5);
+    session.deviceBuffer()->emit(EventKind::Instant, kCatLaunch, "b");
+    session.commitAttempt(100);
+
+    const support::json::Value doc = session.chromeTrace("unit");
+    const support::json::Value &events = doc.get("traceEvents");
+    std::vector<uint64_t> ts;
+    for (size_t i = 0; i < events.size(); ++i)
+        if (events.at(i).get("ph").asString() == "i")
+            ts.push_back(events.at(i).get("ts").asUint());
+    ASSERT_EQ(ts.size(), 2u);
+    EXPECT_EQ(ts[0], 5u);
+    EXPECT_EQ(ts[1], 106u); // rebased past attempt 1 (100 cycles + 1)
+}
+
+TEST(Trace, ProfileScratchPointersSurviveGrowth)
+{
+    using namespace support::trace;
+    SessionConfig cfg;
+    cfg.profile = true;
+    Session session(cfg);
+    session.beginTrack("t");
+    // The scratch handed to SM 0 must stay valid while scratch for
+    // later SMs is created (a launch attaches all SMs up front).
+    std::vector<uint64_t> *s0 = session.pcScratch(0, 4);
+    ASSERT_NE(s0, nullptr);
+    (*s0)[1] = 7;
+    for (unsigned k = 1; k < 8; ++k)
+        ASSERT_NE(session.pcScratch(k, 4), nullptr);
+    (*s0)[2] = 3;
+    session.foldProfile();
+    const KernelProfile *prof = session.profileFor("t");
+    ASSERT_NE(prof, nullptr);
+    EXPECT_EQ(prof->pcCounts[1], 7u);
+    EXPECT_EQ(prof->pcCounts[2], 3u);
+    EXPECT_EQ(prof->launches, 1u);
+}
+
+// ---------------------------------------------------------------- Logging
+
+TEST(Logging, LevelsAreOrdered)
+{
+    const support::LogLevel saved = support::logLevel();
+    support::setLogLevel(support::LogLevel::Warn);
+    EXPECT_TRUE(support::logEnabled(support::LogLevel::Error));
+    EXPECT_TRUE(support::logEnabled(support::LogLevel::Warn));
+    EXPECT_FALSE(support::logEnabled(support::LogLevel::Info));
+    EXPECT_FALSE(support::logEnabled(support::LogLevel::Debug));
+    EXPECT_FALSE(support::verbose());
+
+    support::setLogLevel(support::LogLevel::Debug);
+    EXPECT_TRUE(support::logEnabled(support::LogLevel::Info));
+    EXPECT_TRUE(support::logEnabled(support::LogLevel::Debug));
+    EXPECT_TRUE(support::verbose());
+
+    support::setVerbose(false);
+    EXPECT_FALSE(support::verbose());
+    support::setVerbose(true);
+    EXPECT_TRUE(support::verbose());
+    EXPECT_FALSE(support::logEnabled(support::LogLevel::Debug));
+    support::setLogLevel(saved);
 }
 
 } // namespace
