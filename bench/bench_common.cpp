@@ -172,6 +172,14 @@ profileJson(const support::trace::KernelProfile &prof,
     out.set("fastpath_share",
             Value::number(ratioOf(stats.get("simhost_fastpath_instrs"),
                                   stats.get("simhost_instrs"))));
+    out.set("packed_mem_share",
+            Value::number(ratioOf(stats.get("simhost_packed_mem_instrs"),
+                                  stats.get("simhost_instrs"))));
+    out.set("fusion_hit_rate",
+            Value::number(ratioOf(stats.get("simhost_fused_instrs"),
+                                  stats.get("simhost_instrs"))));
+    out.set("resample_count",
+            Value::integer(stats.get("simhost_resample_count")));
     out.set("stack_cache_hit_rate",
             Value::number(ratioOf(stats.get("stack_cache_hits"),
                                   stats.get("stack_cache_hits") +

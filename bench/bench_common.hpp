@@ -196,6 +196,9 @@ void printHeader(const std::string &id, const std::string &caption);
  *   "profile": { "launches": int, "instructions": int,
  *                "engine": "<auto|verbatim|fastpath|simd>",
  *                "fastpath_share": number,
+ *                "packed_mem_share": number,
+ *                "fusion_hit_rate": number,
+ *                "resample_count": int,
  *                "stack_cache_hit_rate": number,
  *                "dram_bytes_per_transaction": number,
  *                "top_pcs": [ { "pc": "0x...", "count": int,

@@ -53,6 +53,29 @@ const char *kAdversarial = "BlkStencil";
  */
 constexpr double kMinAdaptiveSpeedup = 0.95;
 
+/**
+ * Focus-suite geomean floor for the adaptive engine: the packed memory
+ * lanes + superinstruction fusion work targets >= 2.5x on the
+ * uniform-heavy kernels (stretch 3x); below this the fast engines have
+ * regressed structurally, not by noise.
+ */
+constexpr double kMinFocusGeomean = 2.5;
+
+/**
+ * Kernels the tuned guard + steady-state re-sampler newly promote off
+ * the verbatim engine: each must show a real adaptive win, not just
+ * avoid regressing.
+ */
+struct PromotedFloor
+{
+    const char *name;
+    double minSpeedup;
+};
+const PromotedFloor kPromoted[] = {
+    {"Transpose", 1.2},
+    {"VecGCD", 1.2},
+};
+
 /** The engine rows of the matrix, in fixed order. */
 struct EngineRow
 {
@@ -86,6 +109,9 @@ struct Measured
     uint64_t engineChosen = 0;        ///< simhost_engine of the adaptive run
     double hitRate = 0.0;             ///< fastpath-engine full-run hit rate
     double bestNs[kNumEngines] = {};  ///< best-of-N wall clock per engine
+    uint64_t packedInstrs = 0;        ///< packed-mem instrs, warm adaptive run
+    uint64_t fusedInstrs = 0;         ///< fused-block (annotated) instrs
+    uint64_t resamples = 0;           ///< steady-state probes, warm adaptive run
 };
 
 /**
@@ -121,8 +147,15 @@ measureBench(kernels::Benchmark &bench, kernels::Size size,
                 m.bestNs[ei] = ns;
             if (ei == 0 && rep == 0)
                 m.instrs = res.stats.get("simhost_instrs");
-            if (sel == simt::ExecEngine::Auto)
+            if (sel == simt::ExecEngine::Auto) {
+                // Overwritten every repetition: the last (warm-cache)
+                // run reflects the engine the policy settled on.
                 m.engineChosen = res.stats.get("simhost_engine");
+                m.packedInstrs =
+                    res.stats.get("simhost_packed_mem_instrs");
+                m.fusedInstrs = res.stats.get("simhost_fused_instrs");
+                m.resamples = res.stats.get("simhost_resample_count");
+            }
             if (sel == simt::ExecEngine::FastPath && rep == 0) {
                 const uint64_t in = res.stats.get("simhost_instrs");
                 m.hitRate = in ? static_cast<double>(res.stats.get(
@@ -179,12 +212,13 @@ main(int argc, char **argv)
         measured.push_back(std::move(m));
     }
 
-    std::printf("%-12s %12s %10s %10s %10s %10s %9s %8s\n", "Benchmark",
-                "Instrs", "Verb Mi/s", "Fast spd", "Simd spd", "Adpt spd",
-                "Engine", "HitRate");
+    std::printf("%-12s %12s %10s %10s %10s %10s %9s %8s %6s %6s\n",
+                "Benchmark", "Instrs", "Verb Mi/s", "Fast spd", "Simd spd",
+                "Adpt spd", "Engine", "HitRate", "Pack%", "Fuse%");
 
     std::vector<double> focus_speedups;
     std::vector<std::string> regressions;
+    std::vector<std::string> promo_failures;
     for (const auto &m : measured) {
         const double verb_ns = m.bestNs[0];
         const double verb_ips =
@@ -195,14 +229,23 @@ main(int argc, char **argv)
             spd[ei] = m.bestNs[ei] > 0.0 ? verb_ns / m.bestNs[ei] : 0.0;
         const double adaptive = spd[kNumEngines - 1];
 
+        const double packed_share =
+            m.instrs ? static_cast<double>(m.packedInstrs) /
+                           static_cast<double>(m.instrs)
+                     : 0.0;
+        const double fusion_cov =
+            m.instrs ? static_cast<double>(m.fusedInstrs) /
+                           static_cast<double>(m.instrs)
+                     : 0.0;
         std::printf("%-12s %12llu %10.2f %9.2fx %9.2fx %9.2fx %9s "
-                    "%7.1f%%%s\n",
+                    "%7.1f%% %5.1f%% %5.1f%%%s\n",
                     m.name.c_str(),
                     static_cast<unsigned long long>(m.instrs),
                     verb_ips * 1e-6, spd[1], spd[2], adaptive,
                     simt::execEngineName(
                         static_cast<simt::ExecEngine>(m.engineChosen)),
-                    m.hitRate * 100.0, m.ok ? "" : "  [VERIFY FAILED]");
+                    m.hitRate * 100.0, packed_share * 100.0,
+                    fusion_cov * 100.0, m.ok ? "" : "  [VERIFY FAILED]");
 
         verify_failed = verify_failed || !m.ok;
         for (size_t ei = 0; ei < kNumEngines; ++ei) {
@@ -219,6 +262,10 @@ main(int argc, char **argv)
         h.metric("speedup_" + m.name, adaptive);
         h.metric("engine_" + m.name,
                  static_cast<double>(m.engineChosen));
+        h.metric("packed_mem_share_" + m.name, packed_share);
+        h.metric("fusion_coverage_" + m.name, fusion_cov);
+        h.metric("resample_count_" + m.name,
+                 static_cast<double>(m.resamples));
         for (const auto &f : kFocus)
             if (m.name == f)
                 focus_speedups.push_back(adaptive);
@@ -230,6 +277,11 @@ main(int argc, char **argv)
         // regressions; this is how the SPMV 0.79x bug shipped).
         if (m.ok && adaptive < kMinAdaptiveSpeedup)
             regressions.push_back(m.name);
+
+        // Newly promoted kernels must realise their adaptive win.
+        for (const auto &p : kPromoted)
+            if (m.ok && m.name == p.name && adaptive < p.minSpeedup)
+                promo_failures.push_back(m.name);
     }
 
     const double gm = benchcommon::geomean(focus_speedups);
@@ -320,6 +372,22 @@ main(int argc, char **argv)
         for (const auto &name : regressions)
             std::fprintf(stderr, " %s", name.c_str());
         std::fprintf(stderr, "\n");
+        return 1;
+    }
+    if (!promo_failures.empty()) {
+        std::fprintf(stderr,
+                     "simspeed: FAIL: promoted kernels below their "
+                     "adaptive floor:");
+        for (const auto &name : promo_failures)
+            std::fprintf(stderr, " %s", name.c_str());
+        std::fprintf(stderr, "\n");
+        return 1;
+    }
+    if (!focus_speedups.empty() && gm < kMinFocusGeomean) {
+        std::fprintf(stderr,
+                     "simspeed: FAIL: focus geomean %.2fx below the "
+                     "%.2fx floor\n",
+                     gm, kMinFocusGeomean);
         return 1;
     }
     return 0;

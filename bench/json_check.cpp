@@ -5,8 +5,12 @@
  *
  *  - "cheri-simt-bench-v1": benchmark results -- the schema tag, a
  *    non-empty results array whose entries carry the required fields,
- *    integer cycle counts, integer stats counters, and (when present)
- *    well-formed per-kernel "profile" objects;
+ *    integer cycle counts, integer stats counters (with the simhost
+ *    subset invariants: packed-memory steps within scalarised steps
+ *    within retired steps, fused steps within retired steps), and
+ *    (when present) well-formed per-kernel "profile" objects including
+ *    the packed_mem_share / fusion_hit_rate ratios in [0, 1] and an
+ *    integer resample_count;
  *  - "cheri-simt-trace-v1": Chrome-trace-event exports -- a traceEvents
  *    array of M/X/i/C events with integer pid/tid/ts, durations on
  *    complete events, and metadata naming every process.
@@ -57,6 +61,16 @@ checkProfile(const Value &r, const std::string &where)
     const double share = prof.get("fastpath_share").asDouble();
     if (share < 0.0 || share > 1.0)
         return fail(where + ".profile.fastpath_share outside [0, 1]");
+    for (const char *field : {"packed_mem_share", "fusion_hit_rate"}) {
+        if (!prof.get(field).isNumber())
+            return fail(where + ".profile." + field + " is not a number");
+        const double v = prof.get(field).asDouble();
+        if (v < 0.0 || v > 1.0)
+            return fail(where + ".profile." + std::string(field) +
+                        " outside [0, 1]");
+    }
+    if (!prof.get("resample_count").isInt())
+        return fail(where + ".profile.resample_count is not an integer");
     const Value &tops = prof.get("top_pcs");
     if (!tops.isArray())
         return fail(where + ".profile.top_pcs is not an array");
@@ -225,6 +239,32 @@ main(int argc, char **argv)
                               stats.get("simhost_instrs").asUint())
             return fail(where + ".stats: simhost_fastpath_instrs exceeds "
                                 "simhost_instrs");
+        // Packed-memory steps are scalarised steps that also took a
+        // vector memory handler, and fused steps are retired steps that
+        // executed inside a fused block: both are subsets, and both
+        // counters (plus the re-sample count) only ever appear on
+        // documents that carry the instruction counters.
+        if (stats.get("simhost_packed_mem_instrs").isInt()) {
+            if (!has_fast)
+                return fail(where + ".stats: simhost_packed_mem_instrs "
+                                    "without simhost_fastpath_instrs");
+            if (stats.get("simhost_packed_mem_instrs").asUint() >
+                stats.get("simhost_fastpath_instrs").asUint())
+                return fail(where + ".stats: simhost_packed_mem_instrs "
+                                    "exceeds simhost_fastpath_instrs");
+        }
+        if (stats.get("simhost_fused_instrs").isInt()) {
+            if (!has_instrs)
+                return fail(where + ".stats: simhost_fused_instrs "
+                                    "without simhost_instrs");
+            if (stats.get("simhost_fused_instrs").asUint() >
+                stats.get("simhost_instrs").asUint())
+                return fail(where + ".stats: simhost_fused_instrs "
+                                    "exceeds simhost_instrs");
+        }
+        if (stats.get("simhost_resample_count").isInt() && !has_instrs)
+            return fail(where + ".stats: simhost_resample_count "
+                                "without simhost_instrs");
         // The resolved execute engine is a named enumerator, never the
         // unresolved Auto (0). Only checkable for single-SM documents:
         // the multi-SM merge sums per-SM stats, so the value becomes a

@@ -175,11 +175,14 @@ struct SmConfig
     /**
      * Minimum sampled fast-path hit rate (simhost_fastpath_instrs /
      * simhost_instrs over the window) for a regularity engine to pay
-     * for itself; below it Auto picks Verbatim. Calibrated against
-     * bench_simspeed: SPMV sits near 0.19 and regresses, VecAdd at
-     * 0.82 gains >2x (see EXPERIMENTS.md).
+     * for itself; below it Auto picks Verbatim. Re-calibrated for the
+     * packed-memory/fusion engines against bench_simspeed: with fused
+     * dispatch the descriptor-classification overhead is covered at far
+     * lower regularity (every suite kernel now gains >=1.26x under the
+     * fast engines, see EXPERIMENTS.md), so the guard only has to catch
+     * pathologically irregular kernels.
      */
-    double engineMinHitRate = 0.35;
+    double engineMinHitRate = 0.10;
 
     /**
      * Minimum share of sampled warp-steps retiring through a
@@ -187,6 +190,40 @@ struct SmConfig
      * FastPath (the two engines behave identically elsewhere).
      */
     double engineMinPackedShare = 0.02;
+
+    /**
+     * Steady-state re-sampling interval (warp-steps) for the Auto
+     * policy: after the initial window decides, the engine re-opens a
+     * cheap probe window every this many retired warp-steps so long
+     * kernels whose regularity shifts mid-run can promote/demote
+     * instead of being pinned by their prefix. 0 disables re-sampling
+     * (one-shot policy, the pre-resampler behaviour). Engine flips are
+     * architecturally invisible (all engines are bit-identical), so
+     * re-sampling never perturbs modelled state.
+     */
+    unsigned engineResampleInterval = 131072;
+
+    /**
+     * Warp-steps measured per steady-state probe window. Small against
+     * engineResampleInterval so the measurement overhead (probes run
+     * the FastPath engine when the current engine is Verbatim) stays
+     * well under 1%.
+     */
+    unsigned engineProbeWindow = 8192;
+
+    /**
+     * EWMA blend weight for a new probe's hit rate / packed share
+     * against the running estimate (1.0 = trust only the newest probe).
+     */
+    double engineEwmaAlpha = 0.5;
+
+    /**
+     * Hysteresis margin around engineMinHitRate/engineMinPackedShare
+     * for steady-state re-decisions: the EWMA must cross the threshold
+     * by this much to flip an engine already in force, preventing
+     * flapping at the boundary.
+     */
+    double engineHysteresis = 0.05;
 
     /** Pipeline depth: a warp re-issues this many cycles after issue. */
     unsigned pipelineDepth = 6;

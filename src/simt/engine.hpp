@@ -91,8 +91,85 @@ bool avx2Selected();
 const char *packedBackendName();
 
 /**
+ * Superinstruction fusion selected at runtime? Fusion is a pure
+ * decode-time annotation pass, so it works on any host; only the
+ * CHERI_SIMT_FORCE_SCALAR environment override disables it (the
+ * forced-scalar parity legs must exercise the unfused dispatch).
+ * Latched on first use, like avx2Selected().
+ */
+bool fusionSelected();
+
+// ---- Packed memory lanes ----
+//
+// When Sm::executeWarp's affine DRAM fast path has proved a warp-wide
+// bounds/tag/alignment verdict, the remaining per-lane work is pure
+// data movement over MainMemory's flat little-endian backing store.
+// These handlers perform exactly that movement (AVX2 gather/blend when
+// selected, an explicit little-endian scalar loop otherwise), leaving
+// timing, tag maintenance and trap logic with the caller -- so the
+// functional result is bit-identical to the per-lane loadValue /
+// storeValue loops by construction (DESIGN.md section 12).
+
+/** Operands of one packed memory lane loop (all pointers borrowed).
+ *  Lane byte offsets from @p ram are addr0 + stride * lane, evaluated
+ *  in 32-bit arithmetic exactly like the scalar address loop. */
+struct MemCtx
+{
+    uint8_t *ram;          ///< DRAM backing store, biased to kDramBase
+    const uint8_t *active; ///< one byte per lane, nonzero = active
+    uint32_t *result;      ///< load destination; inactive lanes untouched
+    const DataDesc *rs2;   ///< store source values
+    uint32_t addr0;        ///< lane-0 byte offset from @p ram
+    int32_t stride;        ///< per-lane byte stride
+    unsigned numLanes;
+};
+
+/** A resolved packed memory lane-loop handler. */
+using MemLoopFn = void (*)(const MemCtx &);
+
+/**
+ * Packed memory handler for @p op under the current runtime dispatch
+ * (AVX2 when available, else the explicit little-endian scalar loop),
+ * or nullptr when the op is not a plain scalar-width DRAM load/store
+ * (capability and atomic accesses always take the reference path).
+ */
+MemLoopFn packedMemHandler(isa::Op op);
+
+/** Does @p op have a genuinely vectorised memory handler right now? */
+bool packedMemAccelerated(isa::Op op);
+
+/** AVX2 memory lane loop for @p op (internal; see avx2AluHandler). */
+MemLoopFn avx2MemHandler(isa::Op op);
+
+// ---- Superinstruction fusion ----
+
+/**
+ * Recognised 2-4 instruction idioms. Fusion is an annotation over the
+ * decoded program: execution still retires one instruction per
+ * scheduler slot (preserving issue timing, per-slot DRAM ordering and
+ * exact trapAddr reporting), but instructions inside a fused block
+ * dispatch through specialised handlers -- the packed memory lane
+ * loops for member loads/stores, the packed ALU loops for member ALU
+ * ops. Jumping into the middle of a block is safe by construction:
+ * the annotations never change what one instruction does.
+ */
+enum class FusedKind : uint8_t
+{
+    None = 0,
+    AddrGenLoad,  ///< addr-gen ALU feeding a load's base register
+    LoadAlu,      ///< load(s) feeding a packed-coverable ALU op
+    CmpBranch,    ///< compare materialising a predicate for a branch
+    AddrGenStore, ///< addr-gen ALU feeding a store's base or data
+    LoadStore,    ///< load feeding a store's data (copy idiom)
+};
+
+/**
  * A program decoded once and shared across Sm instances, with the
- * threaded-dispatch tables resolved per instruction.
+ * threaded-dispatch tables resolved per instruction and the fusion
+ * pass's annotations baked in. Decoding is a pure function of the
+ * image words and the process-wide runtime dispatch (both latched), so
+ * the fused program is decided once per fingerprint and replayed
+ * deterministically across repeats and SM counts.
  */
 struct DecodedProgram
 {
@@ -107,11 +184,34 @@ struct DecodedProgram
     /** Instruction has a genuinely vectorised packed handler. */
     std::vector<uint8_t> packedOk;
 
+    /** Packed memory handler per instruction; installed only inside
+     *  fused blocks (nullptr: reference functional loops). */
+    std::vector<MemLoopFn> memLoop;
+
+    /** Fused-block id per instruction (0: not fused; ids are 1-based
+     *  in program order). */
+    std::vector<uint32_t> fusedId;
+
+    /** FusedKind of the block, on its head instruction only. */
+    std::vector<uint8_t> fusedKind;
+
+    /** Block length in instructions, on its head only. */
+    std::vector<uint8_t> fusedLen;
+
     size_t size() const { return instrs.size(); }
 };
 
-/** Decode @p words and resolve the dispatch tables. */
+/** Decode @p words, resolve the dispatch tables and run the fusion
+ *  pass. */
 DecodedProgram decodeProgram(const std::vector<uint32_t> &words);
+
+/** Fusion-pass totals (tests and coverage reports). */
+struct FusionSummary
+{
+    uint64_t blocks = 0;
+    uint64_t fusedInstrs = 0;
+};
+FusionSummary fusionSummary(const DecodedProgram &p);
 
 // ---- Adaptive engine decisions ----
 //

@@ -123,6 +123,46 @@ s(uint32_t v)
     return static_cast<int32_t>(v);
 }
 
+/** 8 lanes' byte offsets from ctx.ram (32-bit wraparound arithmetic,
+ *  exactly like the scalar address loop). */
+__m256i
+laneOffsets(const MemCtx &c, unsigned lane_base)
+{
+    const __m256i idx = _mm256_add_epi32(
+        _mm256_set1_epi32(static_cast<int>(lane_base)), laneIndices());
+    return _mm256_add_epi32(
+        _mm256_set1_epi32(static_cast<int>(c.addr0)),
+        _mm256_mullo_epi32(_mm256_set1_epi32(c.stride), idx));
+}
+
+__m256i
+activeMask(const uint8_t *active, unsigned lane_base)
+{
+    const __m128i a8 = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(active + lane_base));
+    const __m256i a32 = _mm256_cvtepu8_epi32(a8);
+    return _mm256_cmpgt_epi32(a32, _mm256_setzero_si256());
+}
+
+/** Scalar tails / sub-word lanes in this x86-only TU: unaligned host
+ *  loads and stores of little-endian words match MainMemory's byte
+ *  assembly bit-for-bit. */
+template <typename T>
+T
+loadHost(const uint8_t *p)
+{
+    T v;
+    __builtin_memcpy(&v, p, sizeof(T));
+    return v;
+}
+
+template <typename T>
+void
+storeHost(uint8_t *p, T v)
+{
+    __builtin_memcpy(p, &v, sizeof(T));
+}
+
 } // namespace
 
 AluLoopFn
@@ -186,6 +226,135 @@ avx2AluHandler(Op op)
         return nullptr;
     }
 #undef PACKED_CASE
+}
+
+MemLoopFn
+avx2MemHandler(Op op)
+{
+    switch (op) {
+      case Op::LW:
+        // Word gather: masked so inactive lanes keep their previous
+        // result_ values (matching the reference loop, which never
+        // touches them). Byte-granular offsets (scale 1); DRAM offsets
+        // fit int32 because kDramSize < 2 GiB.
+        return +[](const MemCtx &c) {
+            unsigned lane = 0;
+            for (; lane + 8 <= c.numLanes; lane += 8) {
+                const __m256i off = laneOffsets(c, lane);
+                const __m256i mask = activeMask(c.active, lane);
+                const __m256i old = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(c.result + lane));
+                const __m256i vals = _mm256_mask_i32gather_epi32(
+                    old, reinterpret_cast<const int *>(c.ram), off, mask,
+                    1);
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i *>(c.result + lane), vals);
+            }
+            for (; lane < c.numLanes; ++lane) {
+                if (c.active[lane])
+                    c.result[lane] = loadHost<uint32_t>(
+                        c.ram + (c.addr0 +
+                                 static_cast<uint32_t>(c.stride) * lane));
+            }
+        };
+      case Op::LHU:
+        return +[](const MemCtx &c) {
+            for (unsigned lane = 0; lane < c.numLanes; ++lane) {
+                if (c.active[lane])
+                    c.result[lane] = loadHost<uint16_t>(
+                        c.ram + (c.addr0 +
+                                 static_cast<uint32_t>(c.stride) * lane));
+            }
+        };
+      case Op::LH:
+        return +[](const MemCtx &c) {
+            for (unsigned lane = 0; lane < c.numLanes; ++lane) {
+                if (c.active[lane])
+                    c.result[lane] = static_cast<uint32_t>(
+                        static_cast<int32_t>(
+                            static_cast<int16_t>(loadHost<uint16_t>(
+                                c.ram +
+                                (c.addr0 +
+                                 static_cast<uint32_t>(c.stride) *
+                                     lane)))));
+            }
+        };
+      case Op::LBU:
+        return +[](const MemCtx &c) {
+            for (unsigned lane = 0; lane < c.numLanes; ++lane) {
+                if (c.active[lane])
+                    c.result[lane] =
+                        c.ram[c.addr0 +
+                              static_cast<uint32_t>(c.stride) * lane];
+            }
+        };
+      case Op::LB:
+        return +[](const MemCtx &c) {
+            for (unsigned lane = 0; lane < c.numLanes; ++lane) {
+                if (c.active[lane])
+                    c.result[lane] = static_cast<uint32_t>(
+                        static_cast<int32_t>(static_cast<int8_t>(
+                            c.ram[c.addr0 +
+                                  static_cast<uint32_t>(c.stride) *
+                                      lane])));
+            }
+        };
+      case Op::SW:
+        // Contiguous warp stores (the overwhelmingly common stride-4
+        // case) move 8 words at a time when the whole 8-lane group is
+        // active. A group with inactive lanes stays scalar: the bounds
+        // proof only covers active lanes' addresses, so a full-span
+        // read-modify-write could touch unproven bytes.
+        return +[](const MemCtx &c) {
+            unsigned lane = 0;
+            if (c.stride == 4) {
+                for (; lane + 8 <= c.numLanes; lane += 8) {
+                    const __m256i mask = activeMask(c.active, lane);
+                    if (_mm256_movemask_epi8(mask) == -1) {
+                        _mm256_storeu_si256(
+                            reinterpret_cast<__m256i *>(
+                                c.ram + (c.addr0 + 4u * lane)),
+                            loadOperand(*c.rs2, lane));
+                    } else {
+                        for (unsigned l = lane; l < lane + 8; ++l) {
+                            if (c.active[l])
+                                storeHost<uint32_t>(
+                                    c.ram + (c.addr0 + 4u * l),
+                                    c.rs2->at(l));
+                        }
+                    }
+                }
+            }
+            for (; lane < c.numLanes; ++lane) {
+                if (c.active[lane])
+                    storeHost<uint32_t>(
+                        c.ram + (c.addr0 +
+                                 static_cast<uint32_t>(c.stride) * lane),
+                        c.rs2->at(lane));
+            }
+        };
+      case Op::SH:
+        return +[](const MemCtx &c) {
+            for (unsigned lane = 0; lane < c.numLanes; ++lane) {
+                if (c.active[lane])
+                    storeHost<uint16_t>(
+                        c.ram + (c.addr0 +
+                                 static_cast<uint32_t>(c.stride) * lane),
+                        static_cast<uint16_t>(c.rs2->at(lane)));
+            }
+        };
+      case Op::SB:
+        return +[](const MemCtx &c) {
+            for (unsigned lane = 0; lane < c.numLanes; ++lane) {
+                if (c.active[lane])
+                    c.ram[c.addr0 +
+                          static_cast<uint32_t>(c.stride) * lane] =
+                        static_cast<uint8_t>(c.rs2->at(lane));
+            }
+        };
+      default:
+        return nullptr;
+    }
 }
 
 } // namespace engine

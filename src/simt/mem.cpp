@@ -111,6 +111,27 @@ MainMemory::clearTagForStore(uint32_t addr, unsigned bytes)
         setWordTag(a, false);
 }
 
+const uint8_t *
+MainMemory::rawData(uint32_t addr) const
+{
+    return &data_[index(addr)];
+}
+
+uint8_t *
+MainMemory::rawData(uint32_t addr)
+{
+    return &data_[index(addr)];
+}
+
+void
+MainMemory::clearTagsInRange(uint32_t addr, uint32_t bytes)
+{
+    const size_t first = index(addr) / 4;
+    const size_t last = index(addr + bytes - 1) / 4;
+    std::fill(tags_.begin() + static_cast<ptrdiff_t>(first),
+              tags_.begin() + static_cast<ptrdiff_t>(last + 1), false);
+}
+
 void
 MainMemory::copyOut(uint32_t addr, uint8_t *out, uint32_t bytes) const
 {

@@ -340,22 +340,23 @@ RegFileSystem::writeData(unsigned warp, unsigned reg,
     for (unsigned i = 0; i < cfg_.numLanes; ++i)
         full_mask = full_mask && mask[i];
 
-    std::vector<uint32_t> merged;
-    if (full_mask) {
-        merged = *src;
-    } else {
+    // Merge through a pointer: the full-mask write (the common case)
+    // uses the caller's buffer directly instead of copying it.
+    const std::vector<uint32_t> *merged = src;
+    if (!full_mask) {
         if (e.kind == Kind::Spilled)
             unspillData(e, warp, reg, acc);
-        expandData(e, merged);
+        expandData(e, mergeDataScratch_);
         for (unsigned i = 0; i < cfg_.numLanes; ++i) {
             if (mask[i])
-                merged[i] = (*src)[i];
+                mergeDataScratch_[i] = (*src)[i];
         }
+        merged = &mergeDataScratch_;
     }
 
     uint32_t base;
     int32_t stride;
-    if (compressData(merged, base, stride)) {
+    if (compressData(*merged, base, stride)) {
         if (e.kind == Kind::Vector) {
             freeSlot(e.slot, false);
             --dataVecCount_;
@@ -378,7 +379,7 @@ RegFileSystem::writeData(unsigned warp, unsigned reg,
     slotInfo_[e.slot].lastUse = ++useClock_;
     acc.dataFromVrf = true;
     for (unsigned i = 0; i < cfg_.numLanes; ++i)
-        slots_[e.slot][i] = merged[i];
+        slots_[e.slot][i] = (*merged)[i];
 }
 
 void
@@ -421,6 +422,7 @@ RegFileSystem::writeMeta(unsigned warp, unsigned reg,
         src = &faultMetaScratch_;
     }
 
+    bool any_nonnull = false;
     for (unsigned i = 0; i < cfg_.numLanes; ++i) {
         if (mask[i] && !(*src)[i].isNull()) {
             panic_if(reg >= cfg_.metaRegsTracked,
@@ -428,6 +430,7 @@ RegFileSystem::writeMeta(unsigned warp, unsigned reg,
                      "SRF's %u tracked registers",
                      reg, cfg_.metaRegsTracked);
             capRegMask_ |= uint32_t{1} << reg;
+            any_nonnull = true;
             break;
         }
     }
@@ -444,22 +447,32 @@ RegFileSystem::writeMeta(unsigned warp, unsigned reg,
 
     Entry &e = metaEntries_[entryIndex(warp, reg)];
 
+    // Every written lane carries the null capability and the entry is
+    // already the uniform null scalar: merging and re-classifying would
+    // rebuild exactly this representation, with no occupancy-counter or
+    // RfAccess side effects, so the write is a no-op. (A Scalar entry
+    // always has slot == -1, and nullMask is ignored for scalars.)
+    if (!any_nonnull && e.kind == Kind::Scalar && !e.tag && e.base == 0)
+        return;
+
     bool full_mask = true;
     for (unsigned i = 0; i < cfg_.numLanes; ++i)
         full_mask = full_mask && mask[i];
 
-    std::vector<CapMeta> merged;
-    if (full_mask) {
-        merged = *src;
-    } else {
+    // Merge through a pointer: the full-mask write (the common case)
+    // uses the caller's buffer directly instead of copying it.
+    const std::vector<CapMeta> *mergedp = src;
+    if (!full_mask) {
         if (e.kind == Kind::Spilled)
             unspillMeta(e, warp, reg, acc);
-        expandMeta(e, merged);
+        expandMeta(e, mergeMetaScratch_);
         for (unsigned i = 0; i < cfg_.numLanes; ++i) {
             if (mask[i])
-                merged[i] = (*src)[i];
+                mergeMetaScratch_[i] = (*src)[i];
         }
+        mergedp = &mergeMetaScratch_;
     }
+    const std::vector<CapMeta> &merged = *mergedp;
 
     // Classify: uniform; else (with NVO) one non-null value plus nulls;
     // else a general vector.

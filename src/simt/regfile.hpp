@@ -313,6 +313,11 @@ class RegFileSystem
     FaultInjector *injector_ = nullptr;
     std::vector<uint32_t> faultDataScratch_;
     std::vector<CapMeta> faultMetaScratch_;
+
+    // Partial-mask merge buffers for writeData/writeMeta, persistent so
+    // the hot write paths never allocate.
+    std::vector<uint32_t> mergeDataScratch_;
+    std::vector<CapMeta> mergeMetaScratch_;
 };
 
 } // namespace simt

@@ -122,21 +122,28 @@ unsigned
 Scratchpad::conflictCycles(const std::vector<uint32_t> &addrs,
                            const LaneMask &active) const
 {
-    // For each bank, count distinct word addresses accessed.
-    std::vector<std::vector<uint32_t>> per_bank(cfg_.scratchpadBanks);
+    // For each bank, count distinct word addresses accessed. A word
+    // maps to exactly one bank, so per-bank distinctness equals
+    // warp-wide distinctness and one deduplicated word list suffices.
+    const unsigned banks = cfg_.scratchpadBanks;
+    if (ccCounts_.size() < banks)
+        ccCounts_.resize(banks);
+    std::fill(ccCounts_.begin(), ccCounts_.begin() + banks, 0u);
+    ccWords_.clear();
     for (size_t lane = 0; lane < addrs.size(); ++lane) {
         if (!active[lane])
             continue;
         const uint32_t word = addrs[lane] / 4;
-        const uint32_t bank = word % cfg_.scratchpadBanks;
-        auto &seen = per_bank[bank];
-        if (std::find(seen.begin(), seen.end(), word) == seen.end())
-            seen.push_back(word);
+        if (std::find(ccWords_.begin(), ccWords_.end(), word) ==
+            ccWords_.end()) {
+            ccWords_.push_back(word);
+            ++ccCounts_[word % banks];
+        }
     }
-    size_t worst = 1;
-    for (const auto &seen : per_bank)
-        worst = std::max(worst, seen.size());
-    return static_cast<unsigned>(worst);
+    uint32_t worst = 1;
+    for (unsigned b = 0; b < banks; ++b)
+        worst = std::max(worst, ccCounts_[b]);
+    return worst;
 }
 
 } // namespace simt

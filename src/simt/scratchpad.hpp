@@ -84,6 +84,11 @@ class Scratchpad
     const SmConfig &cfg_;
     std::vector<uint32_t> words_;
     std::vector<bool> tags_;
+
+    // conflictCycles scratch (persistent so the hot path never
+    // allocates); mutable because the query is logically const.
+    mutable std::vector<uint32_t> ccWords_;
+    mutable std::vector<uint32_t> ccCounts_;
     FaultInjector *injector_ = nullptr;
 };
 

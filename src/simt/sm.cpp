@@ -190,7 +190,10 @@ Sm::Sm(const SmConfig &cfg)
       statSoftBoundsTraps_(stats_.handle("soft_bounds_traps")),
       statBarriersReleased_(stats_.handle("barriers_released")),
       statSimhostInstrs_(stats_.handle("simhost_instrs")),
-      statSimhostFastpath_(stats_.handle("simhost_fastpath_instrs"))
+      statSimhostFastpath_(stats_.handle("simhost_fastpath_instrs")),
+      statSimhostPackedMem_(stats_.handle("simhost_packed_mem_instrs")),
+      statSimhostFused_(stats_.handle("simhost_fused_instrs")),
+      statSimhostResamples_(stats_.handle("simhost_resample_count"))
 {
     fatal_if(cfg_.stackCacheLines > 0 &&
                  (cfg_.stackCacheLineBytes <
@@ -289,6 +292,7 @@ Sm::launch(uint32_t entry_pc, unsigned warps_per_block)
         w.regular = true;
         w.pccUniform = true;
     }
+    sched_.assign(cfg_.numWarps, 0);
     liveWarps_ = cfg_.numWarps;
     rrPtr_ = 0;
     now_ = 0;
@@ -308,12 +312,22 @@ Sm::launch(uint32_t entry_pc, unsigned warps_per_block)
         injector_->reset();
     stats_.clear();
     std::fill(opCounts_.begin(), opCounts_.end(), 0);
+    ctrInstrs_ = 0;
+    ctrCheriInstrs_ = 0;
+    ctrIssueSlots_ = 0;
+    ctrFastpath_ = 0;
+    ctrPackedMem_ = 0;
+    ctrFused_ = 0;
 
-    // The host-throughput pair is emitted together even when a counter
+    // The host-throughput counters are emitted together even when one
     // stays zero (fast paths disabled, or nothing scalarised), so results
-    // files always carry both (json_check relies on the pairing).
+    // files always carry the full set (json_check relies on the pairing
+    // and subset invariants).
     stats_.add("simhost_instrs", 0);
     stats_.add("simhost_fastpath_instrs", 0);
+    stats_.add("simhost_packed_mem_instrs", 0);
+    stats_.add("simhost_fused_instrs", 0);
+    stats_.add("simhost_resample_count", 0);
 
     resolveEngine();
 }
@@ -342,6 +356,13 @@ Sm::resolveEngine()
     sampleSteps_ = 0;
     sampleHits_ = 0;
     samplePacked_ = 0;
+    resampleArmed_ = false;
+    probing_ = false;
+    stepsSinceSample_ = 0;
+    ewmaHit_ = 0.0;
+    ewmaPacked_ = 0.0;
+    haveEwma_ = false;
+    resampleCount_ = 0;
     if (!cfg_.hostFastPath) {
         engine_ = ExecEngine::Verbatim;
         return;
@@ -350,9 +371,15 @@ Sm::resolveEngine()
         engine_ = cfg_.engineSel;
         return;
     }
+    resampleArmed_ = cfg_.engineResampleInterval > 0;
     engine::EngineDecision d;
     if (engine::lookupEngineDecision(engineCacheKey(), d)) {
+        // Warm start: the cached decision seeds both the engine and the
+        // EWMA the steady-state probes blend into.
         engine_ = d.engine;
+        ewmaHit_ = d.hitRate;
+        ewmaPacked_ = d.packedShare;
+        haveEwma_ = true;
         return;
     }
     engine_ = ExecEngine::FastPath;
@@ -360,41 +387,100 @@ Sm::resolveEngine()
 }
 
 void
+Sm::beginProbe()
+{
+    probing_ = true;
+    sampling_ = true;
+    sampleSteps_ = 0;
+    sampleHits_ = 0;
+    samplePacked_ = 0;
+    stepsSinceSample_ = 0;
+    preProbeEngine_ = engine_;
+    // The Verbatim engine never classifies descriptors, so a hit rate
+    // is unobservable under it; probe on FastPath (bit-identical).
+    if (engine_ == ExecEngine::Verbatim)
+        engine_ = ExecEngine::FastPath;
+}
+
+void
 Sm::decideEngine()
 {
     sampling_ = false;
-    engine::EngineDecision d;
+    const bool probe = probing_;
+    probing_ = false;
+    stepsSinceSample_ = 0;
+
+    double hit = 0.0, packed = 0.0;
     if (sampleSteps_ > 0) {
-        d.hitRate =
-            static_cast<double>(sampleHits_) / static_cast<double>(sampleSteps_);
-        d.packedShare = static_cast<double>(samplePacked_) /
-                        static_cast<double>(sampleSteps_);
+        hit = static_cast<double>(sampleHits_) /
+              static_cast<double>(sampleSteps_);
+        packed = static_cast<double>(samplePacked_) /
+                 static_cast<double>(sampleSteps_);
+    } else if (probe) {
+        // An empty probe (kernel ended immediately): keep the estimate.
+        hit = ewmaHit_;
+        packed = ewmaPacked_;
     }
+    // Blend into the running estimate so one anomalous window cannot
+    // whipsaw the policy; the first window IS the estimate.
+    if (haveEwma_) {
+        const double a = cfg_.engineEwmaAlpha;
+        hit = a * hit + (1.0 - a) * ewmaHit_;
+        packed = a * packed + (1.0 - a) * ewmaPacked_;
+    }
+    ewmaHit_ = hit;
+    ewmaPacked_ = packed;
+    haveEwma_ = true;
+
     // The conservative guard first (the SPMV fix): a kernel that rarely
     // scalarises pays descriptor classification for nothing, so it runs
     // the reference engine. Otherwise prefer Simd whenever a meaningful
-    // share of steps retires through a packed-coverable handler.
-    if (d.hitRate < cfg_.engineMinHitRate)
+    // share of steps retires through a packed-coverable handler. On
+    // steady-state probes the thresholds shift by the hysteresis margin
+    // in favour of the engine already in force, so the policy never
+    // flaps at a boundary.
+    double min_hit = cfg_.engineMinHitRate;
+    double min_packed = cfg_.engineMinPackedShare;
+    if (probe) {
+        const ExecEngine cur = preProbeEngine_;
+        min_hit += cur == ExecEngine::Verbatim ? cfg_.engineHysteresis
+                                               : -cfg_.engineHysteresis;
+        min_packed += cur == ExecEngine::Simd ? -cfg_.engineHysteresis
+                                              : cfg_.engineHysteresis;
+    }
+    engine::EngineDecision d;
+    d.hitRate = hit;
+    d.packedShare = packed;
+    if (hit < min_hit)
         d.engine = ExecEngine::Verbatim;
-    else if (d.packedShare >= cfg_.engineMinPackedShare)
+    else if (packed >= min_packed)
         d.engine = ExecEngine::Simd;
     else
         d.engine = ExecEngine::FastPath;
     engine_ = d.engine;
     engine::storeEngineDecision(engineCacheKey(), d);
+    if (probe) {
+        ++resampleCount_;
+        statSimhostResamples_.add();
+    }
 
     using namespace support::trace;
     if (trace_ != nullptr && trace_->wants(kCatEngine)) {
         using support::json::Value;
-        Event &e = trace_->emit(EventKind::Instant, kCatEngine,
-                                std::string("engine: ") +
-                                    execEngineName(d.engine));
+        Event &e = trace_->emit(
+            EventKind::Instant, kCatEngine,
+            std::string(probe ? "resample: " : "engine: ") +
+                execEngineName(d.engine));
         e.cycle = now_;
         e.args.emplace_back("engine",
                             Value::str(execEngineName(d.engine)));
         e.args.emplace_back("hit_rate", Value::number(d.hitRate));
         e.args.emplace_back("packed_share", Value::number(d.packedShare));
         e.args.emplace_back("sample_steps", Value::integer(sampleSteps_));
+        e.args.emplace_back("probe", Value::boolean(probe));
+        if (probe)
+            e.args.emplace_back(
+                "from", Value::str(execEngineName(preProbeEngine_)));
     }
 }
 
@@ -440,6 +526,7 @@ Sm::haltThread(unsigned warp, unsigned lane)
     --w.liveThreads;
     if (w.liveThreads == 0) {
         --liveWarps_;
+        schedUpdate(warp);
         // A finishing warp may be the last arrival its block's barrier
         // was waiting for.
         releaseBarrierIfReady(warp / warpsPerBlock_);
@@ -679,6 +766,7 @@ Sm::releaseBarrierIfReady(unsigned block)
         if (warps_[w].atBarrier) {
             warps_[w].atBarrier = false;
             warps_[w].readyAt = now_ + 1;
+            schedUpdate(w);
         }
     }
     statBarriersReleased_.add();
@@ -693,6 +781,7 @@ Sm::run(uint64_t max_cycles)
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)
             .count());
+    flushStepCounters();
     if (injector_)
         stats_.set("fault_injections", injector_->fires());
     // The engine selected for this kernel (for Auto: the decision in
@@ -719,6 +808,18 @@ Sm::run(uint64_t max_cycles)
                              Value::integer(stats_.get("dram_bytes_read")));
         dr.args.emplace_back(
             "written", Value::integer(stats_.get("dram_bytes_written")));
+        Event &pm = trace_->emit(EventKind::Counter, kCatCounter,
+                                 "packed_mem");
+        pm.cycle = now_;
+        pm.args.emplace_back(
+            "packed_mem_instrs",
+            Value::integer(stats_.get("simhost_packed_mem_instrs")));
+        pm.args.emplace_back(
+            "fused_instrs",
+            Value::integer(stats_.get("simhost_fused_instrs")));
+        pm.args.emplace_back(
+            "resamples",
+            Value::integer(stats_.get("simhost_resample_count")));
     }
     return ok;
 }
@@ -748,24 +849,29 @@ Sm::runLoop(uint64_t max_cycles)
             return true;
         }
 
-        // Round-robin issue among ready warps.
+        // Round-robin issue among ready warps. The scan runs once per
+        // issue slot, so it reads the dense sched_ mirror (readyAt, or
+        // u64 max for finished/parked warps) instead of chasing the
+        // scattered Warp structs, and wraps with a compare instead of a
+        // modulo. Selection order is identical to the original
+        // per-struct scan.
         int chosen = -1;
-        for (unsigned i = 0; i < cfg_.numWarps; ++i) {
-            const unsigned wid = (rrPtr_ + i) % cfg_.numWarps;
-            const Warp &w = warps_[wid];
-            if (!w.done() && !w.atBarrier && w.readyAt <= now_) {
+        for (unsigned i = 0, wid = rrPtr_; i < cfg_.numWarps; ++i) {
+            if (sched_[wid] <= now_) {
                 chosen = static_cast<int>(wid);
                 break;
             }
+            if (++wid == cfg_.numWarps)
+                wid = 0;
         }
 
         if (chosen < 0) {
-            // Idle: fast-forward to the next warp wake-up.
+            // Idle: fast-forward to the next warp wake-up. (Finished
+            // and parked warps sit at u64 max in the mirror, so the
+            // plain min is the min over issuable warps.)
             uint64_t next = std::numeric_limits<uint64_t>::max();
-            for (const auto &w : warps_) {
-                if (!w.done() && !w.atBarrier)
-                    next = std::min(next, w.readyAt);
-            }
+            for (const uint64_t t : sched_)
+                next = std::min(next, t);
             if (next == std::numeric_limits<uint64_t>::max()) {
                 support::log(support::LogLevel::Info,
                              "deadlock: all live warps waiting at a barrier");
@@ -811,7 +917,9 @@ Sm::runLoop(uint64_t max_cycles)
             continue;
         }
 
-        rrPtr_ = (static_cast<unsigned>(chosen) + 1) % cfg_.numWarps;
+        rrPtr_ = static_cast<unsigned>(chosen) + 1;
+        if (rrPtr_ == cfg_.numWarps)
+            rrPtr_ = 0;
         const unsigned slot_cycles = executeWarp(chosen);
         dataOccAccum_ += regfile_.dataVectorsInVrf() * slot_cycles;
         metaOccAccum_ += regfile_.metaVectorsInVrf() * slot_cycles;
@@ -878,6 +986,7 @@ Sm::executeAluLane(Warp &w, unsigned wid, unsigned lane, const Instr &in,
 
     const auto cap1 = [&]() { return capFromParts(a, m1); };
     const auto set_cap_result = [&](const CapPipe &c) {
+        resultMetaDirty_ = true;
         capToParts(c, result_[lane], resultMeta_[lane]);
     };
 
@@ -1015,10 +1124,12 @@ Sm::executeAluLane(Warp &w, unsigned wid, unsigned lane, const Instr &in,
       case Op::CGETADDR: r = a; break;
       case Op::CMOVE:
         result_[lane] = a;
+        resultMetaDirty_ = true;
         resultMeta_[lane] = m1;
         break;
       case Op::CCLEARTAG:
         result_[lane] = a;
+        resultMetaDirty_ = true;
         resultMeta_[lane] = m1;
         resultMeta_[lane].tag = false;
         break;
@@ -1136,11 +1247,17 @@ Sm::executeWarp(unsigned wid)
     unsigned num_active = 0;
     bool fully_active = false;
     if (fast_enabled && w.regular && (!check_pcc || w.pccUniform)) {
-        for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
-            const bool a = !w.halted[lane];
-            active_[lane] = a;
-            if (a && leader < 0)
-                leader = static_cast<int>(lane);
+        if (w.liveThreads == cfg_.numLanes) {
+            // No lane has halted: skip the per-lane scan entirely.
+            std::fill(active_.begin(), active_.end(), uint8_t{1});
+            leader = 0;
+        } else {
+            for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                const bool a = !w.halted[lane];
+                active_[lane] = a;
+                if (a && leader < 0)
+                    leader = static_cast<int>(lane);
+            }
         }
         num_active = w.liveThreads;
         fully_active = true;
@@ -1174,14 +1291,21 @@ Sm::executeWarp(unsigned wid)
     }
     if (cfg_.purecap) {
         const CapPipe &pcc = w.pcc[leader];
-        if (!pcc.tag || !(pcc.perms & cap::PERM_EXECUTE) ||
-            !cap::isRangeInBounds(pcc, pc, 4)) {
-            for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
-                if (active_[lane])
-                    trap(wid, lane, pc, Op::ILLEGAL, pc,
-                         TrapKind::PccViolation, nullptr, &pcc);
+        if (!(pcc == w.fetchCap && pc >= w.fetchLo &&
+              static_cast<uint64_t>(pc) + 4 <= w.fetchHi)) {
+            if (!pcc.tag || !(pcc.perms & cap::PERM_EXECUTE) ||
+                !cap::isRangeInBounds(pcc, pc, 4)) {
+                for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                    if (active_[lane])
+                        trap(wid, lane, pc, Op::ILLEGAL, pc,
+                             TrapKind::PccViolation, nullptr, &pcc);
+                }
+                return 1;
             }
-            return 1;
+            const cap::Bounds fb = cap::getBounds(pcc);
+            w.fetchCap = pcc;
+            w.fetchLo = fb.base;
+            w.fetchHi = fb.top;
         }
     }
 
@@ -1196,15 +1320,20 @@ Sm::executeWarp(unsigned wid)
         return 1;
     }
 
-    statInstrs_.add();
-    statSimhostInstrs_.add();
+    ++ctrInstrs_;
+    // Fusion coverage: instructions retiring inside a fused block. The
+    // count follows the decode-time annotation, not the engine in
+    // force, so repeated launches report identical stats whether they
+    // sample cold or warm-start from a cached engine decision.
+    if (decoded_->fusedId[idx] != 0)
+        ++ctrFused_;
     opCounts_[static_cast<size_t>(op)]++;
     // Per-PC profile histogram (observational; nullptr unless --profile).
     if (profilePc_ != nullptr && idx < profilePc_->size())
         (*profilePc_)[idx]++;
     const OpTraits &tr = opTraits(op);
     if (tr.cheri)
-        statCheriInstrs_.add();
+        ++ctrCheriInstrs_;
 
     // ---- Operand fetch (lazy descriptors) ----
     // Descriptor reads are side-effect-identical to the eager readData /
@@ -1247,7 +1376,14 @@ Sm::executeWarp(unsigned wid)
     bool writes_rd = tr.usesRd;
     const int32_t imm = in.imm;
 
-    std::fill(resultMeta_.begin(), resultMeta_.end(), CapMeta{});
+    // Lazy null-fill: resultMeta_ only needs re-nulling when some prior
+    // step wrote lanes of it (every write site sets the dirty flag), and
+    // it is only ever read in purecap mode -- the per-lane writeback
+    // treats a null entry as "plain integer result clears the tag".
+    if (cfg_.purecap && resultMetaDirty_) {
+        std::fill(resultMeta_.begin(), resultMeta_.end(), CapMeta{});
+        resultMetaDirty_ = false;
+    }
 
     // Result descriptor for writeback: with res_affine set, every active
     // lane's result is res_base + res_stride * lane with metadata
@@ -1297,13 +1433,22 @@ Sm::executeWarp(unsigned wid)
                     rs1d.base + static_cast<uint32_t>(imm);
                 const int64_t s = rs1d.stride;
                 int min_l = -1, max_l = -1;
-                for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
-                    if (!active_[lane])
-                        continue;
-                    if (min_l < 0)
-                        min_l = static_cast<int>(lane);
-                    max_l = static_cast<int>(lane);
+                if (fully_active && w.liveThreads == cfg_.numLanes) {
+                    min_l = 0;
+                    max_l = static_cast<int>(cfg_.numLanes) - 1;
+                } else {
+                    for (unsigned lane = 0; lane < cfg_.numLanes;
+                         ++lane) {
+                        if (!active_[lane])
+                            continue;
+                        if (min_l < 0)
+                            min_l = static_cast<int>(lane);
+                        max_l = static_cast<int>(lane);
+                    }
                 }
+                const bool no_holes =
+                    num_active ==
+                    static_cast<unsigned>(max_l - min_l + 1);
                 // The affine span must avoid 32-bit wraparound so the
                 // extreme lanes bound every lane's address.
                 const int64_t v_lo = static_cast<int64_t>(a0) + s * min_l;
@@ -1478,6 +1623,27 @@ Sm::executeWarp(unsigned wid)
                         // the coalescer's sorted, deduplicated list.
                         fastTxns_.clear();
                         const uint32_t seg_bytes = cfg_.coalesceBytes;
+                        if (no_holes && s >= -static_cast<int64_t>(
+                                                 seg_bytes) &&
+                            s <= static_cast<int64_t>(seg_bytes)) {
+                            // With no inactive gaps and |stride| <=
+                            // segment size, consecutive lanes' segment
+                            // ranges abut or overlap, so the ordered
+                            // walk visits exactly every segment from
+                            // n_min's to n_max+bytes-1's, each once --
+                            // emit them directly.
+                            const uint32_t first =
+                                n_min & ~(seg_bytes - 1);
+                            const uint32_t last =
+                                (n_max + bytes - 1) & ~(seg_bytes - 1);
+                            for (uint32_t seg = first;;
+                                 seg += seg_bytes) {
+                                fastTxns_.push_back(
+                                    MemTransaction{seg, seg_bytes});
+                                if (seg == last)
+                                    break;
+                            }
+                        } else {
                         const bool ascending = rs1d.stride >= 0;
                         const int begin = ascending ? min_l : max_l;
                         const int end = ascending ? max_l + 1 : min_l - 1;
@@ -1503,6 +1669,7 @@ Sm::executeWarp(unsigned wid)
                                     break;
                             }
                         }
+                        }
                         statDramTransactions_.add(fastTxns_.size());
                         for (const auto &t : fastTxns_) {
                             const uint64_t tag_done =
@@ -1520,6 +1687,32 @@ Sm::executeWarp(unsigned wid)
                         }
                     }
                 }
+
+                // ---- Packed memory lanes ----
+                // A fused-block plain load/store over unsharded DRAM
+                // moves its data through the packed lane handlers;
+                // timing, tag maintenance and trap logic already ran
+                // above, so memory and register state stay
+                // bit-identical to the reference loops by construction
+                // (DESIGN.md section 12). Eligibility is sampled
+                // engine-independently so the policy can see it from
+                // the FastPath probe windows.
+                const bool packed_mem_ok =
+                    decoded_->memLoop[idx] != nullptr &&
+                    shard_ == nullptr && all_dram && !is_cap_access &&
+                    rs1d.stride != 0;
+                if (sampling_ && packed_mem_ok)
+                    ++samplePacked_;
+                // Coverage stat follows eligibility, not handler
+                // execution, so launches report identical stats under
+                // any engine (the subset proof packed <= fastpath holds:
+                // an eligible access always retires via the fast path).
+                if (packed_mem_ok)
+                    ++ctrPackedMem_;
+                const engine::MemLoopFn mfn =
+                    packed_mem_ok && engine_ == ExecEngine::Simd
+                        ? decoded_->memLoop[idx]
+                        : nullptr;
 
                 // ---- Functional access ----
                 if (is_store) {
@@ -1542,6 +1735,36 @@ Sm::executeWarp(unsigned wid)
                                 memStoreCap(n_min, m);
                         } else {
                             storeValue(n_min, log_width, rs2d.at(lane));
+                        }
+                    } else if (mfn != nullptr) {
+                        const engine::MemCtx mc{
+                            dram_.rawData(kDramBase), active_.data(),
+                            result_.data(), &rs2d, a0 - kDramBase,
+                            static_cast<int32_t>(rs1d.stride),
+                            cfg_.numLanes};
+                        mfn(mc);
+                        // Tag maintenance, outside the handler: a
+                        // contiguous span clears exactly the word set
+                        // the per-lane clearTagForStore calls visit
+                        // (accesses are aligned, so none straddles a
+                        // word); gapped strides clear per lane.
+                        const int32_t st =
+                            static_cast<int32_t>(rs1d.stride);
+                        if (no_holes &&
+                            (st == static_cast<int32_t>(bytes) ||
+                             st == -static_cast<int32_t>(bytes))) {
+                            dram_.clearTagsInRange(n_min,
+                                                   n_max - n_min + bytes);
+                        } else {
+                            for (unsigned lane = 0;
+                                 lane < cfg_.numLanes; ++lane) {
+                                if (active_[lane])
+                                    dram_.clearTagForStore(
+                                        a0 + static_cast<uint32_t>(
+                                                 rs1d.stride) *
+                                                 lane,
+                                        bytes);
+                            }
                         }
                     } else {
                         for (unsigned lane = 0; lane < cfg_.numLanes;
@@ -1592,6 +1815,13 @@ Sm::executeWarp(unsigned wid)
                         res_base = loadValue(n_min, log_width, sign);
                         res_stride = 0;
                     }
+                } else if (mfn != nullptr) {
+                    const engine::MemCtx mc{
+                        dram_.rawData(kDramBase), active_.data(),
+                        result_.data(), &rs2d, a0 - kDramBase,
+                        static_cast<int32_t>(rs1d.stride),
+                        cfg_.numLanes};
+                    mfn(mc);
                 } else {
                     for (unsigned lane = 0; lane < cfg_.numLanes;
                          ++lane) {
@@ -1601,6 +1831,7 @@ Sm::executeWarp(unsigned wid)
                             a0 +
                             static_cast<uint32_t>(rs1d.stride) * lane;
                         if (op == Op::CLC) {
+                            resultMetaDirty_ = true;
                             const cap::CapMem m =
                                 all_shared ? scratchpad_.loadCap(addr)
                                            : memLoadCap(addr);
@@ -1640,6 +1871,7 @@ Sm::executeWarp(unsigned wid)
             return capFromParts(rs1Data_[lane], rs1Meta_[lane]);
         };
         const auto set_cap_result = [&](unsigned lane, const CapPipe &c) {
+            resultMetaDirty_ = true;
             capToParts(c, result_[lane], resultMeta_[lane]);
         };
 
@@ -1653,6 +1885,65 @@ Sm::executeWarp(unsigned wid)
 
         // Per-lane CHERI checks; faulting lanes trap and drop out.
         if (cfg_.purecap) {
+            // Uniform-capability hoist for the divergent (gather) case:
+            // tag/seal/perm outcomes depend only on the metadata, and
+            // getBounds depends on the address only through the
+            // exponent window (same argument as the affine fast path),
+            // so one decode per window replaces the per-lane capability
+            // rebuild. Faulting lanes reconstruct the exact per-lane
+            // capability so trap forensics are unchanged; any
+            // metadata-level fault or CSC (whose store-cap check reads
+            // per-lane rs2 tags) takes the reference loop. Like the
+            // packed handlers, the hoist is an engine-tier device: the
+            // Verbatim engine keeps the plain per-lane reference loop.
+            bool hoisted = false;
+            if (fast_enabled && rs1m.kind == MetaDesc::Kind::Uniform &&
+                op != Op::CSC) {
+                const CapMeta um = rs1m.value;
+                const CapPipe cm = capFromParts(0, um);
+                const bool meta_fault =
+                    !um.tag || cm.isSealed() ||
+                    ((is_store || is_atomic) &&
+                     !(cm.perms & cap::PERM_STORE)) ||
+                    (!is_store && !(cm.perms & cap::PERM_LOAD));
+                if (!meta_fault) {
+                    const unsigned e = cm.exponent > cap::kMaxExponent
+                                           ? cap::kMaxExponent
+                                           : cm.exponent;
+                    const unsigned shift = e + cap::kMantissaWidth - 3;
+                    uint64_t rep_w = ~uint64_t{0};
+                    cap::Bounds bnd{};
+                    for (unsigned lane = 0; lane < cfg_.numLanes;
+                         ++lane) {
+                        if (!active_[lane])
+                            continue;
+                        const uint32_t a = addrs_[lane];
+                        TrapKind fault = TrapKind::None;
+                        if (a % bytes != 0) {
+                            fault = TrapKind::MisalignedAccess;
+                        } else {
+                            const uint64_t w =
+                                static_cast<uint64_t>(a) >> shift;
+                            if (w != rep_w) {
+                                bnd = cap::getBounds(capFromParts(a, um));
+                                rep_w = w;
+                            }
+                            if (a < bnd.base ||
+                                static_cast<uint64_t>(a) + bytes >
+                                    bnd.top)
+                                fault = TrapKind::BoundsViolation;
+                        }
+                        if (fault != TrapKind::None) {
+                            CapPipe c = cap::setAddr(
+                                capFromParts(rs1Data_[lane], um), a);
+                            trap(wid, lane, pc, op, a, fault, &in, &c);
+                            active_[lane] = false;
+                        }
+                    }
+                    hoisted = true;
+                }
+            }
+            if (!hoisted) {
             for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
                 if (!active_[lane])
                     continue;
@@ -1681,6 +1972,7 @@ Sm::executeWarp(unsigned wid)
                     trap(wid, lane, pc, op, addrs_[lane], fault, &in, &c);
                     active_[lane] = false;
                 }
+            }
             }
         } else {
             // The baseline machine performs no capability checks, but a
@@ -1868,6 +2160,7 @@ Sm::executeWarp(unsigned wid)
             return capFromParts(rs1Data_[lane], rs1Meta_[lane]);
         };
         const auto set_cap_result = [&](unsigned lane, const CapPipe &c) {
+            resultMetaDirty_ = true;
             capToParts(c, result_[lane], resultMeta_[lane]);
         };
 
@@ -2168,6 +2461,7 @@ Sm::executeWarp(unsigned wid)
                     if (!r1)
                         break; // per-lane check needs lane addresses
                     CapPipe ct = c0;
+                    resultMetaDirty_ = true;
                     bool tags_uniform = true;
                     bool tag0 = false;
                     bool first = true;
@@ -2328,6 +2622,7 @@ Sm::executeWarp(unsigned wid)
                 }
                 fast_hit = true;
             } else {
+                resultMetaDirty_ = true;
                 for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
                     if (!active_[lane])
                         continue;
@@ -2442,6 +2737,7 @@ Sm::executeWarp(unsigned wid)
                     c.otype = cap::OTYPE_UNSEALED;
                     const CapPipe ret = cap::sealEntry(
                         cap::setAddr(w.pcc[lane], pc + 4));
+                    resultMetaDirty_ = true;
                     capToParts(ret, result_[lane], resultMeta_[lane]);
                     w.pcc[lane] = c;
                 } else {
@@ -2514,6 +2810,7 @@ Sm::executeWarp(unsigned wid)
         } else {
             if (res_affine) {
                 // Partial mask: expand the closed form for the merge.
+                resultMetaDirty_ = true;
                 for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
                     if (!active_[lane])
                         continue;
@@ -2527,23 +2824,41 @@ Sm::executeWarp(unsigned wid)
             if (cfg_.purecap) {
                 // Writing a plain integer result sets the metadata to
                 // the null value with the tag cleared (Figure 4 caption).
-                regfile_.writeMeta(wid, in.rd, resultMeta_, active_,
-                                   wb_acc);
+                // A clean dirty flag means no lane of resultMeta_ was
+                // written this step, so the vector is still all-null and
+                // a full-mask write is exactly the uniform null
+                // broadcast (same entry state, no RfAccess effects).
+                // Engine-tier shortcut: Verbatim keeps the reference
+                // per-lane classify.
+                if (fast_enabled && !resultMetaDirty_ && full_mask &&
+                    !injector_)
+                    regfile_.writeMetaUniform(wid, in.rd, CapMeta{},
+                                              wb_acc);
+                else
+                    regfile_.writeMeta(wid, in.rd, resultMeta_, active_,
+                                       wb_acc);
             }
         }
     }
 
     if (fast_hit)
-        statSimhostFastpath_.add();
+        ++ctrFastpath_;
 
     // Adaptive-policy sampling window (counts every retired warp-step:
     // no path returns early once the instruction is counted above).
+    // Steady-state: between windows, count down to the next periodic
+    // probe so long kernels can promote or demote engines mid-run.
     if (sampling_) {
         ++sampleSteps_;
         if (fast_hit)
             ++sampleHits_;
-        if (sampleSteps_ >= cfg_.engineSampleWindow)
+        const unsigned window = probing_ ? cfg_.engineProbeWindow
+                                         : cfg_.engineSampleWindow;
+        if (sampleSteps_ >= window)
             decideEngine();
+    } else if (resampleArmed_) {
+        if (++stepsSinceSample_ >= cfg_.engineResampleInterval)
+            beginProbe();
     }
 
     // Register-file spill/reload traffic goes through DRAM.
@@ -2562,7 +2877,8 @@ Sm::executeWarp(unsigned wid)
     }
 
     w.readyAt = std::max(finish, now_ + extra_cycles + 1);
-    statIssueSlots_.add(1 + extra_cycles);
+    schedUpdate(wid);
+    ctrIssueSlots_ += 1 + extra_cycles;
     return 1 + extra_cycles;
 }
 

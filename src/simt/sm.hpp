@@ -23,6 +23,7 @@
 #define CHERI_SIMT_SIMT_SM_HPP_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -198,11 +199,37 @@ class Sm
         bool regular = true;
         bool pccUniform = true;
 
+        // Host-side memo of the last successful purecap fetch check:
+        // when the leader's PCC equals fetchCap bit for bit, any pc
+        // with fetchLo <= pc && pc + 4 <= fetchHi passes the
+        // EXECUTE/bounds check without re-decoding the bounds. The
+        // window starts empty, so the first fetch (and any fetch under
+        // a changed PCC) takes the full check.
+        cap::CapPipe fetchCap{};
+        uint32_t fetchLo = 1;
+        uint64_t fetchHi = 0;
+
         bool done() const { return liveThreads == 0; }
     };
 
     /** Halt one thread (idempotent); maintains live counters. */
     void haltThread(unsigned warp, unsigned lane);
+
+    /**
+     * Refresh the compact schedule mirror for one warp. sched_[w] holds
+     * the warp's readyAt, or uint64_t max when it can never be issued
+     * (finished, or parked at a barrier), so the per-slot round-robin
+     * scan reads one dense u64 array instead of the scattered Warp
+     * structs. Must be called after any change to a warp's liveThreads,
+     * atBarrier or readyAt.
+     */
+    void schedUpdate(unsigned wid)
+    {
+        const Warp &w = warps_[wid];
+        sched_[wid] = (w.liveThreads == 0 || w.atBarrier)
+                          ? std::numeric_limits<uint64_t>::max()
+                          : w.readyAt;
+    }
 
     /** Select the active threads of a warp; returns the leader lane. */
     int selectActive(const Warp &warp, LaneMask &active) const;
@@ -233,8 +260,17 @@ class Sm
     void resolveEngine();
 
     /** Conclude a sampling window (full, or partial at run end):
-     *  compute hit rate and packed share, pick the engine, cache it. */
+     *  compute hit rate and packed share, blend them into the EWMA,
+     *  pick the engine (with hysteresis on steady-state probes) and
+     *  cache the decision. */
     void decideEngine();
+
+    /** Open a steady-state probe window: re-measure the hit rate /
+     *  packed share over engineProbeWindow warp-steps. Probes run the
+     *  FastPath engine when the current engine is Verbatim (a hit rate
+     *  is unobservable there); engine flips are architecturally
+     *  invisible, so this never perturbs modelled state. */
+    void beginProbe();
 
     /** @p in and @p auth_cap, when available at the trap site, feed the
      *  forensic record (disassembly, capability bounds) -- diagnostics
@@ -364,9 +400,25 @@ class Sm
     uint64_t sampleHits_ = 0;   ///< of which took a descriptor fast path
     uint64_t samplePacked_ = 0; ///< of which retired a packed-coverable op
 
+    // Steady-state re-sampler (DESIGN.md section 12): after the initial
+    // decision, a cheap probe window reopens every engineResampleInterval
+    // warp-steps; probe results blend into an EWMA and re-decide with
+    // hysteresis. All of this is host-only policy state -- the engines
+    // are bit-identical, so flips never touch architectural results.
+    bool resampleArmed_ = false;    ///< Auto policy with interval > 0
+    bool probing_ = false;          ///< current window is a probe
+    ExecEngine preProbeEngine_ = ExecEngine::FastPath;
+    uint64_t stepsSinceSample_ = 0; ///< steps since the last window closed
+    double ewmaHit_ = 0.0;
+    double ewmaPacked_ = 0.0;
+    bool haveEwma_ = false;
+    uint64_t resampleCount_ = 0;    ///< probes concluded this launch
+
     cap::CapPipe scrs_[isa::NUM_SCRS];
 
     std::vector<Warp> warps_;
+    /** Dense issue-scan mirror; see schedUpdate(). */
+    std::vector<uint64_t> sched_;
     unsigned liveWarps_ = 0;
     unsigned warpsPerBlock_ = 1;
     unsigned rrPtr_ = 0;
@@ -393,6 +445,12 @@ class Sm
     LaneMask storeCapTags_;
     std::vector<MemTransaction> fastTxns_;
 
+    // Lazy null-fill for resultMeta_: paths writing per-lane result
+    // metadata set this, and the per-step prologue refills with nulls
+    // only then -- the all-null invariant every reader relies on holds
+    // without an O(numLanes) fill on steps that never touch metadata.
+    bool resultMetaDirty_ = true;
+
     // Hot-loop counter handles (the string-keyed registry is never
     // consulted from per-instruction code).
     support::StatSet::Handle statInstrs_;
@@ -414,6 +472,40 @@ class Sm
     support::StatSet::Handle statBarriersReleased_;
     support::StatSet::Handle statSimhostInstrs_;
     support::StatSet::Handle statSimhostFastpath_;
+    support::StatSet::Handle statSimhostPackedMem_;
+    support::StatSet::Handle statSimhostFused_;
+    support::StatSet::Handle statSimhostResamples_;
+
+    // Per-step retire counters kept as plain integers and folded into
+    // the stat set once per run() (flushStepCounters): even a cached
+    // handle add costs a generation check and an indirect increment,
+    // which is measurable at host-throughput scales when paid several
+    // times per warp-step. Flush-and-zero semantics, so chunked run()
+    // calls accumulate correctly.
+    uint64_t ctrInstrs_ = 0;
+    uint64_t ctrCheriInstrs_ = 0;
+    uint64_t ctrIssueSlots_ = 0;
+    uint64_t ctrFastpath_ = 0;
+    uint64_t ctrPackedMem_ = 0;
+    uint64_t ctrFused_ = 0;
+
+    void
+    flushStepCounters()
+    {
+        statInstrs_.add(ctrInstrs_);
+        statCheriInstrs_.add(ctrCheriInstrs_);
+        statIssueSlots_.add(ctrIssueSlots_);
+        statSimhostInstrs_.add(ctrInstrs_);
+        statSimhostFastpath_.add(ctrFastpath_);
+        statSimhostPackedMem_.add(ctrPackedMem_);
+        statSimhostFused_.add(ctrFused_);
+        ctrInstrs_ = 0;
+        ctrCheriInstrs_ = 0;
+        ctrIssueSlots_ = 0;
+        ctrFastpath_ = 0;
+        ctrPackedMem_ = 0;
+        ctrFused_ = 0;
+    }
 };
 
 } // namespace simt

@@ -435,20 +435,23 @@ TEST(AdaptiveEngine, PolicyPicksExpectedEngines)
                 vecadd_engine == static_cast<uint64_t>(ExecEngine::Simd))
         << "VecAdd decided engine " << vecadd_engine;
 
-    // SPMV's gather is irregular; its fast-path hit rate sits far below
-    // the engineMinHitRate guard, so the policy must pick verbatim --
-    // this is the decision that fixes the SPMV host-throughput
-    // regression.
+    // SPMV's gather is irregular, but with fused dispatch the
+    // classification overhead is covered at far lower regularity: its
+    // hit rate clears the (now lower) engineMinHitRate guard and its
+    // packed-coverable share promotes it off the verbatim engine. The
+    // old regression-avoidance contract survives as bench_simspeed's
+    // per-bench adaptive >= 1.0x floor.
     const nocl::RunResult spmv = runAdaptive("SPMV", 1, verified);
     ASSERT_TRUE(spmv.completed);
     EXPECT_TRUE(verified);
-    EXPECT_EQ(spmv.stats.get("simhost_engine"),
-              static_cast<uint64_t>(ExecEngine::Verbatim));
+    const uint64_t spmv_engine = spmv.stats.get("simhost_engine");
+    EXPECT_TRUE(spmv_engine !=
+                static_cast<uint64_t>(ExecEngine::Verbatim))
+        << "SPMV decided engine " << spmv_engine;
 
     // A warm launch reuses the cached decision.
     const nocl::RunResult warm = runAdaptive("SPMV", 1, verified);
-    EXPECT_EQ(warm.stats.get("simhost_engine"),
-              static_cast<uint64_t>(ExecEngine::Verbatim));
+    EXPECT_EQ(warm.stats.get("simhost_engine"), spmv_engine);
     EXPECT_EQ(warm.cycles, spmv.cycles);
 }
 

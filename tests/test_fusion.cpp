@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Superinstruction-fusion and packed-memory-lane proofs (DESIGN.md
+ * section 12):
+ *
+ *  - the fusion pass is a pure function of the instruction words, so
+ *    repeated decodes of one program produce identical annotations
+ *    (block ids, kinds, lengths and installed memory handlers);
+ *  - CHERI_SIMT_FORCE_SCALAR disables fusion entirely (the ctest env
+ *    leg re-runs this binary with the variable set, and the assertions
+ *    flip accordingly);
+ *  - packed gather/scatter keeps exact trap parity at capability
+ *    boundaries: accesses at base-1, exactly at top, past top, with a
+ *    misaligned address, with an aligned range straddling top, with a
+ *    negative stride and under a partial warp must produce the same
+ *    first trap (warp, lane, pc, address, kind), cycle count, modelled
+ *    counters and memory image as the verbatim per-lane engine;
+ *  - the same boundary behaviour holds through the nocl launch layer at
+ *    1, 2 and 4 SMs for every engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kc/asm.hpp"
+#include "nocl/nocl.hpp"
+#include "simt/engine.hpp"
+#include "simt/sm.hpp"
+
+namespace
+{
+
+using isa::Op;
+using kc::Assembler;
+using simt::ExecEngine;
+using Mode = kc::CompileOptions::Mode;
+
+bool
+forcedScalar()
+{
+    const char *env = std::getenv("CHERI_SIMT_FORCE_SCALAR");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/** A program exercising every fused idiom: addr-gen+load (+ALU tail),
+ *  load+load+ALU, compare+branch, addr-gen+store and load+store. */
+std::vector<uint32_t>
+fusibleProgram()
+{
+    Assembler a;
+    a.emitI(Op::CSPECIALRW, 5, 0, isa::SCR_DDC);
+    a.emitI(Op::LUI, 6, 0, static_cast<int32_t>(simt::kDramBase));
+    a.emitR(Op::CSETADDR, 7, 5, 6);
+    a.emitI(Op::CSRRS, 9, 0, isa::CSR_HARTID);
+    a.emitI(Op::SLLI, 9, 9, 2);       // addr-gen...
+    a.emitR(Op::CINCOFFSET, 8, 7, 9); // ...pair head
+    a.emitI(Op::LW, 10, 8, 0);        // AddrGenLoad member
+    a.emitI(Op::ADDI, 10, 10, 1);     // ALU tail consuming the load
+    a.emit(Op::SW, 0, 8, 10, 0);      // store after the ALU tail
+    a.emitI(Op::SLTI, 11, 9, 32);     // compare...
+    const kc::Label done = a.newLabel();
+    a.emitBranch(Op::BNE, 11, 0, done); // ...+branch pair
+    a.place(done);
+    a.emit(Op::SIMT_HALT, 0, 0, 0);
+    return a.finalize();
+}
+
+TEST(FusionCache, AnnotationsAreDeterministicAcrossDecodes)
+{
+    const std::vector<uint32_t> words = fusibleProgram();
+    const simt::engine::DecodedProgram p1 =
+        simt::engine::decodeProgram(words);
+    const simt::engine::DecodedProgram p2 =
+        simt::engine::decodeProgram(words);
+
+    ASSERT_EQ(p1.size(), p2.size());
+    EXPECT_EQ(p1.fusedId, p2.fusedId);
+    EXPECT_EQ(p1.fusedKind, p2.fusedKind);
+    EXPECT_EQ(p1.fusedLen, p2.fusedLen);
+    EXPECT_EQ(p1.memLoop, p2.memLoop);
+    EXPECT_EQ(p1.packedOk, p2.packedOk);
+
+    const simt::engine::FusionSummary s1 =
+        simt::engine::fusionSummary(p1);
+    const simt::engine::FusionSummary s2 =
+        simt::engine::fusionSummary(p2);
+    EXPECT_EQ(s1.blocks, s2.blocks);
+    EXPECT_EQ(s1.fusedInstrs, s2.fusedInstrs);
+}
+
+TEST(FusionCache, ForceScalarDisablesFusion)
+{
+    const simt::engine::DecodedProgram p =
+        simt::engine::decodeProgram(fusibleProgram());
+    const simt::engine::FusionSummary s = simt::engine::fusionSummary(p);
+
+    if (forcedScalar()) {
+        // The env leg: no blocks form and no packed memory handler is
+        // installed anywhere, so the Simd engine degrades to the exact
+        // unfused dispatch.
+        EXPECT_EQ(s.blocks, 0u);
+        EXPECT_EQ(s.fusedInstrs, 0u);
+        for (size_t i = 0; i < p.size(); ++i) {
+            EXPECT_EQ(p.fusedId[i], 0u) << "instr " << i;
+            EXPECT_EQ(p.memLoop[i], nullptr) << "instr " << i;
+        }
+    } else {
+        // The known idioms must fuse: the CINCOFFSET+LW+ADDI head run
+        // and the SLTI+BNE pair at minimum.
+        EXPECT_GE(s.blocks, 2u);
+        EXPECT_GT(s.fusedInstrs, 0u);
+        bool any_mem_handler = false;
+        for (size_t i = 0; i < p.size(); ++i)
+            any_mem_handler = any_mem_handler || p.memLoop[i] != nullptr;
+        EXPECT_TRUE(any_mem_handler)
+            << "no packed memory handler installed in any fused block";
+    }
+}
+
+// ---- Packed gather/scatter boundary parity ----
+//
+// Hand-assembled purecap programs: a 64-byte (or deliberately smaller)
+// capability window over DRAM, per-lane addresses formed by CINCOFFSET
+// immediately before the access (so the pair fuses and the packed
+// memory handler is eligible), and boundary geometry chosen per case.
+// Every engine must produce identical architectural outcomes.
+
+struct MemCase
+{
+    const char *name;
+    Op access;       ///< LW/LBU/SW/SH/SB
+    unsigned window; ///< CSETBOUNDS length in bytes
+    int imm;         ///< access displacement
+    bool negative;   ///< lane offsets descend from 28 instead of rising
+    int partial;     ///< 0 = full warp, 1 = odd lanes only, 2 = even only
+    simt::TrapKind expect; ///< expected first-trap kind (None = clean)
+};
+
+const MemCase kMemCases[] = {
+    {"affine_store_in_bounds", Op::SW, 64, 0, false, 0,
+     simt::TrapKind::None},
+    {"affine_load_in_bounds", Op::LW, 64, 0, false, 0,
+     simt::TrapKind::None},
+    {"store_at_top", Op::SB, 64, 4, false, 0,
+     simt::TrapKind::BoundsViolation},
+    {"load_past_top", Op::LW, 64, 4, false, 0,
+     simt::TrapKind::BoundsViolation},
+    {"store_straddles_top_aligned", Op::SW, 62, 0, false, 0,
+     simt::TrapKind::BoundsViolation},
+    {"store_at_base_minus_one", Op::SB, 64, -1, false, 0,
+     simt::TrapKind::BoundsViolation},
+    {"load_at_base_minus_one", Op::LBU, 64, -1, false, 0,
+     simt::TrapKind::BoundsViolation},
+    {"store_misaligned_word", Op::SW, 64, 2, false, 0,
+     simt::TrapKind::MisalignedAccess},
+    {"store_negative_stride_under_base", Op::SW, 64, 0, true, 0,
+     simt::TrapKind::BoundsViolation},
+    {"partial_odd_boundary_lane_active", Op::LW, 64, 4, false, 1,
+     simt::TrapKind::BoundsViolation},
+    {"partial_even_boundary_lane_inactive", Op::LW, 64, 4, false, 2,
+     simt::TrapKind::None},
+};
+
+void
+emitMemCase(Assembler &a, const MemCase &mc)
+{
+    a.emitI(Op::CSPECIALRW, 5, 0, isa::SCR_DDC);
+    a.emitI(Op::LUI, 6, 0, static_cast<int32_t>(simt::kDramBase));
+    a.emitR(Op::CSETADDR, 7, 5, 6);
+    a.emitI(Op::ADDI, 8, 0, static_cast<int32_t>(mc.window));
+    a.emitR(Op::CSETBOUNDS, 7, 7, 8);
+    a.emitI(Op::CSRRS, 9, 0, isa::CSR_HARTID);
+    a.emitI(Op::SLLI, 9, 9, 2); // thread id * 4
+    if (mc.negative) {
+        a.emitI(Op::ADDI, 11, 0, 28);
+        a.emitR(Op::SUB, 9, 11, 9); // offsets 28, 24, ... then negative
+    }
+
+    const auto emit_access = [&]() {
+        a.emitR(Op::CINCOFFSET, 7, 7, 9); // fuses with the access below
+        if (mc.access == Op::SW || mc.access == Op::SH ||
+            mc.access == Op::SB)
+            a.emit(mc.access, 0, 7, 9, mc.imm);
+        else
+            a.emitI(mc.access, 10, 7, mc.imm);
+    };
+
+    if (mc.partial != 0) {
+        a.emitI(Op::CSRRS, 12, 0, isa::CSR_HARTID);
+        a.emitI(Op::ANDI, 12, 12, 1);
+        const kc::Label skip = a.newLabel();
+        a.emit(Op::SIMT_PUSH, 0, 0, 0);
+        // partial == 1: odd lanes access; partial == 2: even lanes.
+        if (mc.partial == 1)
+            a.emitBranch(Op::BEQ, 12, 0, skip);
+        else
+            a.emitBranch(Op::BNE, 12, 0, skip);
+        emit_access();
+        a.place(skip);
+        a.emit(Op::SIMT_POP, 0, 0, 0);
+    } else {
+        emit_access();
+    }
+    a.emit(Op::SIMT_HALT, 0, 0, 0);
+}
+
+struct MemOutcome
+{
+    bool ok = false;
+    bool trapped = false;
+    simt::TrapInfo trap;
+    uint64_t cycles = 0;
+    uint64_t dramHash = 0;
+    std::map<std::string, uint64_t> stats;
+};
+
+MemOutcome
+runMemCase(const MemCase &mc, ExecEngine sel)
+{
+    simt::SmConfig cfg = simt::SmConfig::cheriOptimised();
+    cfg.numWarps = 2;
+    cfg.numLanes = 8;
+    cfg.engineSel = sel;
+    simt::Sm sm(cfg);
+
+    Assembler a;
+    emitMemCase(a, mc);
+    sm.loadProgram(a.finalize());
+    sm.setScr(isa::SCR_DDC, cap::rootCap());
+    sm.launch(0, 2); // 16 threads: warp 1 reaches past the window
+
+    MemOutcome o;
+    o.ok = sm.run();
+    o.trapped = sm.trapped();
+    o.trap = sm.firstTrap();
+    o.cycles = sm.stats().get("cycles");
+    o.dramHash = sm.dram().contentHash();
+    for (const auto &[name, value] : sm.stats().all())
+        if (name.rfind("simhost_", 0) != 0)
+            o.stats.emplace(name, value);
+    return o;
+}
+
+class PackedMemBoundary : public ::testing::TestWithParam<MemCase>
+{
+};
+
+TEST_P(PackedMemBoundary, TrapParityAcrossEngines)
+{
+    const MemCase &mc = GetParam();
+    const MemOutcome verbatim = runMemCase(mc, ExecEngine::Verbatim);
+    const MemOutcome fastpath = runMemCase(mc, ExecEngine::FastPath);
+    const MemOutcome simd = runMemCase(mc, ExecEngine::Simd);
+
+    EXPECT_EQ(verbatim.trapped, mc.expect != simt::TrapKind::None);
+    if (verbatim.trapped)
+        EXPECT_EQ(verbatim.trap.kind, mc.expect);
+
+    for (const MemOutcome *got : {&fastpath, &simd}) {
+        EXPECT_EQ(got->ok, verbatim.ok);
+        EXPECT_EQ(got->trapped, verbatim.trapped);
+        EXPECT_EQ(got->trap.trapped, verbatim.trap.trapped);
+        EXPECT_EQ(got->trap.warp, verbatim.trap.warp);
+        EXPECT_EQ(got->trap.lane, verbatim.trap.lane);
+        EXPECT_EQ(got->trap.pc, verbatim.trap.pc);
+        EXPECT_EQ(got->trap.addr, verbatim.trap.addr);
+        EXPECT_EQ(got->trap.kind, verbatim.trap.kind);
+        EXPECT_EQ(got->cycles, verbatim.cycles);
+        EXPECT_EQ(got->dramHash, verbatim.dramHash);
+        EXPECT_EQ(got->stats, verbatim.stats);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, PackedMemBoundary,
+                         ::testing::ValuesIn(kMemCases),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
+
+// ---- Multi-SM boundary parity through the launch layer ----
+//
+// A copy kernel whose read index is shifted off the buffer edge; the
+// parameter capability's bounds catch the first/last thread. The same
+// outcome must hold for every engine at 1, 2 and 4 SMs.
+
+struct EdgeCopyKernel : kc::KernelDef
+{
+    int off;
+    explicit EdgeCopyKernel(int off) : off(off) {}
+
+    std::string
+    name() const override
+    {
+        return "FusionEdgeCopy" + std::to_string(off);
+    }
+
+    void
+    build(kc::Kb &b) override
+    {
+        auto in = b.paramPtr("in", kc::Scalar::U32);
+        auto out = b.paramPtr("out", kc::Scalar::U32);
+        auto i = b.var(b.blockIdx() * b.blockDim() + b.threadIdx());
+        out[i] = in[i + b.c(off)];
+    }
+};
+
+TEST(PackedMemBoundaryMultiSm, EdgeShiftParityAcrossEnginesAndSms)
+{
+    constexpr unsigned kElems = 256;
+    for (const int off : {0, 1, -1}) {
+        std::string ref_key;
+        nocl::RunResult ref;
+        std::vector<uint32_t> ref_out;
+        bool have_ref = false;
+        for (const unsigned sms : {1u, 2u, 4u}) {
+            for (const ExecEngine eng :
+                 {ExecEngine::Verbatim, ExecEngine::FastPath,
+                  ExecEngine::Simd}) {
+                simt::SmConfig cfg = simt::SmConfig::cheriOptimised();
+                cfg.numSms = sms;
+                cfg.engineSel = eng;
+                nocl::Device dev(cfg, Mode::Purecap);
+
+                nocl::Buffer in = dev.alloc(kElems * 4);
+                nocl::Buffer out = dev.alloc(kElems * 4);
+                std::vector<uint32_t> src(kElems);
+                for (unsigned i = 0; i < kElems; ++i)
+                    src[i] = 0x5eed0000u + i;
+                dev.write32(in, src);
+
+                EdgeCopyKernel k(off);
+                nocl::LaunchConfig lc;
+                lc.blockDim = 32;
+                lc.gridDim = kElems / 32;
+                const nocl::RunResult res = dev.launch(
+                    k, lc,
+                    {nocl::Arg::buffer(in), nocl::Arg::buffer(out)});
+                const std::vector<uint32_t> got = dev.read32(out);
+
+                const std::string key = std::string("off ") +
+                                        std::to_string(off) + " sms " +
+                                        std::to_string(sms);
+                if (off == 0) {
+                    EXPECT_TRUE(res.completed) << key;
+                    EXPECT_FALSE(res.trapped) << key;
+                    EXPECT_EQ(got, src) << key;
+                } else {
+                    EXPECT_TRUE(res.trapped) << key;
+                }
+                if (!have_ref) {
+                    ref = res;
+                    ref_out = got;
+                    ref_key = key;
+                    have_ref = true;
+                } else {
+                    // Cycles are only comparable at equal SM counts, so
+                    // anchor on the universal outcomes.
+                    EXPECT_EQ(res.completed, ref.completed)
+                        << key << " vs " << ref_key;
+                    EXPECT_EQ(res.trapped, ref.trapped)
+                        << key << " vs " << ref_key;
+                    EXPECT_EQ(res.trapKind, ref.trapKind)
+                        << key << " vs " << ref_key;
+                    EXPECT_EQ(got, ref_out) << key << " vs " << ref_key;
+                }
+            }
+        }
+    }
+}
+
+} // namespace

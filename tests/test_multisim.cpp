@@ -39,8 +39,10 @@ struct SmTestAccess
     static void
     parkAllWarpsAtBarrier(Sm &sm)
     {
-        for (auto &w : sm.warps_)
-            w.atBarrier = true;
+        for (unsigned wid = 0; wid < sm.warps_.size(); ++wid) {
+            sm.warps_[wid].atBarrier = true;
+            sm.schedUpdate(wid);
+        }
     }
 };
 
