@@ -134,6 +134,111 @@ struct CampaignResult
 
 CampaignResult runFaultCampaign(const CampaignOptions &opts);
 
+/**
+ * Re-run the classic campaign's fault plans through the fork-from-state
+ * delta executor (Device::beginStepped / SteppedLaunch::restoreBase)
+ * instead of one fresh device per faulty run. The classification hash
+ * must equal runFaultCampaign's on the same options -- the parity
+ * assertion that delta execution is architecturally exact.
+ */
+CampaignResult runOriginalCampaignDelta(const CampaignOptions &opts);
+
+/** One site of the scaled (fork-from-checkpoint) campaign. */
+struct ScaledSite
+{
+    uint64_t index = 0; ///< global site index (stable across resume)
+    std::string bench;
+    std::string cls; ///< "tag" | "capmeta" | "data"
+    simt::FaultPlan plan;
+
+    FaultOutcome outcome = FaultOutcome::Corrupt;
+    simt::TrapKind trapKind = simt::TrapKind::None;
+    uint32_t trapAddr = 0;
+    uint64_t cycles = 0;
+    bool goldenOk = false;
+
+    /** Loaded from the resume journal instead of executed. */
+    bool fromJournal = false;
+};
+
+/**
+ * Options of the scaled campaign. Site plans are derived purely from
+ * (seed, sites, filter, cheri): the same options always enumerate the
+ * same global site list, which is what makes the journal resumable and
+ * the kill/resume self-test bit-exact.
+ */
+struct ScaledCampaignOptions
+{
+    kernels::Size size = kernels::Size::Small;
+    uint64_t seed = 1;
+    bool cheri = true;
+    unsigned sms = 1;
+    unsigned threads = 0; ///< worker threads over benchmarks (0 = auto)
+    std::string filter;
+
+    /** Total fault sites, distributed over the selected benchmarks. */
+    uint64_t sites = 10000;
+
+    /** Append-only JSONL journal path; empty = no journal. */
+    std::string journalPath;
+
+    /** Resume from the journal: sites it records are not re-executed. */
+    bool resume = false;
+
+    /** Journal lines between fsyncs (1 = sync every line). */
+    unsigned fsyncBatch = 32;
+
+    /** Sites per benchmark re-run as full replays (fresh device +
+     *  launch) to measure the fork-vs-replay speedup over the same
+     *  benchmark mix and cross-check classifications; 0 skips the
+     *  baseline measurement. */
+    unsigned replaySample = 4;
+};
+
+struct ScaledResult
+{
+    std::vector<ScaledSite> sites; ///< global index order
+
+    unsigned detected = 0;
+    unsigned masked = 0;
+    unsigned corrupt = 0;
+    unsigned protCorrupt = 0; ///< "tag"/"capmeta" silent corruptions
+
+    uint64_t resumedSites = 0; ///< sites satisfied from the journal
+
+    // Checkpoint image round-trip (measured once, on the first bench).
+    uint64_t ckptBytes = 0;
+    uint64_t ckptSaveNs = 0;
+    uint64_t ckptRestoreNs = 0;
+    bool ckptReplayOk = true; ///< restored run matched the live run
+
+    double forkSitesPerSec = 0.0; ///< over every live (non-resumed) site
+    double replaySitesPerSec = 0.0; ///< over the sampled replay sites
+
+    /** Paired same-site speedup: the sampled sites' total full-replay
+     *  time over their total fork (delta re-execution) time. */
+    double forkSpeedup = 0.0;
+
+    /** Sampled full replays classified identically to the fork runs. */
+    bool replayParityOk = true;
+
+    /** Same recipe as CampaignResult::classificationHash, over the
+     *  sites in global index order. */
+    uint64_t classificationHash() const;
+};
+
+ScaledResult runScaledCampaign(const ScaledCampaignOptions &opts);
+
+/**
+ * Recompute the scaled classification hash from a journal alone (the
+ * kill/resume self-test's merge check: a campaign resumed after SIGKILL
+ * must leave a journal whose merged classification is bit-identical to
+ * an uninterrupted run's). Orders records by site index. Returns false
+ * with @p err set on a missing header or corrupt (non-tail) line.
+ */
+bool scaledJournalHash(const std::string &path, uint64_t *hash,
+                       uint64_t *count, std::string *err);
+
 } // namespace benchcommon
 
 #endif // CHERI_SIMT_BENCH_FAULTCAMPAIGN_HPP_

@@ -289,6 +289,57 @@ main(int argc, char **argv)
         if (!value.isNumber() && !value.isNull())
             return fail("metrics." + name + " is not a number");
 
+    // Boolean-valued metrics are reported as 0/1 (the binary's exit
+    // status is the hard assertion; here we only pin the encoding).
+    for (const char *flag :
+         {"campaign_delta_parity_ok", "ckpt_replay_ok",
+          "campaign_replay_parity_ok", "selftest_kill_ok"}) {
+        const Value &v = metrics.get(flag);
+        if (v.isNull())
+            continue;
+        const double d = v.asDouble();
+        if (d != 0.0 && d != 1.0)
+            return fail(std::string("metrics.") + flag +
+                        " must be 0 or 1");
+    }
+
+    // Scaled fault-campaign metrics (bench_fault_campaign) appear as a
+    // unit keyed on campaign_sites: the resumed count never exceeds the
+    // site total, the outcome classes partition it, and the checkpoint
+    // probe numbers are self-consistent.
+    if (!metrics.get("campaign_sites").isNull()) {
+        for (const char *field :
+             {"resumed", "scaled_detected", "scaled_masked",
+              "scaled_silent_corruptions",
+              "scaled_protection_silent_corruptions", "ckpt_bytes",
+              "ckpt_save_ns", "ckpt_restore_ns", "ckpt_replay_ok",
+              "campaign_sites_per_sec_fork",
+              "campaign_sites_per_sec_replay", "campaign_fork_speedup"})
+            if (!metrics.get(field).isNumber())
+                return fail(std::string("metrics.") + field +
+                            " missing from the campaign block");
+        const double sites = metrics.get("campaign_sites").asDouble();
+        if (sites < 0)
+            return fail("metrics.campaign_sites is negative");
+        if (metrics.get("resumed").asDouble() > sites)
+            return fail("metrics.resumed exceeds campaign_sites");
+        const double classified =
+            metrics.get("scaled_detected").asDouble() +
+            metrics.get("scaled_masked").asDouble() +
+            metrics.get("scaled_silent_corruptions").asDouble();
+        if (classified != sites)
+            return fail("metrics: scaled outcome classes do not sum to "
+                        "campaign_sites");
+        if (metrics.get("scaled_protection_silent_corruptions")
+                .asDouble() >
+            metrics.get("scaled_silent_corruptions").asDouble())
+            return fail("metrics.scaled_protection_silent_corruptions "
+                        "exceeds scaled_silent_corruptions");
+        if (metrics.get("ckpt_bytes").asDouble() > 0 &&
+            metrics.get("ckpt_save_ns").asDouble() <= 0)
+            return fail("metrics: checkpoint image saved in zero time");
+    }
+
     // Compilation-cache counters: every entry in the cache was compiled
     // exactly once, so the cache can never hold more than miss-many
     // kernels.

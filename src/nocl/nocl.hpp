@@ -23,6 +23,7 @@
 
 #include "kc/codegen.hpp"
 #include "kc/kernel.hpp"
+#include "simt/checkpoint.hpp"
 #include "simt/sm.hpp"
 
 namespace support
@@ -168,6 +169,106 @@ struct RunResult
     uint64_t hostNs = 0;
 };
 
+class Device;
+
+/**
+ * An in-flight kernel launch that can be advanced in bounded cycle
+ * chunks, checkpointed at any chunk boundary, and resumed or finished
+ * later -- the foundation of the deterministic checkpoint/restore layer
+ * (DESIGN.md section 13) and of fork-from-state fault campaigns.
+ *
+ * A stepped launch always runs its SMs against copy-on-write MemShard
+ * overlays of the base DRAM (even with one SM, where shard routing is
+ * architecturally transparent), so the base memory stays untouched until
+ * finish() commits the epoch. Together with page-granular undo snapshots
+ * of every base page the launch modifies, this makes restoreBase() an
+ * exact revert to the device's pre-launch memory state -- the campaign
+ * runs thousands of fault sites as cheap deltas off one prepared device.
+ *
+ * Chunk boundaries are warp-instruction boundaries (simt::Sm::runUntil),
+ * so a launch advanced by any sequence of runUntil() calls and then
+ * finish()ed is bit-identical -- cycles, traps, stats, memory -- to one
+ * finished in a single call, across all execute engines and SM counts.
+ *
+ * Obtain instances from Device::beginStepped (a fresh launch) or
+ * Device::restoreStepped (from a checkpoint image). At most one stepped
+ * launch may be in flight per device, and it must not outlive the
+ * device.
+ */
+class SteppedLaunch
+{
+  public:
+    ~SteppedLaunch();
+    SteppedLaunch(const SteppedLaunch &) = delete;
+    SteppedLaunch &operator=(const SteppedLaunch &) = delete;
+
+    /** Advance every unfinished SM to cycle @p stop_cycle (serially, in
+     *  SM index order; shard isolation makes this equivalent to the
+     *  threaded parallel epoch). */
+    void runUntil(uint64_t stop_cycle);
+
+    /** Every SM has completed (or deadlocked): finish() will not
+     *  execute further instructions. */
+    bool done() const;
+
+    /** Slowest SM's cycle count so far. */
+    uint64_t cycles() const;
+
+    /**
+     * Run the remaining SMs to completion with @p max_cycles as the
+     * watchdog bound (absolute cycle count, as in LaunchPolicy), commit
+     * the epoch, and aggregate per-SM results exactly as a plain launch
+     * does -- including the serial single-shard fallback on a cross-SM
+     * merge conflict. May be called once.
+     */
+    RunResult finish(uint64_t max_cycles);
+
+    /**
+     * Serialize the complete in-flight launch -- header, base DRAM, every
+     * SM's state, every shard overlay -- into a versioned checkpoint
+     * image (see simt/checkpoint.hpp for the container format).
+     */
+    std::vector<uint8_t> saveCheckpoint();
+
+    /**
+     * Revert the base DRAM to its pre-launch contents from the undo
+     * snapshots (argument block, applied fault word, and every page the
+     * epoch commit touched). Abandons the epoch first if the launch was
+     * never finished. The device is then ready for the next
+     * beginStepped() -- the delta-execution loop of the fault campaign.
+     */
+    void restoreBase();
+
+  private:
+    friend class Device;
+
+    explicit SteppedLaunch(Device &dev) : dev_(dev) {}
+
+    /** Save the base page containing @p addr into the undo log. */
+    void snapshotPageAt(uint32_t addr);
+
+    /** Save every base page the open epoch's shards touched. */
+    void snapshotTouchedPages();
+
+    void detachShards();
+
+    struct UndoPage
+    {
+        std::vector<uint8_t> data;
+        std::vector<uint8_t> tags; ///< one byte per 32-bit word
+    };
+
+    Device &dev_;
+    std::shared_ptr<const kc::CompiledKernel> kernel_; ///< null on restore
+    std::string kernelKey_; ///< "name|fingerprint" (checkpoint header)
+    unsigned warpsPerBlock_ = 1;
+    unsigned memoryFaults_ = 0; ///< memory-site faults applied at begin
+    bool epochOpen_ = false;
+    bool finished_ = false;
+    std::vector<simt::Sm::RunStatus> status_;
+    std::map<uint32_t, UndoPage> undo_; ///< page index -> saved contents
+};
+
 /**
  * Process-wide kernel-compilation cache, keyed by the kernel's structural
  * IR fingerprint plus every compile option that affects code generation
@@ -277,6 +378,41 @@ class Device
                                const std::vector<Arg> &args,
                                const LaunchPolicy &policy = LaunchPolicy{});
 
+    /**
+     * Begin a stepped (pausable / checkpointable) launch of an
+     * already-compiled kernel. Performs the same preparation as a plain
+     * launch -- argument block, memory-site fault, SCRs, program load --
+     * then leaves the SMs launched but not yet run; drive them with
+     * SteppedLaunch::runUntil / finish. Stepped launches always start
+     * from a zeroed scratchpad (like a fresh device), so a fault site
+     * replayed as a delta classifies identically to a fresh-device run.
+     *
+     * @p memory_fault, when non-null, replaces the config's fault plan
+     * for the launch-time memory-site corruption (tag clear / DRAM word
+     * flip applied to the base image); runtime structure-site faults
+     * still come from the config the SMs were built with.
+     */
+    std::unique_ptr<SteppedLaunch> beginStepped(
+        const std::shared_ptr<const kc::CompiledKernel> &compiled,
+        const LaunchConfig &cfg, const std::vector<Arg> &args,
+        const simt::FaultPlan *memory_fault = nullptr);
+
+    /**
+     * Rebuild an in-flight stepped launch from a checkpoint image taken
+     * by SteppedLaunch::saveCheckpoint. Refuses -- with a structured
+     * error in @p err and no simulator state touched -- images that are
+     * corrupt (bad magic / version / CRC), taken under a different
+     * device configuration (SmConfig hash mismatch), or, when
+     * @p expect_kernel_key is non-empty, taken for a different kernel.
+     * On success the device's base DRAM, heap watermark, SM states and
+     * shard overlays are restored and the returned launch continues
+     * bit-identically to the checkpointed one.
+     */
+    std::unique_ptr<SteppedLaunch>
+    restoreStepped(const std::vector<uint8_t> &image,
+                   simt::ckpt::Error *err,
+                   const std::string &expect_kernel_key = std::string());
+
     /** Compile without running (for inspecting generated code). */
     kc::CompiledKernel compileOnly(kc::KernelDef &def,
                                    const LaunchConfig &cfg) const;
@@ -302,7 +438,19 @@ class Device
     }
 
   private:
+    friend class SteppedLaunch;
+
     kc::CompileOptions compileOptions(const LaunchConfig &cfg) const;
+
+    /** Write the kernel-argument block for @p args into the base DRAM
+     *  (shared by plain and stepped launches). */
+    void writeArgBlock(const kc::CompiledKernel &compiled,
+                       const std::vector<Arg> &args);
+
+    /** Install the special capability registers on every SM (pure-
+     *  capability mode; no-op otherwise). */
+    void installScrs(const kc::CompiledKernel &compiled,
+                     const kc::CompileOptions &opts);
 
     /**
      * One launch attempt. @p defer_serial_fallback leaves a conflicting

@@ -32,6 +32,8 @@
 
 namespace support
 {
+class ByteWriter;
+class ByteReader;
 namespace trace
 {
 class Buffer;
@@ -184,6 +186,11 @@ class FaultInjector
 
     /** Count a scratchpad store; true = drop this one. */
     bool shouldDropStore();
+
+    /** Checkpoint serialization of the trigger state (the plan itself
+     *  travels with SmConfig); defined in simt/checkpoint.cpp. */
+    void saveState(support::ByteWriter &w) const;
+    bool loadState(support::ByteReader &r);
 
   private:
     bool

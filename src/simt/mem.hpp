@@ -20,6 +20,12 @@
 #include "simt/config.hpp"
 #include "support/stats.hpp"
 
+namespace support
+{
+class ByteWriter;
+class ByteReader;
+} // namespace support
+
 namespace simt
 {
 
@@ -97,6 +103,11 @@ class MainMemory
      *  (seeds MemShard overlay pages; see simt/memsys.hpp). */
     void copyOut(uint32_t addr, uint8_t *out, uint32_t bytes) const;
 
+    /** Checkpoint serialization: sparse by 4 KiB page (all-zero,
+     *  tag-free pages are skipped). Defined in simt/checkpoint.cpp. */
+    void saveState(support::ByteWriter &w) const;
+    bool loadState(support::ByteReader &r);
+
   private:
     size_t index(uint32_t addr) const;
 
@@ -139,6 +150,10 @@ class DramTimer
         busyUntil_ = 0;
         seq_ = 0;
     }
+
+    /** Checkpoint serialization (simt/checkpoint.cpp). */
+    void saveState(support::ByteWriter &w) const;
+    bool loadState(support::ByteReader &r);
 
   private:
     unsigned latency_;
@@ -212,6 +227,10 @@ class StackCache
 
     void reset();
 
+    /** Checkpoint serialization (simt/checkpoint.cpp). */
+    void saveState(support::ByteWriter &w) const;
+    bool loadState(support::ByteReader &r);
+
   private:
     struct Line
     {
@@ -254,6 +273,10 @@ class TagController
                     bool writes_cap);
 
     void reset();
+
+    /** Checkpoint serialization (simt/checkpoint.cpp). */
+    void saveState(support::ByteWriter &w) const;
+    bool loadState(support::ByteReader &r);
 
   private:
     static constexpr uint32_t kRegionBytes = 8192;

@@ -48,6 +48,8 @@
 
 namespace support
 {
+class ByteWriter;
+class ByteReader;
 namespace trace
 {
 class Buffer;
@@ -99,6 +101,21 @@ class MemShard
      */
     uint32_t amo32(isa::Op op, uint32_t addr, uint32_t operand,
                    bool result_used);
+
+    /** Pages this shard has privatised (creation order), for tests and
+     *  checkpoint accounting of mid-epoch snapshots. */
+    size_t numTouchedPages() const { return touched_.size(); }
+
+    /** Page index (DRAM-relative) of the @p i'th touched page. */
+    uint32_t touchedPage(size_t i) const { return touched_.at(i); }
+
+    /** Checkpoint serialization of the overlay: touched pages with
+     *  their word marks plus the atomic-operation log, in creation
+     *  order (simt/checkpoint.cpp). The base memory is serialized
+     *  separately; loadState requires a shard freshly built over an
+     *  identical base. */
+    void saveState(support::ByteWriter &w) const;
+    bool loadState(support::ByteReader &r);
 
   private:
     friend class MemorySystem;

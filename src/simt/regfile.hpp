@@ -33,6 +33,12 @@
 #include "simt/config.hpp"
 #include "support/stats.hpp"
 
+namespace support
+{
+class ByteWriter;
+class ByteReader;
+} // namespace support
+
 namespace simt
 {
 
@@ -197,6 +203,14 @@ class RegFileSystem
 
     /** Reset all architectural registers to zero (kernel launch). */
     void reset();
+
+    /** Checkpoint serialization (simt/checkpoint.cpp). */
+    void saveState(support::ByteWriter &w) const;
+    bool loadState(support::ByteReader &r);
+
+    /** Order-dependent hash of the full architectural register state
+     *  (both files, VRF-resident and spilled alike). */
+    uint64_t archStateHash() const;
 
     /**
      * Arm runtime fault injection on the write paths (MetaRfFlip /

@@ -18,6 +18,12 @@
 #include "cap/cheri_concentrate.hpp"
 #include "simt/config.hpp"
 
+namespace support
+{
+class ByteWriter;
+class ByteReader;
+} // namespace support
+
 namespace simt
 {
 
@@ -70,6 +76,10 @@ class Scratchpad
     }
 
     void reset();
+
+    /** Checkpoint serialization (simt/checkpoint.cpp). */
+    void saveState(support::ByteWriter &w) const;
+    bool loadState(support::ByteReader &r);
 
     /**
      * Arm the ScratchpadDropWrite fault site (see simt/faultinject.hpp):

@@ -824,8 +824,73 @@ Sm::run(uint64_t max_cycles)
     return ok;
 }
 
+Sm::RunStatus
+Sm::runUntil(uint64_t stop_cycle)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunStatus st = runLoopCore(stop_cycle);
+    hostNanos_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    // Mirror run()'s per-segment bookkeeping so a paused launch carries
+    // coherent stats at every chunk boundary (flushStepCounters is
+    // flush-and-zero, so chunked segments accumulate exactly).
+    flushStepCounters();
+    if (injector_)
+        stats_.set("fault_injections", injector_->fires());
+    stats_.set("simhost_engine", static_cast<uint64_t>(engine_));
+    return st;
+}
+
 bool
 Sm::runLoop(uint64_t max_cycles)
+{
+    const RunStatus st = runLoopCore(max_cycles);
+    if (st == RunStatus::Completed)
+        return true;
+    if (st == RunStatus::Deadlock)
+        return false;
+    support::log(support::LogLevel::Info,
+                 "kernel did not complete within %llu cycles",
+                 static_cast<unsigned long long>(max_cycles));
+    // Surface the timeout as a structured trap so launch policies can
+    // contain runaway kernels without scraping stderr. Like the
+    // barrier-deadlock trap this is recorded directly, not via trap():
+    // it is a containment event, not a CHERI violation, so the
+    // cheri-trap counter must not move.
+    if (!firstTrap_.trapped) {
+        firstTrap_.trapped = true;
+        firstTrap_.kind = TrapKind::WatchdogTimeout;
+        firstTrap_.addr = 0;
+        for (unsigned wid = 0; wid < cfg_.numWarps; ++wid) {
+            const Warp &w = warps_[wid];
+            if (w.done())
+                continue;
+            firstTrap_.warp = wid;
+            for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
+                if (!w.halted[lane]) {
+                    firstTrap_.lane = lane;
+                    firstTrap_.pc = w.pc[lane];
+                    break;
+                }
+            }
+            break;
+        }
+    }
+    if (trace_ != nullptr && trace_->wants(support::trace::kCatWatchdog)) {
+        support::trace::Event &e = trace_->emit(
+            support::trace::EventKind::Instant, support::trace::kCatWatchdog,
+            "watchdog-timeout");
+        e.cycle = now_;
+        e.args.emplace_back("max_cycles",
+                            support::json::Value::integer(max_cycles));
+    }
+    return false;
+}
+
+Sm::RunStatus
+Sm::runLoopCore(uint64_t max_cycles)
 {
     while (now_ < max_cycles) {
         if (injector_)
@@ -846,7 +911,7 @@ Sm::runLoop(uint64_t max_cycles)
                 }
             }
             stats_.set("cycles", now_);
-            return true;
+            return RunStatus::Completed;
         }
 
         // Round-robin issue among ready warps. The scan runs once per
@@ -907,7 +972,7 @@ Sm::runLoop(uint64_t max_cycles)
                         support::trace::kCatWatchdog, "barrier-deadlock");
                     e.cycle = now_;
                 }
-                return false;
+                return RunStatus::Deadlock;
             }
             const uint64_t dt = next - now_;
             statIdleCycles_.add(dt);
@@ -925,42 +990,7 @@ Sm::runLoop(uint64_t max_cycles)
         metaOccAccum_ += regfile_.metaVectorsInVrf() * slot_cycles;
         now_ += slot_cycles;
     }
-    support::log(support::LogLevel::Info,
-                 "kernel did not complete within %llu cycles",
-                 static_cast<unsigned long long>(max_cycles));
-    // Surface the timeout as a structured trap so launch policies can
-    // contain runaway kernels without scraping stderr. Like the
-    // barrier-deadlock trap this is recorded directly, not via trap():
-    // it is a containment event, not a CHERI violation, so the
-    // cheri-trap counter must not move.
-    if (!firstTrap_.trapped) {
-        firstTrap_.trapped = true;
-        firstTrap_.kind = TrapKind::WatchdogTimeout;
-        firstTrap_.addr = 0;
-        for (unsigned wid = 0; wid < cfg_.numWarps; ++wid) {
-            const Warp &w = warps_[wid];
-            if (w.done())
-                continue;
-            firstTrap_.warp = wid;
-            for (unsigned lane = 0; lane < cfg_.numLanes; ++lane) {
-                if (!w.halted[lane]) {
-                    firstTrap_.lane = lane;
-                    firstTrap_.pc = w.pc[lane];
-                    break;
-                }
-            }
-            break;
-        }
-    }
-    if (trace_ != nullptr && trace_->wants(support::trace::kCatWatchdog)) {
-        support::trace::Event &e = trace_->emit(
-            support::trace::EventKind::Instant, support::trace::kCatWatchdog,
-            "watchdog-timeout");
-        e.cycle = now_;
-        e.args.emplace_back("max_cycles",
-                            support::json::Value::integer(max_cycles));
-    }
-    return false;
+    return RunStatus::CycleLimit;
 }
 
 double

@@ -42,6 +42,8 @@
 
 namespace support
 {
+class ByteWriter;
+class ByteReader;
 namespace trace
 {
 class Buffer;
@@ -165,6 +167,48 @@ class Sm
      */
     bool run(uint64_t max_cycles = 2'000'000'000);
 
+    /** Outcome of a bounded scheduling-loop segment (runUntil). */
+    enum class RunStatus : uint8_t
+    {
+        Completed,  ///< every thread halted
+        CycleLimit, ///< paused at the cycle bound (resumable)
+        Deadlock,   ///< all live warps parked at a barrier
+    };
+
+    /**
+     * Chunked execution: advance the launch until it completes,
+     * deadlocks, or the cycle counter reaches @p stop_cycle. Pausing is
+     * invisible to the modelled machine -- a run split into arbitrary
+     * runUntil() chunks executes the identical instruction sequence,
+     * cycle for cycle, as a single run() call (run() is runUntil with
+     * the bound treated as a watchdog). The pause boundary is a
+     * warp-instruction boundary by construction: the scheduler never
+     * stops mid-instruction. CycleLimit records no watchdog trap.
+     */
+    RunStatus runUntil(uint64_t stop_cycle);
+
+    /** Every thread has halted (the completion state of runUntil). */
+    bool finished() const { return liveWarps_ == 0; }
+
+    /**
+     * Checkpoint serialization of the complete launch state: warps,
+     * PCCs, SCRs, register files, scratchpad, timing models, engine
+     * policy, fault-injector trigger, stats and per-op counts --
+     * everything needed for a restored Sm (same SmConfig, same program)
+     * to continue bit-identically. DRAM is serialized separately at the
+     * device level. Defined in simt/checkpoint.cpp.
+     */
+    void saveState(support::ByteWriter &w) const;
+    bool loadState(support::ByteReader &r);
+
+    /**
+     * Order-dependent hash of the architectural machine state (warps,
+     * PCs/PCCs, SCRs, register files, scratchpad, cycle counter, trap
+     * record) -- engine-invariant by the bit-identity contract, used by
+     * the determinism bisector to localise divergence.
+     */
+    uint64_t archStateHash() const;
+
     uint64_t cycles() const { return now_; }
     const TrapInfo &firstTrap() const { return firstTrap_; }
     bool trapped() const { return firstTrap_.trapped; }
@@ -249,6 +293,11 @@ class Sm
 
     /** The scheduling loop of run(), separated for host-time accounting. */
     bool runLoop(uint64_t max_cycles);
+
+    /** Shared core of runLoop()/runUntil(): the scheduling loop up to
+     *  @p max_cycles, with no watchdog recording on CycleLimit (the
+     *  caller decides whether the bound is a watchdog or a pause). */
+    RunStatus runLoopCore(uint64_t max_cycles);
 
     // ---- Adaptive engine policy (DESIGN.md section 10) ----
 

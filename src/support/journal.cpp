@@ -1,0 +1,140 @@
+#include "support/journal.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace support
+{
+
+bool
+JournalWriter::open(const std::string &path, std::string *err)
+{
+    close();
+    std::lock_guard<std::mutex> lock(mutex_);
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                 0644);
+    if (fd_ < 0) {
+        if (err)
+            *err = "cannot open journal " + path + ": " +
+                   std::strerror(errno);
+        return false;
+    }
+    lines_ = 0;
+    unsynced_ = 0;
+    return true;
+}
+
+bool
+JournalWriter::append(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0)
+        return false;
+    std::string buf = line;
+    buf += '\n';
+    // A single O_APPEND write keeps the line atomic with respect to
+    // other writers of the same journal.
+    size_t off = 0;
+    while (off < buf.size()) {
+        const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    ++lines_;
+    if (++unsynced_ >= fsyncBatch_) {
+        ::fsync(fd_);
+        unsynced_ = 0;
+    }
+    return true;
+}
+
+void
+JournalWriter::sync()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ >= 0 && unsynced_ > 0) {
+        ::fsync(fd_);
+        unsynced_ = 0;
+    }
+}
+
+void
+JournalWriter::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ >= 0) {
+        if (unsynced_ > 0)
+            ::fsync(fd_);
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+readJsonLines(const std::string &path, std::vector<json::Value> &out,
+              std::string *warning, std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        return true; // missing journal == empty journal
+
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    size_t pos = 0;
+    size_t line_no = 0;
+    while (pos < text.size()) {
+        const size_t nl = text.find('\n', pos);
+        const bool complete = nl != std::string::npos;
+        const std::string line =
+            text.substr(pos, complete ? nl - pos : std::string::npos);
+        pos = complete ? nl + 1 : text.size();
+        ++line_no;
+
+        if (line.empty() ||
+            line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+
+        json::Value v;
+        std::string parse_err;
+        if (!json::Value::parse(line, v, &parse_err)) {
+            const bool is_last = pos >= text.size();
+            if (is_last) {
+                // The signature of a crashed writer: the unsynced (or
+                // mid-write) tail. Skip it; every preceding line was a
+                // complete record.
+                if (warning) {
+                    char buf[64];
+                    std::snprintf(buf, sizeof(buf), "%zu", line_no);
+                    *warning = "journal " + path + ": skipping " +
+                               (complete ? "malformed" : "partial") +
+                               " trailing line " + buf + " (" + parse_err +
+                               ")";
+                }
+                return true;
+            }
+            if (err) {
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "%zu", line_no);
+                *err = "journal " + path + ": malformed line " + buf +
+                       " before end of file (" + parse_err + ")";
+            }
+            return false;
+        }
+        out.push_back(std::move(v));
+    }
+    return true;
+}
+
+} // namespace support

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Crash-resilient append-only JSONL journal (campaign resume; see
+ * DESIGN.md section 13).
+ *
+ * JournalWriter appends one JSON document per line to a file opened in
+ * O_APPEND mode and fsyncs in batches, so a SIGKILLed writer loses at
+ * most the unsynced tail -- and at worst leaves one *partial* trailing
+ * line, never a corrupt middle line. readJsonLines() implements the
+ * matching recovery contract: a truncated or malformed final line is
+ * skipped with a warning (the crash case), while a malformed line in the
+ * middle of the file is a hard error (real corruption, not a crash
+ * artefact).
+ */
+
+#ifndef CHERI_SIMT_SUPPORT_JOURNAL_HPP_
+#define CHERI_SIMT_SUPPORT_JOURNAL_HPP_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace support
+{
+
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter() { close(); }
+
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /**
+     * Open @p path for appending (created if missing). Returns false and
+     * sets @p err on failure. Reopening an already-open writer closes
+     * the previous file first.
+     */
+    bool open(const std::string &path, std::string *err = nullptr);
+
+    bool isOpen() const { return fd_ >= 0; }
+
+    /**
+     * Append @p line (a complete JSON document, no trailing newline) as
+     * one journal line. Thread-safe. fsyncs every fsyncBatch() lines.
+     */
+    bool append(const std::string &line);
+
+    /** Serialize and append a JSON value as one line. */
+    bool append(const json::Value &v) { return append(v.dump(0)); }
+
+    /** Lines between fsyncs (1 = sync every line; default 32). */
+    void setFsyncBatch(unsigned n) { fsyncBatch_ = n ? n : 1; }
+
+    /** Force an fsync of everything appended so far. */
+    void sync();
+
+    /** fsync and close the file (idempotent). */
+    void close();
+
+    uint64_t linesWritten() const { return lines_; }
+
+  private:
+    int fd_ = -1;
+    unsigned fsyncBatch_ = 32;
+    uint64_t lines_ = 0;
+    uint64_t unsynced_ = 0;
+    std::mutex mutex_;
+};
+
+/**
+ * Read a JSONL journal written by JournalWriter. Parses each line into
+ * @p out. A missing file is an empty journal (returns true). A partial
+ * or malformed *final* line -- the signature a crashed writer leaves --
+ * is skipped and described in @p warning. A malformed line anywhere else
+ * is real corruption: returns false with @p err set and @p out holding
+ * the lines parsed so far.
+ */
+bool readJsonLines(const std::string &path, std::vector<json::Value> &out,
+                   std::string *warning = nullptr,
+                   std::string *err = nullptr);
+
+} // namespace support
+
+#endif // CHERI_SIMT_SUPPORT_JOURNAL_HPP_

@@ -243,6 +243,14 @@ class Parser
             err = "unexpected end of input";
             return false;
         }
+        // Depth cap: truncated or adversarial input (e.g. a crashed
+        // journal writer cut off inside a deeply nested value, or a
+        // "[[[[..." bomb) must produce a structured parse error, not a
+        // stack overflow in the recursive descent.
+        if (depth_ >= kMaxDepth && (*p_ == '{' || *p_ == '[')) {
+            err = "JSON nesting deeper than 256 levels";
+            return false;
+        }
         switch (*p_) {
           case '{': return object(out, err);
           case '[': return array(out, err);
@@ -437,6 +445,8 @@ class Parser
     array(Value &out, std::string &err)
     {
         ++p_; // '['
+        ++depth_;
+        const DepthGuard guard(depth_);
         out = Value::array();
         skipWs();
         if (p_ != end_ && *p_ == ']') {
@@ -470,6 +480,8 @@ class Parser
     object(Value &out, std::string &err)
     {
         ++p_; // '{'
+        ++depth_;
+        const DepthGuard guard(depth_);
         out = Value::object();
         skipWs();
         if (p_ != end_ && *p_ == '}') {
@@ -513,8 +525,18 @@ class Parser
         }
     }
 
+    static constexpr unsigned kMaxDepth = 256;
+
+    struct DepthGuard
+    {
+        explicit DepthGuard(unsigned &d) : d_(d) {}
+        ~DepthGuard() { --d_; }
+        unsigned &d_;
+    };
+
     const char *p_;
     const char *end_;
+    unsigned depth_ = 0;
 };
 
 } // namespace

@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Deterministic checkpoint/restore tests (DESIGN.md section 13).
+ *
+ * The core contract: a stepped launch advanced in arbitrary runUntil()
+ * chunks, checkpointed mid-kernel, restored into a *fresh* device and
+ * finished must be bit-identical -- cycles, trap record, verified
+ * output, whole-memory content hash -- to the same launch finished
+ * uninterrupted, across all three execute engines and 1/2/4 SMs.
+ * Because stepped launches always run against copy-on-write MemShard
+ * overlays, the mid-kernel snapshots here are taken with dirty per-SM
+ * overlay pages in flight (the satellite case of the checkpoint issue):
+ * the base DRAM hash is proven unchanged at the snapshot point and the
+ * restored run's epoch commit must still land bit-identically.
+ *
+ * Also covered: structured refusal of corrupt / truncated / mismatched
+ * images (no simulator state touched), restoreBase() exactness (the
+ * fault campaign's delta-execution foundation), campaign journal
+ * recovery including the partial-trailing-line crash signature, and the
+ * launchWithPolicy regression that retries must restore scratchpad
+ * contents alongside DRAM between attempts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/faultcampaign.hpp"
+#include "kc/kernel.hpp"
+#include "kernels/suite.hpp"
+#include "nocl/nocl.hpp"
+#include "simt/checkpoint.hpp"
+#include "simt/sm.hpp"
+#include "support/journal.hpp"
+
+namespace
+{
+
+using kc::Kb;
+using kernels::Prepared;
+using kernels::Size;
+using nocl::Arg;
+using nocl::Device;
+using nocl::LaunchPolicy;
+using nocl::RunResult;
+using nocl::SteppedLaunch;
+using simt::ExecEngine;
+using Mode = kc::CompileOptions::Mode;
+
+simt::SmConfig
+makeCfg(ExecEngine sel, unsigned sms)
+{
+    simt::SmConfig cfg = simt::SmConfig::cheriOptimised();
+    cfg.numWarps = 16; // 512 threads keeps the Small suite quick
+    cfg.vrfCapacity = 16 * 32 * 3 / 8;
+    cfg.engineSel = sel;
+    cfg.numSms = sms;
+    return cfg;
+}
+
+/** A prepared benchmark on its own device, ready to beginStepped. */
+struct Leg
+{
+    std::unique_ptr<kernels::Benchmark> bench;
+    std::unique_ptr<Device> dev;
+    Prepared prep;
+    std::shared_ptr<const kc::CompiledKernel> compiled;
+};
+
+Leg
+makeLeg(const std::string &bench_name, const simt::SmConfig &cfg)
+{
+    Leg leg;
+    leg.bench = kernels::makeBenchmark(bench_name);
+    EXPECT_NE(leg.bench, nullptr);
+    leg.dev = std::make_unique<Device>(cfg, Mode::Purecap);
+    leg.prep = leg.bench->prepare(*leg.dev, Size::Small);
+    leg.compiled = leg.dev->compileCached(*leg.prep.kernel, leg.prep.cfg);
+    return leg;
+}
+
+/** Uninterrupted stepped run: the reference every restore must match. */
+struct Reference
+{
+    RunResult run;
+    bool verified = false;
+    uint64_t dramHash = 0;
+};
+
+Reference
+runUninterrupted(const std::string &bench_name, const simt::SmConfig &cfg)
+{
+    Leg leg = makeLeg(bench_name, cfg);
+    auto launch =
+        leg.dev->beginStepped(leg.compiled, leg.prep.cfg, leg.prep.args);
+    Reference ref;
+    ref.run = launch->finish(LaunchPolicy{}.maxCycles);
+    ref.verified = leg.prep.verify(*leg.dev);
+    ref.dramHash = leg.dev->dram().contentHash();
+    return ref;
+}
+
+// ------------------------------------------- restore parity matrix
+
+class RestoreParity
+    : public ::testing::TestWithParam<std::tuple<ExecEngine, unsigned>>
+{
+};
+
+TEST_P(RestoreParity, MidKernelSnapshotFinishesBitIdentically)
+{
+    const auto &[engine, sms] = GetParam();
+    const simt::SmConfig cfg = makeCfg(engine, sms);
+    // BlkStencil is the adversarial benchmark: divergent control flow,
+    // live scratchpad tiles and per-lane capability metadata all have
+    // to survive the image round-trip.
+    const std::string bench = "BlkStencil";
+
+    const Reference ref = runUninterrupted(bench, cfg);
+    ASSERT_TRUE(ref.run.completed);
+    ASSERT_TRUE(ref.verified);
+    ASSERT_GT(ref.run.cycles, 16u);
+
+    // Advance a second leg in two uneven chunks to a mid-kernel point,
+    // snapshot it there, and prove the base DRAM is still untouched
+    // (every store so far lives in the COW shard overlays).
+    Leg leg = makeLeg(bench, cfg);
+    auto launch =
+        leg.dev->beginStepped(leg.compiled, leg.prep.cfg, leg.prep.args);
+    const uint64_t base_hash = leg.dev->dram().contentHash();
+    const uint64_t snap = ref.run.cycles * 2 / 5;
+    launch->runUntil(snap / 3);
+    launch->runUntil(snap);
+    ASSERT_FALSE(launch->done());
+    ASSERT_GT(launch->cycles(), 0u);
+    EXPECT_EQ(leg.dev->dram().contentHash(), base_hash)
+        << "mid-epoch stores must stay in the shard overlays";
+    const std::vector<uint8_t> image = launch->saveCheckpoint();
+
+    // The image must frame Header, BaseMem and one (SmState,
+    // ShardState) pair per SM.
+    std::vector<simt::ckpt::Section> sections;
+    ASSERT_TRUE(simt::ckpt::readImage(image, sections));
+    ASSERT_EQ(sections.size(), 2 + 2 * static_cast<size_t>(sms));
+
+    // Restore into a fresh device and finish: everything architectural
+    // must match the uninterrupted reference.
+    Device fresh(cfg, Mode::Purecap);
+    simt::ckpt::Error err;
+    auto restored = fresh.restoreStepped(image, &err);
+    ASSERT_NE(restored, nullptr) << err.message;
+    const RunResult got = restored->finish(LaunchPolicy{}.maxCycles);
+
+    EXPECT_EQ(got.completed, ref.run.completed);
+    EXPECT_EQ(got.trapped, ref.run.trapped);
+    EXPECT_EQ(got.trapKind, ref.run.trapKind);
+    EXPECT_EQ(got.cycles, ref.run.cycles);
+    EXPECT_EQ(fresh.dram().contentHash(), ref.dramHash);
+    // Buffer layout is deterministic, so the original leg's verifier
+    // applies to the restored device verbatim.
+    EXPECT_TRUE(leg.prep.verify(fresh));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesBySms, RestoreParity,
+    ::testing::Combine(::testing::Values(ExecEngine::Verbatim,
+                                         ExecEngine::FastPath,
+                                         ExecEngine::Simd),
+                       ::testing::Values(1u, 2u, 4u)),
+    [](const auto &info) {
+        return std::string(
+                   simt::execEngineName(std::get<0>(info.param))) +
+               "_sms" + std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------ structured refusal
+
+TEST(CheckpointRefusal, CorruptMismatchedImagesAreRejectedUntouched)
+{
+    const simt::SmConfig cfg = makeCfg(ExecEngine::Verbatim, 2);
+    Leg leg = makeLeg("VecAdd", cfg);
+    auto launch =
+        leg.dev->beginStepped(leg.compiled, leg.prep.cfg, leg.prep.args);
+    launch->runUntil(64);
+    const std::vector<uint8_t> image = launch->saveCheckpoint();
+
+    const auto expect_refused = [&](Device &dev,
+                                    const std::vector<uint8_t> &img,
+                                    const std::string &key,
+                                    const char *what) {
+        const uint64_t before = dev.dram().contentHash();
+        simt::ckpt::Error err;
+        auto restored = dev.restoreStepped(img, &err, key);
+        EXPECT_EQ(restored, nullptr) << what;
+        EXPECT_FALSE(err.ok) << what;
+        EXPECT_FALSE(err.message.empty()) << what;
+        EXPECT_EQ(dev.dram().contentHash(), before)
+            << what << ": refusal must not touch simulator state";
+    };
+
+    Device fresh(cfg, Mode::Purecap);
+
+    std::vector<uint8_t> bad_magic = image;
+    bad_magic[0] ^= 0xff;
+    expect_refused(fresh, bad_magic, "", "bad magic");
+
+    std::vector<uint8_t> truncated(image.begin(),
+                                   image.begin() + image.size() / 2);
+    expect_refused(fresh, truncated, "", "truncated image");
+
+    std::vector<uint8_t> bit_flipped = image;
+    bit_flipped[image.size() - 5] ^= 0x01;
+    expect_refused(fresh, bit_flipped, "", "section CRC mismatch");
+
+    simt::SmConfig other_cfg = cfg;
+    other_cfg.numWarps = 8;
+    Device other_dev(other_cfg, Mode::Purecap);
+    {
+        const uint64_t before = other_dev.dram().contentHash();
+        simt::ckpt::Error err;
+        auto restored = other_dev.restoreStepped(image, &err);
+        EXPECT_EQ(restored, nullptr);
+        EXPECT_FALSE(err.ok);
+        EXPECT_NE(err.message.find("configuration"), std::string::npos)
+            << err.message;
+        EXPECT_EQ(other_dev.dram().contentHash(), before);
+    }
+
+    expect_refused(fresh, image, "NotThisKernel|0000000000000000",
+                   "kernel key mismatch");
+
+    // Control: the untampered image with no key constraint restores
+    // fine into the same (still pristine) device and completes.
+    simt::ckpt::Error err;
+    auto restored = fresh.restoreStepped(image, &err);
+    ASSERT_NE(restored, nullptr) << err.message;
+    const RunResult got = restored->finish(LaunchPolicy{}.maxCycles);
+    EXPECT_TRUE(got.completed);
+    EXPECT_TRUE(leg.prep.verify(fresh));
+}
+
+// ------------------------------------------------ restoreBase exactness
+
+TEST(SteppedLaunch, RestoreBaseRevertsToPreLaunchMemoryExactly)
+{
+    const simt::SmConfig cfg = makeCfg(ExecEngine::Simd, 2);
+    Leg leg = makeLeg("Reduce", cfg);
+    const uint64_t pre_hash = leg.dev->dram().contentHash();
+
+    auto first =
+        leg.dev->beginStepped(leg.compiled, leg.prep.cfg, leg.prep.args);
+    const RunResult r1 = first->finish(LaunchPolicy{}.maxCycles);
+    ASSERT_TRUE(r1.completed);
+    const uint64_t post_hash = leg.dev->dram().contentHash();
+    EXPECT_NE(post_hash, pre_hash);
+
+    first->restoreBase();
+    first.reset();
+    EXPECT_EQ(leg.dev->dram().contentHash(), pre_hash);
+
+    // The next delta off the same device must replay bit-identically --
+    // the invariant the scaled fault campaign rests on.
+    auto second =
+        leg.dev->beginStepped(leg.compiled, leg.prep.cfg, leg.prep.args);
+    const RunResult r2 = second->finish(LaunchPolicy{}.maxCycles);
+    EXPECT_TRUE(r2.completed);
+    EXPECT_EQ(r2.cycles, r1.cycles);
+    EXPECT_EQ(leg.dev->dram().contentHash(), post_hash);
+}
+
+// ------------------------------------------------- journal recovery
+
+TEST(CampaignJournal, TruncatedTailIsRecoveredAndResumeIsExact)
+{
+    const std::string path = "test_checkpoint_journal.jsonl";
+    std::remove(path.c_str());
+
+    benchcommon::ScaledCampaignOptions opts;
+    opts.sites = 12;
+    opts.filter = "VecAdd";
+    opts.threads = 1;
+    opts.replaySample = 0;
+    opts.journalPath = path;
+    const benchcommon::ScaledResult res =
+        benchcommon::runScaledCampaign(opts);
+    ASSERT_EQ(res.sites.size(), 12u);
+    EXPECT_EQ(res.resumedSites, 0u);
+
+    uint64_t hash = 0;
+    uint64_t count = 0;
+    std::string err;
+    ASSERT_TRUE(
+        benchcommon::scaledJournalHash(path, &hash, &count, &err))
+        << err;
+    EXPECT_EQ(count, 12u);
+    EXPECT_EQ(hash, res.classificationHash());
+
+    // A SIGKILLed writer leaves at most one partial trailing line; the
+    // readers must skip it and reconstruct the same classification.
+    {
+        std::ofstream out(path, std::ios::app | std::ios::binary);
+        out << "{\"i\": 999, \"bench\": \"Vec";
+    }
+    uint64_t hash2 = 0;
+    ASSERT_TRUE(
+        benchcommon::scaledJournalHash(path, &hash2, &count, &err))
+        << err;
+    EXPECT_EQ(count, 12u);
+    EXPECT_EQ(hash2, hash);
+
+    // Resuming over the recovered journal re-executes nothing and
+    // reports identical classifications.
+    opts.resume = true;
+    const benchcommon::ScaledResult resumed =
+        benchcommon::runScaledCampaign(opts);
+    EXPECT_EQ(resumed.resumedSites, 12u);
+    EXPECT_EQ(resumed.classificationHash(), res.classificationHash());
+    EXPECT_EQ(resumed.detected, res.detected);
+    EXPECT_EQ(resumed.masked, res.masked);
+    EXPECT_EQ(resumed.corrupt, res.corrupt);
+    std::remove(path.c_str());
+
+    // A journal with no header line is refused, not misread.
+    const std::string headerless = "test_checkpoint_headerless.jsonl";
+    {
+        std::ofstream out(headerless, std::ios::trunc | std::ios::binary);
+        out << "{\"i\": 0, \"bench\": \"VecAdd\", \"class\": \"tag\", "
+               "\"outcome\": \"detected\", \"trap_kind\": \"none\", "
+               "\"trap_addr\": 0}\n";
+    }
+    EXPECT_FALSE(benchcommon::scaledJournalHash(headerless, &hash,
+                                                &count, &err));
+    EXPECT_FALSE(err.empty());
+    std::remove(headerless.c_str());
+}
+
+// ------------------------------- launchWithPolicy retry state restore
+
+/**
+ * Reads the scratchpad before dirtying it, accumulates into DRAM, then
+ * spins into the watchdog. A fresh attempt must observe an all-zero
+ * scratchpad and a pre-launch DRAM image, so after any number of policy
+ * retries out[i] == 1; a retry that leaked either the scratchpad (the
+ * historical bug) or DRAM between attempts reports a larger value.
+ */
+struct RetryProbeKernel : kc::KernelDef
+{
+    std::string name() const override { return "RetryProbe"; }
+
+    void
+    build(Kb &b) override
+    {
+        auto spin = b.paramI32("spin");
+        auto out = b.paramPtr("out", kc::Scalar::U32);
+        auto shm = b.shared("shm", kc::Scalar::U32, 64);
+
+        auto tid = b.var(b.threadIdx());
+        auto seen = b.var(b.load(b.index(shm, tid)));
+        b.atomicAdd(b.index(out, tid), seen + b.cu(1));
+        b.store(b.index(shm, tid), b.cu(0xdead));
+        b.barrier();
+        auto i = b.var(b.c(0));
+        auto sink = b.var(b.cu(0));
+        b.forRange(i, spin, b.c(1), [&] { sink += b.cu(1); });
+        // Never reached (the watchdog fires mid-spin); keeps the spin
+        // loop's accumulator live through the optimizer.
+        b.store(b.index(out, tid), sink);
+    }
+};
+
+TEST(LaunchPolicyRetry, AttemptsRestoreScratchpadAndDramExactly)
+{
+    const simt::SmConfig cfg = makeCfg(ExecEngine::Verbatim, 1);
+    Device dev(cfg, Mode::Purecap);
+    RetryProbeKernel kernel;
+    nocl::LaunchConfig lcfg;
+    lcfg.blockDim = 64;
+    lcfg.gridDim = 1;
+    const nocl::Buffer out = dev.alloc(64 * 4);
+    const std::vector<Arg> args = {Arg::integer(1'000'000),
+                                   Arg::buffer(out)};
+
+    LaunchPolicy policy;
+    policy.maxCycles = 20'000; // fires mid-spin, well after the stores
+    policy.maxRetries = 2;
+    const RunResult res = dev.launchWithPolicy(kernel, lcfg, args, policy);
+
+    EXPECT_TRUE(res.trapped);
+    EXPECT_EQ(res.trapKind, simt::TrapKind::WatchdogTimeout);
+    EXPECT_EQ(res.retries, policy.maxRetries);
+    EXPECT_EQ(res.watchdogFires, policy.maxRetries + 1);
+
+    // Every retry started from zeroed scratchpad and pre-launch DRAM:
+    // each lane saw 0 and accumulated exactly once.
+    const std::vector<uint32_t> got = dev.read32(out);
+    ASSERT_EQ(got.size(), 64u);
+    for (size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], 1u) << "lane " << i;
+}
+
+} // namespace
